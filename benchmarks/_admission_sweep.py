@@ -1,0 +1,68 @@
+"""Shared sweep for Figures 12 & 13 (admission-control policies).
+
+Setup (§6.7): 25 000 items, 50-item hotspot, single-item transactions,
+speculation off, 5 s timeout.  For ``Fixed(T, *)`` the swept parameter
+is the attempt rate; for ``Dynamic(*)`` it is the threshold.  Each
+figure reports total and hotspot commit throughput per policy/parameter.
+
+The paper's admission-control benefit is a *resource* effect as much
+as a contention effect: every attempted option costs a Paxos round —
+a synchronous log write on each m1.large replica — whether it is
+accepted or rejected.  We model that disk-bound cost with a heavier
+``phase2a`` service time, which puts the no-admission configurations
+at the saturation point the testbed exhibited.
+"""
+
+from _common import base_config, emit, windows
+from repro.core import DynamicPolicy, FixedPolicy
+from repro.harness import Experiment
+
+PARAMS = [0, 10, 40, 70, 100]
+N_ITEMS = 25_000
+HOTSPOT = 50
+
+
+def make_policy(family: str, param: int):
+    if family == "Dyn":
+        return DynamicPolicy(param)
+    threshold = int(family[1:])  # "F20" -> 20
+    return FixedPolicy(threshold, param)
+
+
+FAMILIES = ["Dyn", "F20", "F40", "F60"]
+
+
+def run_sweep(rate_tps: float):
+    results = {}
+    for family in FAMILIES:
+        for param in PARAMS:
+            config = base_config(
+                name=f"fig12-{family}-{param}-{rate_tps}", system="planet",
+                n_items=N_ITEMS, hotspot_size=HOTSPOT, rate_tps=rate_tps,
+                timeout_ms=5_000.0, min_items=1, max_items=1,
+                admission=make_policy(family, param),
+                storage_service_overrides={"phase2a": 5.5},
+                **windows(warmup_ms=8_000, duration_ms=16_000,
+                          drain_ms=20_000))
+            result = Experiment(config).run()
+            results[(family, param)] = result.metrics
+    return results
+
+
+def report(figure: str, rate_tps: float, results) -> list:
+    headers = ["parameter"]
+    for family in FAMILIES:
+        headers += [f"{family}(*) total", f"{family}(*) hot"]
+    rows = []
+    for param in PARAMS:
+        row = [param]
+        for family in FAMILIES:
+            metrics = results[(family, param)]
+            row.append(round(metrics.commit_tps(), 1))
+            row.append(round(metrics.commit_tps(hot=True), 1))
+        rows.append(row)
+    emit(figure, headers, rows,
+         title=(f"Figure {figure[-2:]}: admission-control commit rates, "
+                f"{rate_tps:.0f} TPS client rate "
+                "(25k items, 50-item hotspot, 1-item txns)"))
+    return rows

@@ -1,0 +1,71 @@
+"""Ablation: likelihood-based vs probing-based admission control.
+
+§4.2 / §7: PLANET's admission control differs from classical adaptive
+load control ([18]) by *predicting* each transaction's commit chance
+instead of probing a single global admit rate.  This ablation runs a
+contended, resource-tight operating point under (a) no admission
+control, (b) the adaptive probing baseline, and (c) Dynamic(100), and
+compares goodput and wasted work (aborts).
+"""
+
+from _common import base_config, emit, windows
+from repro.core import DynamicPolicy, NoAdmission
+from repro.core.admission import AdaptiveProbingPolicy
+from repro.harness import Experiment
+
+RATE_TPS = 400.0
+N_ITEMS = 25_000
+HOTSPOT = 50
+
+
+def run_variants():
+    variants = {}
+    for label in ("none", "adaptive", "dynamic"):
+        config = base_config(
+            name=f"ablation-admission-{label}", system="planet",
+            n_items=N_ITEMS, hotspot_size=HOTSPOT, rate_tps=RATE_TPS,
+            timeout_ms=5_000.0, min_items=1, max_items=1,
+            storage_service_overrides={"phase2a": 5.5},
+            need_model=True,
+            **windows(warmup_ms=8_000, duration_ms=16_000,
+                      drain_ms=20_000))
+        experiment = Experiment(config)
+        if label == "none":
+            policy = NoAdmission()
+        elif label == "adaptive":
+            policy = AdaptiveProbingPolicy(experiment.env,
+                                           probe_interval_ms=2_000.0)
+        else:
+            policy = DynamicPolicy(100)
+        config.admission = policy
+        for session in experiment.sessions:
+            session.admission = policy
+        variants[label] = Experiment.run(experiment)
+    return variants
+
+
+def test_ablation_admission_policies(benchmark):
+    variants = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+    rows = []
+    for label in ("none", "adaptive", "dynamic"):
+        metrics = variants[label].metrics
+        rows.append([
+            label,
+            round(metrics.commit_tps(), 1),
+            round(metrics.commit_tps(hot=True), 1),
+            round(metrics.abort_tps(), 1),
+            round(metrics.rejected_tps(), 1),
+        ])
+    emit("ablation_admission",
+         ["policy", "commit tps", "hot commit tps", "abort tps",
+          "rejected tps"],
+         rows,
+         title=("Ablation: admission control flavours at 400 TPS "
+                "(25k items, 50-item hotspot, 1-item txns)"))
+    by = {row[0]: row for row in rows}
+    # Both control schemes reject work; the likelihood-based one keeps
+    # goodput at least competitive with probing and reduces wasted
+    # aborts versus no control.
+    assert by["dynamic"][4] > 0  # dynamic actually rejects
+    assert by["dynamic"][3] <= by["none"][3]  # fewer wasted aborts
+    assert by["dynamic"][1] >= 0.75 * max(r[1] for r in rows)

@@ -1,0 +1,71 @@
+"""Ablation: raw event throughput of the discrete-event kernel.
+
+DESIGN.md decision #1 replaces wall-clock execution with virtual time;
+this measures what that buys: how many kernel events per second the
+simulator sustains, for bare timers and for transport messages.
+"""
+
+from _common import emit
+from repro.net import Message, Transport, uniform_topology
+from repro.sim import Environment, RandomStreams
+
+N_EVENTS = 50_000
+
+
+def run_timers():
+    env = Environment()
+
+    def ticker(env):
+        for _ in range(N_EVENTS):
+            yield env.timeout(1.0)
+
+    env.process(ticker(env))
+    env.run()
+    return env.now
+
+
+def run_messages():
+    env = Environment()
+    topo = uniform_topology(3, one_way_ms=10.0, sigma=0.05)
+    transport = Transport(env, topo, RandomStreams(seed=1))
+    received = [0]
+    transport.register("sink", 1, lambda m: received.__setitem__(
+        0, received[0] + 1))
+
+    def sender(env):
+        for i in range(N_EVENTS):
+            transport.send(0, Message(src="src", dst="sink", kind="k",
+                                      payload=i))
+            if i % 64 == 0:
+                yield env.timeout(0.1)
+
+    env.process(sender(env))
+    env.run()
+    assert received[0] == N_EVENTS
+    return received[0]
+
+
+def test_kernel_timer_throughput(benchmark):
+    benchmark.pedantic(run_timers, rounds=3, iterations=1)
+    stats = benchmark.stats.stats
+    rate = N_EVENTS / stats.mean
+    emit("ablation_kernel_timers",
+         ["metric", "value"],
+         [["timer events", N_EVENTS],
+          ["mean seconds", round(stats.mean, 3)],
+          ["events/sec", round(rate)]],
+         title="Ablation: kernel timer-event throughput")
+    assert rate > 50_000  # virtual time must be far beyond real time
+
+
+def test_kernel_message_throughput(benchmark):
+    benchmark.pedantic(run_messages, rounds=3, iterations=1)
+    stats = benchmark.stats.stats
+    rate = N_EVENTS / stats.mean
+    emit("ablation_kernel_messages",
+         ["metric", "value"],
+         [["messages delivered", N_EVENTS],
+          ["mean seconds", round(stats.mean, 3)],
+          ["messages/sec", round(rate)]],
+         title="Ablation: transport message throughput")
+    assert rate > 30_000

@@ -1,0 +1,83 @@
+"""Ablation: discrete-PMF likelihood math vs Monte-Carlo ground truth.
+
+DESIGN.md decision #3 evaluates equations 1-9 on fixed-width
+histograms.  This ablation measures (a) the cost of the §5.2.4 matrix
+precomputation on the five-DC topology and (b) the accuracy of the
+per-record likelihood against a direct Monte-Carlo simulation of the
+conflict window.
+"""
+
+import math
+import random
+
+from _common import emit
+from repro.core import CommitLikelihoodModel, OracleLatencySource
+from repro.net import ec2_five_dc
+from repro.sim import RandomStreams
+
+RATES = [0.0001, 0.0005, 0.002, 0.008]
+MC_TRIALS = 3000
+
+
+def build_model():
+    streams = RandomStreams(seed=17)
+    topo = ec2_five_dc(spike_prob=0.0)
+    matrix = OracleLatencySource(topo, streams, samples=1500,
+                                 bin_ms=2.0, n_bins=1024).latency_matrix()
+    model = CommitLikelihoodModel(matrix, [0.2] * 5)
+    model.precompute()
+    return topo, model
+
+
+def monte_carlo(topo, rate, client_dc=0, leader_dc=1, trials=MC_TRIALS):
+    rng = random.Random(23)
+    n = len(topo)
+
+    def one_way(a, b):
+        if a == b:
+            return 0.25
+        return topo.latency(a, b).sample(rng)
+
+    acc = 0.0
+    for _ in range(trials):
+        leader_prev = rng.randrange(n)
+        previous_client = rng.randrange(n)
+        # quorum of 3 out of 5 at the previous leader (local vote ~0):
+        rtts = sorted(
+            one_way(leader_prev, b) + one_way(b, leader_prev)
+            for b in range(n) if b != leader_prev)
+        quorum = rtts[1]  # 3rd of 5 overall = 2nd remote round trip
+        window = (quorum
+                  + one_way(leader_prev, previous_client)
+                  + one_way(previous_client, client_dc)
+                  + one_way(client_dc, leader_dc))
+        acc += math.exp(-rate * window)
+    return acc / trials
+
+
+def test_likelihood_precompute_cost(benchmark):
+    benchmark.pedantic(build_model, rounds=3, iterations=1)
+    seconds = benchmark.stats.stats.mean
+    emit("ablation_likelihood_cost",
+         ["metric", "value"],
+         [["5x5 matrix precompute seconds", round(seconds, 3)]],
+         title=("Ablation: cost of the likelihood-matrix precomputation "
+                "(5 DCs, 1024 bins)"))
+    assert seconds < 10.0  # cheap enough to refresh on a stats window
+
+
+def test_likelihood_accuracy_vs_monte_carlo(benchmark):
+    topo, model = benchmark.pedantic(build_model, rounds=1, iterations=1)
+    rows = []
+    for rate in RATES:
+        predicted = model.record_likelihood(0, 1, rate)
+        ground = monte_carlo(topo, rate)
+        rows.append([rate, round(predicted, 4), round(ground, 4),
+                     round(abs(predicted - ground), 4)])
+    emit("ablation_likelihood_accuracy",
+         ["lambda (1/ms)", "model P(commit)", "monte carlo", "abs error"],
+         rows,
+         title=("Ablation: per-record likelihood vs Monte-Carlo "
+                "ground truth (client=us-west, leader=us-east)"))
+    for _rate, _predicted, _ground, error in rows:
+        assert error < 0.06

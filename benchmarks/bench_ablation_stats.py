@@ -1,0 +1,55 @@
+"""Ablation: oracle statistics vs the deployed measurement pipeline.
+
+DESIGN.md decision #5: the statistics service measures RTTs with real
+simulated probe traffic (windowed histograms, piggybacked aggregation)
+while an oracle mode samples the topology directly.  This ablation
+runs the same speculative workload under all three statistics modes
+(oracle, hub-measured, fully distributed per-client dissemination) and
+compares the speculation behaviour — if the measurement pipelines
+converge, all three should be close.
+"""
+
+from _common import base_config, emit
+from repro.harness import Experiment
+
+
+MODES = ("oracle", "measured", "distributed")
+
+
+def run_modes():
+    results = {}
+    for mode in MODES:
+        config = base_config(
+            name=f"ablation-stats-{mode}", system="planet",
+            n_items=4_000, rate_tps=150.0, min_items=1, max_items=1,
+            timeout_ms=5_000.0, spec_threshold=0.95, stats_mode=mode,
+            ping_interval_ms=500.0)
+        results[mode] = Experiment(config).run()
+    return results
+
+
+def test_stats_oracle_vs_measured(benchmark):
+    results = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+    rows = []
+    for mode in MODES:
+        metrics = results[mode].metrics
+        rows.append([
+            mode,
+            round(metrics.commit_tps(), 1),
+            round(100 * metrics.spec_fraction(), 1),
+            round(100 * metrics.spec_incorrect_fraction(), 1),
+            round(metrics.mean_response_ms(), 1),
+        ])
+    emit("ablation_stats",
+         ["stats mode", "commit tps", "spec %", "incorrect spec %",
+          "mean resp ms"],
+         rows,
+         title=("Ablation: oracle vs measured statistics "
+                "(4k items, 1-item txns, 150 TPS, spec 0.95)"))
+    oracle, measured, distributed = rows
+    # Both measurement pipelines must reach conclusions close to the
+    # oracle: similar speculation rate (within 25 points) and
+    # throughput (10%).
+    for pipeline in (measured, distributed):
+        assert abs(oracle[2] - pipeline[2]) < 25.0
+        assert abs(oracle[1] - pipeline[1]) < 0.1 * oracle[1] + 5

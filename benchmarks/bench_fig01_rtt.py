@@ -1,0 +1,55 @@
+"""Figure 1: round-trip response times between EC2 regions.
+
+The paper's Figure 1 plots RPC round trips over four days, showing
+~100 ms averages with spikes beyond 800 ms.  This benchmark samples
+the calibrated latency models for the same region pairs and reports
+mean / p50 / p99 / max round trips plus the spike count, which is the
+series the figure visualizes.
+"""
+
+import random
+
+from _common import emit
+from repro.net import ec2_five_dc
+
+
+PAIRS = [
+    ("us-west", "eu"),
+    ("us-east", "eu"),
+    ("us-west", "tokyo"),
+    ("us-east", "tokyo"),
+]
+SAMPLES = 20_000
+
+
+def run_fig01():
+    topo = ec2_five_dc()  # default: log-normal body + rare spikes
+    rng = random.Random(99)
+    rows = []
+    for name_a, name_b in PAIRS:
+        a, b = topo.index_of(name_a), topo.index_of(name_b)
+        forward, backward = topo.latency(a, b), topo.latency(b, a)
+        rtts = sorted(forward.sample(rng) + backward.sample(rng)
+                      for _ in range(SAMPLES))
+        mean = sum(rtts) / len(rtts)
+        p50 = rtts[len(rtts) // 2]
+        p99 = rtts[int(len(rtts) * 0.99)]
+        spikes = sum(1 for rtt in rtts if rtt > 800.0)
+        rows.append([f"{name_a} - {name_b}", round(mean, 1), round(p50, 1),
+                     round(p99, 1), round(rtts[-1], 1), spikes])
+    return rows
+
+
+def test_fig01_rtt(benchmark):
+    rows = benchmark.pedantic(run_fig01, rounds=1, iterations=1)
+    emit("fig01", ["region pair", "mean ms", "p50 ms", "p99 ms", "max ms",
+                   f"spikes>800ms (of {SAMPLES})"],
+         rows,
+         title="Figure 1: EC2 inter-region round trips (model samples)",
+         notes=("Shape check: ~100ms-class medians, heavy upper tail with "
+                "occasional spikes beyond 800ms, as in the paper's trace."))
+    # Shape assertions: tight body, heavy tail.
+    for _pair, _mean, p50, p99, mx, _spikes in rows:
+        assert 60.0 < p50 < 320.0
+        assert mx > p99
+    assert any(row[4] > 800.0 for row in rows)  # at least one spike seen

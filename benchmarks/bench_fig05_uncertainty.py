@@ -1,0 +1,69 @@
+"""Figure 5: transaction outcomes vs. timeout, Traditional vs PLANET.
+
+Setup (§6.3): 20 000 items, uniform access, 200 TPS, onAccept enabled,
+speculation and admission control off.  The figure stacks, for each
+timeout value, the fraction of transactions whose outcome the
+application knows at the timeout (commits/aborts), PLANET's
+accepted-but-pending classes (accept-commits / accept-aborts, later
+resolved through finally callbacks), and the residual unknown area.
+
+Without speculation or admission control the timeout never changes the
+protocol's behaviour, so a single run per system is reclassified
+against each hypothetical timeout — the same sweep, minus sampling
+noise between timeout points.
+"""
+
+from _common import base_config, emit
+from repro.harness import Experiment
+
+TIMEOUTS_MS = [50, 100, 200, 300, 400, 600, 800, 1000, 1500]
+
+
+def run_fig05():
+    results = {}
+    for system in ("traditional", "planet"):
+        config = base_config(
+            name=f"fig05-{system}", system=system, n_items=20_000,
+            rate_tps=200.0, timeout_ms=10_000.0, use_on_accept=True)
+        results[system] = Experiment(config).run()
+    return results
+
+
+def classify(metrics, timeout_ms):
+    breakdown = metrics.outcome_breakdown(timeout_ms)
+    return {key: 100.0 * breakdown.get(key, 0.0)
+            for key in ("commit", "abort", "accept-commit", "accept-abort",
+                        "unknown")}
+
+
+def test_fig05_uncertainty(benchmark):
+    results = benchmark.pedantic(run_fig05, rounds=1, iterations=1)
+    for system, label in (("traditional", "Traditional"),
+                          ("planet", "PLANET")):
+        metrics = results[system].metrics
+        rows = []
+        for timeout in TIMEOUTS_MS:
+            shares = classify(metrics, timeout)
+            rows.append([timeout,
+                         round(shares["commit"], 1),
+                         round(shares["abort"], 1),
+                         round(shares["accept-commit"], 1),
+                         round(shares["accept-abort"], 1),
+                         round(shares["unknown"], 1)])
+        emit(f"fig05_{system}",
+             ["timeout ms", "commits %", "aborts %", "accept-commits %",
+              "accept-aborts %", "unknown %"],
+             rows,
+             title=(f"Figure 5 ({label}): outcome breakdown vs timeout "
+                    "(20k items, uniform, 200 TPS)"))
+
+    # Shape checks: PLANET's unknown area collapses into the accepted
+    # classes; at generous timeouts both systems know everything.
+    planet = classify(results["planet"].metrics, 300)
+    traditional = classify(results["traditional"].metrics, 300)
+    assert planet["unknown"] < traditional["unknown"]
+    assert planet["accept-commit"] + planet["accept-abort"] > 0
+    assert classify(results["planet"].metrics, 1500)["unknown"] < 5.0
+    # At a 300ms timeout the traditional model leaves a substantial
+    # fraction of transactions in the dark.
+    assert traditional["unknown"] > 10.0

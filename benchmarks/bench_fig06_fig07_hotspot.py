@@ -1,0 +1,91 @@
+"""Figures 6 & 7: throughput and response time vs. hotspot size.
+
+Setup (§6.4): 200 000 items, 90 % of transactions inside a hotspot of
+varying size, 200 TPS target, 5 s timeout, no onAccept stage.  The
+PLANET configuration enables Dynamic(50) admission control and
+speculative commits at 0.95; "without PLANET" is the traditional model
+on the same substrate.
+
+Figure 6 plots commit & abort throughput per hotspot size; Figure 7
+plots the average commit response time plus the fraction of commits
+that were speculative.  Both figures come from the same sweep, so one
+benchmark produces both tables.
+"""
+
+from _common import base_config, emit
+from repro.core import DynamicPolicy
+from repro.harness import Experiment
+
+HOTSPOT_SIZES = [200, 800, 3200, 12800, 51200, None]  # None = uniform
+N_ITEMS = 200_000
+RATE_TPS = 200.0
+
+
+def label(size):
+    return "uniform" if size is None else str(size)
+
+
+def run_sweep():
+    rows = []
+    for size in HOTSPOT_SIZES:
+        per_system = {}
+        for system in ("traditional", "planet"):
+            config = base_config(
+                name=f"fig06-{system}-{label(size)}", system=system,
+                n_items=N_ITEMS, hotspot_size=size, rate_tps=RATE_TPS,
+                timeout_ms=5_000.0,
+                spec_threshold=0.95 if system == "planet" else None,
+                admission=DynamicPolicy(50) if system == "planet" else None)
+            per_system[system] = Experiment(config).run()
+        rows.append((size, per_system))
+    return rows
+
+
+def test_fig06_fig07_hotspot(benchmark):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    fig6_rows = []
+    fig7_rows = []
+    for size, results in sweep:
+        planet = results["planet"].metrics
+        trad = results["traditional"].metrics
+        fig6_rows.append([
+            label(size),
+            round(trad.commit_tps(), 1), round(trad.abort_tps(), 1),
+            round(planet.commit_tps(), 1), round(planet.abort_tps(), 1),
+            round(planet.rejected_tps(), 1),
+        ])
+        fig7_rows.append([
+            label(size),
+            round(trad.mean_response_ms(), 1),
+            round(planet.mean_response_ms(), 1),
+            round(100.0 * planet.spec_fraction(), 1),
+        ])
+
+    emit("fig06",
+         ["hotspot", "no-PLANET commit tps", "no-PLANET abort tps",
+          "PLANET commit tps", "PLANET abort tps", "PLANET rejected tps"],
+         fig6_rows,
+         title=("Figure 6: commit & abort throughput vs hotspot size "
+                "(200k items, 200 TPS, Dyn(50) + spec 0.95)"))
+    emit("fig07",
+         ["hotspot", "no-PLANET avg resp ms", "PLANET avg resp ms",
+          "PLANET spec %"],
+         fig7_rows,
+         title=("Figure 7: average commit response time vs hotspot size "
+                "(200k items, 200 TPS)"))
+
+    # Shape checks from the paper:
+    # 1. Large hotspots / uniform: both systems commit ~the target rate
+    #    with low abort rates.
+    uniform_row = fig6_rows[-1]
+    assert uniform_row[1] > 0.85 * RATE_TPS
+    assert uniform_row[3] > 0.85 * RATE_TPS
+    # 2. Small hotspots: PLANET's commit throughput beats the baseline.
+    small_row = fig6_rows[0]
+    assert small_row[3] > small_row[1]
+    # 3. PLANET response times at/below the baseline everywhere, and
+    #    far below where speculation dominates.
+    for row in fig7_rows:
+        assert row[2] <= row[1] * 1.1
+    assert fig7_rows[-1][3] > 50.0  # uniform: most commits speculative

@@ -1,0 +1,77 @@
+"""Figures 10 & 11: speculative-commit breakdown and latency vs data size.
+
+Setup (§6.6): single-item transactions, uniform access over tables of
+1 000 – 10 000 items, 200 TPS, speculative commits at 0.95, admission
+control off, 5 s timeout.  Figure 10 stacks commits / speculative
+commits / incorrect speculative commits / aborts (in TPS); Figure 11
+plots the average response time (including aborts) for the same runs.
+
+The paper's shape: at 10 000 items most transactions speculate
+(77 % there), at 1 000 items almost none do; incorrect speculation
+stays around the 5 % the 0.95 threshold allows; response times fall as
+the data grows because more transactions can speculate.
+"""
+
+from _common import base_config, emit
+from repro.harness import Experiment
+
+DATA_SIZES = [1_000, 2_000, 4_000, 7_000, 10_000]
+RATE_TPS = 200.0
+
+
+def run_sweep():
+    results = []
+    for size in DATA_SIZES:
+        config = base_config(
+            name=f"fig10-{size}", system="planet", n_items=size,
+            rate_tps=RATE_TPS, timeout_ms=5_000.0, min_items=1, max_items=1,
+            spec_threshold=0.95)
+        results.append((size, Experiment(config).run()))
+    return results
+
+
+def test_fig10_fig11_speculation(benchmark):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    fig10_rows = []
+    fig11_rows = []
+    for size, result in sweep:
+        metrics = result.metrics
+        breakdown = metrics.commit_type_breakdown()
+        fig10_rows.append([
+            size,
+            round(breakdown["commits"], 1),
+            round(breakdown["spec"], 1),
+            round(breakdown["incorrect_spec"], 2),
+            round(breakdown["aborts"], 1),
+            round(100 * metrics.spec_fraction(), 1),
+            round(100 * metrics.spec_incorrect_fraction(), 1),
+        ])
+        # Figure 11 averages over all attempted transactions, aborts
+        # included (the paper notes "including aborts").
+        times = metrics.response_times(committed_only=False)
+        mean_ms = sum(times) / len(times) if times else 0.0
+        fig11_rows.append([size, round(mean_ms, 1)])
+
+    emit("fig10",
+         ["data size", "normal tps", "spec tps", "incorrect-spec tps",
+          "abort tps", "spec % of commits", "incorrect % of spec"],
+         fig10_rows,
+         title=("Figure 10: commit types vs data size "
+                "(1-item txns, uniform, 200 TPS, spec 0.95)"))
+    emit("fig11",
+         ["data size", "avg response ms (incl aborts)"],
+         fig11_rows,
+         title="Figure 11: average response time vs data size")
+
+    # Shape checks:
+    spec_shares = [row[5] for row in fig10_rows]
+    # 1. Speculation grows with data size (less contention).
+    assert spec_shares[-1] > spec_shares[0]
+    assert spec_shares[-1] > 50.0
+    # 2. Incorrect speculation stays near or below the 5% the 0.95
+    #    threshold implies (paper saw 1.8%-5.8% above 1000 items).
+    for row in fig10_rows[1:]:
+        assert row[6] <= 12.0
+    # 3. Response time falls as the data grows.
+    assert fig11_rows[-1][1] < fig11_rows[0][1]

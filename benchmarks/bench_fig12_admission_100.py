@@ -1,0 +1,30 @@
+"""Figure 12: admission-control policy sweep at a 100 TPS client rate.
+
+Paper's observations at low load: all policies perform comparably;
+aggressively rejecting hotspot transactions (Fixed with a tiny attempt
+rate and a high threshold) under-utilizes the hotspot, while Dynamic
+keeps the hotspot busy at every threshold.
+"""
+
+from _admission_sweep import FAMILIES, PARAMS, report, run_sweep
+
+
+def test_fig12_admission_100(benchmark):
+    results = benchmark.pedantic(run_sweep, args=(100.0,), rounds=1,
+                                 iterations=1)
+    rows = report("fig12", 100.0, results)
+
+    by = {(family, param): results[(family, param)]
+          for family in FAMILIES for param in PARAMS}
+    totals = [by[key].commit_tps() for key in by]
+    # The paper's observation at 100 TPS: contention is not strong
+    # enough for the policies to diverge much — all land in one band.
+    assert min(totals) > 0.55 * max(totals)
+    # The permissive corners (no admission control) are healthy.
+    assert by[("Dyn", 0)].commit_tps() > 0.55 * 100.0
+    assert by[("F60", 100)].commit_tps() > 0.55 * 100.0
+    # The hotspot stays utilized under every Dynamic threshold (it
+    # never collapses toward zero the way an over-aggressive filter
+    # would push it).
+    dyn_hot = [by[("Dyn", p)].commit_tps(hot=True) for p in PARAMS]
+    assert min(dyn_hot) > 0.25 * max(dyn_hot)

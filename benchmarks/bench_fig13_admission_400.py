@@ -1,0 +1,27 @@
+"""Figure 13: admission-control policy sweep at a 400 TPS client rate.
+
+Paper's observations at high load: admission control buys a higher
+total commit rate than attempting everything; Dynamic with a high
+threshold performs well; ``Dyn(0)`` (no admission control at all) is
+the weak point of the Dynamic family.
+"""
+
+from _admission_sweep import FAMILIES, PARAMS, report, run_sweep
+
+
+def test_fig13_admission_400(benchmark):
+    results = benchmark.pedantic(run_sweep, args=(400.0,), rounds=1,
+                                 iterations=1)
+    rows = report("fig13", 400.0, results)
+
+    by = {(family, param): results[(family, param)]
+          for family in FAMILIES for param in PARAMS}
+    no_ac = by[("Dyn", 0)].commit_tps()  # Dyn(0) == no admission control
+    best_dyn = max(by[("Dyn", p)].commit_tps() for p in PARAMS[1:])
+    # Under high contention, admission control beats no admission
+    # control on total commits.
+    assert best_dyn > no_ac
+    # A high-threshold Dynamic policy is competitive with the best
+    # configuration overall (the paper's recommended default).
+    best_overall = max(by[key].commit_tps() for key in by)
+    assert by[("Dyn", 100)].commit_tps() > 0.8 * best_overall

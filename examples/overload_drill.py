@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Overload drill: watch thrashing happen, then watch admission control
+prevent it.
+
+The Figure 8 mechanics, narrated with live cluster snapshots: an open
+system pushes 400 TPS of single-item buys at a 50-item hotspot on a
+resource-constrained cluster (phase2a priced like the m1.large disk
+write it is).  Without admission control the option-round backlog and
+RPC queues balloon; with Dynamic(90) the doomed hot transactions are
+turned away and the system stays inside its capacity.
+
+Run:  python examples/overload_drill.py
+"""
+
+from repro.core import DynamicPolicy
+from repro.harness import Experiment, ExperimentConfig, HealthMonitor
+from repro.harness.report import print_table
+
+RATE_TPS = 400.0
+
+
+def run(label, admission):
+    config = ExperimentConfig(
+        name=f"drill-{label}", seed=17, system="planet",
+        topology="ec2", n_items=25_000, hotspot_size=50,
+        rate_tps=RATE_TPS, timeout_ms=5_000.0, min_items=1, max_items=1,
+        admission=admission, need_model=True,
+        storage_service_ms=0.8,
+        storage_service_overrides={"phase2a": 5.5},
+        warmup_ms=5_000.0, duration_ms=20_000.0, drain_ms=15_000.0)
+    experiment = Experiment(config)
+    monitor = HealthMonitor(experiment.cluster, interval_ms=5_000.0)
+    result = experiment.run()
+    return result, monitor
+
+
+def main() -> None:
+    rows = []
+    depth_series = {}
+    for label, admission in (("no control", None),
+                             ("Dynamic(90)", DynamicPolicy(90))):
+        result, monitor = run(label, admission)
+        metrics = result.metrics
+        last = monitor.samples[-1]
+        rows.append([
+            label,
+            round(metrics.commit_tps(), 1),
+            round(metrics.abort_tps(), 1),
+            round(metrics.rejected_tps(), 1),
+            round(metrics.mean_response_ms(), 0),
+            last.max_queue_depth,
+            round(100 * last.option_reject_rate, 1),
+        ])
+        depth_series[label] = monitor.series("max_queue_depth")
+
+    print_table(
+        ["admission", "commit tps", "abort tps", "rejected tps",
+         "mean resp ms", "max RPC queue", "option reject %"],
+        rows,
+        title=(f"Overload drill: {RATE_TPS:.0f} TPS at a 50-item "
+               "hotspot, disk-priced phase2a"))
+
+    print("max RPC queue depth over time (5s samples):")
+    for label, series in depth_series.items():
+        print(f"  {label:12s} {[int(v) for v in series]}")
+    print()
+    print("Reading it: without control the servers queue ever deeper "
+          "processing doomed option rounds; Dynamic(90) rejects the "
+          "low-likelihood hot transactions up front, trading raw "
+          "attempts for stable queues and cheap responses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""The generalized model (§4.1): live progress UI + user-defined commit.
+
+A checkout page subscribes to ``on_progress`` and narrates the
+transaction's journey — "contacting the backend", "booking received",
+"order completed" — exactly the UX §4.1.2 describes.  The handler also
+*redefines commit*: the page stops waiting once the commit likelihood
+passes 95 %, reclaiming the thread of control with ``FINISH_TX`` while
+the Paxos rounds settle in the background.
+
+Background shoppers keep the items warm so the likelihood starts below
+the bar and visibly rises as learned messages arrive.
+
+Run:  python examples/progress_tracker.py
+"""
+
+import random
+
+from repro import (
+    FINISH_TX,
+    CommitLikelihoodModel,
+    OracleLatencySource,
+    PlanetSession,
+    TxState,
+    Update,
+    WriteOp,
+    quick_cluster,
+)
+
+ITEMS = [f"item:{i}" for i in range(5)]
+WARMUP_MS = 20_000.0
+FINISH_AT = 0.95
+SEED = 4
+
+
+def background_shoppers(env, cluster, seed):
+    """A trickle of buy traffic that warms the access-rate buckets."""
+    session = PlanetSession(cluster, "background", datacenter=4)
+    rng = random.Random(seed)
+
+    def shop(env):
+        while True:
+            yield env.timeout(rng.expovariate(1 / 800.0))  # ~1.25 tps
+            item = rng.choice(ITEMS)
+            (session.transaction([WriteOp(item, Update.delta(-1))],
+                                 timeout_ms=5_000)
+             .on_failure(lambda info: None)).execute()
+
+    env.process(shop(env))
+
+
+def main() -> None:
+    env, cluster = quick_cluster(seed=SEED)
+    cluster.load({item: 10_000 for item in ITEMS})
+    background_shoppers(env, cluster, seed=SEED)
+    env.run(until=WARMUP_MS)
+
+    matrix = OracleLatencySource(cluster.topology, cluster.streams,
+                                 samples=1500).latency_matrix()
+    model = CommitLikelihoodModel(
+        matrix, cluster.mastership.leader_distribution())
+    model.precompute()
+    session = PlanetSession(cluster, "checkout", datacenter=2, model=model)
+
+    page_done = False
+
+    def progress(info):
+        nonlocal page_done
+        if page_done:
+            return None
+        banner = {
+            "likelihood": "trying to contact the backend...",
+            "accepted": "booking received...",
+            "learned": "confirming with remote regions...",
+            "decided": "order completed",
+            "timeout": "this is taking longer than expected...",
+        }.get(info.stage, info.stage)
+        print(f"  +{info.elapsed_ms:7.1f} ms  [{info.stage:10s}] "
+              f"{banner}  (P(commit)={info.commit_likelihood:.3f})")
+        if info.stage == "decided":
+            page_done = True
+            return FINISH_TX
+        if info.commit_likelihood >= FINISH_AT:
+            print(f"  +{info.elapsed_ms:7.1f} ms  page: likelihood above "
+                  f"{FINISH_AT:.0%} - showing the success screen now")
+            page_done = True
+            return FINISH_TX
+        return None
+
+    def final(info):
+        print(f"  +{info.elapsed_ms:7.1f} ms  background: true outcome = "
+              f"{info.state.value}")
+
+    order = [
+        WriteOp("item:0", Update.delta(-1)),
+        WriteOp("item:3", Update.delta(-2)),
+    ]
+    tx = (session.transaction(order, timeout_ms=2_000)
+          .on_progress(progress)
+          .finally_callback(final))
+    planet_tx = tx.execute()
+    # The background shoppers run forever; bound the simulation instead
+    # of draining the queue.
+    env.run(until=WARMUP_MS + 5_000)
+
+    print()
+    returned_after = planet_tx.stage_fired_ms - planet_tx.start_ms
+    decided_after = planet_tx.decided_ms - planet_tx.start_ms
+    print(f"control returned after {returned_after:.1f} ms; "
+          f"the real decision took {decided_after:.1f} ms")
+    if planet_tx.state is not TxState.COMMITTED:
+        print("(a background shopper beat us to an item - the page "
+              "apologized via the finally callback)")
+
+
+if __name__ == "__main__":
+    main()

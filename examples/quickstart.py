@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: the web-shop order transaction of the paper's Listing 2.
+
+Builds the five-data-center geo-replicated database, then places an
+order with a 300 ms deadline.  Within that deadline the user sees one
+of three responses — an error, "thanks for your order", or the final
+result — and is always eventually told the true outcome via the
+finally callbacks, no matter how slow the WAN was.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    PlanetSession,
+    Update,
+    WriteOp,
+    quick_cluster,
+)
+
+
+def main() -> None:
+    env, cluster = quick_cluster(seed=42)  # the paper's 5 EC2 regions
+    cluster.load({"item:17": 100, "orders": 0})
+    session = PlanetSession(cluster, "web-frontend", datacenter=0)
+
+    def show_error(info):
+        print(f"[{env.now:7.1f} ms] page: something went wrong "
+              f"(state={info.state.value})")
+
+    def show_thanks(info):
+        print(f"[{env.now:7.1f} ms] page: thanks for your order! "
+              "We'll email you a confirmation.")
+
+    def show_result(info):
+        print(f"[{env.now:7.1f} ms] page: order "
+              f"{'successful' if info.success else 'not successful'}")
+
+    def update_via_ajax(info):
+        print(f"[{env.now:7.1f} ms] ajax: final status = "
+              f"{info.state.value}")
+
+    def send_email(info):
+        print(f"[{env.now:7.1f} ms] email: your order "
+              f"{'shipped!' if info.success else 'could not be placed.'}")
+
+    # Listing 2, in Python: buy one unit of item 17, record the order.
+    order = [
+        WriteOp("orders", Update.delta(+1)),
+        WriteOp("item:17", Update.delta(-1)),
+    ]
+    (session.transaction(order, timeout_ms=300)
+     .on_failure(show_error)
+     .on_accept(show_thanks)
+     .on_complete(show_result, threshold=0.90)
+     .finally_callback(update_via_ajax)
+     .finally_callback_remote(send_email)
+     ).execute()
+
+    env.run()
+    print("\nfinal stock of item:17 in every data center:")
+    for dc in range(5):
+        name = cluster.topology.datacenters[dc].name
+        print(f"  {name:10s} -> {cluster.read_value('item:17', dc=dc)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Two ends of the consistency/latency spectrum on one database.
+
+Reproduces the paper's Listings 3 and 4 side by side:
+
+* **Twitter-style post** (Listing 4): append-only, never conflicts —
+  the developer defines only onFailure and onAccept, so the user gets
+  an answer as soon as the first storage node has the post (eventual-
+  consistency response times, strongly consistent data).
+
+* **ATM withdrawal** (Listing 3): correctness-critical — no onAccept,
+  the user waits for the real outcome; if the timeout fires first the
+  ATM declines, and the remote finally callback alerts service
+  personnel about a withdrawal that committed after the decline.
+
+Run:  python examples/social_vs_atm.py
+"""
+
+from repro import PlanetSession, Update, WriteOp, quick_cluster
+
+
+def twitter_post(env, cluster) -> None:
+    # A user's timeline record is mastered in their home region, so we
+    # run the app server in the data center that leads the record.
+    home_dc = cluster.leader_dc("timeline:alice")
+    region = cluster.topology.datacenters[home_dc].name
+    print(f"== Twitter-style post from {region} "
+          "(onFailure + onAccept only) ==")
+    session = PlanetSession(cluster, "tweet-app", datacenter=home_dc)
+
+    def on_failure(info):
+        print(f"  +{info.elapsed_ms:7.1f} ms  app: could not reach "
+              "the service")
+
+    def on_accept(info):
+        print(f"  +{info.elapsed_ms:7.1f} ms  app: tweet posted "
+              "(guaranteed durable, globally visible soon)")
+
+    (session.transaction([WriteOp("timeline:alice", Update.delta(+1))],
+                         timeout_ms=200)
+     .on_failure(on_failure)
+     .on_accept(on_accept)
+     ).execute()
+
+
+def atm_withdrawal(env, cluster) -> None:
+    print("== ATM withdrawal (no onAccept; 25 ms deadline forces a "
+          "decline) ==")
+    session = PlanetSession(cluster, "atm-42", datacenter=1)  # us-east
+
+    def on_failure(info):
+        print(f"  +{info.elapsed_ms:7.1f} ms  atm: transaction failed, "
+              "please try again (no cash dispensed)")
+
+    def on_complete(info):
+        verdict = "dispensing cash" if info.success else "declined"
+        print(f"  +{info.elapsed_ms:7.1f} ms  atm: {verdict}")
+
+    def alert_service(info):
+        if info.success and info.timed_out:
+            print(f"  +{info.elapsed_ms:7.1f} ms  ops: withdrawal "
+                  f"{info.txid} committed AFTER the ATM showed a "
+                  "failure - reconcile the account!")
+
+    (session.transaction(
+        [WriteOp("account:alice", Update.delta(-100, floor=0))],
+        timeout_ms=25)
+     .on_failure(on_failure)
+     .on_complete(on_complete)
+     .finally_callback_remote(alert_service)
+     ).execute()
+
+
+def main() -> None:
+    env, cluster = quick_cluster(seed=11)
+    cluster.load({"timeline:alice": 0, "account:alice": 500})
+
+    twitter_post(env, cluster)
+    env.run()
+    print()
+    atm_withdrawal(env, cluster)
+    env.run()
+
+    print()
+    print(f"account balance after reconciliation: "
+          f"{cluster.read_value('account:alice', dc=1)}")
+
+
+if __name__ == "__main__":
+    main()

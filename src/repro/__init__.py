@@ -1,0 +1,102 @@
+"""PLANET reproduction: predictive latency-aware networked transactions.
+
+A from-scratch Python implementation of the system described in
+"PLANET: Making Progress with Commit Processing in Unpredictable
+Environments" (Pang, Kraska, Franklin, Fekete — SIGMOD 2014),
+including every substrate it runs on:
+
+* :mod:`repro.sim` — deterministic discrete-event kernel (virtual ms);
+* :mod:`repro.net` — WAN latency models, topology, transport, RPC;
+* :mod:`repro.storage` / :mod:`repro.paxos` / :mod:`repro.mdcc` — the
+  geo-replicated MDCC classic commit protocol;
+* :mod:`repro.core` — the PLANET programming model, commit-likelihood
+  model (eqs. 1-9), statistics, admission control;
+* :mod:`repro.baseline` — the traditional timeout-only model;
+* :mod:`repro.workload` / :mod:`repro.harness` — the TPC-W-like buy
+  benchmark and the experiment runner for every figure in §6.
+
+Quickstart::
+
+    from repro import quick_cluster, PlanetSession, WriteOp, Update
+
+    env, cluster = quick_cluster(seed=1)
+    cluster.load({"item:1": 100})
+    session = PlanetSession(cluster, "web", datacenter=0)
+    (session.transaction([WriteOp("item:1", Update.delta(-1))],
+                         timeout_ms=300)
+     .on_failure(lambda info: print("error", info.state))
+     .on_accept(lambda info: print("thanks for your order!"))
+     .on_complete(lambda info: print("done:", info.state))
+     .finally_callback(lambda info: print("final:", info.state))
+     ).execute()
+    env.run()
+"""
+
+from repro.baseline import TraditionalClient, TraditionalOutcome
+from repro.core import (
+    CommitLikelihoodModel,
+    DynamicPolicy,
+    FINISH_TX,
+    FixedPolicy,
+    NoAdmission,
+    OracleLatencySource,
+    PlanetSession,
+    StatisticsService,
+    Tx,
+    TxInfo,
+    TxState,
+)
+from repro.harness import Experiment, ExperimentConfig, MetricsCollector
+from repro.mdcc import Cluster
+from repro.net import Topology, ec2_five_dc, uniform_topology
+from repro.sim import Environment, RandomStreams
+from repro.storage import Update, WriteOp
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "CommitLikelihoodModel",
+    "DynamicPolicy",
+    "Environment",
+    "Experiment",
+    "ExperimentConfig",
+    "FINISH_TX",
+    "FixedPolicy",
+    "MetricsCollector",
+    "NoAdmission",
+    "OracleLatencySource",
+    "PlanetSession",
+    "RandomStreams",
+    "StatisticsService",
+    "Topology",
+    "TraditionalClient",
+    "TraditionalOutcome",
+    "Tx",
+    "TxInfo",
+    "TxState",
+    "Update",
+    "WriteOp",
+    "ec2_five_dc",
+    "quick_cluster",
+    "uniform_topology",
+]
+
+
+def quick_cluster(seed: int = 0, topology: str = "ec2", **kwargs):
+    """Convenience: an environment plus a five-DC cluster in one call.
+
+    Returns ``(env, cluster)``.  ``topology`` is ``"ec2"`` (the paper's
+    five regions) or ``"uniform"`` (pass ``n`` and ``one_way_ms``).
+    """
+    env = Environment()
+    streams = RandomStreams(seed=seed)
+    if topology == "ec2":
+        topo = ec2_five_dc()
+    elif topology == "uniform":
+        topo = uniform_topology(kwargs.pop("n", 3),
+                                one_way_ms=kwargs.pop("one_way_ms", 40.0))
+    else:
+        raise ValueError(f"unknown topology {topology!r}")
+    cluster = Cluster(env, topo, streams, **kwargs)
+    return env, cluster

@@ -1,0 +1,28 @@
+"""The traditional (JDBC/Hibernate-style) baseline model (§2.1).
+
+A fire-and-hope transaction: issue, wait up to the timeout, and either
+learn the outcome or be left with ``UNKNOWN`` — the application has no
+way to discover the fate of a timed-out transaction.  Runs on the same
+MDCC substrate as PLANET so every comparison isolates the programming
+model, not the database.
+"""
+
+from repro.baseline.traditional import (
+    TraditionalClient,
+    TraditionalOutcome,
+    TraditionalTransaction,
+)
+from repro.baseline.staged import (
+    StagedOutcome,
+    StagedTimeoutClient,
+    StagedTimeoutTransaction,
+)
+
+__all__ = [
+    "StagedOutcome",
+    "StagedTimeoutClient",
+    "StagedTimeoutTransaction",
+    "TraditionalClient",
+    "TraditionalOutcome",
+    "TraditionalTransaction",
+]

@@ -1,0 +1,113 @@
+"""Staged-timeout transactions (the Galera / Oracle RAC pattern, §7).
+
+Some systems let applications set *separate* timeouts for different
+stages of a transaction — e.g. a send timeout until the server
+acknowledges the request and a completion timeout for the commit.
+The paper's critique: "how the timeouts effect the user application is
+not obvious" — the application learns *which* stage timed out, but the
+transaction's fate remains unknowable, and there is no later
+notification.  Implementing the pattern on the same substrate makes
+the comparison concrete: unlike PLANET's ``onAccept``, passing the
+send stage carries no durable promise, and unlike the finally
+callbacks, a stage timeout is a dead end.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+from repro.mdcc.coordinator import TransactionHandle, TransactionManager
+from repro.sim import AnyOf, Environment, Event
+from repro.storage.record import WriteOp
+
+
+class StagedOutcome(enum.Enum):
+    """What the application observed, per stage."""
+
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+    SEND_TIMEOUT = "send_timeout"        # no server ack in time
+    COMPLETION_TIMEOUT = "completion_timeout"  # acked, but no outcome
+
+
+class StagedTimeoutTransaction:
+    """One transaction with separate send and completion deadlines.
+
+    ``send_timeout_ms`` bounds the wait for the first server
+    acknowledgement; ``completion_timeout_ms`` bounds the wait for the
+    outcome (measured from the start, like a JDBC timeout).  The
+    application regains control at the earliest triggering deadline
+    with a :class:`StagedOutcome`; nothing more is ever delivered.
+    """
+
+    def __init__(self, env: Environment, handle: TransactionHandle,
+                 send_timeout_ms: float, completion_timeout_ms: float):
+        if send_timeout_ms <= 0 or completion_timeout_ms <= 0:
+            raise ValueError("timeouts must be positive")
+        if completion_timeout_ms < send_timeout_ms:
+            raise ValueError("completion timeout below the send timeout")
+        self.env = env
+        self.handle = handle
+        self.start_ms = env.now
+        self.send_timeout_ms = float(send_timeout_ms)
+        self.completion_timeout_ms = float(completion_timeout_ms)
+        self.app_outcome: Optional[StagedOutcome] = None
+        self.app_outcome_ms: Optional[float] = None
+        #: Fires when the application regains control.
+        self.returned_event: Event = env.event()
+        env.process(self._wait())
+
+    @property
+    def response_time_ms(self) -> Optional[float]:
+        if self.app_outcome_ms is None:
+            return None
+        return self.app_outcome_ms - self.start_ms
+
+    def _finish(self, outcome: StagedOutcome) -> None:
+        self.app_outcome = outcome
+        self.app_outcome_ms = self.env.now
+        if not self.returned_event.triggered:
+            self.returned_event.succeed(outcome)
+
+    def _wait(self):
+        # Stage 1: wait for the server ack (or the send deadline).
+        send_deadline = self.env.timeout(self.send_timeout_ms)
+        yield AnyOf(self.env, [self.handle.accepted_event, send_deadline])
+        if not self.handle.accepted:
+            self._finish(StagedOutcome.SEND_TIMEOUT)
+            return
+        # Stage 2: wait for the outcome (or the completion deadline).
+        remaining = (self.start_ms + self.completion_timeout_ms
+                     - self.env.now)
+        if remaining <= 0:
+            self._finish(StagedOutcome.COMPLETION_TIMEOUT)
+            return
+        completion_deadline = self.env.timeout(remaining)
+        yield AnyOf(self.env,
+                    [self.handle.decided_event, completion_deadline])
+        if self.handle.result is None:
+            self._finish(StagedOutcome.COMPLETION_TIMEOUT)
+            return
+        self._finish(StagedOutcome.COMMITTED
+                     if self.handle.result.committed
+                     else StagedOutcome.ABORTED)
+
+
+class StagedTimeoutClient:
+    """Issues staged-timeout transactions over an MDCC client."""
+
+    def __init__(self, cluster, name: str, datacenter: int):
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        self.datacenter = datacenter
+        self.tm: TransactionManager = cluster.create_client(name, datacenter)
+
+    def execute(self, writes: Sequence[WriteOp], send_timeout_ms: float,
+                completion_timeout_ms: float,
+                read_keys: Optional[Sequence[str]] = None,
+                think_time_ms: float = 0.0) -> StagedTimeoutTransaction:
+        handle = self.tm.begin(writes, read_keys=read_keys,
+                               think_time_ms=think_time_ms)
+        return StagedTimeoutTransaction(self.env, handle, send_timeout_ms,
+                                        completion_timeout_ms)

@@ -1,0 +1,101 @@
+"""Timeout-only transactions, as JDBC or Hibernate offer them.
+
+Listing 1 of the paper: the application calls ``commit()`` with a
+timeout; within the timeout it gets a boolean, otherwise an exception
+whose meaning is unknowable — the transaction may be committed,
+aborted, doomed to roll back, or lost.  We model exactly that
+observable interface.  The simulation still learns the *true* eventual
+outcome, which the Figure 5 experiment uses to show how much of the
+"unknown" area the traditional model leaves behind — but the
+application-visible outcome is only what a JDBC client would see.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+from repro.mdcc.coordinator import TransactionHandle, TransactionManager
+from repro.sim import AnyOf, Environment, Event
+from repro.storage.record import WriteOp
+
+
+class TraditionalOutcome(enum.Enum):
+    """What the application observed by the timeout."""
+
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+    UNKNOWN = "unknown"  # the timeout exception: outcome unknowable
+
+
+class TraditionalTransaction:
+    """One fire-and-hope transaction.
+
+    ``app_outcome`` is everything the application ever learns.
+    ``true_committed`` / ``true_decided_ms`` record what actually
+    happened underneath (invisible to a real JDBC client, used only by
+    the experiment harness).
+    """
+
+    def __init__(self, env: Environment, handle: TransactionHandle,
+                 timeout_ms: float):
+        self.env = env
+        self.handle = handle
+        self.timeout_ms = float(timeout_ms)
+        self.start_ms = env.now
+        self.app_outcome: Optional[TraditionalOutcome] = None
+        self.app_outcome_ms: Optional[float] = None
+        self.true_committed: Optional[bool] = None
+        self.true_decided_ms: Optional[float] = None
+        #: Fires when the application regains control (result or timeout).
+        self.returned_event: Event = env.event()
+        env.process(self._wait())
+        handle.progress_hooks.append(self._on_tm_event)
+
+    @property
+    def response_time_ms(self) -> Optional[float]:
+        """Time until the application got an answer (or the timeout)."""
+        if self.app_outcome_ms is None:
+            return None
+        return self.app_outcome_ms - self.start_ms
+
+    def _wait(self):
+        timeout = self.env.timeout(self.timeout_ms)
+        yield AnyOf(self.env, [self.handle.decided_event, timeout])
+        if self.app_outcome is not None:
+            return
+        if self.handle.result is not None:
+            outcome = (TraditionalOutcome.COMMITTED
+                       if self.handle.result.committed
+                       else TraditionalOutcome.ABORTED)
+        else:
+            outcome = TraditionalOutcome.UNKNOWN
+        self.app_outcome = outcome
+        self.app_outcome_ms = self.env.now
+        if not self.returned_event.triggered:
+            self.returned_event.succeed(outcome)
+
+    def _on_tm_event(self, stage: str, handle: TransactionHandle) -> None:
+        if stage == "decided" and handle.result is not None:
+            self.true_committed = handle.result.committed
+            self.true_decided_ms = self.env.now
+
+
+class TraditionalClient:
+    """Issues traditional transactions over an MDCC client."""
+
+    def __init__(self, cluster, name: str, datacenter: int):
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        self.datacenter = datacenter
+        self.tm: TransactionManager = cluster.create_client(name, datacenter)
+
+    def execute(self, writes: Sequence[WriteOp], timeout_ms: float,
+                read_keys: Optional[Sequence[str]] = None,
+                think_time_ms: float = 0.0) -> TraditionalTransaction:
+        """Start a transaction with a simple timeout (Listing 1)."""
+        if timeout_ms <= 0:
+            raise ValueError("timeout must be positive")
+        handle = self.tm.begin(writes, read_keys=read_keys,
+                               think_time_ms=think_time_ms)
+        return TraditionalTransaction(self.env, handle, timeout_ms)

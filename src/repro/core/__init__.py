@@ -1,0 +1,73 @@
+"""PLANET: the predictive latency-aware transaction programming model.
+
+This package is the paper's primary contribution:
+
+* :class:`PlanetSession` / :class:`Tx` — the programming model of §3
+  and §4 (stage blocks ``on_failure`` / ``on_accept`` /
+  ``on_complete(P)``, finally callbacks, and the generalized
+  ``on_progress`` with ``FINISH_TX``);
+* :class:`CommitLikelihoodModel` — the Paxos commit-likelihood model
+  of §5.1.2 (equations 1–9) over discrete delay PMFs;
+* :class:`StatisticsService` — the windowed latency/size histograms
+  and record access rates of §5.2;
+* admission control (§4.2): :class:`FixedPolicy`, :class:`DynamicPolicy`.
+"""
+
+from repro.core.states import FINISH_TX, TxInfo, TxState
+from repro.core.histograms import Pmf, WindowedHistogram
+from repro.core.likelihood import CommitLikelihoodModel, LatencyMatrix
+from repro.core.statistics import OracleLatencySource, StatisticsService
+from repro.core.admission import (
+    AdmissionPolicy,
+    DynamicPolicy,
+    FixedPolicy,
+    NoAdmission,
+)
+from repro.core.callbacks import RemoteCallbackService
+from repro.core.transaction import PlanetSession, PlanetTransaction, Tx
+from repro.core.retry import (
+    BackoffPolicy,
+    RetryingTransaction,
+    execute_with_retries,
+)
+from repro.core.protocol_models import (
+    MegastoreModel,
+    QuorumStoreModel,
+    TwoPhaseCommitModel,
+)
+from repro.core.dissemination import (
+    ClientStatsAgent,
+    DisseminationService,
+    NodeStatsStore,
+)
+from repro.core.admission import AdaptiveProbingPolicy
+
+__all__ = [
+    "AdaptiveProbingPolicy",
+    "AdmissionPolicy",
+    "BackoffPolicy",
+    "ClientStatsAgent",
+    "DisseminationService",
+    "MegastoreModel",
+    "NodeStatsStore",
+    "QuorumStoreModel",
+    "RetryingTransaction",
+    "TwoPhaseCommitModel",
+    "execute_with_retries",
+    "CommitLikelihoodModel",
+    "DynamicPolicy",
+    "FINISH_TX",
+    "FixedPolicy",
+    "LatencyMatrix",
+    "NoAdmission",
+    "OracleLatencySource",
+    "PlanetSession",
+    "PlanetTransaction",
+    "Pmf",
+    "RemoteCallbackService",
+    "StatisticsService",
+    "Tx",
+    "TxInfo",
+    "TxState",
+    "WindowedHistogram",
+]

@@ -1,0 +1,49 @@
+"""Delivery services for the finally callbacks (§3.3).
+
+``finally_callback`` runs in the application (at-most-once: it is lost
+if the client fails), while ``finally_callback_remote`` models a
+web-service invocation executed from anywhere in the system with
+at-least-once delivery — it survives client failure and may be invoked
+more than once, which the application's handler must tolerate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Tuple
+
+from repro.sim import Environment, RandomStreams
+
+
+class RemoteCallbackService:
+    """At-least-once delivery of remote finally callbacks.
+
+    The service lives on the cluster side, so submitted callbacks fire
+    even after the submitting client crashed.  ``duplicate_prob``
+    injects the duplicate deliveries an at-least-once channel is
+    allowed to produce (useful to test handler idempotence).
+    """
+
+    def __init__(self, env: Environment, streams: RandomStreams,
+                 delivery_delay_ms: float = 5.0,
+                 duplicate_prob: float = 0.0):
+        if delivery_delay_ms < 0:
+            raise ValueError("negative delivery delay")
+        if not 0.0 <= duplicate_prob <= 1.0:
+            raise ValueError("duplicate_prob outside [0, 1]")
+        self.env = env
+        self.delivery_delay_ms = float(delivery_delay_ms)
+        self.duplicate_prob = float(duplicate_prob)
+        self._rng = streams.get("remote-callbacks")
+        #: (virtual time, callback) pairs actually delivered.
+        self.delivered: List[Tuple[float, Callable]] = []
+
+    def submit(self, callback: Callable[[Any], None], argument: Any) -> None:
+        """Queue a remote invocation of ``callback(argument)``."""
+        self.env.process(self._deliver(callback, argument))
+        if self.duplicate_prob and self._rng.random() < self.duplicate_prob:
+            self.env.process(self._deliver(callback, argument))
+
+    def _deliver(self, callback: Callable[[Any], None], argument: Any):
+        yield self.env.timeout(self.delivery_delay_ms)
+        self.delivered.append((self.env.now, callback))
+        callback(argument)

@@ -1,0 +1,280 @@
+"""Discrete probability mass functions over message-delay bins.
+
+All the stochastic-variable manipulations of §5.1.2 — convolution of
+delays (eq. 1/3/5), quorum order statistics (eq. 2), maxima over
+leaders (eq. 4), mixtures over unknown locations and sizes (eq. 6),
+and the Poisson no-conflict integral (eq. 7/8b) — are carried out on
+fixed-width histograms, mirroring the paper's own simplification
+("in practice, the integration itself is simplified as we use
+histograms for the statistics", §5.2).
+
+A :class:`Pmf` is immutable; a :class:`WindowedHistogram` is the
+mutable, aging sample collector the statistics service maintains.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class Pmf:
+    """A distribution over delays ``[0, n_bins * bin_ms)``.
+
+    Mass that would fall beyond the last bin is accumulated *in* the
+    last bin so that total mass stays 1 (a deliberate saturation — the
+    likelihood integral then under-estimates commit probability for
+    extreme tails, which is the conservative direction).
+    """
+
+    __slots__ = ("bin_ms", "probs")
+
+    def __init__(self, probs: np.ndarray, bin_ms: float):
+        if bin_ms <= 0:
+            raise ValueError("bin_ms must be positive")
+        probs = np.asarray(probs, dtype=float)
+        if probs.ndim != 1 or probs.size == 0:
+            raise ValueError("probs must be a non-empty 1-D array")
+        if (probs < -1e-12).any():
+            raise ValueError("negative probability mass")
+        total = probs.sum()
+        if total <= 0:
+            raise ValueError("zero total mass")
+        self.bin_ms = float(bin_ms)
+        self.probs = np.clip(probs, 0.0, None) / total
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def point(cls, delay_ms: float, bin_ms: float, n_bins: int) -> "Pmf":
+        """All mass on one delay (degenerate distribution)."""
+        probs = np.zeros(n_bins)
+        index = min(int(delay_ms / bin_ms), n_bins - 1)
+        probs[index] = 1.0
+        return cls(probs, bin_ms)
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float], bin_ms: float,
+                     n_bins: int) -> "Pmf":
+        """Bin a list of delay samples (values beyond the range saturate)."""
+        if len(samples) == 0:
+            raise ValueError("no samples")
+        indices = np.minimum(
+            (np.asarray(samples, dtype=float) / bin_ms).astype(int),
+            n_bins - 1)
+        probs = np.bincount(indices, minlength=n_bins).astype(float)
+        return cls(probs, bin_ms)
+
+    @classmethod
+    def from_counts(cls, counts: np.ndarray, bin_ms: float) -> "Pmf":
+        return cls(np.asarray(counts, dtype=float), bin_ms)
+
+    # -- descriptive ----------------------------------------------------------
+
+    @property
+    def n_bins(self) -> int:
+        return self.probs.size
+
+    def bin_centers(self) -> np.ndarray:
+        return (np.arange(self.n_bins) + 0.5) * self.bin_ms
+
+    def mean(self) -> float:
+        return float(np.dot(self.probs, self.bin_centers()))
+
+    def cdf(self) -> np.ndarray:
+        return np.cumsum(self.probs)
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q outside [0, 1]")
+        index = int(np.searchsorted(self.cdf(), q))
+        return min(index, self.n_bins - 1) * self.bin_ms
+
+    # -- algebra of stochastic variables -------------------------------------
+
+    def _check_compatible(self, other: "Pmf") -> None:
+        if abs(other.bin_ms - self.bin_ms) > 1e-9:
+            raise ValueError("mismatched bin widths")
+
+    def convolve(self, other: "Pmf") -> "Pmf":
+        """Distribution of the sum of two independent delays (eq. 1)."""
+        self._check_compatible(other)
+        n = max(self.n_bins, other.n_bins)
+        full = np.convolve(self.probs, other.probs)
+        probs = full[:n].copy()
+        probs[-1] += full[n:].sum()  # saturate the tail
+        return Pmf(probs, self.bin_ms)
+
+    def shift(self, delay_ms: float) -> "Pmf":
+        """Add a constant delay."""
+        if delay_ms < 0:
+            raise ValueError("negative shift")
+        # Half-up rounding (not banker's) so .5 boundaries shift right.
+        k = math.floor(delay_ms / self.bin_ms + 0.5)
+        if k == 0:
+            return self
+        probs = np.zeros_like(self.probs)
+        if k < self.n_bins:
+            probs[k:] = self.probs[:-k]
+            probs[-1] += self.probs[-k:].sum()  # saturate displaced mass
+        else:
+            probs[-1] = 1.0
+        return Pmf(probs, self.bin_ms)
+
+    def scale(self, factor: float) -> "Pmf":
+        """Distribution of ``factor * X`` (used for RTT -> one-way)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        centers = np.arange(self.n_bins) * factor
+        indices = np.minimum(centers.astype(int), self.n_bins - 1)
+        probs = np.zeros_like(self.probs)
+        np.add.at(probs, indices, self.probs)
+        return Pmf(probs, self.bin_ms)
+
+    @staticmethod
+    def mixture(pmfs: Sequence["Pmf"], weights: Sequence[float]) -> "Pmf":
+        """Marginalize over a discrete latent choice (eq. 6)."""
+        if len(pmfs) != len(weights) or not pmfs:
+            raise ValueError("pmfs and weights must align and be non-empty")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights sum to zero")
+        n = max(p.n_bins for p in pmfs)
+        bin_ms = pmfs[0].bin_ms
+        acc = np.zeros(n)
+        for pmf, weight in zip(pmfs, weights):
+            pmfs[0]._check_compatible(pmf)
+            acc[:pmf.n_bins] += (weight / total) * pmf.probs
+        return Pmf(acc, bin_ms)
+
+    @staticmethod
+    def max_of(pmfs: Sequence["Pmf"]) -> "Pmf":
+        """Distribution of the max of independent delays (eq. 4)."""
+        if not pmfs:
+            raise ValueError("need at least one pmf")
+        n = max(p.n_bins for p in pmfs)
+        cdf = np.ones(n)
+        for pmf in pmfs:
+            pmfs[0]._check_compatible(pmf)
+            c = np.ones(n)
+            c[:pmf.n_bins] = pmf.cdf()
+            cdf *= c
+        return Pmf._from_cdf(cdf, pmfs[0].bin_ms)
+
+    def iid_max(self, k: int) -> "Pmf":
+        """Max of ``k`` independent copies of this variable."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return Pmf._from_cdf(self.cdf() ** k, self.bin_ms)
+
+    @staticmethod
+    def quorum_of(pmfs: Sequence["Pmf"], quorum: int) -> "Pmf":
+        """Time until ``quorum`` of the independent delays elapsed (eq. 2).
+
+        This is the ``quorum``-th order statistic of independent,
+        non-identically distributed delays, computed bin-wise through
+        the Poisson-binomial distribution of "how many responses have
+        arrived by t".
+        """
+        n_replicas = len(pmfs)
+        if not 1 <= quorum <= n_replicas:
+            raise ValueError(
+                f"quorum {quorum} impossible with {n_replicas} replicas")
+        n = max(p.n_bins for p in pmfs)
+        arrived = np.empty((n_replicas, n))
+        for i, pmf in enumerate(pmfs):
+            pmfs[0]._check_compatible(pmf)
+            c = np.ones(n)
+            c[:pmf.n_bins] = pmf.cdf()
+            arrived[i] = c
+        # dp[k] = P(exactly k responses arrived by t), vectorized over t.
+        dp = np.zeros((n_replicas + 1, n))
+        dp[0] = 1.0
+        for i in range(n_replicas):
+            p = arrived[i]
+            for k in range(i + 1, 0, -1):
+                dp[k] = dp[k] * (1.0 - p) + dp[k - 1] * p
+            dp[0] = dp[0] * (1.0 - p)
+        cdf = dp[quorum:].sum(axis=0)
+        return Pmf._from_cdf(cdf, pmfs[0].bin_ms)
+
+    @staticmethod
+    def _from_cdf(cdf: np.ndarray, bin_ms: float) -> "Pmf":
+        cdf = np.clip(cdf, 0.0, 1.0)
+        # Force saturation so the result is a proper distribution even
+        # when some mass lies beyond the modelled range.
+        cdf[-1] = 1.0
+        probs = np.diff(cdf, prepend=0.0)
+        return Pmf(np.clip(probs, 0.0, None), bin_ms)
+
+    # -- the no-conflict integral (eq. 8b) -------------------------------------
+
+    def no_arrival_probability(self, rate_per_ms: float,
+                               extra_ms: float = 0.0) -> float:
+        """``sum_t P(T = t) * exp(-lambda * (t + extra))``.
+
+        With ``T`` the conflict-window length and ``lambda`` the
+        Poisson update-arrival rate of the record, this is the
+        probability that no interfering update arrives during the
+        window — the per-record commit likelihood of eq. 8b, with
+        ``extra`` playing the role of the processing time *w*.
+        """
+        if rate_per_ms < 0:
+            raise ValueError("negative arrival rate")
+        if rate_per_ms == 0:
+            return 1.0
+        times = self.bin_centers() + max(extra_ms, 0.0)
+        value = float(np.dot(self.probs, np.exp(-rate_per_ms * times)))
+        return min(max(value, 0.0), 1.0)  # clamp float-rounding drift
+
+
+class WindowedHistogram:
+    """An aging sample collector (the window approach of §5.2.1).
+
+    Samples land in the current *generation*; :meth:`rotate` retires
+    the oldest generation, so the histogram tracks the last
+    ``generations`` rotation periods of network behaviour.
+    """
+
+    def __init__(self, bin_ms: float = 2.0, n_bins: int = 1024,
+                 generations: int = 6):
+        if generations < 1:
+            raise ValueError("need at least one generation")
+        self.bin_ms = float(bin_ms)
+        self.n_bins = int(n_bins)
+        self.generations = int(generations)
+        self._counts: List[np.ndarray] = [np.zeros(self.n_bins)]
+
+    def add(self, sample_ms: float) -> None:
+        index = min(int(sample_ms / self.bin_ms), self.n_bins - 1)
+        self._counts[-1][index] += 1.0
+
+    def merge_counts(self, counts: np.ndarray) -> None:
+        """Fold another histogram's counts into the current generation."""
+        counts = np.asarray(counts, dtype=float)
+        if counts.shape != (self.n_bins,):
+            raise ValueError("shape mismatch")
+        self._counts[-1] += counts
+
+    def rotate(self) -> None:
+        """Start a new generation, retiring the oldest if full."""
+        self._counts.append(np.zeros(self.n_bins))
+        while len(self._counts) > self.generations:
+            self._counts.pop(0)
+
+    def total_count(self) -> float:
+        return float(sum(c.sum() for c in self._counts))
+
+    def counts(self) -> np.ndarray:
+        return np.sum(self._counts, axis=0)
+
+    def pmf(self, fallback: Optional[Pmf] = None) -> Pmf:
+        """Current distribution, or ``fallback`` if no samples yet."""
+        counts = self.counts()
+        if counts.sum() <= 0:
+            if fallback is not None:
+                return fallback
+            raise ValueError("empty histogram and no fallback")
+        return Pmf.from_counts(counts, self.bin_ms)

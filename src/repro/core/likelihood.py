@@ -1,0 +1,233 @@
+"""The commit-likelihood model for the MDCC classic protocol (§5.1.2).
+
+The model estimates, at transaction start, the probability that every
+option of the transaction will be learned as accepted.  Equations 1–9
+of the paper are evaluated over discrete delay PMFs:
+
+* eq. 1 — per-link round trip ``M^{l,b}``: taken directly from the
+  measured RTT histograms (phase2a + phase2b are one round trip);
+* eq. 2 — ``Q^l``: quorum order statistic over the N per-link RTTs;
+* eq. 3 — ``Q^{l,cp} = Q^l + M_learned`` (one-way, RTT/2);
+* eq. 4 — ``U``: maximum over the previous transaction's leaders plus
+  the commit-visibility delay to the current client's data center;
+* eq. 5/8a — ``Phi_W``: add the propose delay to the current leader
+  (the processing time *w* is factored out, per the paper);
+* eq. 6 — marginalization over the unknown previous client location,
+  leader locations, and transaction size;
+* eq. 7/8b — per-record commit likelihood: integrate the Poisson
+  no-arrival probability against the conflict-window distribution;
+* eq. 9 — transaction likelihood: product over written records.
+
+All marginalizations are transaction-independent, so the whole model
+collapses to an ``N x N`` matrix of PMFs (one per (client DC, leader
+DC) pair) computed by :meth:`CommitLikelihoodModel.precompute` — the
+compact matrix of §5.2.4.  Per-transaction evaluation is then a lookup
+plus one dot product per record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.histograms import Pmf
+
+
+class LatencyMatrix:
+    """Round-trip delay PMFs for every ordered data-center pair.
+
+    One-way delays are modelled as RTT/2 (the paper measures only round
+    trips and assumes message types behave alike, §5.2.1).  Local
+    (intra-DC) delays are a small constant.
+    """
+
+    def __init__(self, n_datacenters: int,
+                 rtt_pmfs: Dict[Tuple[int, int], Pmf],
+                 bin_ms: float, n_bins: int,
+                 local_rtt_ms: float = 0.5):
+        if n_datacenters < 1:
+            raise ValueError("need at least one data center")
+        self.n = n_datacenters
+        self.bin_ms = float(bin_ms)
+        self.n_bins = int(n_bins)
+        self._local = Pmf.point(local_rtt_ms, self.bin_ms, self.n_bins)
+        self._rtt: Dict[Tuple[int, int], Pmf] = {}
+        for a in range(n_datacenters):
+            for b in range(n_datacenters):
+                if a == b:
+                    continue
+                pmf = rtt_pmfs.get((a, b)) or rtt_pmfs.get((b, a))
+                if pmf is None:
+                    raise ValueError(f"no RTT histogram for pair ({a}, {b})")
+                self._rtt[(a, b)] = pmf
+
+    def rtt(self, a: int, b: int) -> Pmf:
+        if a == b:
+            return self._local
+        return self._rtt[(a, b)]
+
+    def one_way(self, a: int, b: int) -> Pmf:
+        return self.rtt(a, b).scale(0.5)
+
+
+class CommitLikelihoodModel:
+    """Predicts commit likelihoods for the MDCC classic protocol.
+
+    Parameters
+    ----------
+    latency:
+        The measured (or oracle) RTT matrix.
+    leader_distribution:
+        ``P(L = l)`` — where record masters live (uniform under hash
+        mastership).
+    client_distribution:
+        ``P(C = c)`` — where the *previous*, potentially conflicting
+        transaction's client may run; defaults to uniform.
+    size_distribution:
+        ``P(R = tau)`` — transaction size histogram; defaults to
+        single-record transactions.
+    quorum:
+        Responses the leader waits for; defaults to a majority of N.
+    max_size:
+        Truncation for the size marginalization (sizes above it are
+        folded into the largest bucket).
+    """
+
+    def __init__(self, latency: LatencyMatrix,
+                 leader_distribution: Sequence[float],
+                 client_distribution: Optional[Sequence[float]] = None,
+                 size_distribution: Optional[Dict[int, float]] = None,
+                 quorum: Optional[int] = None, max_size: int = 8):
+        self.latency = latency
+        n = latency.n
+        if len(leader_distribution) != n:
+            raise ValueError("leader distribution length mismatch")
+        total = float(sum(leader_distribution))
+        if total <= 0:
+            raise ValueError("leader distribution sums to zero")
+        self.leader_dist = [p / total for p in leader_distribution]
+        if client_distribution is None:
+            self.client_dist = [1.0 / n] * n
+        else:
+            if len(client_distribution) != n:
+                raise ValueError("client distribution length mismatch")
+            ctotal = float(sum(client_distribution))
+            if ctotal <= 0:
+                raise ValueError("client distribution sums to zero")
+            self.client_dist = [p / ctotal for p in client_distribution]
+        self.size_dist = self._normalize_sizes(size_distribution, max_size)
+        self.quorum = quorum if quorum is not None else n // 2 + 1
+        if not 1 <= self.quorum <= n:
+            raise ValueError(f"quorum {self.quorum} impossible with {n} DCs")
+        self._phi: Optional[Dict[Tuple[int, int], Pmf]] = None
+        self._q_leader: Dict[int, Pmf] = {}
+
+    @staticmethod
+    def _normalize_sizes(size_distribution: Optional[Dict[int, float]],
+                         max_size: int) -> Dict[int, float]:
+        if not size_distribution:
+            return {1: 1.0}
+        folded: Dict[int, float] = {}
+        for size, weight in size_distribution.items():
+            if size < 1 or weight < 0:
+                raise ValueError("bad size distribution entry")
+            folded[min(size, max_size)] = (
+                folded.get(min(size, max_size), 0.0) + weight)
+        total = sum(folded.values())
+        if total <= 0:
+            raise ValueError("size distribution sums to zero")
+        return {size: weight / total for size, weight in folded.items()}
+
+    # -- precomputation (§5.2.4) ------------------------------------------------
+
+    def precompute(self) -> None:
+        """Build the N x N matrix of conflict-window PMFs (eq. 8a)."""
+        n = self.latency.n
+        # eq. 2: quorum wait at each possible leader location.
+        self._q_leader = {
+            l: Pmf.quorum_of([self.latency.rtt(l, b) for b in range(n)],
+                             self.quorum)
+            for l in range(n)
+        }
+        # eq. 3: + learned message back to the previous client.
+        q_to_client: Dict[Tuple[int, int], Pmf] = {
+            (l, cp): self._q_leader[l].convolve(self.latency.one_way(l, cp))
+            for l in range(n) for cp in range(n)
+        }
+        # eq. 4 marginalized over leader locations and sizes: for a
+        # previous transaction of size tau with i.i.d. leaders, the max
+        # of tau draws from the leader-mixture distribution.
+        u_by_client: Dict[int, Pmf] = {}
+        for cp in range(n):
+            mixed = Pmf.mixture([q_to_client[(l, cp)] for l in range(n)],
+                                self.leader_dist)
+            u_by_client[cp] = Pmf.mixture(
+                [mixed.iid_max(tau) for tau in self.size_dist],
+                list(self.size_dist.values()))
+        # eq. 4 tail + eq. 6 marginalization over cp: add the commit-
+        # visibility delay cp -> cc and mix over the client prior.
+        visible_at: Dict[int, Pmf] = {}
+        for cc in range(n):
+            visible_at[cc] = Pmf.mixture(
+                [u_by_client[cp].convolve(self.latency.one_way(cp, cc))
+                 for cp in range(n)],
+                self.client_dist)
+        # eq. 8a: + propose delay from the current client to the leader.
+        self._phi = {
+            (cc, l): visible_at[cc].convolve(self.latency.one_way(cc, l))
+            for cc in range(n) for l in range(n)
+        }
+
+    @property
+    def ready(self) -> bool:
+        return self._phi is not None
+
+    def conflict_window_pmf(self, client_dc: int, leader_dc: int) -> Pmf:
+        """The precomputed ``Phi_W`` distribution for one matrix cell."""
+        if self._phi is None:
+            raise RuntimeError("call precompute() first")
+        return self._phi[(client_dc, leader_dc)]
+
+    # -- per-transaction evaluation ------------------------------------------------
+
+    def record_likelihood(self, client_dc: int, leader_dc: int,
+                          arrival_rate_per_ms: float,
+                          w_ms: float = 0.0) -> float:
+        """Eq. 8b: P(no conflicting update during the window)."""
+        phi = self.conflict_window_pmf(client_dc, leader_dc)
+        return phi.no_arrival_probability(arrival_rate_per_ms,
+                                          extra_ms=max(w_ms, 0.0))
+
+    def transaction_likelihood(
+            self, client_dc: int,
+            records: Sequence[Tuple[int, float]],
+            w_ms: float = 0.0) -> float:
+        """Eq. 9: product of per-record likelihoods.
+
+        ``records`` is a list of ``(leader_dc, arrival_rate_per_ms)``
+        pairs, one per written record.
+        """
+        likelihood = 1.0
+        for leader_dc, rate in records:
+            likelihood *= self.record_likelihood(
+                client_dc, leader_dc, rate, w_ms)
+        return likelihood
+
+    # -- auxiliary estimates --------------------------------------------------------
+
+    def commit_time_pmf(self, client_dc: int,
+                        leader_dcs: Sequence[int]) -> Pmf:
+        """Estimated commit-latency distribution for a transaction.
+
+        Propose to each leader, quorum round there, learned back — the
+        transaction decides at the max over its leaders.  Useful for
+        duration estimates exposed through ``onProgress``.
+        """
+        if self._phi is None:
+            raise RuntimeError("call precompute() first")
+        per_leader = [
+            self.latency.one_way(client_dc, l)
+            .convolve(self._q_leader[l])
+            .convolve(self.latency.one_way(l, client_dc))
+            for l in leader_dcs
+        ]
+        return Pmf.max_of(per_leader)

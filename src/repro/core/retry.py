@@ -1,0 +1,123 @@
+"""Retrying PLANET transactions with exponential backoff (§4.2).
+
+PLANET never retries rejected transactions on its own — "the developer
+may choose to retry rejected transactions ... and implement retries
+with exponential backoff to mitigate starvation".  This module is that
+developer-side helper: it re-executes a transaction template when the
+outcome was a rejection (or, optionally, an abort), with exponential
+backoff plus jitter between attempts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.states import TxInfo, TxState
+from repro.core.transaction import PlanetSession, PlanetTransaction, Tx
+from repro.sim import Environment, Event
+from repro.storage.record import WriteOp
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with decorrelating jitter."""
+
+    initial_ms: float = 100.0
+    multiplier: float = 2.0
+    max_backoff_ms: float = 10_000.0
+    jitter: float = 0.2  # +- fraction of the computed delay
+
+    def __post_init__(self):
+        if self.initial_ms <= 0 or self.multiplier < 1.0:
+            raise ValueError("backoff must grow from a positive start")
+        if self.max_backoff_ms < self.initial_ms:
+            raise ValueError("max backoff below the initial delay")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter fraction outside [0, 1)")
+
+    def delay_ms(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempts are 1-based")
+        base = min(self.initial_ms * self.multiplier ** (attempt - 1),
+                   self.max_backoff_ms)
+        if self.jitter:
+            base *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        return base
+
+
+class RetryingTransaction:
+    """Drives a transaction template through retries.
+
+    ``configure`` is called for each attempt with a fresh :class:`Tx`
+    so the application installs its stage blocks each time; retried
+    attempts re-read the records, so their likelihoods reflect current
+    statistics.  Retries happen when the attempt ends REJECTED (always)
+    or ABORTED (with ``retry_aborts=True``); a commit, a speculative
+    commit confirmed, or attempt exhaustion ends the loop.
+
+    ``done_event`` fires with the final :class:`TxInfo`.
+    """
+
+    def __init__(self, session: PlanetSession, writes: List[WriteOp],
+                 timeout_ms: float,
+                 configure: Optional[Callable[[Tx], None]] = None,
+                 backoff: Optional[BackoffPolicy] = None,
+                 max_attempts: int = 5, retry_aborts: bool = False):
+        if max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        self.session = session
+        self.env: Environment = session.env
+        self.writes = list(writes)
+        self.timeout_ms = timeout_ms
+        self.configure = configure
+        self.backoff = backoff or BackoffPolicy()
+        self.max_attempts = int(max_attempts)
+        self.retry_aborts = retry_aborts
+        self.attempts: List[PlanetTransaction] = []
+        self.done_event: Event = self.env.event()
+        self._rng = session.rng
+        self.env.process(self._run())
+
+    @property
+    def final_info(self) -> Optional[TxInfo]:
+        if not self.done_event.triggered:
+            return None
+        return self.done_event.value
+
+    @property
+    def committed(self) -> bool:
+        info = self.final_info
+        return info is not None and info.state is TxState.COMMITTED
+
+    def _should_retry(self, info: TxInfo) -> bool:
+        if info.state is TxState.REJECTED:
+            return True
+        return self.retry_aborts and info.state is TxState.ABORTED
+
+    def _run(self):
+        for attempt in range(1, self.max_attempts + 1):
+            tx = self.session.transaction(self.writes,
+                                          timeout_ms=self.timeout_ms)
+            tx.on_failure(lambda info: None)
+            tx.on_complete(lambda info: None)
+            if self.configure is not None:
+                self.configure(tx)
+            planet_tx = tx.execute()
+            self.attempts.append(planet_tx)
+            info = yield planet_tx.final_event
+            if not self._should_retry(info) or attempt == self.max_attempts:
+                if not self.done_event.triggered:
+                    self.done_event.succeed(info)
+                return
+            yield self.env.timeout(
+                self.backoff.delay_ms(attempt, self._rng))
+
+
+def execute_with_retries(session: PlanetSession, writes: List[WriteOp],
+                         timeout_ms: float,
+                         **kwargs) -> RetryingTransaction:
+    """Convenience wrapper: start a retrying transaction."""
+    return RetryingTransaction(session, writes, timeout_ms, **kwargs)

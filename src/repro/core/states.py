@@ -1,0 +1,73 @@
+"""Transaction states and the summaries passed to stage blocks.
+
+The states are exactly the six of §3.1; :class:`TxInfo` is the
+``txInfo`` summary every stage block and finally callback receives.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class TxState(enum.Enum):
+    """Externally visible transaction state (paper §3.1)."""
+
+    UNKNOWN = "unknown"
+    REJECTED = "rejected"          # turned away by admission control
+    ACCEPTED = "accepted"          # commit process started, will not be lost
+    COMMITTED = "committed"
+    SPEC_COMMITTED = "spec_committed"  # reported committed on likelihood >= P
+    ABORTED = "aborted"
+
+    @property
+    def is_final(self) -> bool:
+        return self in (TxState.COMMITTED, TxState.ABORTED,
+                        TxState.REJECTED)
+
+
+class _FinishTx:
+    """Singleton sentinel an ``on_progress`` block returns to regain
+    the thread of control (§4.1.1)."""
+
+    _instance: Optional["_FinishTx"] = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "FINISH_TX"
+
+
+#: Return this from an ``on_progress`` block to stop waiting.
+FINISH_TX = _FinishTx()
+
+
+@dataclass(frozen=True)
+class TxInfo:
+    """The transaction summary handed to every callback.
+
+    ``commit_likelihood`` is the latest estimate (1.0 once committed,
+    0.0 once aborted); ``timed_out`` says whether the application
+    timeout has already expired; ``success`` is True for COMMITTED and
+    SPEC_COMMITTED states (the ``txInfo.success`` of Listing 3).
+    """
+
+    txid: str
+    state: TxState
+    commit_likelihood: float
+    timed_out: bool
+    elapsed_ms: float
+    stage: str
+    rejected_keys: tuple = ()
+
+    @property
+    def success(self) -> bool:
+        return self.state in (TxState.COMMITTED, TxState.SPEC_COMMITTED)
+
+    @property
+    def is_final(self) -> bool:
+        return self.state.is_final

@@ -1,0 +1,40 @@
+"""Experiment harness: configuration, execution, metrics, and reports.
+
+One :class:`Experiment` reproduces one experimental run of the paper's
+§6: it assembles the cluster, statistics, likelihood model, and load
+generator from an :class:`ExperimentConfig`, runs warmup + measurement
+windows in virtual time, and returns an :class:`ExperimentResult`
+whose :class:`MetricsCollector` exposes the series each figure plots.
+"""
+
+from repro.harness.metrics import MetricsCollector, TxRecord
+from repro.harness.experiment import (
+    Experiment,
+    ExperimentConfig,
+    ExperimentResult,
+)
+from repro.harness.report import (
+    format_table,
+    print_table,
+    render_bars,
+    render_curves,
+)
+from repro.harness.monitoring import ClusterSnapshot, HealthMonitor, snapshot
+from repro.harness.tracing import TransactionTrace, TransactionTracer
+
+__all__ = [
+    "ClusterSnapshot",
+    "Experiment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "HealthMonitor",
+    "MetricsCollector",
+    "TransactionTrace",
+    "TransactionTracer",
+    "TxRecord",
+    "format_table",
+    "print_table",
+    "render_bars",
+    "render_curves",
+    "snapshot",
+]

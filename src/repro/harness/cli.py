@@ -1,0 +1,125 @@
+"""Command-line experiment runner.
+
+Run a single configured experiment and print its summary table::
+
+    python -m repro --system planet --rate 200 --items 20000 \\
+        --hotspot 800 --spec 0.95 --admission dyn:50 --duration 30
+
+Or compare PLANET against the traditional baseline in one go::
+
+    python -m repro --compare --rate 300 --hotspot 100 --items 50000
+
+The CLI drives the same :class:`~repro.harness.experiment.Experiment`
+the figure benchmarks use; it exists for quick interactive exploration
+of operating points the figures do not cover.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.core.admission import (
+    AdmissionPolicy,
+    DynamicPolicy,
+    FixedPolicy,
+)
+from repro.harness.experiment import Experiment, ExperimentConfig
+from repro.harness.report import format_table
+
+
+def parse_admission(spec: Optional[str]) -> Optional[AdmissionPolicy]:
+    """Parse ``dyn:50`` or ``fixed:40:20`` into a policy."""
+    if spec is None or spec == "none":
+        return None
+    parts = spec.lower().split(":")
+    try:
+        if parts[0] == "dyn" and len(parts) == 2:
+            return DynamicPolicy(float(parts[1]))
+        if parts[0] == "fixed" and len(parts) == 3:
+            return FixedPolicy(float(parts[1]), float(parts[2]))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    raise argparse.ArgumentTypeError(
+        f"bad admission spec {spec!r}; use dyn:<threshold> or "
+        "fixed:<threshold>:<rate>")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run a PLANET experiment on the simulated "
+                    "geo-replicated MDCC database.")
+    parser.add_argument("--system", choices=["planet", "traditional"],
+                        default="planet")
+    parser.add_argument("--compare", action="store_true",
+                        help="run both systems and print them side by side")
+    parser.add_argument("--topology", choices=["ec2", "uniform"],
+                        default="ec2")
+    parser.add_argument("--items", type=int, default=20_000,
+                        help="size of the Items table")
+    parser.add_argument("--hotspot", type=int, default=None,
+                        help="hotspot size (omit for uniform access)")
+    parser.add_argument("--rate", type=float, default=200.0,
+                        help="aggregate client request rate (TPS)")
+    parser.add_argument("--timeout", type=float, default=5_000.0,
+                        help="transaction timeout in ms")
+    parser.add_argument("--spec", type=float, default=None,
+                        help="speculative-commit threshold, e.g. 0.95")
+    parser.add_argument("--admission", type=parse_admission, default=None,
+                        metavar="POLICY",
+                        help="dyn:<threshold> or fixed:<threshold>:<rate>")
+    parser.add_argument("--service-ms", type=float, default=0.8,
+                        help="per-message storage service time")
+    parser.add_argument("--warmup", type=float, default=10.0,
+                        help="warmup window, seconds of virtual time")
+    parser.add_argument("--duration", type=float, default=20.0,
+                        help="measurement window, seconds of virtual time")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def run_one(args, system: str):
+    config = ExperimentConfig(
+        name=f"cli-{system}", seed=args.seed, system=system,
+        topology=args.topology, n_items=args.items,
+        hotspot_size=args.hotspot, rate_tps=args.rate,
+        timeout_ms=args.timeout,
+        spec_threshold=args.spec if system == "planet" else None,
+        admission=args.admission if system == "planet" else None,
+        storage_service_ms=args.service_ms,
+        warmup_ms=args.warmup * 1000.0,
+        duration_ms=args.duration * 1000.0,
+        drain_ms=max(10_000.0, args.timeout * 2))
+    return Experiment(config).run()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    systems = (["traditional", "planet"] if args.compare
+               else [args.system])
+    results = {system: run_one(args, system) for system in systems}
+
+    metric_names = [
+        "issued", "committed", "aborted", "rejected", "commit_tps",
+        "abort_rate", "hot_commit_tps", "cold_commit_tps",
+        "mean_response_ms", "p50_response_ms", "p95_response_ms",
+        "spec_fraction", "spec_incorrect_fraction",
+    ]
+    rows = []
+    for name in metric_names:
+        row = [name]
+        for system in systems:
+            value = results[system].summary()[name]
+            row.append(round(value, 3) if isinstance(value, float)
+                       else value)
+        rows.append(row)
+    print(format_table(["metric"] + systems, rows,
+                       title=(f"{args.rate:.0f} TPS, {args.items} items, "
+                              f"hotspot={args.hotspot or 'none'}, "
+                              f"{args.duration:.0f}s window")))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    raise SystemExit(main())

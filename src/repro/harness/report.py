@@ -1,0 +1,103 @@
+"""Plain-text tables for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned monospace table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row width does not match headers")
+    cells = [[_format_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells else len(headers[i])
+        for i in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i])
+                               for i in range(columns)))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                title: Optional[str] = None) -> None:
+    print()
+    print(format_table(headers, rows, title=title))
+    print()
+
+
+def render_bars(labels: Sequence[str], values: Sequence[float],
+                width: int = 50, title: Optional[str] = None,
+                unit: str = "") -> str:
+    """A horizontal ASCII bar chart (one bar per label)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        raise ValueError("nothing to plot")
+    peak = max(values)
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * (int(round(width * value / peak)) if peak > 0 else 0)
+        lines.append(f"{str(label).rjust(label_width)} | "
+                     f"{bar} {_format_cell(float(value))}{unit}")
+    return "\n".join(lines)
+
+
+def render_curves(points: Sequence[float],
+                  curves: "dict[str, Sequence[float]]",
+                  width: int = 60, height: int = 16,
+                  title: Optional[str] = None) -> str:
+    """Plot y(x) curves (e.g. CDFs) as an ASCII grid.
+
+    Each curve gets a distinct glyph; curves share the y-range
+    [0, max], x positions follow the order of ``points``.
+    """
+    if not points or not curves:
+        raise ValueError("nothing to plot")
+    glyphs = "*o+x@%&$"
+    peak = max(max(values) for values in curves.values()) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(sorted(curves.items())):
+        if len(values) != len(points):
+            raise ValueError(f"curve {name!r} length mismatch")
+        glyph = glyphs[index % len(glyphs)]
+        for i, value in enumerate(values):
+            x = int(i * (width - 1) / max(len(points) - 1, 1))
+            y = height - 1 - int(round((height - 1) * value / peak))
+            grid[y][x] = glyph
+    lines = [title] if title else []
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" x: {points[0]} .. {points[-1]}   y: 0 .. "
+                 f"{_format_cell(float(peak))}")
+    legend = "   ".join(f"{glyphs[i % len(glyphs)]} {name}"
+                        for i, name in enumerate(sorted(curves)))
+    lines.append(f" {legend}")
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,24 @@
+"""The MDCC *classic* commit protocol (Kraska et al., EuroSys 2013).
+
+This package implements the geo-replicated transactional database the
+paper runs PLANET on: per-record options learned through Multi-Paxos,
+a client-side transaction manager that commits once every option is
+learned as accepted, and commit-visibility propagation to all
+replicas.  Read-committed isolation, write-write conflict detection,
+atomic durability — exactly the configuration modelled in §5.1.1.
+"""
+
+from repro.mdcc.coordinator import (
+    TransactionHandle,
+    TransactionManager,
+    TransactionResult,
+)
+from repro.mdcc.cluster import Cluster, Mastership
+
+__all__ = [
+    "Cluster",
+    "Mastership",
+    "TransactionHandle",
+    "TransactionManager",
+    "TransactionResult",
+]

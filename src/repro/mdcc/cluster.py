@@ -1,0 +1,215 @@
+"""Deployment wiring: data centers, storage nodes, and mastership.
+
+A :class:`Cluster` assembles the full geo-replicated database — one
+storage node per (data center, partition), full replication across
+data centers — and hands out :class:`TransactionManager` clients.
+It is the single entry point the PLANET layer, the workload, and the
+experiment harness build on.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.mdcc.coordinator import TransactionManager
+from repro.net.topology import Topology
+from repro.net.transport import Transport
+from repro.sim import Environment, RandomStreams
+from repro.storage.node import StorageNode
+
+
+class Mastership:
+    """Assigns each record a master (leader) data center.
+
+    ``policy`` is either ``"hash"`` (uniform spread across data
+    centers — the default, giving the uniform leader distribution the
+    likelihood model assumes), an ``int`` fixing one master DC for all
+    records, or a callable ``key -> dc_index``.
+    """
+
+    def __init__(self, n_datacenters: int,
+                 policy: Union[str, int, Callable[[str], int]] = "hash"):
+        if n_datacenters < 1:
+            raise ValueError("need at least one data center")
+        self.n = n_datacenters
+        self._policy = policy
+        self._overrides: Dict[str, int] = {}
+        if isinstance(policy, int) and not 0 <= policy < n_datacenters:
+            raise ValueError(f"fixed master {policy} out of range")
+
+    def leader_dc(self, key: str) -> int:
+        override = self._overrides.get(key)
+        if override is not None:
+            return override
+        if callable(self._policy):
+            return self._policy(key)
+        if isinstance(self._policy, int):
+            return self._policy
+        return zlib.crc32(f"m:{key}".encode("utf-8")) % self.n
+
+    def set_override(self, key: str, dc: int) -> None:
+        """Pin one record's mastership (after a successful takeover)."""
+        if not 0 <= dc < self.n:
+            raise ValueError(f"data center {dc} out of range")
+        self._overrides[key] = dc
+
+    def leader_distribution(self) -> List[float]:
+        """P(L = l) used by the commit-likelihood model (§5.1.2)."""
+        if isinstance(self._policy, int):
+            return [1.0 if dc == self._policy else 0.0
+                    for dc in range(self.n)]
+        # Hash mastership and custom callables are approximated as
+        # uniform; callers with skewed custom policies can override the
+        # distribution when building the likelihood model.
+        return [1.0 / self.n] * self.n
+
+
+class Cluster:
+    """The assembled geo-replicated MDCC database.
+
+    >>> cluster = Cluster(env, topology, streams)
+    >>> cluster.load({"item:1": 100})
+    >>> tm = cluster.create_client("web-0", datacenter=0)
+    >>> handle = tm.begin([WriteOp("item:1", Update.delta(-1))])
+    """
+
+    def __init__(self, env: Environment, topology: Topology,
+                 streams: RandomStreams, partitions_per_dc: int = 2,
+                 mastership: Union[str, int, Callable[[str], int]] = "hash",
+                 round_timeout_ms: Optional[float] = None,
+                 bucket_ms: float = 10_000.0, keep_buckets: int = 6,
+                 storage_service_ms: float = 0.0,
+                 storage_service_overrides: Optional[Dict[str, float]] = None):
+        if partitions_per_dc < 1:
+            raise ValueError("need at least one partition per data center")
+        self.env = env
+        self.topology = topology
+        self.streams = streams
+        self.partitions = partitions_per_dc
+        self.transport = Transport(env, topology, streams)
+        self.mastership = Mastership(len(topology), mastership)
+        self.nodes: Dict[int, List[StorageNode]] = {}
+        self._clients: Dict[str, TransactionManager] = {}
+        for dc in range(len(topology)):
+            self.nodes[dc] = [
+                StorageNode(
+                    env, self.transport,
+                    address=self.node_address(dc, partition),
+                    datacenter=dc,
+                    replica_resolver=self.replica_addresses,
+                    leader_resolver=self.mastership.leader_dc,
+                    bucket_ms=bucket_ms, keep_buckets=keep_buckets,
+                    round_timeout_ms=round_timeout_ms,
+                    service_time_ms=storage_service_ms,
+                    service_overrides=storage_service_overrides)
+                for partition in range(partitions_per_dc)
+            ]
+
+    # -- addressing ---------------------------------------------------------
+
+    @staticmethod
+    def node_address(dc: int, partition: int) -> str:
+        return f"storage/{dc}/{partition}"
+
+    def partition_of(self, key: str) -> int:
+        return zlib.crc32(f"p:{key}".encode("utf-8")) % self.partitions
+
+    def leader_dc(self, key: str) -> int:
+        return self.mastership.leader_dc(key)
+
+    def leader_address(self, key: str) -> str:
+        return self.node_address(self.leader_dc(key), self.partition_of(key))
+
+    def replica_addresses(self, key: str) -> List[str]:
+        """All replicas of ``key``: its partition's node in every DC."""
+        partition = self.partition_of(key)
+        return [self.node_address(dc, partition)
+                for dc in range(len(self.topology))]
+
+    def all_replica_addresses(self, keys: Sequence[str]) -> List[str]:
+        """Union of replica groups over ``keys`` (for visibility casts)."""
+        seen: Dict[str, None] = {}
+        for key in keys:
+            for address in self.replica_addresses(key):
+                seen.setdefault(address)
+        return list(seen)
+
+    def local_replica_address(self, dc: int, key: str) -> str:
+        return self.node_address(dc, self.partition_of(key))
+
+    def node_for(self, dc: int, key: str) -> StorageNode:
+        return self.nodes[dc][self.partition_of(key)]
+
+    def leader_node(self, key: str) -> StorageNode:
+        return self.node_for(self.leader_dc(key), key)
+
+    # -- data & clients --------------------------------------------------------
+
+    def load(self, items: Dict[str, Any]) -> None:
+        """Install committed values on every replica (bulk load)."""
+        for dc in self.nodes:
+            by_partition: Dict[int, Dict[str, Any]] = {}
+            for key, value in items.items():
+                by_partition.setdefault(self.partition_of(key), {})[key] = value
+            for partition, chunk in by_partition.items():
+                self.nodes[dc][partition].load(chunk)
+
+    def set_default_stock(self, value: Any) -> None:
+        """Implicitly pre-load every key with ``value`` on all replicas.
+
+        Records materialize lazily on first access, so tables with
+        hundreds of thousands of uniform rows (the paper's 200 000-item
+        Items table) cost memory only for the keys actually touched.
+        """
+        for nodes in self.nodes.values():
+            for node in nodes:
+                node.default_value = value
+
+    def create_client(self, name: str, datacenter: int) -> TransactionManager:
+        """A transaction manager endpoint placed in ``datacenter``."""
+        address = f"client/{name}"
+        if address in self._clients:
+            raise ValueError(f"client {name!r} already exists")
+        tm = TransactionManager(self.env, self.transport, address,
+                                datacenter, cluster_view=self)
+        self._clients[address] = tm
+        return tm
+
+    def transfer_mastership(self, key: str, new_dc: int):
+        """Move a record's leadership to another data center.
+
+        Runs Paxos phase 1 from the new leader (fencing the old one),
+        then updates the routing so subsequent proposals go to the new
+        master.  Returns an event succeeding with True on success.
+        In-flight rounds of the fenced leader lose their quorum and are
+        reported as rejected — transactions abort cleanly rather than
+        split-brain.
+        """
+        if not 0 <= new_dc < len(self.topology):
+            raise ValueError(f"data center {new_dc} out of range")
+        node = self.node_for(new_dc, key)
+        result = self.env.event()
+        self.env.process(self._transfer(key, new_dc, node, result))
+        return result
+
+    def _transfer(self, key: str, new_dc: int, node, result):
+        won = yield node.take_mastership(key)
+        if won:
+            self.mastership.set_override(key, new_dc)
+        if not result.triggered:
+            result.succeed(won)
+
+    def read_value(self, key: str, dc: int = 0) -> Any:
+        """Direct (instant) read of the visible value — test/debug aid."""
+        record = self.node_for(dc, key).records.get(key)
+        return record.value if record is not None else None
+
+    def total_pending_options(self) -> int:
+        """Pending options across all replicas (invariant checks)."""
+        return sum(
+            len(record.pending)
+            for nodes in self.nodes.values()
+            for node in nodes
+            for record in node.records.values()
+        )

@@ -1,0 +1,37 @@
+"""Geo-replicated network substrate.
+
+Replaces the paper's five-region Amazon EC2 deployment with an explicit
+model of inter-data-center message delays: per-pair latency
+distributions (log-normal body plus heavy-tail spikes, as in the
+paper's Figure 1), a :class:`Topology` describing the data centers, a
+:class:`Transport` that delivers messages after sampled delays (with
+optional fault injection), and a small request/response RPC layer.
+"""
+
+from repro.net.latency import (
+    ConstantLatency,
+    EmpiricalLatency,
+    LatencyModel,
+    LogNormalLatency,
+    SpikingLatency,
+)
+from repro.net.topology import DataCenter, Topology, ec2_five_dc, uniform_topology
+from repro.net.transport import Message, Transport
+from repro.net.rpc import RpcEndpoint, RpcError, RpcTimeout
+
+__all__ = [
+    "ConstantLatency",
+    "DataCenter",
+    "EmpiricalLatency",
+    "LatencyModel",
+    "LogNormalLatency",
+    "Message",
+    "RpcEndpoint",
+    "RpcError",
+    "RpcTimeout",
+    "SpikingLatency",
+    "Topology",
+    "Transport",
+    "ec2_five_dc",
+    "uniform_topology",
+]

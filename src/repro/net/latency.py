@@ -1,0 +1,153 @@
+"""One-way message-delay distributions.
+
+The paper's Figure 1 shows EC2 inter-region round trips with a stable
+body around the propagation delay and occasional spikes exceeding
+800 ms.  We model a one-way delay as a shifted log-normal "body" with a
+rare multiplicative "spike" tail; an empirical variant replays a
+measured histogram instead.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+
+class LatencyModel(ABC):
+    """A distribution of one-way message delays in milliseconds."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one delay (ms, strictly positive)."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected delay in ms (used for sanity checks and reports)."""
+
+
+class ConstantLatency(LatencyModel):
+    """A fixed delay — useful for tests and analytic cross-checks."""
+
+    def __init__(self, delay_ms: float):
+        if delay_ms < 0:
+            raise ValueError(f"negative delay {delay_ms}")
+        self.delay_ms = float(delay_ms)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay_ms
+
+    def mean(self) -> float:
+        return self.delay_ms
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.delay_ms})"
+
+
+class LogNormalLatency(LatencyModel):
+    """Shifted log-normal delay: ``floor + LogNormal(mu, sigma)``.
+
+    ``median_ms`` is the median of the *total* delay, so the log-normal
+    part has median ``median_ms - floor_ms``.  ``sigma`` controls the
+    relative spread (0.1–0.3 matches the tight bodies of Figure 1).
+    """
+
+    def __init__(self, median_ms: float, sigma: float = 0.15,
+                 floor_ms: float = 0.0):
+        if median_ms <= floor_ms:
+            raise ValueError("median must exceed the floor")
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.median_ms = float(median_ms)
+        self.sigma = float(sigma)
+        self.floor_ms = float(floor_ms)
+        self._mu = math.log(self.median_ms - self.floor_ms)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.floor_ms + rng.lognormvariate(self._mu, self.sigma)
+
+    def mean(self) -> float:
+        body = math.exp(self._mu + self.sigma ** 2 / 2.0)
+        return self.floor_ms + body
+
+    def __repr__(self) -> str:
+        return (f"LogNormalLatency(median={self.median_ms}, "
+                f"sigma={self.sigma}, floor={self.floor_ms})")
+
+
+class SpikingLatency(LatencyModel):
+    """Wraps a base model with rare multiplicative latency spikes.
+
+    With probability ``spike_prob`` a message is delayed by the base
+    sample times a factor drawn uniformly from ``spike_factor`` — this
+    reproduces the >800 ms excursions of Figure 1 without disturbing
+    the distribution body.
+    """
+
+    def __init__(self, base: LatencyModel, spike_prob: float = 0.001,
+                 spike_factor: Tuple[float, float] = (4.0, 12.0)):
+        if not 0.0 <= spike_prob <= 1.0:
+            raise ValueError(f"spike_prob {spike_prob} outside [0, 1]")
+        lo, hi = spike_factor
+        if lo < 1.0 or hi < lo:
+            raise ValueError(f"bad spike_factor range {spike_factor}")
+        self.base = base
+        self.spike_prob = float(spike_prob)
+        self.spike_factor = (float(lo), float(hi))
+
+    def sample(self, rng: random.Random) -> float:
+        delay = self.base.sample(rng)
+        if self.spike_prob and rng.random() < self.spike_prob:
+            delay *= rng.uniform(*self.spike_factor)
+        return delay
+
+    def mean(self) -> float:
+        lo, hi = self.spike_factor
+        mean_factor = 1.0 + self.spike_prob * ((lo + hi) / 2.0 - 1.0)
+        return self.base.mean() * mean_factor
+
+    def __repr__(self) -> str:
+        return (f"SpikingLatency({self.base!r}, p={self.spike_prob}, "
+                f"factor={self.spike_factor})")
+
+
+class EmpiricalLatency(LatencyModel):
+    """Samples delays from a measured histogram of (delay_ms, weight).
+
+    Useful to replay distributions collected by the statistics service
+    (or to plug in real RTT traces if available).
+    """
+
+    def __init__(self, samples: Sequence[Tuple[float, float]]):
+        points: List[Tuple[float, float]] = [
+            (float(delay), float(weight)) for delay, weight in samples
+        ]
+        if not points:
+            raise ValueError("empty histogram")
+        if any(delay < 0 or weight < 0 for delay, weight in points):
+            raise ValueError("negative delay or weight in histogram")
+        total = sum(weight for _delay, weight in points)
+        if total <= 0:
+            raise ValueError("histogram has zero total weight")
+        self._delays = [delay for delay, _weight in points]
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for _delay, weight in points:
+            acc += weight / total
+            self._cumulative.append(acc)
+        self._mean = sum(d * w for d, w in points) / total
+
+    def sample(self, rng: random.Random) -> float:
+        u = rng.random()
+        # Linear scan is fine: histograms are small (<=256 bins).
+        for delay, cum in zip(self._delays, self._cumulative):
+            if u <= cum:
+                return delay
+        return self._delays[-1]
+
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"EmpiricalLatency({len(self._delays)} bins)"

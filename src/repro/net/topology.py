@@ -1,0 +1,146 @@
+"""Data centers and the inter-data-center latency matrix.
+
+The :func:`ec2_five_dc` preset mirrors the paper's deployment: US-West
+(N. California), US-East (Virginia), EU (Ireland), Tokyo, and
+Singapore, with one-way delays set to half the round-trip times
+publicly reported for EC2 inter-region links circa 2014 (Figure 1 of
+the paper shows ~100 ms average RTTs with spikes beyond 800 ms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    SpikingLatency,
+)
+
+
+@dataclass(frozen=True)
+class DataCenter:
+    """A named replica site."""
+
+    index: int
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Topology:
+    """A set of data centers plus a one-way latency model per pair.
+
+    ``latency(a, b)`` returns the model for messages from data center
+    ``a`` to data center ``b``; intra-data-center messages use a small
+    constant local delay (the paper treats local round trips as
+    insignificant).
+    """
+
+    def __init__(self, names: Sequence[str],
+                 pair_models: Dict[Tuple[int, int], LatencyModel],
+                 local_delay_ms: float = 0.25):
+        if not names:
+            raise ValueError("a topology needs at least one data center")
+        self.datacenters: List[DataCenter] = [
+            DataCenter(index, name) for index, name in enumerate(names)
+        ]
+        self._local = ConstantLatency(local_delay_ms)
+        self._models: Dict[Tuple[int, int], LatencyModel] = {}
+        n = len(names)
+        for a in range(n):
+            for b in range(n):
+                if a == b:
+                    continue
+                model = pair_models.get((a, b)) or pair_models.get((b, a))
+                if model is None:
+                    raise ValueError(
+                        f"no latency model for pair ({a}, {b})")
+                self._models[(a, b)] = model
+
+    def __len__(self) -> int:
+        return len(self.datacenters)
+
+    @property
+    def names(self) -> List[str]:
+        return [dc.name for dc in self.datacenters]
+
+    def latency(self, src: int, dst: int) -> LatencyModel:
+        """One-way latency model for messages ``src -> dst``."""
+        if src == dst:
+            return self._local
+        return self._models[(src, dst)]
+
+    def mean_rtt(self, a: int, b: int) -> float:
+        """Expected round trip a -> b -> a in ms."""
+        return self.latency(a, b).mean() + self.latency(b, a).mean()
+
+    def index_of(self, name: str) -> int:
+        for dc in self.datacenters:
+            if dc.name == name:
+                return dc.index
+        raise KeyError(name)
+
+
+#: Approximate 2014 EC2 inter-region round-trip times in milliseconds.
+EC2_RTT_MS: Dict[Tuple[str, str], float] = {
+    ("us-west", "us-east"): 80.0,
+    ("us-west", "eu"): 170.0,
+    ("us-west", "tokyo"): 120.0,
+    ("us-west", "singapore"): 190.0,
+    ("us-east", "eu"): 90.0,
+    ("us-east", "tokyo"): 180.0,
+    ("us-east", "singapore"): 250.0,
+    ("eu", "tokyo"): 270.0,
+    ("eu", "singapore"): 250.0,
+    ("tokyo", "singapore"): 95.0,
+}
+
+EC2_REGIONS = ["us-west", "us-east", "eu", "tokyo", "singapore"]
+
+
+def ec2_five_dc(sigma: float = 0.12, spike_prob: float = 0.0005,
+                spike_factor: Tuple[float, float] = (4.0, 12.0),
+                local_delay_ms: float = 0.25) -> Topology:
+    """The paper's five-data-center EC2 deployment.
+
+    One-way medians are half the pairwise RTTs; each link gets
+    log-normal jitter and (by default, rare) spikes.  Pass
+    ``spike_prob=0`` for a spike-free variant used in likelihood-model
+    accuracy tests.
+    """
+    indices = {name: i for i, name in enumerate(EC2_REGIONS)}
+    pair_models: Dict[Tuple[int, int], LatencyModel] = {}
+    for (name_a, name_b), rtt in EC2_RTT_MS.items():
+        one_way = rtt / 2.0
+        model: LatencyModel = LogNormalLatency(
+            median_ms=one_way, sigma=sigma, floor_ms=one_way * 0.8)
+        if spike_prob > 0:
+            model = SpikingLatency(model, spike_prob=spike_prob,
+                                   spike_factor=spike_factor)
+        a, b = indices[name_a], indices[name_b]
+        pair_models[(a, b)] = model
+    return Topology(EC2_REGIONS, pair_models, local_delay_ms=local_delay_ms)
+
+
+def uniform_topology(n: int, one_way_ms: float = 40.0, sigma: float = 0.1,
+                     local_delay_ms: float = 0.25,
+                     spike_prob: float = 0.0) -> Topology:
+    """A symmetric n-data-center topology with identical links.
+
+    Handy for unit tests and for isolating protocol effects from
+    topology asymmetry.
+    """
+    names = [f"dc{i}" for i in range(n)]
+    pair_models: Dict[Tuple[int, int], LatencyModel] = {}
+    for a in range(n):
+        for b in range(a + 1, n):
+            model: LatencyModel = LogNormalLatency(
+                median_ms=one_way_ms, sigma=sigma, floor_ms=one_way_ms * 0.8)
+            if spike_prob > 0:
+                model = SpikingLatency(model, spike_prob=spike_prob)
+            pair_models[(a, b)] = model
+    return Topology(names, pair_models, local_delay_ms=local_delay_ms)

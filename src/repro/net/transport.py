@@ -1,0 +1,147 @@
+"""Message delivery with sampled delays and fault injection.
+
+Nodes register a handler under a string address; :meth:`Transport.send`
+samples the one-way delay for the (source DC, destination DC) pair and
+schedules delivery.  Links can be configured to drop messages or to be
+partitioned for a time window — used by the failure-injection tests to
+exercise PLANET's uncertainty guarantees.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.net.topology import Topology
+from repro.sim import Environment, Event, RandomStreams
+
+_msg_counter = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """An addressed message in flight.
+
+    ``kind`` is a short protocol tag (e.g. ``"phase2a"``); ``payload``
+    is arbitrary protocol data.  ``msg_id`` is unique per simulation
+    run and is used by the RPC layer to match responses to requests.
+    """
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+    reply_to: Optional[int] = None
+
+
+class Transport:
+    """Delivers messages between registered nodes with sampled delays."""
+
+    def __init__(self, env: Environment, topology: Topology,
+                 streams: RandomStreams):
+        self.env = env
+        self.topology = topology
+        self._rng = streams.get("transport")
+        self._handlers: Dict[str, Callable[[Message], None]] = {}
+        self._locations: Dict[str, int] = {}
+        self._drop_prob: Dict[Tuple[int, int], float] = {}
+        self._partitioned: Set[Tuple[int, int]] = set()
+        self._down: Set[str] = set()
+        #: Counters for observability: messages sent/delivered/dropped.
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, address: str, datacenter: int,
+                 handler: Callable[[Message], None]) -> None:
+        """Attach ``handler`` for messages addressed to ``address``."""
+        if address in self._handlers:
+            raise ValueError(f"address {address!r} already registered")
+        if not 0 <= datacenter < len(self.topology):
+            raise ValueError(f"unknown data center {datacenter}")
+        self._handlers[address] = handler
+        self._locations[address] = datacenter
+
+    def location_of(self, address: str) -> int:
+        """Data-center index of a registered address."""
+        return self._locations[address]
+
+    # -- fault injection ----------------------------------------------------
+
+    def set_drop_probability(self, src_dc: int, dst_dc: int,
+                             probability: float) -> None:
+        """Make the directed link src->dst lose messages independently."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability {probability} outside [0, 1]")
+        self._drop_prob[(src_dc, dst_dc)] = probability
+
+    def partition(self, dc_a: int, dc_b: int) -> None:
+        """Cut both directions between two data centers."""
+        self._partitioned.add((dc_a, dc_b))
+        self._partitioned.add((dc_b, dc_a))
+
+    def heal(self, dc_a: int, dc_b: int) -> None:
+        """Undo :meth:`partition`."""
+        self._partitioned.discard((dc_a, dc_b))
+        self._partitioned.discard((dc_b, dc_a))
+
+    def take_down(self, address: str) -> None:
+        """Crash one node: all messages to and from it are lost."""
+        if address not in self._handlers:
+            raise ValueError(f"unknown address {address!r}")
+        self._down.add(address)
+
+    def bring_up(self, address: str) -> None:
+        """Restart a crashed node (its in-memory state survived — the
+        simulated process model is fail-stop with stable storage)."""
+        self._down.discard(address)
+
+    def is_down(self, address: str) -> bool:
+        return address in self._down
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, src_dc: int, message: Message) -> None:
+        """Fire-and-forget delivery after a sampled one-way delay.
+
+        Messages to unknown addresses, across partitions, or unlucky on
+        a lossy link are silently dropped (counted in ``self.dropped``)
+        — exactly the behaviour a WAN gives an application.
+        """
+        self.sent += 1
+        dst_dc = self._locations.get(message.dst)
+        if dst_dc is None:
+            self.dropped += 1
+            return
+        if message.dst in self._down or message.src in self._down:
+            self.dropped += 1
+            return
+        if (src_dc, dst_dc) in self._partitioned:
+            self.dropped += 1
+            return
+        drop = self._drop_prob.get((src_dc, dst_dc), 0.0)
+        if drop and self._rng.random() < drop:
+            self.dropped += 1
+            return
+        delay = self.topology.latency(src_dc, dst_dc).sample(self._rng)
+        # Schedule a bare event rather than a generator process: one
+        # heap operation per message keeps large experiments fast.
+        event = Event(self.env)
+        event._ok = True
+        event._value = message
+        event.callbacks.append(self._deliver)
+        self.env.schedule(event, delay=delay)
+
+    def _deliver(self, event: Event) -> None:
+        message: Message = event.value
+        handler = self._handlers.get(message.dst)
+        if handler is None or message.dst in self._down:
+            # Unregistered, or crashed while the message was in flight.
+            self.dropped += 1
+            return
+        self.delivered += 1
+        handler(message)

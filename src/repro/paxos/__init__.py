@@ -1,0 +1,24 @@
+"""Per-record Multi-Paxos used by the MDCC classic protocol.
+
+MDCC learns one *option* per record update through a Paxos round: the
+record leader sends ``phase2a`` to all storage replicas and waits for a
+majority of ``phase2b`` acknowledgements (the stable-leader Multi-Paxos
+fast path — phase 1 is implicit in mastership).  Ballot monotonicity is
+still enforced by the acceptors so that a mastership change cannot
+split a round.
+"""
+
+from repro.paxos.ballot import Ballot
+from repro.paxos.messages import Phase2a, Phase2b
+from repro.paxos.acceptor import AcceptorState, handle_phase2a
+from repro.paxos.round import PaxosRound, PaxosRoundTimeout
+
+__all__ = [
+    "AcceptorState",
+    "Ballot",
+    "PaxosRound",
+    "PaxosRoundTimeout",
+    "Phase2a",
+    "Phase2b",
+    "handle_phase2a",
+]

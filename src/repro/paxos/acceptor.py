@@ -1,0 +1,73 @@
+"""Acceptor-side Paxos logic, shared by all storage nodes.
+
+Storage nodes keep one :class:`AcceptorState` per record; the state is
+independent of the record's application value so that the consensus
+layer stays cleanly separated from storage semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.paxos.ballot import Ballot
+from repro.paxos.messages import Phase2a, Phase2b
+
+
+@dataclass
+class AcceptorState:
+    """Promised ballot plus the accepted value per Paxos instance.
+
+    Only the most recent ``keep_instances`` accepted instances are
+    retained (log truncation): learned options are immediately acted
+    on by the leader, so old instances exist purely for audit and
+    would otherwise grow without bound on hot records.
+    """
+
+    promised: Optional[Ballot] = None
+    # seq -> (ballot, payload)
+    accepted: Dict[int, Tuple[Ballot, Any]] = field(default_factory=dict)
+    keep_instances: int = 32
+
+    def highest_accepted_seq(self) -> int:
+        return max(self.accepted, default=-1)
+
+    def truncate(self) -> None:
+        """Drop accepted instances beyond the retention horizon."""
+        if len(self.accepted) <= self.keep_instances:
+            return
+        horizon = self.highest_accepted_seq() - self.keep_instances
+        for seq in [s for s in self.accepted if s <= horizon]:
+            del self.accepted[seq]
+
+
+def handle_phase1a(state: AcceptorState, ballot: Ballot) -> Tuple[bool, Optional[Ballot]]:
+    """Phase-1 promise for a mastership takeover.
+
+    Returns ``(promised?, previously_promised_ballot)``.  On success
+    the acceptor will reject any phase2a below ``ballot`` — fencing
+    out the old leader.
+    """
+    if state.promised is not None and ballot < state.promised:
+        return False, state.promised
+    previous = state.promised
+    state.promised = ballot
+    return True, previous
+
+
+def handle_phase2a(state: AcceptorState, message: Phase2a) -> Phase2b:
+    """Run the acceptor's phase-2 vote and mutate ``state``.
+
+    Accepts iff the message ballot is at least the promised ballot
+    (classic Paxos acceptance rule); accepting also raises the promise
+    so a stale leader cannot later win the same instance.
+    """
+    if state.promised is not None and message.ballot < state.promised:
+        return Phase2b(key=message.key, seq=message.seq,
+                       ballot=message.ballot, accepted=False,
+                       promised=state.promised)
+    state.promised = message.ballot
+    state.accepted[message.seq] = (message.ballot, message.payload)
+    state.truncate()
+    return Phase2b(key=message.key, seq=message.seq, ballot=message.ballot,
+                   accepted=True, promised=state.promised)

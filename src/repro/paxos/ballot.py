@@ -1,0 +1,32 @@
+"""Totally ordered Paxos ballot numbers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Ballot:
+    """A (round number, proposer id) pair ordered lexicographically.
+
+    The proposer id breaks ties between distinct leaders proposing in
+    the same numbered round, as in the classic Paxos formulation.
+    """
+
+    number: int
+    proposer: str
+
+    def __lt__(self, other: "Ballot") -> bool:
+        if not isinstance(other, Ballot):
+            return NotImplemented
+        return (self.number, self.proposer) < (other.number, other.proposer)
+
+    def next(self, proposer: str) -> "Ballot":
+        """The smallest ballot for ``proposer`` larger than this one."""
+        return Ballot(self.number + 1, proposer)
+
+    def as_int(self) -> int:
+        """A coarse integer key (round number) for compact storage."""
+        return self.number

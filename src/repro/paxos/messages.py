@@ -1,0 +1,39 @@
+"""Wire payloads of the per-record Paxos rounds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.paxos.ballot import Ballot
+
+
+@dataclass(frozen=True)
+class Phase2a:
+    """Leader -> acceptors: accept ``payload`` for instance ``seq``.
+
+    ``payload`` carries the MDCC option (transaction id, update, and
+    the leader's accept/reject decision); Paxos itself treats it
+    opaquely.
+    """
+
+    key: str
+    seq: int
+    ballot: Ballot
+    payload: Any
+
+
+@dataclass(frozen=True)
+class Phase2b:
+    """Acceptor -> leader: vote on a phase2a.
+
+    ``accepted`` is False when the acceptor has promised a higher
+    ballot; ``promised`` then carries that ballot so the leader can
+    re-propose above it.
+    """
+
+    key: str
+    seq: int
+    ballot: Ballot
+    accepted: bool
+    promised: Ballot = None  # type: ignore[assignment]

@@ -1,0 +1,70 @@
+"""Leader-side execution of one phase-2 round.
+
+The leader fans a :class:`Phase2a` out to every replica and resolves as
+soon as the outcome is decided: a majority of accepts wins the round, a
+blocking minority of rejections loses it.  Lost messages simply leave
+the round open; callers that need liveness bound it with
+``timeout_ms``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.net.rpc import RpcEndpoint
+from repro.paxos.messages import Phase2a, Phase2b
+from repro.sim import Environment, Event
+
+
+class PaxosRoundTimeout(RuntimeError):
+    """The round did not decide within the caller's deadline."""
+
+
+class PaxosRound:
+    """One phase-2 round over a replica group.
+
+    ``result`` is a kernel event that succeeds with ``True`` (quorum of
+    accepts), ``False`` (quorum impossible), or fails with
+    :class:`PaxosRoundTimeout`.
+
+    >>> round_ = PaxosRound(env, endpoint, replicas, phase2a, quorum=3)
+    >>> won = yield round_.result
+    """
+
+    def __init__(self, env: Environment, endpoint: RpcEndpoint,
+                 replicas: Sequence[str], phase2a: Phase2a, quorum: int,
+                 timeout_ms: Optional[float] = None):
+        if not 1 <= quorum <= len(replicas):
+            raise ValueError(
+                f"quorum {quorum} impossible with {len(replicas)} replicas")
+        self.env = env
+        self.quorum = quorum
+        self.replicas = list(replicas)
+        self.result: Event = env.event()
+        self.accepts = 0
+        self.rejects = 0
+        for replica in self.replicas:
+            call = endpoint.call(replica, "phase2a", phase2a)
+            call.callbacks.append(self._on_vote)
+        if timeout_ms is not None:
+            env.process(self._expire(timeout_ms))
+
+    def _on_vote(self, event: Event) -> None:
+        if self.result.triggered or not event.ok:
+            return
+        vote: Phase2b = event.value
+        if vote.accepted:
+            self.accepts += 1
+        else:
+            self.rejects += 1
+        if self.accepts >= self.quorum:
+            self.result.succeed(True)
+        elif self.rejects > len(self.replicas) - self.quorum:
+            self.result.succeed(False)
+
+    def _expire(self, timeout_ms: float):
+        yield self.env.timeout(timeout_ms)
+        if not self.result.triggered:
+            self.result.fail(PaxosRoundTimeout(
+                f"round undecided after {timeout_ms} ms "
+                f"({self.accepts} accepts / {self.rejects} rejects)"))

@@ -1,0 +1,382 @@
+"""Heap-driven discrete-event simulation kernel.
+
+The design follows the classic generator-based cooperative style (as
+popularised by SimPy): a :class:`Process` wraps a Python generator that
+``yield``\\ s :class:`Event` objects; the kernel resumes the generator
+when the yielded event fires.  The kernel is deliberately small and
+fully deterministic: ties in time are broken by a monotonically
+increasing sequence number, so two runs with the same seeds produce
+identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+#: Sentinel for an event that has not yet been given a value.
+_PENDING = object()
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. triggering an event twice)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event moves through three phases: *pending* (just created),
+    *triggered* (given a value and scheduled on the event queue), and
+    *processed* (its callbacks have run).  Waiting processes register
+    themselves in :attr:`callbacks`.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will have ``exception`` raised at their
+        ``yield`` statement.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` virtual ms."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env.schedule(self)
+
+
+class Process(Event):
+    """A running simulation process, wrapping a generator.
+
+    The process itself is an event that triggers when the generator
+    terminates: with the generator's return value on normal exit, or
+    with the raised exception on failure.  Other processes may
+    ``yield`` a process to join it.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next resume.
+
+        Interrupting a dead process is an error; interrupting yourself
+        is too (a process cannot be suspended and interrupted at once).
+        """
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        # Detach from whatever the process is currently waiting on, then
+        # schedule an immediate resume carrying the Interrupt.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        wakeup = Event(self.env)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        wakeup.callbacks.append(self._resume)
+        wakeup._defused = True  # never propagate to the kernel
+        self.env.schedule(wakeup, priority=Environment.PRIORITY_URGENT)
+
+    def _resume(self, event: Event) -> None:
+        env = self.env
+        env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # Mark the failure as handled by this process.
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self._ok = True
+                self._value = exc.value
+                env.schedule(self)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                exc = SimulationError(
+                    f"process yielded a non-event: {next_event!r}")
+                event = Event(env)
+                event._ok = False
+                event._value = exc
+                continue
+            if next_event.env is not env:
+                raise SimulationError(
+                    "yielded an event from a different environment")
+            if next_event.callbacks is not None:
+                # Event still pending/triggered: wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: loop and feed its value directly.
+            event = next_event
+
+        env._active_process = None
+
+
+class ConditionEvent(Event):
+    """Base for events that fire when a set of child events *occur*.
+
+    A child is considered to have occurred once it is *processed* (its
+    callbacks have run), not merely triggered: a :class:`Timeout` holds
+    its value from construction but only occurs when the clock reaches
+    it.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events: List[Event] = list(events)
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError(
+                    "condition mixes events from different environments")
+        for event in self.events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+        if not self.events and not self.triggered:
+            self.succeed({})
+
+    def _collect(self) -> dict:
+        """Values of all children that have occurred so far."""
+        return {
+            event: event._value
+            for event in self.events
+            if event.processed and event._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(ConditionEvent):
+    """Fires once every child event has occurred (or any child fails)."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        if all(child.processed for child in self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(ConditionEvent):
+    """Fires as soon as the first child event occurs."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation environment: virtual clock plus event queue.
+
+    Typical use::
+
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(10)
+            return "done"
+
+        proc = env.process(worker(env))
+        env.run()
+        assert env.now == 10.0
+    """
+
+    PRIORITY_URGENT = 0
+    PRIORITY_NORMAL = 1
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[tuple] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` virtual ms."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling & execution -------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = PRIORITY_NORMAL) -> None:
+        """Put a triggered event on the queue ``delay`` ms from now."""
+        self._eid += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event on the queue."""
+        if not self._queue:
+            raise SimulationError("no more events to process")
+        when, _priority, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not getattr(event, "_defused", False):
+            # An unhandled failure: crash the simulation loudly rather
+            # than letting errors pass silently.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or virtual time reaches ``until``."""
+        if until is not None:
+            if until < self._now:
+                raise ValueError(
+                    f"until={until} lies in the past (now={self._now})")
+            stop = Event(self)
+            stop._ok = True
+            stop._value = None
+            self.schedule(stop, delay=until - self._now,
+                          priority=self.PRIORITY_URGENT)
+            while self._queue:
+                when, _priority, _eid, head = self._queue[0]
+                if head is stop:
+                    heapq.heappop(self._queue)
+                    self._now = when
+                    return
+                self.step()
+        else:
+            while self._queue:
+                self.step()

@@ -1,0 +1,45 @@
+"""Replicated storage-node substrate.
+
+Each data center holds a full replica of the database on one or more
+:class:`StorageNode` servers (partitioned by key hash, like the paper's
+two-server-per-DC deployment).  A node plays three roles:
+
+* *replica*: serves read-committed reads of the latest visible version;
+* *Paxos acceptor*: participates in per-record option rounds;
+* *record leader*: for records mastered in its data center, runs the
+  MDCC option round (conflict detection + phase2a fan-out).
+
+Nodes also measure per-record update-arrival rates in coarse time
+buckets (10 s buckets, most recent six kept — §5.2.3 of the paper) and
+piggyback them on read responses for the commit-likelihood model.
+"""
+
+from repro.storage.record import Record, Update, WriteOp
+from repro.storage.access_stats import AccessRateTracker
+from repro.storage.option import (
+    Decision,
+    Learned,
+    OptionPayload,
+    ProposalAck,
+    Propose,
+    ReadReply,
+    ReadRequest,
+    Visibility,
+)
+from repro.storage.node import StorageNode
+
+__all__ = [
+    "AccessRateTracker",
+    "Decision",
+    "Learned",
+    "OptionPayload",
+    "ProposalAck",
+    "Propose",
+    "ReadReply",
+    "ReadRequest",
+    "Record",
+    "StorageNode",
+    "Update",
+    "Visibility",
+    "WriteOp",
+]

@@ -1,0 +1,80 @@
+"""Per-record update-arrival rate tracking.
+
+Implements §5.2.3 of the paper: the number of update arrivals per
+record is counted in coarse buckets (default 10 seconds) and only the
+most recent buckets (default 6) are kept; the arrival rate used by the
+commit-likelihood model is the arithmetic mean over those buckets,
+expressed as a Poisson rate λ in updates per millisecond.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+
+class AccessRateTracker:
+    """Bucketed update-arrival counters for a set of records."""
+
+    def __init__(self, bucket_ms: float = 10_000.0, keep_buckets: int = 6):
+        if bucket_ms <= 0:
+            raise ValueError("bucket_ms must be positive")
+        if keep_buckets < 1:
+            raise ValueError("keep_buckets must be at least 1")
+        self.bucket_ms = float(bucket_ms)
+        self.keep_buckets = int(keep_buckets)
+        # key -> deque of (bucket_index, count), newest last
+        self._buckets: Dict[str, Deque[Tuple[int, int]]] = {}
+
+    def _bucket_index(self, now_ms: float) -> int:
+        return int(now_ms // self.bucket_ms)
+
+    def record_access(self, key: str, now_ms: float) -> None:
+        """Count one update arrival for ``key`` at virtual time ``now_ms``."""
+        index = self._bucket_index(now_ms)
+        buckets = self._buckets.get(key)
+        if buckets is None:
+            buckets = deque()
+            self._buckets[key] = buckets
+        if buckets and buckets[-1][0] == index:
+            buckets[-1] = (index, buckets[-1][1] + 1)
+        else:
+            buckets.append((index, 1))
+            while len(buckets) > self.keep_buckets:
+                buckets.popleft()
+
+    def arrival_rate(self, key: str, now_ms: float) -> float:
+        """Estimated Poisson arrival rate λ for ``key`` in updates/ms.
+
+        The mean is taken over the window covered by the kept buckets
+        *ending at the current bucket*, so stale buckets age out even
+        when no new updates arrive.
+        """
+        buckets = self._buckets.get(key)
+        if not buckets:
+            return 0.0
+        current = self._bucket_index(now_ms)
+        oldest_kept = current - self.keep_buckets + 1
+        count = sum(c for index, c in buckets if index >= oldest_kept)
+        # Divide by the span actually observed: from the start of the
+        # oldest kept bucket (clamped to time zero — cold start) up to
+        # now.  Dividing by whole buckets would underestimate rates
+        # both at cold start and within the newest, partial bucket.
+        window_start = max(0.0, oldest_kept * self.bucket_ms)
+        window_ms = max(now_ms - window_start, 0.1 * self.bucket_ms)
+        return count / window_ms
+
+    def tracked_keys(self) -> int:
+        """Number of records with at least one kept bucket."""
+        return len(self._buckets)
+
+    def forget_stale(self, now_ms: float) -> None:
+        """Drop keys whose buckets all aged out (storage hygiene)."""
+        current = self._bucket_index(now_ms)
+        oldest_kept = current - self.keep_buckets + 1
+        stale = [
+            key for key, buckets in self._buckets.items()
+            if not buckets or buckets[-1][0] < oldest_kept
+        ]
+        for key in stale:
+            del self._buckets[key]

@@ -1,0 +1,363 @@
+"""The storage-node server: replica, Paxos acceptor, and record leader.
+
+One node exists per (data center, partition).  All nodes holding a
+record form its replica group (one per data center); the node in the
+record's *master* data center acts as the record leader and runs the
+MDCC option rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.net.rpc import RpcEndpoint
+from repro.net.transport import Transport
+from repro.paxos import (
+    AcceptorState,
+    Ballot,
+    PaxosRound,
+    Phase2a,
+    handle_phase2a,
+)
+from repro.paxos.round import PaxosRoundTimeout
+from repro.sim import Environment
+from repro.storage.access_stats import AccessRateTracker
+from repro.storage.option import (
+    Decision,
+    Learned,
+    OptionPayload,
+    ProposalAck,
+    Propose,
+    ReadReply,
+    ReadRequest,
+    Visibility,
+)
+from repro.storage.record import Record
+
+
+class StorageNode:
+    """A full-replica storage server for one partition in one DC.
+
+    Parameters
+    ----------
+    replica_resolver:
+        Callable mapping a record key to the addresses of all replicas
+        of that key (one per data center), used for phase2a fan-out.
+    leader_resolver:
+        Callable mapping a key to the master data-center index; this
+        node leads the keys whose master DC equals its own.
+    """
+
+    def __init__(self, env: Environment, transport: Transport, address: str,
+                 datacenter: int,
+                 replica_resolver: Callable[[str], List[str]],
+                 leader_resolver: Callable[[str], int],
+                 bucket_ms: float = 10_000.0, keep_buckets: int = 6,
+                 round_timeout_ms: Optional[float] = None,
+                 service_time_ms: float = 0.0,
+                 service_overrides: Optional[Dict[str, float]] = None):
+        self.env = env
+        self.address = address
+        self.datacenter = datacenter
+        self.endpoint = RpcEndpoint(env, transport, address, datacenter,
+                                    service_time_ms=service_time_ms,
+                                    service_overrides=service_overrides)
+        self._replicas_of = replica_resolver
+        self._leader_dc_of = leader_resolver
+        self.records: Dict[str, Record] = {}
+        #: When set, unknown keys materialize lazily with this value
+        #: (version 1) — lets experiments use multi-hundred-thousand-row
+        #: tables without preallocating every replica.
+        self.default_value: Optional[Any] = None
+        self.acceptors: Dict[str, AcceptorState] = {}
+        self.access_stats = AccessRateTracker(
+            bucket_ms=bucket_ms, keep_buckets=keep_buckets)
+        self.round_timeout_ms = round_timeout_ms
+        # Per-record leader ballots: takeovers raise them above the
+        # previous leader's so its in-flight rounds are fenced out.
+        self._ballots: Dict[str, Ballot] = {}
+        self._default_ballot = Ballot(0, address)
+        # Per-record proposal queues: one option round in flight per
+        # record (its Multi-Paxos log is serial).
+        self._proposal_queues: Dict[str, List[Propose]] = {}
+        self._round_active: set = set()
+        # Recently finalized txids: guards against message reordering
+        # re-opening a decided transaction's pending state.
+        self._finalized: Dict[str, None] = {}
+        #: Optional provider consulted by the "ping" handler; installed
+        #: by the statistics service for histogram dissemination.
+        self.stats_provider: Optional[Callable[[Any, str], Any]] = None
+        #: Observability counters.
+        self.proposals = 0
+        self.options_accepted = 0
+        self.options_rejected = 0
+        self.rounds_lost = 0
+
+        self.endpoint.on("read", self._on_read)
+        self.endpoint.on("propose", self._on_propose)
+        self.endpoint.on("phase2a", self._on_phase2a)
+        self.endpoint.on("visibility", self._on_visibility)
+        self.endpoint.on("phase1a", self._on_phase1a)
+        self.endpoint.on("ping", self._on_ping)
+        self.endpoint.on("stats_push", self._on_ping)
+
+    # -- data management -----------------------------------------------------
+
+    def load(self, items: Dict[str, Any]) -> None:
+        """Bulk-load committed values (version 1), e.g. the Items table."""
+        for key, value in items.items():
+            self.records[key] = Record(key=key, value=value, version=1,
+                                       history=[(0.0, value)])
+
+    def record(self, key: str) -> Record:
+        """The local record for ``key``, created on first touch.
+
+        With :attr:`default_value` set, the record materializes as a
+        committed version-1 row (an implicitly pre-loaded table);
+        otherwise it starts empty at version 0.
+        """
+        record = self.records.get(key)
+        if record is None:
+            if self.default_value is not None:
+                record = Record(key=key, value=self.default_value, version=1,
+                                history=[(0.0, self.default_value)])
+            else:
+                record = Record(key=key)
+            self.records[key] = record
+        return record
+
+    def leads(self, key: str) -> bool:
+        """True if this node is the record leader for ``key``."""
+        return self._leader_dc_of(key) == self.datacenter
+
+    # -- read path -------------------------------------------------------------
+
+    def _on_read(self, request: ReadRequest, src: str) -> ReadReply:
+        record = self.records.get(request.key)
+        if record is None and self.default_value is not None:
+            record = self.record(request.key)
+        rate = self.access_stats.arrival_rate(request.key, self.env.now)
+        if record is None:
+            return ReadReply(key=request.key, value=None, version=0,
+                             arrival_rate=rate,
+                             leader_dc=self._leader_dc_of(request.key),
+                             has_pending=False, exists=False)
+        if request.as_of_ms is not None:
+            value, newer = record.value_as_of(request.as_of_ms)
+            return ReadReply(key=request.key, value=value,
+                             version=max(record.version - newer, 0),
+                             arrival_rate=rate,
+                             leader_dc=self._leader_dc_of(request.key),
+                             has_pending=record.has_pending_option)
+        return ReadReply(key=request.key, value=record.value,
+                         version=record.version, arrival_rate=rate,
+                         leader_dc=self._leader_dc_of(request.key),
+                         has_pending=record.has_pending_option)
+
+    # -- leader path --------------------------------------------------------------
+
+    def _on_propose(self, propose: Propose, src: str):
+        """Handle an option proposal for a record this node masters.
+
+        Option rounds for one record are strictly serialized — each
+        record is a Multi-Paxos log with one instance in flight at a
+        time — so proposals queue behind the active round.  Under
+        contention this is itself a throughput limit: rejected options
+        churn the record's log just like accepted ones (both must be
+        learned, §5.1.1), which is precisely the contention admission
+        control relieves.
+        """
+        if not self.leads(propose.key):
+            # Stale mastership at the client: refuse loudly rather than
+            # silently corrupting the conflict window.
+            raise RuntimeError(
+                f"{self.address} is not the leader of {propose.key!r}")
+        self.proposals += 1
+        # Acceptance signal: confirm receipt before running the round.
+        self.endpoint.cast(propose.tm_address, "proposal_ack",
+                           ProposalAck(txid=propose.txid, key=propose.key))
+        queue = self._proposal_queues.setdefault(propose.key, [])
+        queue.append(propose)
+        if propose.key not in self._round_active:
+            self._start_next_round(propose.key)
+        return RpcEndpoint.NO_REPLY
+
+    def _start_next_round(self, key: str) -> None:
+        queue = self._proposal_queues.get(key)
+        if not queue:
+            self._round_active.discard(key)
+            return
+        self._round_active.add(key)
+        propose = queue.pop(0)
+
+        record = self.record(key)
+        conflict = record.has_pending_option
+        admissible = propose.update.admissible_on(record.value)
+        if conflict or not admissible:
+            decision = Decision.REJECTED
+            self.options_rejected += 1
+        else:
+            decision = Decision.ACCEPTED
+            record.add_pending(propose.txid, propose.update)
+            self.options_accepted += 1
+
+        record.seq += 1
+        payload = OptionPayload(txid=propose.txid, key=propose.key,
+                                update=propose.update, decision=decision)
+        ballot = self._ballots.get(propose.key, self._default_ballot)
+        phase2a = Phase2a(key=propose.key, seq=record.seq,
+                          ballot=ballot, payload=payload)
+        replicas = self._replicas_of(propose.key)
+        quorum = len(replicas) // 2 + 1
+        round_ = PaxosRound(self.env, self.endpoint, replicas, phase2a,
+                            quorum, timeout_ms=self.round_timeout_ms)
+        self.env.process(self._finish_round(round_, propose, decision))
+
+    def _finish_round(self, round_: PaxosRound, propose: Propose,
+                      decision: Decision):
+        """Wait for the quorum, notify the TM, start the next round."""
+        try:
+            won = yield round_.result
+        except PaxosRoundTimeout:
+            won = False
+        if not won:
+            # The round could not be learned as proposed (lost quorum or
+            # timed out).  Release the conflict window and report the
+            # option as rejected so the transaction aborts cleanly.
+            self.rounds_lost += 1
+            if decision is Decision.ACCEPTED:
+                self.record(propose.key).clear_pending(propose.txid)
+            decision = Decision.REJECTED
+        self.endpoint.cast(propose.tm_address, "learned",
+                           Learned(txid=propose.txid, key=propose.key,
+                                   decision=decision))
+        self._start_next_round(propose.key)
+
+    # -- mastership takeover (Paxos phase 1) ------------------------------------------
+
+    def take_mastership(self, key: str, max_attempts: int = 5):
+        """Acquire leadership of ``key`` via phase-1 promises.
+
+        Returns an event that succeeds with True once a majority of
+        replicas promised a ballot above the previous leader's (which
+        is thereby fenced: its in-flight phase2a rounds get rejected),
+        or False after ``max_attempts`` contested rounds.  The caller
+        must then update the routing (``Mastership.set_override``) so
+        new proposals arrive here — :meth:`Cluster.transfer_mastership`
+        does both.
+        """
+        result = self.env.event()
+        self.env.process(self._take_mastership(key, max_attempts, result))
+        return result
+
+    def _take_mastership(self, key: str, max_attempts: int, result):
+        from repro.sim import AllOf  # local import: avoid heavy top-level
+
+        replicas = self._replicas_of(key)
+        quorum = len(replicas) // 2 + 1
+        number = 1
+        for _attempt in range(max_attempts):
+            ballot = Ballot(number, self.address)
+            attempts = [
+                self.env.process(self._phase1_call(replica, key, ballot))
+                for replica in replicas
+            ]
+            replies = yield AllOf(self.env, attempts)
+            promised = 0
+            highest_seen = ballot
+            for reply in replies.values():
+                if reply is None:
+                    continue  # unreachable replica
+                ok, previous = reply
+                if ok:
+                    promised += 1
+                elif previous is not None and previous > highest_seen:
+                    highest_seen = previous
+            if promised >= quorum:
+                self._ballots[key] = ballot
+                if not result.triggered:
+                    result.succeed(True)
+                return
+            number = highest_seen.number + 1
+        if not result.triggered:
+            result.succeed(False)
+
+    def _phase1_call(self, replica: str, key: str, ballot: Ballot):
+        """One replica's phase1a exchange; None if unreachable."""
+        from repro.net.rpc import RpcTimeout
+
+        try:
+            reply = yield self.endpoint.call(
+                replica, "phase1a",
+                Phase2a(key=key, seq=-1, ballot=ballot, payload=None),
+                timeout_ms=5_000.0)
+        except RpcTimeout:
+            return None
+        return reply
+
+    def _on_phase1a(self, message: Phase2a, src: str):
+        from repro.paxos.acceptor import handle_phase1a
+
+        state = self.acceptors.get(message.key)
+        if state is None:
+            state = AcceptorState()
+            self.acceptors[message.key] = state
+        return handle_phase1a(state, message.ballot)
+
+    # -- acceptor path ---------------------------------------------------------------
+
+    def _on_phase2a(self, message: Phase2a, src: str):
+        # Every update attempt reaching the replicas counts toward the
+        # record's arrival rate (§5.2.3), rejected options included.
+        self.access_stats.record_access(message.key, self.env.now)
+        state = self.acceptors.get(message.key)
+        if state is None:
+            state = AcceptorState()
+            self.acceptors[message.key] = state
+        vote = handle_phase2a(state, message)
+        option: OptionPayload = message.payload
+        if (vote.accepted and option.decision is Decision.ACCEPTED
+                and option.txid not in self._finalized):
+            self.record(message.key).add_pending(option.txid, option.update)
+        return vote
+
+    # -- visibility path -----------------------------------------------------------------
+
+    def _on_visibility(self, visibility: Visibility, src: str):
+        if visibility.txid in self._finalized:
+            return "ack"  # duplicate delivery: already applied
+        for key in visibility.keys:
+            record = self.record(key)
+            if visibility.commit:
+                applied = record.commit_pending(visibility.txid,
+                                                now_ms=self.env.now)
+                if not applied and visibility.updates is not None:
+                    # This replica never accepted the option (fenced,
+                    # partitioned, or lossy): learn the chosen update
+                    # directly from the TM's decision message.
+                    update = visibility.updates.get(key)
+                    if update is not None:
+                        record.apply_value(update.apply_to(record.value),
+                                           now_ms=self.env.now)
+            else:
+                record.clear_pending(visibility.txid)
+        self._remember_finalized(visibility.txid)
+        # Acknowledge so the TM's at-least-once delivery can stop
+        # retrying; the operation is idempotent.
+        return "ack"
+
+    def _remember_finalized(self, txid: str,
+                            retention: int = 4096) -> None:
+        """Track finalized transactions so late/duplicate phase2a or
+        visibility messages cannot re-open or re-apply them."""
+        self._finalized[txid] = None
+        while len(self._finalized) > retention:
+            self._finalized.pop(next(iter(self._finalized)))
+
+    # -- statistics path ------------------------------------------------------------------
+
+    def _on_ping(self, payload: Any, src: str) -> Any:
+        """RTT probe; delegates to the installed statistics provider."""
+        if self.stats_provider is not None:
+            return self.stats_provider(payload, src)
+        return None

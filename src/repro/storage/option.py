@@ -1,0 +1,105 @@
+"""MDCC option and protocol message payloads.
+
+These are the application-level payloads exchanged between transaction
+managers, record leaders, and storage replicas.  They live next to the
+storage layer (rather than in :mod:`repro.mdcc`) because storage nodes
+interpret them directly — an option is a record-level concept in MDCC.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.storage.record import Update
+
+
+class Decision(enum.Enum):
+    """The leader's verdict on an option (both verdicts are *learned*)."""
+
+    ACCEPTED = "accepted"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class OptionPayload:
+    """The value replicated by a per-record Paxos round."""
+
+    txid: str
+    key: str
+    update: Update
+    decision: Decision
+
+
+@dataclass(frozen=True)
+class Propose:
+    """Transaction manager -> record leader: acquire an option."""
+
+    txid: str
+    key: str
+    update: Update
+    tm_address: str
+
+
+@dataclass(frozen=True)
+class ProposalAck:
+    """Leader -> TM: the proposal was received (acceptance signal).
+
+    The paper's evaluation configures PLANET to consider a transaction
+    *accepted* once the first storage node confirms the proposal
+    message (§6.1).
+    """
+
+    txid: str
+    key: str
+
+
+@dataclass(frozen=True)
+class Learned:
+    """Leader -> TM: the option was learned by a majority."""
+
+    txid: str
+    key: str
+    decision: Decision
+
+
+@dataclass(frozen=True)
+class Visibility:
+    """TM -> every replica: commit (apply) or abort (discard) options.
+
+    ``updates`` carries the written values so that replicas which
+    missed the phase2a (fenced by a ballot, partitioned, or lossy
+    links) still *learn* the chosen updates — the TM acts as the Paxos
+    learner relaying the majority decision.
+    """
+
+    txid: str
+    keys: List[str]
+    commit: bool
+    updates: Optional[dict] = None  # key -> Update (commit only)
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """Client -> local replica: read-committed read of one record.
+
+    ``as_of_ms`` requests a point-in-time read against the replica's
+    bounded version history (MVCC) instead of the newest version.
+    """
+
+    key: str
+    as_of_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ReadReply:
+    """Latest visible version plus piggybacked likelihood statistics."""
+
+    key: str
+    value: Any
+    version: int
+    arrival_rate: float  # Poisson λ, updates per ms (§5.2.3)
+    leader_dc: int
+    has_pending: bool
+    exists: bool = True

@@ -1,0 +1,146 @@
+"""Records, versions, and update operations.
+
+A :class:`Record` is the unit of replication and of conflict detection:
+MDCC acquires one *option* per record update, and a learned-but-not-
+yet-visible option blocks concurrent updates to the same record.
+
+Conflict detection is enforced by the record's *leader* (the master in
+one data center), which never opens a second conflict window while one
+is pending locally.  Remote replicas may still observe two options in
+flight for one record — the commit-visibility message of the first can
+still be travelling when the second option's phase2a arrives — so the
+pending set is a per-transaction map rather than a single slot.  The
+buy workload uses commutative deltas, so replica-side application
+order does not change final values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Update:
+    """A single-record update.
+
+    ``kind`` is either ``"set"`` (overwrite with ``value``) or
+    ``"delta"`` (numeric increment by ``value`` — the TPC-W buy
+    transaction decrements stock with ``Update.delta(-amount)``).
+    ``floor`` optionally rejects deltas that would take the value below
+    a bound (e.g. stock below zero); the check runs at the record
+    leader against the latest visible version.
+    """
+
+    kind: str
+    value: Any
+    floor: Optional[float] = None
+
+    def __post_init__(self):
+        if self.kind not in ("set", "delta"):
+            raise ValueError(f"unknown update kind {self.kind!r}")
+        if self.kind == "delta" and not isinstance(self.value, (int, float)):
+            raise TypeError("delta updates need a numeric value")
+
+    @classmethod
+    def set(cls, value: Any) -> "Update":
+        return cls(kind="set", value=value)
+
+    @classmethod
+    def delta(cls, value: float, floor: Optional[float] = None) -> "Update":
+        return cls(kind="delta", value=value, floor=floor)
+
+    def apply_to(self, current: Any) -> Any:
+        """The new value after applying this update to ``current``."""
+        if self.kind == "set":
+            return self.value
+        base = current if current is not None else 0
+        return base + self.value
+
+    def admissible_on(self, current: Any) -> bool:
+        """Whether the leader may accept this update on ``current``."""
+        if self.kind != "delta" or self.floor is None:
+            return True
+        base = current if current is not None else 0
+        return base + self.value >= self.floor
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """One write of a transaction: apply ``update`` to ``key``."""
+
+    key: str
+    update: Update
+
+
+@dataclass
+class Record:
+    """A replicated record: latest visible version plus Paxos state.
+
+    ``pending`` maps transaction ids to their learned-accepted,
+    not-yet-visible options — the write-write conflict indicators.
+    ``promised_ballot`` / ``accepted`` hold the acceptor state of the
+    record's current Paxos instance (one instance per option round,
+    numbered by ``seq``).
+    """
+
+    key: str
+    value: Any = None
+    version: int = 0
+    pending: Dict[str, Update] = field(default_factory=dict)
+    promised_ballot: int = -1
+    accepted: Optional[Tuple[int, int, Any]] = None  # (ballot, seq, payload)
+    seq: int = 0
+    #: Recent version history as (visible_at_ms, value) pairs, newest
+    #: last — backs point-in-time reads.  Bounded by HISTORY_KEEP.
+    history: List[Tuple[float, Any]] = field(default_factory=list)
+
+    HISTORY_KEEP = 16
+
+    @property
+    def has_pending_option(self) -> bool:
+        return bool(self.pending)
+
+    def add_pending(self, txid: str, update: Update) -> None:
+        """Open (or idempotently re-open) a conflict window for ``txid``."""
+        self.pending[txid] = update
+
+    def clear_pending(self, txid: str) -> None:
+        """Discard the option of an aborted transaction, if present."""
+        self.pending.pop(txid, None)
+
+    def apply_value(self, value: Any, now_ms: Optional[float] = None) -> None:
+        """Install a new visible version (and record it in history)."""
+        self.value = value
+        self.version += 1
+        if now_ms is not None:
+            self.history.append((now_ms, value))
+            if len(self.history) > self.HISTORY_KEEP:
+                del self.history[:-self.HISTORY_KEEP]
+
+    def commit_pending(self, txid: str,
+                       now_ms: Optional[float] = None) -> bool:
+        """Make ``txid``'s pending option visible; True if applied."""
+        update = self.pending.pop(txid, None)
+        if update is None:
+            return False
+        self.apply_value(update.apply_to(self.value), now_ms)
+        return True
+
+    def value_as_of(self, as_of_ms: float) -> Tuple[Any, int]:
+        """The latest value visible at ``as_of_ms`` on this replica.
+
+        Returns ``(value, version_offset)`` where the offset counts how
+        many newer versions exist.  Falls back to the current value if
+        the requested time predates the kept history (bounded MVCC).
+        """
+        newer = 0
+        for visible_at, value in reversed(self.history):
+            if visible_at <= as_of_ms:
+                return value, newer
+            newer += 1
+        if self.history and newer == len(self.history):
+            # Asked before the oldest kept version: the best available
+            # answer is the oldest one we still have.
+            return self.history[0][1], newer - 1
+        return self.value, 0

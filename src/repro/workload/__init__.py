@@ -1,0 +1,27 @@
+"""The TPC-W-like buy workload of §6.2.
+
+Clients in the open-system model issue order-buying transactions at a
+fixed aggregate rate; each transaction picks 1–4 items under a uniform
+or hotspot access pattern and decrements their stock levels.
+"""
+
+from repro.workload.items import generate_items
+from repro.workload.access import (
+    AccessPattern,
+    HotspotAccess,
+    UniformAccess,
+    ZipfianAccess,
+)
+from repro.workload.buying import BuyTransactionFactory
+from repro.workload.load import OpenSystemLoad, PoissonArrivals
+
+__all__ = [
+    "AccessPattern",
+    "BuyTransactionFactory",
+    "HotspotAccess",
+    "OpenSystemLoad",
+    "PoissonArrivals",
+    "UniformAccess",
+    "ZipfianAccess",
+    "generate_items",
+]

@@ -1,0 +1,137 @@
+"""Item access patterns: uniform, hotspot, and Zipfian.
+
+The hotspot pattern reproduces §6.4: a fraction of transactions (90 %
+in the paper) pick their items inside a small hot region at the front
+of the table; the rest pick uniformly from the cold remainder.  The
+Zipfian pattern adds the power-law skew of real catalogues (and of the
+YCSB benchmark the paper cites) as an extension.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from abc import ABC, abstractmethod
+from typing import List
+
+import numpy as np
+
+from repro.workload.items import item_key
+
+
+class AccessPattern(ABC):
+    """Chooses which items a transaction touches."""
+
+    @abstractmethod
+    def sample_keys(self, rng: random.Random, count: int) -> List[str]:
+        """Pick ``count`` distinct item keys."""
+
+    @abstractmethod
+    def is_hot(self, key: str) -> bool:
+        """Whether a key lies in the hotspot (always False if none)."""
+
+
+class UniformAccess(AccessPattern):
+    """Every item equally likely."""
+
+    def __init__(self, n_items: int, prefix: str = "item"):
+        if n_items < 1:
+            raise ValueError("need at least one item")
+        self.n_items = n_items
+        self.prefix = prefix
+
+    def sample_keys(self, rng: random.Random, count: int) -> List[str]:
+        if count > self.n_items:
+            raise ValueError(
+                f"cannot pick {count} distinct items out of {self.n_items}")
+        indices = rng.sample(range(self.n_items), count)
+        return [item_key(i, self.prefix) for i in indices]
+
+    def is_hot(self, key: str) -> bool:
+        return False
+
+
+class HotspotAccess(AccessPattern):
+    """With probability ``hot_prob``, shop inside the hotspot.
+
+    The hotspot is the first ``hotspot_size`` items.  A hot transaction
+    picks *all* its items in the hotspot; a cold one picks all of them
+    in the cold region, so the hot/cold split of transactions matches
+    the paper's "90 % of transactions accessed an item in the hotspot".
+    """
+
+    def __init__(self, n_items: int, hotspot_size: int,
+                 hot_prob: float = 0.9, prefix: str = "item"):
+        if not 0 < hotspot_size <= n_items:
+            raise ValueError(
+                f"hotspot size {hotspot_size} outside (0, {n_items}]")
+        if not 0.0 <= hot_prob <= 1.0:
+            raise ValueError(f"hot_prob {hot_prob} outside [0, 1]")
+        self.n_items = n_items
+        self.hotspot_size = hotspot_size
+        self.hot_prob = hot_prob
+        self.prefix = prefix
+        self._hot_keys = {item_key(i, prefix) for i in range(hotspot_size)}
+
+    def sample_keys(self, rng: random.Random, count: int) -> List[str]:
+        hot = rng.random() < self.hot_prob
+        if hot:
+            pool_size = self.hotspot_size
+            offset = 0
+        else:
+            pool_size = self.n_items - self.hotspot_size
+            offset = self.hotspot_size
+        if pool_size == 0:  # degenerate: hotspot covers everything
+            pool_size, offset = self.hotspot_size, 0
+        count = min(count, pool_size)
+        indices = rng.sample(range(pool_size), count)
+        return [item_key(offset + i, self.prefix) for i in indices]
+
+    def is_hot(self, key: str) -> bool:
+        return key in self._hot_keys
+
+
+class ZipfianAccess(AccessPattern):
+    """Power-law access: item rank r drawn with weight 1 / r^s.
+
+    ``s`` near 1 matches web-catalogue and YCSB-style skew; items are
+    ranked by index (item 0 hottest).  ``hot_top`` ranks are reported
+    as "hot" for metrics (they have no behavioural effect).
+    """
+
+    def __init__(self, n_items: int, s: float = 0.99, hot_top: int = 100,
+                 prefix: str = "item"):
+        if n_items < 1:
+            raise ValueError("need at least one item")
+        if s <= 0:
+            raise ValueError("zipf exponent must be positive")
+        if hot_top < 0:
+            raise ValueError("hot_top must be non-negative")
+        self.n_items = n_items
+        self.s = float(s)
+        self.hot_top = min(hot_top, n_items)
+        self.prefix = prefix
+        ranks = np.arange(1, n_items + 1, dtype=float)
+        weights = ranks ** -self.s
+        self._cdf = np.cumsum(weights / weights.sum()).tolist()
+
+    def sample_keys(self, rng: random.Random, count: int) -> List[str]:
+        count = min(count, self.n_items)
+        chosen: List[int] = []
+        seen = set()
+        # Rejection loop: duplicates are rare unless count approaches
+        # the head mass, and count is <= 4 in the buy workload.
+        while len(chosen) < count:
+            index = bisect.bisect_left(self._cdf, rng.random())
+            index = min(index, self.n_items - 1)
+            if index not in seen:
+                seen.add(index)
+                chosen.append(index)
+        return [item_key(i, self.prefix) for i in chosen]
+
+    def is_hot(self, key: str) -> bool:
+        try:
+            index = int(key.rsplit(":", 1)[1])
+        except (IndexError, ValueError):
+            return False
+        return index < self.hot_top

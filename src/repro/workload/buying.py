@@ -1,0 +1,42 @@
+"""The order-buying transaction (Listing 2 / §6.2).
+
+Randomly chooses 1–4 items under the configured access pattern and
+decrements their stock levels.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.storage.record import Update, WriteOp
+from repro.workload.access import AccessPattern
+
+
+class BuyTransactionFactory:
+    """Generates the write sets of buy transactions."""
+
+    def __init__(self, pattern: AccessPattern, min_items: int = 1,
+                 max_items: int = 4, quantity: int = 1,
+                 enforce_stock_floor: bool = False):
+        if not 1 <= min_items <= max_items:
+            raise ValueError(
+                f"bad item-count range [{min_items}, {max_items}]")
+        if quantity < 1:
+            raise ValueError("quantity must be >= 1")
+        self.pattern = pattern
+        self.min_items = min_items
+        self.max_items = max_items
+        self.quantity = quantity
+        self.floor = 0 if enforce_stock_floor else None
+
+    def build(self, rng: random.Random) -> Tuple[List[WriteOp], bool]:
+        """One transaction's write set, plus whether it hit the hotspot."""
+        count = rng.randint(self.min_items, self.max_items)
+        keys = self.pattern.sample_keys(rng, count)
+        writes = [
+            WriteOp(key, Update.delta(-self.quantity, floor=self.floor))
+            for key in keys
+        ]
+        touches_hotspot = any(self.pattern.is_hot(key) for key in keys)
+        return writes, touches_hotspot

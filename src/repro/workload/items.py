@@ -1,0 +1,30 @@
+"""The TPC-W Items table (reduced to what the buy transaction needs).
+
+The paper focuses the benchmark on a single Items table and the stock
+attribute the buy transaction decrements; credit-card checks and the
+other TPC-W attributes are deliberately out of scope (§6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+def item_key(index: int, prefix: str = "item") -> str:
+    """Canonical record key of the i-th item."""
+    return f"{prefix}:{index}"
+
+
+def generate_items(n_items: int, initial_stock: int = 1_000_000,
+                   prefix: str = "item") -> Dict[str, int]:
+    """Item key -> initial stock level, for :meth:`Cluster.load`.
+
+    The default stock is effectively unlimited so that experiments
+    measure *conflict* aborts (the paper's subject), not stock-outs;
+    pass a small value to study the oversell-protection floor instead.
+    """
+    if n_items < 1:
+        raise ValueError("need at least one item")
+    if initial_stock < 0:
+        raise ValueError("negative initial stock")
+    return {item_key(i, prefix): initial_stock for i in range(n_items)}

@@ -1,0 +1,111 @@
+"""Open-system load generation (§6.1).
+
+Clients issue transactions at a fixed aggregate rate regardless of
+completion — the open system model — so contention compounds when the
+system falls behind, exactly the regime admission control targets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Protocol, Sequence
+
+from repro.sim import Environment, RandomStreams
+from repro.storage.record import WriteOp
+from repro.workload.buying import BuyTransactionFactory
+
+
+class TransactionIssuer(Protocol):
+    """Anything that can launch one transaction (PLANET or baseline)."""
+
+    def issue(self, writes: Sequence[WriteOp], touches_hotspot: bool) -> None:
+        ...
+
+
+class ReadIssuer(Protocol):
+    """Optionally, an issuer can also serve read-only transactions."""
+
+    def issue_read(self, keys: Sequence[str]) -> None:
+        ...
+
+
+class PoissonArrivals:
+    """Exponential interarrival times with the given aggregate rate."""
+
+    def __init__(self, rate_tps: float):
+        if rate_tps <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_per_ms = rate_tps / 1000.0
+
+    def next_interarrival_ms(self, rng: random.Random) -> float:
+        return rng.expovariate(self.rate_per_ms)
+
+
+class UniformArrivals:
+    """Evenly paced arrivals (a metronome at the aggregate rate)."""
+
+    def __init__(self, rate_tps: float):
+        if rate_tps <= 0:
+            raise ValueError("rate must be positive")
+        self.interval_ms = 1000.0 / rate_tps
+
+    def next_interarrival_ms(self, rng: random.Random) -> float:
+        return self.interval_ms
+
+
+class OpenSystemLoad:
+    """Feeds generated buy transactions to an issuer at a fixed rate."""
+
+    def __init__(self, env: Environment, factory: BuyTransactionFactory,
+                 issuer: TransactionIssuer, rate_tps: float,
+                 streams: RandomStreams, name: str = "load",
+                 arrivals: Optional[object] = None,
+                 read_fraction: float = 0.0):
+        if not 0.0 <= read_fraction < 1.0:
+            raise ValueError(f"read fraction {read_fraction} outside [0, 1)")
+        if read_fraction > 0 and not hasattr(issuer, "issue_read"):
+            raise ValueError(
+                "issuer does not support read-only transactions")
+        self.env = env
+        self.factory = factory
+        self.issuer = issuer
+        self.arrivals = arrivals or PoissonArrivals(rate_tps)
+        #: Fraction of arrivals that are read-only browse transactions
+        #: (the TPC-W browsing mix; reads never conflict and are
+        #: orthogonal to the programming model, §6.2).
+        self.read_fraction = float(read_fraction)
+        self._rng = streams.get(f"load-{name}")
+        self.issued = 0
+        self.reads_issued = 0
+        self._running = False
+
+    def start(self, duration_ms: Optional[float] = None) -> None:
+        """Begin issuing; stops after ``duration_ms`` (or on stop())."""
+        if self._running:
+            raise RuntimeError("load generator already running")
+        self._running = True
+        self.env.process(self._run(duration_ms))
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _run(self, duration_ms: Optional[float]):
+        deadline = (self.env.now + duration_ms
+                    if duration_ms is not None else None)
+        while self._running:
+            gap = self.arrivals.next_interarrival_ms(self._rng)
+            if deadline is not None and self.env.now + gap >= deadline:
+                self._running = False
+                return
+            yield self.env.timeout(gap)
+            if not self._running:
+                return
+            writes, touches_hotspot = self.factory.build(self._rng)
+            if (self.read_fraction
+                    and self._rng.random() < self.read_fraction):
+                # Browse: read the same keys the buy would have touched.
+                self.issuer.issue_read([op.key for op in writes])
+                self.reads_issued += 1
+            else:
+                self.issuer.issue(writes, touches_hotspot)
+                self.issued += 1

@@ -1,0 +1,157 @@
+"""Tests for the admission-control policies (§4.2)."""
+
+import random
+
+import pytest
+
+from repro.core.admission import DynamicPolicy, FixedPolicy, NoAdmission
+
+
+def attempt_fraction(policy, likelihood, n=4000, seed=0):
+    rng = random.Random(seed)
+    return sum(policy.decide(likelihood, rng) for _ in range(n)) / n
+
+
+def test_no_admission_attempts_everything():
+    policy = NoAdmission()
+    rng = random.Random(0)
+    assert all(policy.decide(l, rng) for l in (0.0, 0.3, 1.0))
+    assert policy.describe() == "none"
+
+
+def test_fixed_above_threshold_always_attempts():
+    policy = FixedPolicy(40, 20)
+    assert attempt_fraction(policy, 0.41) == 1.0
+    assert attempt_fraction(policy, 0.40) == 1.0  # boundary: >= threshold
+
+
+def test_fixed_below_threshold_attempts_at_rate():
+    policy = FixedPolicy(40, 20)
+    fraction = attempt_fraction(policy, 0.1)
+    assert 0.15 < fraction < 0.25
+
+
+def test_fixed_full_rate_is_no_admission():
+    policy = FixedPolicy(60, 100)
+    assert attempt_fraction(policy, 0.01) == 1.0
+
+
+def test_fixed_zero_rate_blocks_below_threshold():
+    policy = FixedPolicy(60, 0)
+    assert attempt_fraction(policy, 0.59) == 0.0
+    assert attempt_fraction(policy, 0.61) == 1.0
+
+
+def test_fixed_describe():
+    assert FixedPolicy(40, 20).describe() == "F(40,20)"
+
+
+def test_fixed_validation():
+    with pytest.raises(ValueError):
+        FixedPolicy(-1, 50)
+    with pytest.raises(ValueError):
+        FixedPolicy(50, 101)
+
+
+def test_dynamic_above_threshold_always_attempts():
+    policy = DynamicPolicy(50)
+    assert attempt_fraction(policy, 0.5) == 1.0
+    assert attempt_fraction(policy, 0.9) == 1.0
+
+
+def test_dynamic_below_threshold_attempts_at_likelihood():
+    policy = DynamicPolicy(50)
+    fraction = attempt_fraction(policy, 0.3)
+    assert 0.25 < fraction < 0.35
+    fraction = attempt_fraction(policy, 0.05)
+    assert 0.02 < fraction < 0.08
+
+
+def test_dynamic_zero_threshold_is_no_admission():
+    policy = DynamicPolicy(0)
+    assert attempt_fraction(policy, 0.001) == 1.0
+
+
+def test_dynamic_describe():
+    assert DynamicPolicy(50).describe() == "Dyn(50)"
+
+
+def test_dynamic_validation():
+    with pytest.raises(ValueError):
+        DynamicPolicy(150)
+
+
+# ---------------------------------------------------------------- adaptive
+
+
+def _make_adaptive(**kwargs):
+    from repro.sim import Environment
+    from repro.core.admission import AdaptiveProbingPolicy
+    env = Environment()
+    defaults = dict(probe_interval_ms=1_000.0, initial_rate=1.0,
+                    step=0.1, min_rate=0.1)
+    defaults.update(kwargs)
+    return env, AdaptiveProbingPolicy(env, **defaults)
+
+
+def test_adaptive_starts_at_initial_rate():
+    env, policy = _make_adaptive(initial_rate=0.8)
+    rng = random.Random(0)
+    n = 2000
+    fraction = sum(policy.decide(0.5, rng) for _ in range(n)) / n
+    assert fraction == pytest.approx(0.8, abs=0.05)
+
+
+def test_adaptive_backs_off_when_goodput_drops():
+    env, policy = _make_adaptive()
+    # Period 1: great goodput; period 2: none -> direction flips and
+    # the rate moves.
+    for _ in range(100):
+        policy.observe_outcome(True)
+    env.run(until=1_000)
+    rate_after_1 = policy.admit_rate
+    env.run(until=2_000)
+    assert policy.admit_rate != rate_after_1
+    assert policy.admit_rate >= policy.min_rate
+
+
+def test_adaptive_rate_stays_in_bounds():
+    env, policy = _make_adaptive(step=0.5, min_rate=0.2)
+    env.run(until=20_000)  # many probes with zero goodput
+    assert 0.2 <= policy.admit_rate <= 1.0
+    assert policy.history  # trail recorded
+
+
+def test_adaptive_hill_climbs_back_up():
+    env, policy = _make_adaptive(initial_rate=0.5, step=0.1)
+
+    def feeder(env):
+        # Goodput grows whenever the rate grows: the climb should
+        # drive the rate toward 1.0.
+        while True:
+            yield env.timeout(100)
+            for _ in range(int(policy.admit_rate * 10)):
+                policy.observe_outcome(True)
+
+    env.process(feeder(env))
+    env.run(until=30_000)
+    assert policy.admit_rate > 0.5
+
+
+def test_adaptive_validation():
+    from repro.sim import Environment
+    from repro.core.admission import AdaptiveProbingPolicy
+    env = Environment()
+    with pytest.raises(ValueError):
+        AdaptiveProbingPolicy(env, probe_interval_ms=0)
+    with pytest.raises(ValueError):
+        AdaptiveProbingPolicy(env, initial_rate=0)
+    with pytest.raises(ValueError):
+        AdaptiveProbingPolicy(env, step=1.0)
+    with pytest.raises(ValueError):
+        AdaptiveProbingPolicy(env, min_rate=2.0)
+
+
+def test_adaptive_describe():
+    env, policy = _make_adaptive(initial_rate=0.75)
+    assert policy.describe() == "Adaptive(0.75)"

@@ -1,0 +1,81 @@
+"""Tests for the traditional (fire-and-hope) baseline model."""
+
+import pytest
+
+from repro.baseline import TraditionalClient, TraditionalOutcome
+from repro.mdcc import Cluster
+from repro.net import uniform_topology
+from repro.sim import Environment, RandomStreams
+from repro.storage import Update, WriteOp
+
+
+def make_env(one_way=50.0, mastership="hash", seed=33):
+    env = Environment()
+    topo = uniform_topology(3, one_way_ms=one_way, sigma=0.02)
+    cluster = Cluster(env, topo, RandomStreams(seed=seed),
+                      mastership=mastership)
+    cluster.load({f"item:{i}": 100 for i in range(10)})
+    return env, cluster
+
+
+def test_commit_within_timeout():
+    env, cluster = make_env(one_way=20.0)
+    client = TraditionalClient(cluster, "app", 0)
+    txn = client.execute([WriteOp("item:1", Update.delta(-1))],
+                         timeout_ms=5_000)
+    env.run()
+    assert txn.app_outcome is TraditionalOutcome.COMMITTED
+    assert txn.true_committed
+    assert txn.response_time_ms < 5_000
+
+
+def test_unknown_after_timeout():
+    env, cluster = make_env(one_way=50.0)
+    client = TraditionalClient(cluster, "app", 0)
+    txn = client.execute([WriteOp("item:1", Update.delta(-1))],
+                         timeout_ms=10)
+    env.run()
+    # The application saw the timeout exception: outcome unknowable.
+    assert txn.app_outcome is TraditionalOutcome.UNKNOWN
+    assert txn.response_time_ms == pytest.approx(10.0)
+    # Underneath, the transaction still committed — but a JDBC client
+    # has no way to learn this (the paper's core complaint).
+    assert txn.true_committed
+    assert txn.true_decided_ms > txn.start_ms + 10
+
+
+def test_abort_within_timeout():
+    env, cluster = make_env(one_way=20.0)
+    client_a = TraditionalClient(cluster, "a", 0)
+    client_b = TraditionalClient(cluster, "b", 1)
+    txn_a = client_a.execute([WriteOp("item:1", Update.delta(-1))],
+                             timeout_ms=5_000)
+    txn_b = client_b.execute([WriteOp("item:1", Update.delta(-1))],
+                             timeout_ms=5_000)
+    env.run()
+    outcomes = sorted([txn_a.app_outcome.value, txn_b.app_outcome.value])
+    assert outcomes == ["aborted", "committed"]
+
+
+def test_returned_event_fires_once():
+    env, cluster = make_env(one_way=20.0)
+    client = TraditionalClient(cluster, "app", 0)
+    seen = []
+
+    def driver(env):
+        txn = client.execute([WriteOp("item:1", Update.delta(-1))],
+                             timeout_ms=5_000)
+        outcome = yield txn.returned_event
+        seen.append((env.now, outcome))
+
+    env.process(driver(env))
+    env.run()
+    assert len(seen) == 1
+    assert seen[0][1] is TraditionalOutcome.COMMITTED
+
+
+def test_timeout_validation():
+    env, cluster = make_env()
+    client = TraditionalClient(cluster, "app", 0)
+    with pytest.raises(ValueError):
+        client.execute([WriteOp("item:1", Update.delta(-1))], timeout_ms=0)

@@ -1,0 +1,59 @@
+"""Tests for the command-line experiment runner."""
+
+import argparse
+
+import pytest
+
+from repro.core.admission import DynamicPolicy, FixedPolicy
+from repro.harness.cli import build_parser, main, parse_admission
+
+
+def test_parse_admission_variants():
+    assert parse_admission(None) is None
+    assert parse_admission("none") is None
+    dyn = parse_admission("dyn:50")
+    assert isinstance(dyn, DynamicPolicy)
+    assert dyn.threshold == pytest.approx(0.5)
+    fixed = parse_admission("fixed:40:20")
+    assert isinstance(fixed, FixedPolicy)
+    assert fixed.threshold == pytest.approx(0.4)
+    assert fixed.attempt_rate == pytest.approx(0.2)
+
+
+def test_parse_admission_rejects_garbage():
+    with pytest.raises(argparse.ArgumentTypeError):
+        parse_admission("dyn")
+    with pytest.raises(argparse.ArgumentTypeError):
+        parse_admission("fixed:40")
+    with pytest.raises(argparse.ArgumentTypeError):
+        parse_admission("lru:9")
+    with pytest.raises(argparse.ArgumentTypeError):
+        parse_admission("dyn:150")  # threshold out of range
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.system == "planet"
+    assert args.topology == "ec2"
+    assert not args.compare
+
+
+def test_cli_single_run(capsys):
+    code = main(["--topology", "uniform", "--items", "500",
+                 "--rate", "30", "--warmup", "3", "--duration", "6",
+                 "--service-ms", "0", "--seed", "3"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "commit_tps" in output
+    assert "planet" in output
+
+
+def test_cli_compare_run(capsys):
+    code = main(["--compare", "--topology", "uniform", "--items", "500",
+                 "--rate", "30", "--warmup", "3", "--duration", "6",
+                 "--service-ms", "0", "--spec", "0.95",
+                 "--admission", "dyn:50", "--seed", "4"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "traditional" in output and "planet" in output
+    assert "spec_fraction" in output

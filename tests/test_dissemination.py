@@ -1,0 +1,167 @@
+"""Tests for the full §5.2.1 statistics-dissemination pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.dissemination import (
+    ClientStatsAgent,
+    DisseminationService,
+    NodeStatsStore,
+)
+from repro.mdcc import Cluster
+from repro.net import uniform_topology
+from repro.sim import Environment, RandomStreams
+
+
+def make_world(n_dc=3, one_way=20.0, seed=55):
+    env = Environment()
+    topo = uniform_topology(n_dc, one_way_ms=one_way, sigma=0.05)
+    streams = RandomStreams(seed=seed)
+    cluster = Cluster(env, topo, streams)
+    service = DisseminationService(env, cluster, streams, n_bins=256)
+    return env, topo, cluster, service
+
+
+# ---------------------------------------------------------------- node store
+
+
+def test_store_aggregates_across_clients():
+    store = NodeStatsStore(n_bins=4)
+    store.absorb("a", {(0, 1): np.array([1.0, 0.0, 0.0, 0.0])})
+    store.absorb("b", {(0, 1): np.array([0.0, 2.0, 0.0, 0.0])})
+    aggregate = store.aggregate()
+    assert aggregate[(0, 1)].tolist() == [1.0, 2.0, 0.0, 0.0]
+    assert store.n_clients == 2
+
+
+def test_store_repush_replaces_not_accumulates():
+    store = NodeStatsStore(n_bins=2)
+    store.absorb("a", {(0, 1): np.array([5.0, 0.0])})
+    store.absorb("a", {(0, 1): np.array([6.0, 0.0])})  # cumulative repush
+    assert store.aggregate()[(0, 1)].tolist() == [6.0, 0.0]
+
+
+def test_store_size_aggregation():
+    store = NodeStatsStore(n_bins=2)
+    store.absorb("a", {}, size_counts={1: 3, 2: 1})
+    store.absorb("b", {}, size_counts={2: 2})
+    assert store.aggregate_sizes() == {1: 3, 2: 3}
+
+
+def test_store_shape_validation():
+    store = NodeStatsStore(n_bins=4)
+    with pytest.raises(ValueError):
+        store.absorb("a", {(0, 1): np.zeros(3)})
+
+
+# ---------------------------------------------------------------- convergence
+
+
+def test_single_agent_measures_its_own_row():
+    env, topo, cluster, service = make_world()
+    agent = service.start_agent(0, ping_interval_ms=400.0)
+    env.run(until=4_000)
+    # The agent measured (0, b) for every b itself.
+    for b in range(3):
+        hist = agent.own.get((0, b))
+        assert hist is not None and hist.total_count() > 0
+
+
+def test_agents_converge_to_full_matrix_via_aggregates():
+    env, topo, cluster, service = make_world()
+    agents = [service.start_agent(dc, ping_interval_ms=400.0)
+              for dc in range(3)]
+    env.run(until=6_000)
+    # Every agent can now build a full matrix WITHOUT fallback: the
+    # pairs it cannot measure came back in node aggregates.
+    for agent in agents:
+        matrix = agent.latency_matrix()
+        for a in range(3):
+            for b in range(3):
+                if a != b:
+                    assert matrix.rtt(a, b).mean() == pytest.approx(
+                        topo.mean_rtt(a, b), rel=0.3)
+
+
+def test_fresh_agent_bootstraps_from_global_view():
+    env, topo, cluster, service = make_world()
+    for dc in range(3):
+        service.start_agent(dc, ping_interval_ms=400.0)
+    env.run(until=5_000)
+    # A latecomer joins; within a couple of probe rounds it has the
+    # whole matrix even though it measured almost nothing itself.
+    late = service.start_agent(1, ping_interval_ms=400.0)
+    env.run(until=6_500)
+    assert late.coverage() >= 6
+    matrix = late.latency_matrix()
+    assert matrix.rtt(0, 2).mean() == pytest.approx(
+        topo.mean_rtt(0, 2), rel=0.3)
+
+
+def test_own_measurements_win_over_global_view():
+    env, topo, cluster, service = make_world()
+    agent = service.start_agent(0, ping_interval_ms=400.0)
+    # Poison the global view for a pair the agent measures directly.
+    agent.global_view[(0, 1)] = np.zeros(256)
+    agent.global_view[(0, 1)][255] = 100.0  # absurd 510ms RTTs
+    env.run(until=4_000)
+    matrix = agent.latency_matrix(fallback=topo)
+    assert matrix.rtt(0, 1).mean() < 100.0  # own data, not the poison
+
+
+def test_size_distribution_merges_local_and_global():
+    env, topo, cluster, service = make_world()
+    agents = [service.start_agent(dc, ping_interval_ms=300.0)
+              for dc in range(2)]
+    agents[0].observe_transaction_size(1)
+    agents[0].observe_transaction_size(3)
+    env.run(until=3_000)
+    # Agent 1 learned agent 0's sizes through the node aggregate.
+    dist = agents[1].size_distribution()
+    assert set(dist) == {1, 3}
+    with pytest.raises(ValueError):
+        agents[0].observe_transaction_size(0)
+
+
+def test_windowed_aging_of_own_measurements():
+    env, topo, cluster, service = make_world()
+    agent = service.start_agent(0, ping_interval_ms=200.0,
+                                rotate_ms=1_000.0)
+    env.run(until=2_000)
+    counts_live = sum(h.total_count() for h in agent.own.values())
+    assert counts_live > 0
+    # Stop probing (kill by advancing with an isolated network).
+    for b in range(3):
+        cluster.transport.partition(0, b)
+    env.run(until=12_000)
+    counts_after = sum(h.total_count() for h in agent.own.values())
+    assert counts_after <= counts_live
+
+
+def test_agent_builds_model_end_to_end():
+    env, topo, cluster, service = make_world()
+    agents = [service.start_agent(dc, ping_interval_ms=400.0)
+              for dc in range(3)]
+    agents[0].observe_transaction_size(2)
+    env.run(until=6_000)
+    model = agents[0].build_model(fallback=topo)
+    assert model.ready
+    likelihood = model.record_likelihood(0, 1, 0.001)
+    assert 0.0 < likelihood < 1.0
+
+
+def test_plain_ping_still_answered():
+    # Legacy "ping" probes (the hub StatisticsService) get a bare ack
+    # from the dissemination handler rather than crashing it.
+    env, topo, cluster, service = make_world()
+    from repro.net.rpc import RpcEndpoint
+    probe = RpcEndpoint(env, cluster.transport, "probe", 0)
+    replies = []
+
+    def caller(env):
+        reply = yield probe.call(cluster.node_address(1, 0), "ping", None)
+        replies.append(reply)
+
+    env.process(caller(env))
+    env.run(until=1_000)
+    assert replies == [None]

@@ -1,0 +1,170 @@
+"""End-to-end leader-failure and failover scenarios.
+
+The full story a production operator cares about: a record's leader
+node crashes; transactions stop deciding; mastership is transferred to
+a healthy data center (Paxos phase 1 over the surviving majority); and
+commits flow again — with every invariant intact when the crashed node
+returns.
+"""
+
+import math
+
+import pytest
+
+from repro.core import PlanetSession, TxState
+from repro.mdcc import Cluster
+from repro.net import uniform_topology
+from repro.sim import Environment, RandomStreams
+from repro.storage import Update, WriteOp
+
+
+def make_cluster(one_way=20.0, mastership=0, seed=83,
+                 round_timeout_ms=2_000.0):
+    env = Environment()
+    topo = uniform_topology(3, one_way_ms=one_way, sigma=0.02)
+    cluster = Cluster(env, topo, RandomStreams(seed=seed),
+                      mastership=mastership,
+                      round_timeout_ms=round_timeout_ms)
+    cluster.load({"item:1": 100})
+    return env, cluster
+
+
+# ---------------------------------------------------------------- node down
+
+
+def test_take_down_blocks_messages():
+    env, cluster = make_cluster()
+    address = cluster.node_address(0, cluster.partition_of("item:1"))
+    cluster.transport.take_down(address)
+    assert cluster.transport.is_down(address)
+    tm = cluster.create_client("app", 1)
+    handle = tm.begin([WriteOp("item:1", Update.delta(-1))])
+    env.run(until=10_000)
+    # The leader (dc 0) is down: the proposal is lost, nothing decides.
+    assert handle.result is None
+
+
+def test_take_down_unknown_address_rejected():
+    env, cluster = make_cluster()
+    with pytest.raises(ValueError):
+        cluster.transport.take_down("ghost")
+
+
+def test_in_flight_messages_to_crashed_node_are_lost():
+    env, cluster = make_cluster(one_way=50.0)
+    address = cluster.node_address(1, cluster.partition_of("item:1"))
+    received = []
+    tm = cluster.create_client("app", 0)
+
+    def driver(env):
+        tm.begin([WriteOp("item:1", Update.delta(-1))])
+        yield env.timeout(30)  # phase2a to dc1 is mid-flight
+        cluster.transport.take_down(address)
+
+    env.process(driver(env))
+    env.run(until=10_000)
+    # The transaction still decides: dc0 + dc2 form a majority.
+    assert cluster.read_value("item:1", dc=0) == 99
+
+
+# ---------------------------------------------------------------- failover
+
+
+def test_failover_restores_progress():
+    env, cluster = make_cluster(mastership=0)
+    old_leader = cluster.node_address(0, cluster.partition_of("item:1"))
+    session = PlanetSession(cluster, "web", 1)
+    outcomes = []
+
+    def buy(timeout_ms=math.inf):
+        tx = (session.transaction([WriteOp("item:1", Update.delta(-1))],
+                                  timeout_ms=timeout_ms)
+              .on_failure(lambda i: None)
+              .on_complete(lambda i: outcomes.append(i.state)))
+        return tx.execute()
+
+    def driver(env):
+        # Healthy commit first.
+        first = buy()
+        yield first.final_event
+        # Leader crashes: the next buy wedges (bounded by its timeout).
+        cluster.transport.take_down(old_leader)
+        stuck = buy(timeout_ms=1_500)
+        yield stuck.closed_event
+        assert stuck.committed is None  # undecided, app saw onFailure
+        # Operator fails mastership over to dc 1 (majority survives).
+        won = yield cluster.transfer_mastership("item:1", 1)
+        assert won
+        # Commits flow again through the new leader.
+        after = buy()
+        yield after.final_event
+
+    env.process(driver(env))
+    env.run(until=60_000)
+    assert outcomes == [TxState.COMMITTED, TxState.COMMITTED]
+    assert cluster.leader_dc("item:1") == 1
+    # Two committed buys applied at the surviving replicas.
+    assert cluster.read_value("item:1", dc=1) == 98
+    assert cluster.read_value("item:1", dc=2) == 98
+
+
+def test_crashed_node_catches_up_via_visibility_retries():
+    # The TM retries visibility for a while; if the node comes back
+    # inside the retry budget it learns the update it missed.
+    env, cluster = make_cluster(mastership=0)
+    replica = cluster.node_address(2, cluster.partition_of("item:1"))
+    tm = cluster.create_client("app", 0)
+
+    def driver(env):
+        cluster.transport.take_down(replica)
+        handle = tm.begin([WriteOp("item:1", Update.delta(-1))])
+        yield handle.decided_event
+        assert handle.result.committed
+        yield env.timeout(3_000)
+        cluster.transport.bring_up(replica)
+
+    env.process(driver(env))
+    env.run(until=60_000)
+    # The revived replica learned the committed value.
+    assert cluster.read_value("item:1", dc=2) == 99
+    assert cluster.total_pending_options() == 0
+
+
+def test_failover_with_concurrent_load_keeps_invariants():
+    env, cluster = make_cluster(mastership=0)
+    old_leader = cluster.node_address(0, cluster.partition_of("item:1"))
+    tms = [cluster.create_client(f"c{dc}", dc) for dc in range(3)]
+    handles = []
+
+    def load(env):
+        for i in range(20):
+            handles.append(tms[i % 3].begin(
+                [WriteOp("item:1", Update.delta(-1))]))
+            yield env.timeout(400)
+
+    def chaos(env):
+        yield env.timeout(3_000)
+        cluster.transport.take_down(old_leader)
+        yield env.timeout(1_000)
+        yield cluster.transfer_mastership("item:1", 2)
+        yield env.timeout(4_000)
+        cluster.transport.bring_up(old_leader)
+
+    env.process(load(env))
+    env.process(chaos(env))
+    env.run(until=120_000)
+
+    committed = sum(1 for h in handles
+                    if h.result is not None and h.result.committed)
+    decided_txids = {h.txid for h in handles if h.result is not None}
+    # No decided transaction leaves a pending window anywhere.
+    for nodes in cluster.nodes.values():
+        for node in nodes:
+            for record in node.records.values():
+                for txid in record.pending:
+                    assert txid not in decided_txids
+    # Replicas that saw all visibilities agree on the committed total;
+    # nobody over-applies.
+    for dc in (1, 2):
+        value = cluster.read_value("item:1", dc=dc)
+        assert 100 - committed <= value <= 100

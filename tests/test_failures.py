@@ -1,0 +1,220 @@
+"""Failure-injection tests: partitions, message loss, client crashes.
+
+These exercise the guarantees PLANET makes *because* failures happen:
+the Two Generals' uncertainty window (onFailure), the not-be-lost
+promise of onAccept, round timeouts releasing conflict windows, and
+the at-most-once / at-least-once split of the finally callbacks.
+"""
+
+import math
+
+import pytest
+
+from repro.core import PlanetSession, TxState
+from repro.mdcc import Cluster
+from repro.net import uniform_topology
+from repro.sim import Environment, RandomStreams
+from repro.storage import Update, WriteOp
+
+
+def make_cluster(one_way=20.0, mastership="hash", seed=77,
+                 round_timeout_ms=None):
+    env = Environment()
+    topo = uniform_topology(3, one_way_ms=one_way, sigma=0.02)
+    cluster = Cluster(env, topo, RandomStreams(seed=seed),
+                      mastership=mastership,
+                      round_timeout_ms=round_timeout_ms)
+    cluster.load({f"item:{i}": 100 for i in range(5)})
+    return env, cluster
+
+
+# ---------------------------------------------------------------- partitions
+
+
+def test_partitioned_client_reaches_on_failure():
+    # The client's DC is cut off from the leader's: the proposal never
+    # arrives, nothing is known at the timeout -> onFailure, and the
+    # transaction never decides (no false finally).
+    env, cluster = make_cluster(mastership=1)
+    cluster.transport.partition(0, 1)
+    session = PlanetSession(cluster, "web", 0)
+    fired = []
+    (session.transaction([WriteOp("item:1", Update.delta(-1))],
+                         timeout_ms=200)
+     .on_failure(lambda i: fired.append(("failure", i.state)))
+     .on_accept(lambda i: fired.append(("accept", i.state)))
+     .finally_callback(lambda i: fired.append(("finally", i.state)))
+     ).execute()
+    env.run(until=5_000)
+    assert fired == [("failure", TxState.UNKNOWN)]
+
+
+def test_partition_heal_lets_transaction_complete():
+    # Reads are local, so gate them past the partition; the proposal
+    # is dropped while the WAN is cut, but a retry after heal works.
+    env, cluster = make_cluster(mastership=1)
+    session = PlanetSession(cluster, "web", 0)
+    outcomes = []
+
+    def driver(env):
+        cluster.transport.partition(0, 1)
+        tx = (session.transaction([WriteOp("item:1", Update.delta(-1))],
+                                  timeout_ms=200)
+              .on_failure(lambda i: outcomes.append(("first", i.state))))
+        first = tx.execute()
+        yield env.timeout(1_000)
+        cluster.transport.heal(0, 1)
+        retry = (session.transaction([WriteOp("item:1", Update.delta(-1))],
+                                     timeout_ms=2_000)
+                 .on_failure(lambda i: outcomes.append(("retry-fail",
+                                                        i.state)))
+                 .on_complete(lambda i: outcomes.append(("retry",
+                                                         i.state))))
+        retry_tx = retry.execute()
+        yield retry_tx.final_event
+
+    env.process(driver(env))
+    env.run(until=10_000)
+    assert ("first", TxState.UNKNOWN) in outcomes
+    assert ("retry", TxState.COMMITTED) in outcomes
+
+
+def test_quorum_survives_one_partitioned_replica():
+    # 3 replicas, majority 2: cutting one non-leader DC off the leader
+    # must not block commits (Paxos availability).
+    env, cluster = make_cluster(mastership=0)
+    leader_dc = 0
+    cluster.transport.partition(leader_dc, 2)
+    session = PlanetSession(cluster, "web", 0)
+    done = []
+    (session.transaction([WriteOp("item:1", Update.delta(-1))],
+                         timeout_ms=math.inf)
+     .on_failure(lambda i: None)
+     .on_complete(lambda i: done.append(i.state))
+     ).execute()
+    env.run(until=5_000)
+    assert done == [TxState.COMMITTED]
+    # The partitioned replica missed the option and the visibility,
+    # so its copy is stale — that is expected with a majority quorum.
+    assert cluster.read_value("item:1", dc=0) == 99
+
+
+def test_minority_leader_with_round_timeout_aborts_cleanly():
+    # The leader is cut off from BOTH other DCs: no quorum is possible.
+    # With a round timeout configured, the leader reports the option as
+    # rejected, the transaction aborts, and the conflict window clears.
+    env, cluster = make_cluster(mastership=0, round_timeout_ms=1_000)
+    cluster.transport.partition(0, 1)
+    cluster.transport.partition(0, 2)
+    session = PlanetSession(cluster, "web", 0)
+    outcomes = []
+    (session.transaction([WriteOp("item:1", Update.delta(-1))],
+                         timeout_ms=math.inf)
+     .on_failure(lambda i: None)
+     .on_complete(lambda i: outcomes.append(i.state))
+     ).execute()
+    env.run(until=10_000)
+    assert outcomes == [TxState.ABORTED]
+    leader = cluster.leader_node("item:1")
+    assert not leader.records["item:1"].has_pending_option
+
+
+def test_wedged_option_blocks_until_timeout_releases_it():
+    env, cluster = make_cluster(mastership=0, round_timeout_ms=500)
+    cluster.transport.partition(0, 1)
+    cluster.transport.partition(0, 2)
+    session = PlanetSession(cluster, "web", 0)
+    (session.transaction([WriteOp("item:1", Update.delta(-1))],
+                         timeout_ms=math.inf)
+     .on_failure(lambda i: None)).execute()
+    env.run(until=100)
+    leader = cluster.leader_node("item:1")
+    assert leader.records["item:1"].has_pending_option  # wedged window
+    env.run(until=2_000)
+    assert not leader.records["item:1"].has_pending_option  # released
+
+
+# ---------------------------------------------------------------- message loss
+
+
+def test_lossy_link_still_commits_through_quorum():
+    # 100% loss toward one replica behaves like a partitioned replica:
+    # the majority still decides.
+    env, cluster = make_cluster(mastership=0)
+    cluster.transport.set_drop_probability(0, 2, 1.0)
+    cluster.transport.set_drop_probability(2, 0, 1.0)
+    session = PlanetSession(cluster, "web", 0)
+    done = []
+    (session.transaction([WriteOp("item:1", Update.delta(-1))],
+                         timeout_ms=math.inf)
+     .on_failure(lambda i: None)
+     .on_complete(lambda i: done.append(i.state))).execute()
+    env.run(until=5_000)
+    assert done == [TxState.COMMITTED]
+
+
+def test_random_loss_many_transactions_invariants_hold():
+    # 10% loss everywhere + round timeouts: some transactions abort,
+    # but no value diverges beyond missed (stale) replicas and every
+    # leader window is eventually released.
+    env, cluster = make_cluster(mastership="hash", seed=5,
+                                round_timeout_ms=2_000)
+    for a in range(3):
+        for b in range(3):
+            if a != b:
+                cluster.transport.set_drop_probability(a, b, 0.10)
+    session = PlanetSession(cluster, "web", 0)
+    txs = []
+
+    def driver(env):
+        for i in range(30):
+            tx = (session.transaction(
+                      [WriteOp(f"item:{i % 5}", Update.delta(-1))],
+                      timeout_ms=math.inf)
+                  .on_failure(lambda info: None))
+            txs.append(tx.execute())
+            yield env.timeout(300)
+
+    env.process(driver(env))
+    env.run(until=60_000)
+    decided = [t for t in txs if t.committed is not None]
+    # Dropped propose/learned messages leave some transactions forever
+    # undecided (the Two Generals' residue); round timeouts resolve the
+    # rest.
+    assert len(decided) >= 18
+    # Invariant: every *decided* transaction's conflict window is
+    # released everywhere.  (An undecided transaction may wedge its
+    # record: its learned/visibility message was lost, and no safe
+    # unilateral cleanup exists — the paper's uncertainty residue.)
+    decided_txids = {t.handle.txid for t in decided}
+    for nodes in cluster.nodes.values():
+        for node in nodes:
+            for key, record in node.records.items():
+                for txid in record.pending:
+                    assert txid not in decided_txids
+
+
+# ---------------------------------------------------------------- crashes
+
+
+def test_crash_before_completion_loses_local_keeps_remote():
+    env, cluster = make_cluster(one_way=50.0, mastership=1)
+    session = PlanetSession(cluster, "web", 0)
+    local, remote = [], []
+
+    def driver(env):
+        (session.transaction([WriteOp("item:1", Update.delta(-1))],
+                             timeout_ms=20)
+         .on_failure(lambda i: None)
+         .finally_callback(lambda i: local.append(i.state))
+         .finally_callback_remote(lambda i: remote.append(i.state))
+         ).execute()
+        yield env.timeout(25)  # crash right after the timeout
+        session.crash()
+
+    env.process(driver(env))
+    env.run(until=10_000)
+    assert local == []
+    assert remote == [TxState.COMMITTED]
+    # The database itself is unaffected by the client crash.
+    assert cluster.read_value("item:1", dc=1) == 99

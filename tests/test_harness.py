@@ -1,0 +1,321 @@
+"""Tests for metrics aggregation and the experiment runner."""
+
+import pytest
+
+from repro.core import DynamicPolicy
+from repro.harness import (
+    Experiment,
+    ExperimentConfig,
+    MetricsCollector,
+    TxRecord,
+    format_table,
+)
+
+
+def record(**kwargs):
+    defaults = dict(system="planet", issued_ms=1000.0, timeout_ms=500.0,
+                    hot=False, size=1)
+    defaults.update(kwargs)
+    return TxRecord(**defaults)
+
+
+# ---------------------------------------------------------------- records
+
+
+def test_record_response_prefers_spec():
+    r = record(spec_ms=1010.0, decided_ms=1200.0, committed=True)
+    assert r.response_ms == pytest.approx(10.0)
+
+
+def test_record_response_falls_back_to_decision():
+    r = record(decided_ms=1200.0, committed=True)
+    assert r.response_ms == pytest.approx(200.0)
+
+
+def test_record_outcome_classes_traditional():
+    assert record(system="traditional", decided_ms=1300.0,
+                  committed=True).outcome_class() == "commit"
+    assert record(system="traditional", decided_ms=1300.0,
+                  committed=False).outcome_class() == "abort"
+    # Decided after the timeout: a JDBC client never learns it.
+    assert record(system="traditional", decided_ms=1700.0,
+                  committed=True).outcome_class() == "unknown"
+    assert record(system="traditional").outcome_class() == "unknown"
+
+
+def test_record_outcome_classes_planet():
+    assert record(accepted_ms=1100.0, decided_ms=1700.0,
+                  committed=True).outcome_class() == "accept-commit"
+    assert record(accepted_ms=1100.0, decided_ms=1700.0,
+                  committed=False).outcome_class() == "accept-abort"
+    assert record(accepted_ms=1600.0, decided_ms=1700.0,
+                  committed=True).outcome_class() == "unknown"
+    assert record(admitted=False).outcome_class() == "rejected"
+    assert record(decided_ms=1400.0,
+                  committed=True).outcome_class() == "commit"
+
+
+# ---------------------------------------------------------------- collector
+
+
+def make_collector():
+    collector = MetricsCollector(0.0, 10_000.0)  # 10-second window
+    collector.add(record(issued_ms=100.0, decided_ms=300.0, committed=True))
+    collector.add(record(issued_ms=200.0, decided_ms=500.0, committed=False))
+    collector.add(record(issued_ms=300.0, spec_ms=310.0, decided_ms=700.0,
+                         committed=True, hot=True))
+    collector.add(record(issued_ms=400.0, spec_ms=410.0, decided_ms=900.0,
+                         committed=False, spec_incorrect=True))
+    collector.add(record(issued_ms=500.0, admitted=False, committed=False))
+    # Outside the window: must be ignored.
+    collector.add(record(issued_ms=99_000.0, committed=True))
+    return collector
+
+
+def test_collector_window_filtering():
+    collector = make_collector()
+    assert collector.n_issued == 5
+
+
+def test_collector_counts():
+    collector = make_collector()
+    assert collector.n_committed == 2
+    assert collector.n_aborted == 2
+    assert collector.n_rejected == 1
+    assert collector.n_spec == 2
+    assert collector.n_spec_incorrect == 1
+
+
+def test_collector_rates():
+    collector = make_collector()
+    assert collector.commit_tps() == pytest.approx(0.2)
+    assert collector.commit_tps(hot=True) == pytest.approx(0.1)
+    assert collector.abort_tps() == pytest.approx(0.2)
+    assert collector.abort_rate() == pytest.approx(2 / 4)
+    assert collector.spec_fraction() == pytest.approx(1 / 2)
+    assert collector.spec_incorrect_fraction() == pytest.approx(1 / 2)
+
+
+def test_collector_latencies():
+    collector = make_collector()
+    times = collector.response_times()
+    # committed + spec reporters: 200, 10, 10 (the incorrect spec also
+    # reported commit to the user)
+    assert sorted(times) == [10.0, 10.0, 200.0]
+    assert collector.mean_response_ms() == pytest.approx(220.0 / 3)
+    assert collector.percentile_response_ms(0.0) == 10.0
+    cdf = collector.response_cdf([5.0, 10.0, 500.0])
+    assert cdf == [0.0, pytest.approx(2 / 3), 1.0]
+
+
+def test_collector_latencies_excluding_spec():
+    collector = make_collector()
+    times = collector.response_times(include_spec=False)
+    assert sorted(times) == [200.0, 400.0, 500.0]
+
+
+def test_collector_outcome_breakdown_sums_to_one():
+    collector = make_collector()
+    breakdown = collector.outcome_breakdown()
+    assert sum(breakdown.values()) == pytest.approx(1.0)
+    assert breakdown["rejected"] == pytest.approx(0.2)
+
+
+def test_collector_commit_type_breakdown():
+    collector = make_collector()
+    breakdown = collector.commit_type_breakdown()
+    assert breakdown["commits"] == pytest.approx(0.1)
+    assert breakdown["spec"] == pytest.approx(0.1)
+    assert breakdown["incorrect_spec"] == pytest.approx(0.1)
+    assert breakdown["aborts"] == pytest.approx(0.1)
+    assert breakdown["rejected"] == pytest.approx(0.1)
+
+
+def test_collector_validation():
+    with pytest.raises(ValueError):
+        MetricsCollector(10.0, 10.0)
+    collector = make_collector()
+    with pytest.raises(ValueError):
+        collector.percentile_response_ms(2.0)
+
+
+# ---------------------------------------------------------------- report
+
+
+def test_format_table_alignment():
+    table = format_table(["a", "bb"], [[1, 2.5], ["xx", 0.123]],
+                         title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert "0.123" in lines[-1]
+
+
+def test_format_table_width_mismatch():
+    with pytest.raises(ValueError):
+        format_table(["a"], [[1, 2]])
+
+
+# ---------------------------------------------------------------- experiments
+
+
+def small_config(**kwargs):
+    defaults = dict(
+        name="test", seed=7, topology="uniform", n_datacenters=3,
+        uniform_one_way_ms=30.0, sigma=0.05, spike_prob=0.0,
+        partitions_per_dc=1, n_items=2_000, rate_tps=40.0,
+        warmup_ms=5_000.0, duration_ms=10_000.0, drain_ms=8_000.0,
+        oracle_samples=400)
+    defaults.update(kwargs)
+    return ExperimentConfig(**defaults)
+
+
+def test_planet_experiment_runs():
+    result = Experiment(small_config(system="planet")).run()
+    summary = result.summary()
+    assert summary["issued"] > 200
+    assert summary["commit_tps"] > 25
+    assert summary["abort_rate"] < 0.2
+
+
+def test_traditional_experiment_runs():
+    result = Experiment(small_config(system="traditional")).run()
+    assert result.metrics.n_issued > 200
+    assert result.metrics.commit_tps() > 25
+
+
+def test_spec_commits_reduce_latency():
+    plain = Experiment(small_config(system="planet")).run()
+    spec = Experiment(small_config(system="planet",
+                                   spec_threshold=0.95)).run()
+    assert (spec.metrics.mean_response_ms()
+            < plain.metrics.mean_response_ms())
+    assert spec.metrics.spec_fraction() > 0.5
+    assert spec.initial_likelihoods  # model was consulted
+
+
+def test_admission_control_rejects_under_contention():
+    config = small_config(system="planet", n_items=200,
+                          hotspot_size=5, rate_tps=80.0,
+                          min_items=1, max_items=1,
+                          admission=DynamicPolicy(90))
+    result = Experiment(config).run()
+    assert result.metrics.n_rejected > 0
+
+
+def test_same_seed_reproduces_exactly():
+    a = Experiment(small_config()).run()
+    b = Experiment(small_config()).run()
+    assert a.summary() == b.summary()
+
+
+def test_different_seeds_differ():
+    a = Experiment(small_config(seed=1)).run()
+    b = Experiment(small_config(seed=2)).run()
+    assert a.summary() != b.summary()
+
+
+def test_measured_stats_mode_runs():
+    config = small_config(system="planet", spec_threshold=0.95,
+                          stats_mode="measured",
+                          ping_interval_ms=500.0)
+    result = Experiment(config).run()
+    assert result.metrics.spec_fraction() > 0.3
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ValueError):
+        Experiment(small_config(system="mystery"))
+
+
+def test_unknown_topology_rejected():
+    with pytest.raises(ValueError):
+        Experiment(small_config(topology="torus"))
+
+
+def test_distributed_stats_mode_runs():
+    config = small_config(system="planet", spec_threshold=0.95,
+                          stats_mode="distributed",
+                          ping_interval_ms=500.0)
+    result = Experiment(config).run()
+    assert result.metrics.spec_fraction() > 0.3
+
+
+def test_render_bars():
+    from repro.harness.report import render_bars
+    chart = render_bars(["a", "bb"], [10.0, 5.0], width=10, title="T",
+                        unit=" tps")
+    lines = chart.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].count("#") == 10
+    assert lines[2].count("#") == 5
+    import pytest
+    with pytest.raises(ValueError):
+        render_bars(["a"], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        render_bars([], [])
+
+
+def test_render_bars_zero_peak():
+    from repro.harness.report import render_bars
+    chart = render_bars(["a"], [0.0])
+    assert "#" not in chart
+
+
+def test_render_curves():
+    from repro.harness.report import render_curves
+    points = [0, 1, 2, 3]
+    chart = render_curves(points, {"up": [0, 1, 2, 3],
+                                   "down": [3, 2, 1, 0]},
+                          width=20, height=8, title="curves")
+    assert "curves" in chart
+    assert "* down" in chart and "o up" in chart
+    import pytest
+    with pytest.raises(ValueError):
+        render_curves([], {})
+    with pytest.raises(ValueError):
+        render_curves(points, {"bad": [1, 2]})
+
+
+def test_mixed_read_write_workload():
+    config = small_config(system="planet", read_fraction=0.5)
+    result = Experiment(config).run()
+    assert len(result.read_latencies_ms) > 50
+    # Local reads resolve in ~a millisecond, far below commit latency.
+    mean_read = (sum(result.read_latencies_ms)
+                 / len(result.read_latencies_ms))
+    assert mean_read < 20.0
+    assert result.metrics.n_committed > 50
+
+
+def test_mixed_workload_traditional():
+    config = small_config(system="traditional", read_fraction=0.3)
+    result = Experiment(config).run()
+    assert len(result.read_latencies_ms) > 20
+    assert result.metrics.n_committed > 50
+
+
+def test_zipfian_workload_runs():
+    config = small_config(system="planet", zipf_s=0.99,
+                          spec_threshold=0.95)
+    result = Experiment(config).run()
+    assert result.metrics.n_committed > 50
+    # The skew creates real contention on the head items.
+    assert result.metrics.n_aborted > 0
+
+
+def test_zipf_and_hotspot_mutually_exclusive():
+    config = small_config(zipf_s=0.99, hotspot_size=10)
+    with pytest.raises(ValueError):
+        Experiment(config)
+
+
+def test_model_refresh_rebuilds_periodically():
+    config = small_config(system="planet", spec_threshold=0.95,
+                          stats_mode="measured", ping_interval_ms=500.0,
+                          model_refresh_ms=2_000.0)
+    experiment = Experiment(config)
+    result = experiment.run()
+    # 10s measurement window / 2s refresh -> several rebuilds.
+    assert experiment.model_refreshes >= 3
+    assert result.metrics.n_committed > 50

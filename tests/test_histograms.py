@@ -1,0 +1,215 @@
+"""Unit tests for the discrete-PMF machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.histograms import Pmf, WindowedHistogram
+
+
+def test_point_mass():
+    pmf = Pmf.point(10.0, bin_ms=2.0, n_bins=16)
+    assert pmf.probs[5] == 1.0
+    assert pmf.mean() == pytest.approx(11.0)  # bin center
+
+
+def test_point_mass_saturates():
+    pmf = Pmf.point(1e9, bin_ms=2.0, n_bins=16)
+    assert pmf.probs[-1] == 1.0
+
+
+def test_from_samples_bins_correctly():
+    pmf = Pmf.from_samples([0.5, 1.5, 2.5, 3.5], bin_ms=2.0, n_bins=4)
+    assert pmf.probs[0] == pytest.approx(0.5)
+    assert pmf.probs[1] == pytest.approx(0.5)
+
+
+def test_from_samples_empty_rejected():
+    with pytest.raises(ValueError):
+        Pmf.from_samples([], bin_ms=1.0, n_bins=4)
+
+
+def test_normalization():
+    pmf = Pmf(np.array([2.0, 2.0]), bin_ms=1.0)
+    assert pmf.probs.sum() == pytest.approx(1.0)
+
+
+def test_invalid_pmfs_rejected():
+    with pytest.raises(ValueError):
+        Pmf(np.array([1.0]), bin_ms=0)
+    with pytest.raises(ValueError):
+        Pmf(np.array([-1.0, 2.0]), bin_ms=1.0)
+    with pytest.raises(ValueError):
+        Pmf(np.array([0.0, 0.0]), bin_ms=1.0)
+
+
+def test_convolve_point_masses():
+    a = Pmf.point(4.0, bin_ms=2.0, n_bins=32)
+    b = Pmf.point(6.0, bin_ms=2.0, n_bins=32)
+    c = a.convolve(b)
+    assert c.probs[5] == pytest.approx(1.0)  # 4+6=10ms -> bin 5
+
+
+def test_convolve_means_add():
+    rng = np.random.default_rng(0)
+    a = Pmf.from_samples(rng.uniform(0, 50, 4000), bin_ms=1.0, n_bins=256)
+    b = Pmf.from_samples(rng.uniform(0, 30, 4000), bin_ms=1.0, n_bins=256)
+    c = a.convolve(b)
+    assert c.mean() == pytest.approx(a.mean() + b.mean(), rel=0.05)
+
+
+def test_convolve_tail_saturation_keeps_mass():
+    a = Pmf.point(14.0, bin_ms=2.0, n_bins=8)
+    c = a.convolve(a)  # 28ms exceeds the 16ms range -> saturate
+    assert c.probs.sum() == pytest.approx(1.0)
+    assert c.probs[-1] == pytest.approx(1.0)
+
+
+def test_convolve_bin_mismatch_rejected():
+    a = Pmf.point(4.0, bin_ms=2.0, n_bins=8)
+    b = Pmf.point(4.0, bin_ms=1.0, n_bins=8)
+    with pytest.raises(ValueError):
+        a.convolve(b)
+
+
+def test_shift():
+    pmf = Pmf.point(4.0, bin_ms=2.0, n_bins=8).shift(6.0)
+    assert pmf.probs[5] == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        pmf.shift(-1)
+
+
+def test_shift_preserves_mass_at_saturation():
+    pmf = Pmf.point(10.0, bin_ms=2.0, n_bins=8).shift(100.0)
+    assert pmf.probs.sum() == pytest.approx(1.0)
+    assert pmf.probs[-1] == pytest.approx(1.0)
+
+
+def test_scale_halves_delays():
+    pmf = Pmf.point(10.0, bin_ms=1.0, n_bins=32).scale(0.5)
+    assert pmf.mean() == pytest.approx(5.5)  # bin center of bin 5
+
+
+def test_mixture():
+    a = Pmf.point(2.0, bin_ms=2.0, n_bins=8)
+    b = Pmf.point(6.0, bin_ms=2.0, n_bins=8)
+    mix = Pmf.mixture([a, b], [3.0, 1.0])
+    assert mix.probs[1] == pytest.approx(0.75)
+    assert mix.probs[3] == pytest.approx(0.25)
+
+
+def test_mixture_validation():
+    a = Pmf.point(2.0, bin_ms=2.0, n_bins=8)
+    with pytest.raises(ValueError):
+        Pmf.mixture([a], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        Pmf.mixture([], [])
+    with pytest.raises(ValueError):
+        Pmf.mixture([a, a], [0.0, 0.0])
+
+
+def test_max_of_point_masses():
+    a = Pmf.point(2.0, bin_ms=2.0, n_bins=8)
+    b = Pmf.point(6.0, bin_ms=2.0, n_bins=8)
+    m = Pmf.max_of([a, b])
+    assert m.probs[3] == pytest.approx(1.0)
+
+
+def test_iid_max_shifts_right():
+    rng = np.random.default_rng(1)
+    pmf = Pmf.from_samples(rng.uniform(0, 100, 4000), bin_ms=1.0, n_bins=128)
+    assert pmf.iid_max(4).mean() > pmf.mean()
+    assert pmf.iid_max(1).mean() == pytest.approx(pmf.mean(), rel=1e-6)
+    with pytest.raises(ValueError):
+        pmf.iid_max(0)
+
+
+def test_quorum_of_matches_sorted_order_statistic():
+    # Monte-Carlo ground truth: 3rd smallest of 5 uniform delays.
+    rng = np.random.default_rng(2)
+    draws = rng.uniform(0, 100, size=(20000, 5))
+    ground_truth = np.sort(draws, axis=1)[:, 2].mean()
+    pmfs = [Pmf.from_samples(draws[:, i], bin_ms=1.0, n_bins=128)
+            for i in range(5)]
+    quorum_pmf = Pmf.quorum_of(pmfs, quorum=3)
+    assert quorum_pmf.mean() == pytest.approx(ground_truth, rel=0.05)
+
+
+def test_quorum_of_heterogeneous():
+    # One instant replica (the leader's local vote) plus slow remotes:
+    # quorum=1 is instant, quorum=3 waits for two remotes.
+    local = Pmf.point(0.0, bin_ms=1.0, n_bins=64)
+    remote = Pmf.point(40.0, bin_ms=1.0, n_bins=64)
+    pmfs = [local, remote, remote, remote, remote]
+    assert Pmf.quorum_of(pmfs, 1).mean() < 2.0
+    assert Pmf.quorum_of(pmfs, 3).mean() == pytest.approx(40.5)
+
+
+def test_quorum_validation():
+    pmf = Pmf.point(1.0, bin_ms=1.0, n_bins=4)
+    with pytest.raises(ValueError):
+        Pmf.quorum_of([pmf, pmf], 3)
+    with pytest.raises(ValueError):
+        Pmf.quorum_of([pmf], 0)
+
+
+def test_quantile():
+    pmf = Pmf.from_samples([10.0] * 50 + [90.0] * 50, bin_ms=1.0, n_bins=128)
+    assert pmf.quantile(0.25) == pytest.approx(10.0)
+    assert pmf.quantile(0.99) == pytest.approx(90.0)
+    with pytest.raises(ValueError):
+        pmf.quantile(1.5)
+
+
+def test_no_arrival_probability_limits():
+    pmf = Pmf.point(100.0, bin_ms=1.0, n_bins=256)
+    assert pmf.no_arrival_probability(0.0) == 1.0
+    # lambda=0.01/ms over ~100.5ms window -> exp(-1.005)
+    assert pmf.no_arrival_probability(0.01) == pytest.approx(
+        np.exp(-1.005), rel=1e-6)
+    # extra processing time shrinks the likelihood further
+    assert (pmf.no_arrival_probability(0.01, extra_ms=50)
+            < pmf.no_arrival_probability(0.01))
+    with pytest.raises(ValueError):
+        pmf.no_arrival_probability(-1.0)
+
+
+# -------------------------------------------------------------- windowed
+
+
+def test_windowed_histogram_basic():
+    hist = WindowedHistogram(bin_ms=1.0, n_bins=16, generations=2)
+    hist.add(3.0)
+    hist.add(3.4)
+    pmf = hist.pmf()
+    assert pmf.probs[3] == pytest.approx(1.0)
+    assert hist.total_count() == 2
+
+
+def test_windowed_histogram_ages_out():
+    hist = WindowedHistogram(bin_ms=1.0, n_bins=16, generations=2)
+    hist.add(3.0)
+    hist.rotate()
+    assert hist.total_count() == 1  # still within window
+    hist.rotate()
+    assert hist.total_count() == 0  # aged out
+
+
+def test_windowed_histogram_fallback():
+    hist = WindowedHistogram(bin_ms=1.0, n_bins=16)
+    fallback = Pmf.point(5.0, bin_ms=1.0, n_bins=16)
+    assert hist.pmf(fallback) is fallback
+    with pytest.raises(ValueError):
+        hist.pmf()
+
+
+def test_windowed_histogram_merge_counts():
+    hist = WindowedHistogram(bin_ms=1.0, n_bins=4, generations=2)
+    hist.merge_counts(np.array([1.0, 2.0, 3.0, 4.0]))
+    assert hist.total_count() == 10
+    with pytest.raises(ValueError):
+        hist.merge_counts(np.zeros(3))
+
+
+def test_windowed_histogram_validation():
+    with pytest.raises(ValueError):
+        WindowedHistogram(generations=0)

@@ -1,0 +1,370 @@
+"""Integration tests for the MDCC classic commit protocol."""
+
+import pytest
+
+from repro.mdcc import Cluster, Mastership
+from repro.net import uniform_topology, ec2_five_dc
+from repro.sim import Environment, RandomStreams
+from repro.storage import Update, WriteOp
+
+
+def make_cluster(n_dc=3, one_way=10.0, partitions=1, mastership="hash",
+                 seed=42):
+    env = Environment()
+    topo = uniform_topology(n_dc, one_way_ms=one_way, sigma=0.01)
+    cluster = Cluster(env, topo, RandomStreams(seed=seed),
+                      partitions_per_dc=partitions, mastership=mastership)
+    return env, cluster
+
+
+# ---------------------------------------------------------------- mastership
+
+
+def test_mastership_hash_spreads_leaders():
+    mastership = Mastership(5, "hash")
+    dcs = {mastership.leader_dc(f"item:{i}") for i in range(200)}
+    assert dcs == set(range(5))
+    assert mastership.leader_distribution() == [0.2] * 5
+
+
+def test_mastership_fixed():
+    mastership = Mastership(3, 1)
+    assert all(mastership.leader_dc(f"k{i}") == 1 for i in range(10))
+    assert mastership.leader_distribution() == [0.0, 1.0, 0.0]
+
+
+def test_mastership_callable():
+    mastership = Mastership(3, lambda key: 2)
+    assert mastership.leader_dc("anything") == 2
+
+
+def test_mastership_validation():
+    with pytest.raises(ValueError):
+        Mastership(0)
+    with pytest.raises(ValueError):
+        Mastership(3, 7)
+
+
+# ---------------------------------------------------------------- cluster wiring
+
+
+def test_cluster_replica_addresses_one_per_dc():
+    _env, cluster = make_cluster(n_dc=3, partitions=2)
+    addresses = cluster.replica_addresses("item:1")
+    assert len(addresses) == 3
+    partition = cluster.partition_of("item:1")
+    assert all(addr.endswith(f"/{partition}") for addr in addresses)
+
+
+def test_cluster_load_replicates_everywhere():
+    _env, cluster = make_cluster(n_dc=3, partitions=2)
+    cluster.load({"item:1": 50, "item:2": 70})
+    for dc in range(3):
+        assert cluster.read_value("item:1", dc=dc) == 50
+        assert cluster.read_value("item:2", dc=dc) == 70
+
+
+def test_cluster_duplicate_client_rejected():
+    _env, cluster = make_cluster()
+    cluster.create_client("web", 0)
+    with pytest.raises(ValueError):
+        cluster.create_client("web", 1)
+
+
+def test_cluster_validation():
+    env = Environment()
+    topo = uniform_topology(2)
+    with pytest.raises(ValueError):
+        Cluster(env, topo, RandomStreams(), partitions_per_dc=0)
+
+
+# ---------------------------------------------------------------- single txn
+
+
+def test_single_transaction_commits():
+    env, cluster = make_cluster()
+    cluster.load({"item:1": 100})
+    tm = cluster.create_client("web", 0)
+    handle = tm.begin([WriteOp("item:1", Update.delta(-3))])
+    env.run()
+    assert handle.result is not None
+    assert handle.result.committed
+    assert handle.result.response_time_ms > 0
+    assert tm.committed == 1
+
+
+def test_commit_applies_value_at_every_dc():
+    env, cluster = make_cluster(n_dc=3)
+    cluster.load({"item:1": 100})
+    tm = cluster.create_client("web", 0)
+    tm.begin([WriteOp("item:1", Update.delta(-3))])
+    env.run()
+    for dc in range(3):
+        assert cluster.read_value("item:1", dc=dc) == 97
+    assert cluster.total_pending_options() == 0
+
+
+def test_accepted_fires_before_decided():
+    env, cluster = make_cluster()
+    cluster.load({"item:1": 100})
+    tm = cluster.create_client("web", 0)
+    handle = tm.begin([WriteOp("item:1", Update.delta(-1))])
+    times = {}
+
+    def waiter(env):
+        yield handle.accepted_event
+        times["accepted"] = env.now
+        yield handle.decided_event
+        times["decided"] = env.now
+
+    env.process(waiter(env))
+    env.run()
+    assert times["accepted"] < times["decided"]
+    assert handle.accepted_ms == times["accepted"]
+
+
+def test_transaction_requires_writes():
+    _env, cluster = make_cluster()
+    tm = cluster.create_client("web", 0)
+    with pytest.raises(ValueError):
+        tm.begin([])
+
+
+def test_progress_hooks_see_stages():
+    env, cluster = make_cluster()
+    cluster.load({"item:1": 100})
+    tm = cluster.create_client("web", 0)
+    handle = tm.begin([WriteOp("item:1", Update.delta(-1))])
+    stages = []
+    handle.progress_hooks.append(lambda stage, h: stages.append(stage))
+    env.run()
+    assert stages == ["reads_done", "proposed", "accepted", "learned",
+                      "decided"]
+
+
+def test_reads_populate_statistics():
+    env, cluster = make_cluster()
+    cluster.load({"item:1": 100})
+    tm = cluster.create_client("web", 0)
+    handle = tm.begin([WriteOp("item:1", Update.delta(-1))])
+    env.run()
+    reply = handle.reads["item:1"]
+    assert reply.value == 100
+    assert reply.exists
+    assert reply.leader_dc == cluster.leader_dc("item:1")
+    assert handle.w_ms is not None and handle.w_ms > 0
+
+
+def test_think_time_delays_propose():
+    env, cluster = make_cluster()
+    cluster.load({"item:1": 100})
+    tm = cluster.create_client("web", 0)
+    handle = tm.begin([WriteOp("item:1", Update.delta(-1))],
+                      think_time_ms=50.0)
+    env.run()
+    assert handle.w_ms >= 50.0
+
+
+# ---------------------------------------------------------------- conflicts
+
+
+def test_concurrent_transactions_conflict():
+    env, cluster = make_cluster(n_dc=3, one_way=20.0)
+    cluster.load({"item:1": 100})
+    tm_a = cluster.create_client("a", 0)
+    tm_b = cluster.create_client("b", 1)
+    h_a = tm_a.begin([WriteOp("item:1", Update.delta(-1))])
+    h_b = tm_b.begin([WriteOp("item:1", Update.delta(-1))])
+    env.run()
+    outcomes = sorted([h_a.result.committed, h_b.result.committed])
+    assert outcomes == [False, True]  # exactly one wins
+    assert cluster.read_value("item:1") == 99
+    assert cluster.total_pending_options() == 0
+
+
+def test_sequential_transactions_both_commit():
+    env, cluster = make_cluster()
+    cluster.load({"item:1": 100})
+    tm = cluster.create_client("web", 0)
+    results = []
+
+    def driver(env):
+        h1 = tm.begin([WriteOp("item:1", Update.delta(-1))])
+        yield h1.decided_event
+        # Wait out visibility propagation before the second attempt.
+        yield env.timeout(200)
+        h2 = tm.begin([WriteOp("item:1", Update.delta(-1))])
+        yield h2.decided_event
+        results.extend([h1.result.committed, h2.result.committed])
+
+    env.process(driver(env))
+    env.run()
+    assert results == [True, True]
+    assert cluster.read_value("item:1") == 98
+
+
+def test_multi_record_transaction_commits():
+    env, cluster = make_cluster()
+    cluster.load({"item:1": 10, "item:2": 20, "item:3": 30})
+    tm = cluster.create_client("web", 0)
+    handle = tm.begin([
+        WriteOp("item:1", Update.delta(-1)),
+        WriteOp("item:2", Update.delta(-2)),
+        WriteOp("item:3", Update.delta(-3)),
+    ])
+    env.run()
+    assert handle.result.committed
+    assert cluster.read_value("item:1") == 9
+    assert cluster.read_value("item:2") == 18
+    assert cluster.read_value("item:3") == 27
+
+
+def test_multi_record_atomicity_on_conflict():
+    # B writes {item:1, item:2}; A holds item:2 -> B must abort entirely
+    # and item:1 must stay untouched (atomic durability).
+    env, cluster = make_cluster(n_dc=3, one_way=20.0)
+    cluster.load({"item:1": 10, "item:2": 20})
+    tm_a = cluster.create_client("a", 0)
+    tm_b = cluster.create_client("b", 0)
+
+    def driver(env):
+        h_a = tm_a.begin([WriteOp("item:2", Update.delta(-5))])
+        # Let A's option reach the leader first, then race B against
+        # A's still-pending window.
+        yield env.timeout(25)
+        h_b = tm_b.begin([
+            WriteOp("item:1", Update.delta(-1)),
+            WriteOp("item:2", Update.delta(-1)),
+        ])
+        yield h_b.decided_event
+        assert not h_b.result.committed
+        assert "item:2" in h_b.result.rejected_keys
+
+    env.process(driver(env))
+    env.run()
+    assert cluster.read_value("item:1") == 10  # B's accepted option undone
+    assert cluster.read_value("item:2") == 15  # only A applied
+    assert cluster.total_pending_options() == 0
+
+
+def test_floor_rejects_oversell():
+    env, cluster = make_cluster()
+    cluster.load({"item:1": 2})
+    tm = cluster.create_client("web", 0)
+    handle = tm.begin([WriteOp("item:1", Update.delta(-5, floor=0))])
+    env.run()
+    assert not handle.result.committed
+    assert cluster.read_value("item:1") == 2
+
+
+def test_fixed_mastership_local_leader_is_fast():
+    # Client co-located with all leaders commits in ~1 WAN round trip;
+    # a remote client pays propose + learned on top.
+    env_local, cluster_local = make_cluster(mastership=0, one_way=50.0)
+    cluster_local.load({"item:1": 10})
+    tm = cluster_local.create_client("web", 0)
+    handle = tm.begin([WriteOp("item:1", Update.delta(-1))])
+    env_local.run()
+    local_time = handle.result.response_time_ms
+
+    env_remote, cluster_remote = make_cluster(mastership=1, one_way=50.0)
+    cluster_remote.load({"item:1": 10})
+    tm = cluster_remote.create_client("web", 0)
+    handle = tm.begin([WriteOp("item:1", Update.delta(-1))])
+    env_remote.run()
+    remote_time = handle.result.response_time_ms
+
+    assert local_time < remote_time
+
+
+def test_ec2_topology_end_to_end():
+    env = Environment()
+    cluster = Cluster(env, ec2_five_dc(spike_prob=0.0),
+                      RandomStreams(seed=7))
+    cluster.load({f"item:{i}": 100 for i in range(10)})
+    tms = [cluster.create_client(f"web-{dc}", dc) for dc in range(5)]
+    handles = [tm.begin([WriteOp(f"item:{i}", Update.delta(-1))])
+               for i, tm in enumerate(tms)]
+    env.run()
+    assert all(h.result is not None for h in handles)
+    assert all(h.result.committed for h in handles)
+
+
+# ---------------------------------------------------------------- reads
+
+
+def test_read_only_returns_committed_values():
+    env, cluster = make_cluster()
+    cluster.load({"item:1": 10, "item:2": 20})
+    tm = cluster.create_client("reader", 0)
+    seen = []
+
+    def driver(env):
+        replies = yield tm.read_only(["item:1", "item:2"])
+        seen.append({key: reply.value for key, reply in replies.items()})
+
+    env.process(driver(env))
+    env.run()
+    assert seen == [{"item:1": 10, "item:2": 20}]
+
+
+def test_read_only_does_not_see_pending_options():
+    env, cluster = make_cluster(n_dc=3, one_way=50.0, mastership=0)
+    cluster.load({"item:1": 10})
+    writer = cluster.create_client("writer", 0)
+    reader = cluster.create_client("reader", 0)
+    seen = []
+
+    def driver(env):
+        writer.begin([WriteOp("item:1", Update.delta(-5))])
+        yield env.timeout(10)  # option pending at the local leader
+        replies = yield reader.read_only(["item:1"])
+        seen.append((replies["item:1"].value,
+                     replies["item:1"].has_pending))
+
+    env.process(driver(env))
+    env.run()
+    value, had_pending = seen[0]
+    assert value == 10  # pending write invisible (read committed)
+    assert had_pending  # ...but the reply reports the open window
+
+
+def test_read_only_sees_values_after_visibility():
+    env, cluster = make_cluster()
+    cluster.load({"item:1": 10})
+    tm = cluster.create_client("rw", 0)
+    seen = []
+
+    def driver(env):
+        handle = tm.begin([WriteOp("item:1", Update.delta(-5))])
+        yield handle.decided_event
+        yield env.timeout(200)  # let visibility propagate locally
+        replies = yield tm.read_only(["item:1"])
+        seen.append(replies["item:1"].value)
+
+    env.process(driver(env))
+    env.run()
+    assert seen == [5]
+
+
+def test_read_only_missing_key():
+    env, cluster = make_cluster()
+    tm = cluster.create_client("reader", 0)
+    seen = []
+
+    def driver(env):
+        replies = yield tm.read_only(["ghost"])
+        seen.append(replies["ghost"])
+
+    env.process(driver(env))
+    env.run()
+    assert not seen[0].exists
+    assert seen[0].value is None
+
+
+def test_read_only_requires_keys():
+    env, cluster = make_cluster()
+    tm = cluster.create_client("reader", 0)
+    import pytest as _pytest
+    with _pytest.raises(ValueError):
+        tm.read_only([])

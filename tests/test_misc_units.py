@@ -1,0 +1,183 @@
+"""Targeted unit tests for smaller paths across the stack."""
+
+import pytest
+
+from repro.core.callbacks import RemoteCallbackService
+from repro.mdcc import Cluster
+from repro.net import uniform_topology
+from repro.sim import Environment, RandomStreams, SimulationError
+from repro.storage import Update, WriteOp
+
+
+# ---------------------------------------------------------------- rng
+
+
+def test_rng_streams_are_independent_and_stable():
+    streams = RandomStreams(seed=7)
+    a1 = streams.get("a").random()
+    b1 = streams.get("b").random()
+    again = RandomStreams(seed=7)
+    assert again.get("a").random() == a1
+    assert again.get("b").random() == b1
+    assert a1 != b1
+
+
+def test_rng_spawn_derives_child_families():
+    parent = RandomStreams(seed=7)
+    child_a = parent.spawn("client-1").get("x").random()
+    child_b = parent.spawn("client-2").get("x").random()
+    assert child_a != child_b
+    assert parent.spawn("client-1").get("x").random() == child_a
+
+
+# ---------------------------------------------------------------- kernel edges
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(42)
+    assert env.peek() == 42.0
+
+
+def test_process_rejects_non_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+# ---------------------------------------------------------------- callbacks
+
+
+def test_remote_callback_service_validation():
+    env = Environment()
+    streams = RandomStreams(seed=1)
+    with pytest.raises(ValueError):
+        RemoteCallbackService(env, streams, delivery_delay_ms=-1)
+    with pytest.raises(ValueError):
+        RemoteCallbackService(env, streams, duplicate_prob=2.0)
+
+
+def test_remote_callback_delivery_delay_and_log():
+    env = Environment()
+    service = RemoteCallbackService(env, RandomStreams(seed=2),
+                                    delivery_delay_ms=25.0)
+    seen = []
+    service.submit(lambda arg: seen.append((env.now, arg)), "payload")
+    env.run()
+    assert seen == [(25.0, "payload")]
+    assert len(service.delivered) == 1
+
+
+# ---------------------------------------------------------------- cluster misc
+
+
+def make_cluster():
+    env = Environment()
+    topo = uniform_topology(3, one_way_ms=10.0, sigma=0.01)
+    cluster = Cluster(env, topo, RandomStreams(seed=3),
+                      partitions_per_dc=2)
+    return env, cluster
+
+
+def test_all_replica_addresses_deduplicates():
+    env, cluster = make_cluster()
+    # Find two keys in the same partition and one in the other.
+    keys_p0 = [f"k{i}" for i in range(40) if cluster.partition_of(f"k{i}") == 0]
+    keys_p1 = [f"k{i}" for i in range(40) if cluster.partition_of(f"k{i}") == 1]
+    addresses = cluster.all_replica_addresses(keys_p0[:2])
+    assert len(addresses) == 3  # same partition -> one node per DC
+    both = cluster.all_replica_addresses([keys_p0[0], keys_p1[0]])
+    assert len(both) == 6
+
+
+def test_gate_cancellation_cleans_up_tm_state():
+    env, cluster = make_cluster()
+    cluster.load({"k1": 10})
+    tm = cluster.create_client("app", 0)
+    stages = []
+    handle = tm.begin([WriteOp("k1", Update.delta(-1))],
+                      gate_after_reads=True)
+    handle.progress_hooks.append(lambda stage, h: stages.append(stage))
+
+    def canceller(env):
+        yield env.timeout(10)
+        handle.gate.succeed(False)
+
+    env.process(canceller(env))
+    env.run()
+    assert "cancelled" in stages
+    assert "proposed" not in stages
+    assert tm.started == 0  # never counted as an attempt
+    assert cluster.read_value("k1") == 10
+    assert handle.result is None
+
+
+def test_transaction_result_response_time():
+    from repro.mdcc.coordinator import TransactionResult
+    result = TransactionResult(txid="t", committed=True, start_ms=100.0,
+                               accepted_ms=110.0, decided_ms=175.0)
+    assert result.response_time_ms == pytest.approx(75.0)
+
+
+# ---------------------------------------------------------------- topology misc
+
+
+def test_transport_counters_track_traffic():
+    env, cluster = make_cluster()
+    cluster.load({"k1": 10})
+    tm = cluster.create_client("app", 0)
+    tm.begin([WriteOp("k1", Update.delta(-1))])
+    env.run()
+    transport = cluster.transport
+    assert transport.sent == transport.delivered + transport.dropped
+    assert transport.delivered > 10
+
+
+# ---------------------------------------------------------------- txinfo
+
+
+def test_txinfo_success_and_final_flags():
+    from repro.core import TxInfo, TxState
+    committed = TxInfo(txid="t", state=TxState.COMMITTED,
+                       commit_likelihood=1.0, timed_out=False,
+                       elapsed_ms=10.0, stage="complete")
+    assert committed.success and committed.is_final
+    spec = TxInfo(txid="t", state=TxState.SPEC_COMMITTED,
+                  commit_likelihood=0.97, timed_out=False,
+                  elapsed_ms=1.0, stage="complete")
+    assert spec.success and not spec.is_final
+    rejected = TxInfo(txid="t", state=TxState.REJECTED,
+                      commit_likelihood=0.1, timed_out=False,
+                      elapsed_ms=0.5, stage="failure")
+    assert not rejected.success and rejected.is_final
+    accepted = TxInfo(txid="t", state=TxState.ACCEPTED,
+                      commit_likelihood=0.9, timed_out=True,
+                      elapsed_ms=300.0, stage="accept")
+    assert not accepted.success and not accepted.is_final
+
+
+def test_finish_tx_is_singleton():
+    from repro.core import FINISH_TX
+    from repro.core.states import _FinishTx
+    assert _FinishTx() is FINISH_TX
+    assert repr(FINISH_TX) == "FINISH_TX"

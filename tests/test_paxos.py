@@ -1,0 +1,170 @@
+"""Unit tests for ballots, acceptors, and phase-2 rounds."""
+
+import pytest
+
+from repro.net import RpcEndpoint, Transport, uniform_topology
+from repro.paxos import (
+    AcceptorState,
+    Ballot,
+    PaxosRound,
+    Phase2a,
+    handle_phase2a,
+)
+from repro.paxos.round import PaxosRoundTimeout
+from repro.sim import Environment, RandomStreams
+
+
+# ---------------------------------------------------------------- ballots
+
+
+def test_ballot_ordering():
+    assert Ballot(1, "a") < Ballot(2, "a")
+    assert Ballot(1, "a") < Ballot(1, "b")
+    assert Ballot(2, "a") > Ballot(1, "z")
+    assert Ballot(1, "a") == Ballot(1, "a")
+
+
+def test_ballot_next():
+    ballot = Ballot(3, "a")
+    assert ballot.next("b") == Ballot(4, "b")
+    assert ballot < ballot.next("a")
+
+
+# ---------------------------------------------------------------- acceptor
+
+
+def test_acceptor_accepts_first_ballot():
+    state = AcceptorState()
+    vote = handle_phase2a(state, Phase2a("k", 1, Ballot(0, "l"), "v"))
+    assert vote.accepted
+    assert state.accepted[1] == (Ballot(0, "l"), "v")
+
+
+def test_acceptor_rejects_lower_ballot():
+    state = AcceptorState()
+    handle_phase2a(state, Phase2a("k", 1, Ballot(5, "l"), "v"))
+    vote = handle_phase2a(state, Phase2a("k", 2, Ballot(1, "m"), "w"))
+    assert not vote.accepted
+    assert vote.promised == Ballot(5, "l")
+    assert 2 not in state.accepted
+
+
+def test_acceptor_accepts_equal_ballot():
+    state = AcceptorState()
+    handle_phase2a(state, Phase2a("k", 1, Ballot(5, "l"), "v"))
+    vote = handle_phase2a(state, Phase2a("k", 2, Ballot(5, "l"), "w"))
+    assert vote.accepted
+
+
+def test_acceptor_highest_seq():
+    state = AcceptorState()
+    assert state.highest_accepted_seq() == -1
+    handle_phase2a(state, Phase2a("k", 3, Ballot(0, "l"), "v"))
+    assert state.highest_accepted_seq() == 3
+
+
+# ---------------------------------------------------------------- rounds
+
+
+def _round_fixture(n_replicas=5, accept=None):
+    """A leader endpoint plus n acceptor endpoints with canned votes."""
+    env = Environment()
+    topo = uniform_topology(n_replicas + 1, one_way_ms=10.0, sigma=0.01)
+    transport = Transport(env, topo, RandomStreams(seed=11))
+    leader = RpcEndpoint(env, transport, "leader", 0)
+    accept = accept if accept is not None else [True] * n_replicas
+    replicas = []
+    for i, vote_yes in enumerate(accept):
+        endpoint = RpcEndpoint(env, transport, f"acceptor{i}", i + 1)
+        state = AcceptorState()
+
+        def handler(message, src, state=state, vote_yes=vote_yes):
+            vote = handle_phase2a(state, message)
+            if not vote_yes:
+                return type(vote)(key=vote.key, seq=vote.seq,
+                                  ballot=vote.ballot, accepted=False,
+                                  promised=vote.ballot)
+            return vote
+
+        endpoint.on("phase2a", handler)
+        replicas.append(endpoint.address)
+    return env, leader, replicas
+
+
+def test_round_wins_with_unanimous_accepts():
+    env, leader, replicas = _round_fixture()
+    phase2a = Phase2a("k", 1, Ballot(0, "leader"), "opt")
+    round_ = PaxosRound(env, leader, replicas, phase2a, quorum=3)
+    outcome = []
+
+    def waiter(env):
+        won = yield round_.result
+        outcome.append((env.now, won))
+
+    env.process(waiter(env))
+    env.run()
+    assert outcome and outcome[0][1] is True
+    # Decided after one round trip (~20ms), not after the stragglers.
+    assert outcome[0][0] < 25.0
+
+
+def test_round_loses_with_majority_rejects():
+    env, leader, replicas = _round_fixture(
+        n_replicas=5, accept=[False, False, False, True, True])
+    phase2a = Phase2a("k", 1, Ballot(0, "leader"), "opt")
+    round_ = PaxosRound(env, leader, replicas, phase2a, quorum=3)
+    outcome = []
+
+    def waiter(env):
+        won = yield round_.result
+        outcome.append(won)
+
+    env.process(waiter(env))
+    env.run()
+    assert outcome == [False]
+
+
+def test_round_decides_at_exact_quorum_boundary():
+    env, leader, replicas = _round_fixture(
+        n_replicas=5, accept=[True, True, True, False, False])
+    phase2a = Phase2a("k", 1, Ballot(0, "leader"), "opt")
+    round_ = PaxosRound(env, leader, replicas, phase2a, quorum=3)
+    outcome = []
+
+    def waiter(env):
+        won = yield round_.result
+        outcome.append(won)
+
+    env.process(waiter(env))
+    env.run()
+    assert outcome == [True]
+
+
+def test_round_timeout_fails_result():
+    env, leader, replicas = _round_fixture(n_replicas=3)
+    # Cut off all acceptors so no phase2b ever returns.
+    for dc in range(1, 4):
+        leader.transport.partition(0, dc)
+    phase2a = Phase2a("k", 1, Ballot(0, "leader"), "opt")
+    round_ = PaxosRound(env, leader, replicas, phase2a, quorum=2,
+                        timeout_ms=100.0)
+    caught = []
+
+    def waiter(env):
+        try:
+            yield round_.result
+        except PaxosRoundTimeout:
+            caught.append(env.now)
+
+    env.process(waiter(env))
+    env.run()
+    assert caught == [100.0]
+
+
+def test_round_quorum_validation():
+    env, leader, replicas = _round_fixture(n_replicas=3)
+    phase2a = Phase2a("k", 1, Ballot(0, "leader"), "opt")
+    with pytest.raises(ValueError):
+        PaxosRound(env, leader, replicas, phase2a, quorum=4)
+    with pytest.raises(ValueError):
+        PaxosRound(env, leader, replicas, phase2a, quorum=0)

@@ -1,0 +1,245 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Covers the PMF algebra behind the likelihood model, ballot ordering,
+kernel scheduling order, access patterns, admission policies, and —
+most importantly — end-to-end MDCC serialization: across randomized
+concurrent workloads, every replica converges to the initial value
+plus exactly the committed deltas, and no pending option survives.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import DynamicPolicy, FixedPolicy
+from repro.core.histograms import Pmf
+from repro.mdcc import Cluster
+from repro.net import uniform_topology
+from repro.paxos import Ballot
+from repro.sim import Environment, RandomStreams
+from repro.storage import Update, WriteOp
+from repro.workload import HotspotAccess
+
+# ---------------------------------------------------------------- strategies
+
+delays = st.floats(min_value=0.0, max_value=500.0,
+                   allow_nan=False, allow_infinity=False)
+sample_lists = st.lists(delays, min_size=1, max_size=60)
+
+
+def pmf_from(samples):
+    return Pmf.from_samples(samples, bin_ms=2.0, n_bins=512)
+
+
+# ---------------------------------------------------------------- pmf algebra
+
+
+@given(sample_lists)
+def test_pmf_mass_is_one(samples):
+    pmf = pmf_from(samples)
+    assert pmf.probs.sum() == pytest.approx(1.0)
+    assert (pmf.probs >= 0).all()
+
+
+@given(sample_lists, sample_lists)
+def test_convolution_preserves_mass_and_adds_means(a, b):
+    pa, pb = pmf_from(a), pmf_from(b)
+    conv = pa.convolve(pb)
+    assert conv.probs.sum() == pytest.approx(1.0)
+    if max(a) + max(b) < 900:  # no tail saturation in play
+        assert conv.mean() == pytest.approx(pa.mean() + pb.mean(), abs=2.1)
+
+
+@given(sample_lists)
+def test_iid_max_is_monotone_in_k(samples):
+    pmf = pmf_from(samples)
+    means = [pmf.iid_max(k).mean() for k in (1, 2, 4, 8)]
+    assert all(b >= a - 1e-9 for a, b in zip(means, means[1:]))
+
+
+@given(st.lists(sample_lists, min_size=2, max_size=5))
+def test_quorum_is_monotone_in_quorum_size(groups):
+    pmfs = [pmf_from(g) for g in groups]
+    means = [Pmf.quorum_of(pmfs, q).mean()
+             for q in range(1, len(pmfs) + 1)]
+    assert all(b >= a - 1e-9 for a, b in zip(means, means[1:]))
+
+
+@given(st.lists(sample_lists, min_size=2, max_size=5))
+def test_full_quorum_equals_max(groups):
+    pmfs = [pmf_from(g) for g in groups]
+    full = Pmf.quorum_of(pmfs, len(pmfs))
+    assert full.mean() == pytest.approx(Pmf.max_of(pmfs).mean(), abs=1e-6)
+
+
+@given(sample_lists, sample_lists,
+       st.floats(min_value=0.01, max_value=0.99))
+def test_mixture_mean_is_weighted_mean(a, b, w):
+    pa, pb = pmf_from(a), pmf_from(b)
+    mix = Pmf.mixture([pa, pb], [w, 1.0 - w])
+    expected = w * pa.mean() + (1.0 - w) * pb.mean()
+    assert mix.mean() == pytest.approx(expected, abs=1e-6)
+
+
+@given(sample_lists, st.floats(min_value=0.0, max_value=0.1),
+       st.floats(min_value=0.0, max_value=200.0))
+def test_no_arrival_probability_bounds_and_monotonicity(samples, lam, extra):
+    pmf = pmf_from(samples)
+    p = pmf.no_arrival_probability(lam, extra_ms=extra)
+    assert 0.0 <= p <= 1.0
+    assert pmf.no_arrival_probability(lam * 2, extra_ms=extra) <= p + 1e-12
+    assert pmf.no_arrival_probability(lam, extra_ms=extra + 50) <= p + 1e-12
+
+
+@given(sample_lists, st.floats(min_value=0.0, max_value=400.0))
+def test_shift_adds_constant(samples, shift):
+    pmf = pmf_from(samples)
+    if max(samples) + shift > 900:
+        return  # saturation regime: mean no longer additive
+    shifted = pmf.shift(shift)
+    quantized = math.floor(shift / pmf.bin_ms + 0.5) * pmf.bin_ms
+    assert shifted.mean() == pytest.approx(pmf.mean() + quantized, abs=1e-6)
+
+
+# ---------------------------------------------------------------- ballots
+
+
+@given(st.lists(st.tuples(st.integers(0, 10), st.sampled_from("abc")),
+                min_size=2, max_size=10))
+def test_ballot_total_order(pairs):
+    ballots = [Ballot(n, p) for n, p in pairs]
+    ordered = sorted(ballots)
+    for a, b in zip(ordered, ordered[1:]):
+        assert a < b or a == b
+        assert not b < a
+
+
+# ---------------------------------------------------------------- kernel
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1000.0,
+                          allow_nan=False), min_size=1, max_size=30))
+def test_kernel_fires_timeouts_in_order(delays_list):
+    env = Environment()
+    fired = []
+
+    def waiter(env, delay):
+        yield env.timeout(delay)
+        fired.append(delay)
+
+    for delay in delays_list:
+        env.process(waiter(env, delay))
+    env.run()
+    assert fired == sorted(delays_list)
+
+
+# ---------------------------------------------------------------- access
+
+
+@given(st.integers(min_value=1, max_value=500),
+       st.integers(min_value=1, max_value=4),
+       st.floats(min_value=0.0, max_value=1.0),
+       st.integers(min_value=0, max_value=2 ** 32 - 1))
+def test_hotspot_samples_valid(n_hot, count, hot_prob, seed):
+    import random
+    n_items = n_hot + 500
+    pattern = HotspotAccess(n_items, n_hot, hot_prob=hot_prob)
+    keys = pattern.sample_keys(random.Random(seed), count)
+    hotness = {pattern.is_hot(key) for key in keys}
+    assert len(hotness) == 1  # all-hot or all-cold per transaction
+    # Distinct keys, clamped to the region actually sampled from.
+    pool = n_hot if hotness == {True} else n_items - n_hot
+    assert len(keys) == len(set(keys)) == min(count, pool)
+    indices = [int(key.split(":")[1]) for key in keys]
+    assert all(0 <= i < n_items for i in indices)
+
+
+# ---------------------------------------------------------------- admission
+
+
+@given(st.floats(min_value=0.0, max_value=1.0),
+       st.integers(min_value=0, max_value=100),
+       st.integers(min_value=0, max_value=100))
+def test_fixed_policy_attempt_fraction(likelihood, threshold, rate):
+    import random
+    policy = FixedPolicy(threshold, rate)
+    rng = random.Random(7)
+    n = 600
+    fraction = sum(policy.decide(likelihood, rng) for _ in range(n)) / n
+    if likelihood >= threshold / 100.0:
+        assert fraction == 1.0
+    else:
+        assert fraction == pytest.approx(rate / 100.0, abs=0.08)
+
+
+@given(st.floats(min_value=0.0, max_value=1.0),
+       st.integers(min_value=0, max_value=100))
+def test_dynamic_policy_attempt_fraction(likelihood, threshold):
+    import random
+    policy = DynamicPolicy(threshold)
+    rng = random.Random(8)
+    n = 600
+    fraction = sum(policy.decide(likelihood, rng) for _ in range(n)) / n
+    if likelihood >= threshold / 100.0:
+        assert fraction == 1.0
+    else:
+        assert fraction == pytest.approx(likelihood, abs=0.08)
+
+
+# ---------------------------------------------------------------- MDCC
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=0, max_value=2 ** 16),
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=2_000.0),  # start time
+            st.integers(min_value=0, max_value=3),        # key index
+            st.integers(min_value=1, max_value=5),        # delta
+        ),
+        min_size=1, max_size=25),
+)
+def test_mdcc_no_lost_updates_and_no_stuck_options(seed, schedule):
+    """Fundamental serialization property of the commit protocol.
+
+    Whatever the concurrency pattern: every replica of every record
+    converges to ``initial + sum(committed deltas)``, aborted deltas
+    leave no trace, and no pending option survives the drain.
+    """
+    env = Environment()
+    topo = uniform_topology(3, one_way_ms=25.0, sigma=0.1)
+    cluster = Cluster(env, topo, RandomStreams(seed=seed))
+    keys = [f"k{i}" for i in range(4)]
+    initial = 10_000
+    cluster.load({key: initial for key in keys})
+    tms = [cluster.create_client(f"c{dc}", dc) for dc in range(3)]
+    handles = []
+
+    def driver(env):
+        last = 0.0
+        for start, key_index, delta in sorted(schedule):
+            if start > last:
+                yield env.timeout(start - last)
+                last = start
+            tm = tms[key_index % len(tms)]
+            handles.append((keys[key_index], delta, tm.begin(
+                [WriteOp(keys[key_index], Update.delta(-delta))])))
+
+    env.process(driver(env))
+    env.run()
+
+    committed = {key: 0 for key in keys}
+    for key, delta, handle in handles:
+        assert handle.result is not None  # every transaction decided
+        if handle.result.committed:
+            committed[key] += delta
+    for key in keys:
+        expected = initial - committed[key]
+        for dc in range(3):
+            assert cluster.read_value(key, dc=dc) == expected
+    assert cluster.total_pending_options() == 0

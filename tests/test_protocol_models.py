@@ -1,0 +1,157 @@
+"""Tests for the §5.1.3 alternative-protocol likelihood models."""
+
+import pytest
+
+from repro.core.histograms import Pmf
+from repro.core.likelihood import CommitLikelihoodModel, LatencyMatrix
+from repro.core.protocol_models import (
+    MegastoreModel,
+    QuorumStoreModel,
+    TwoPhaseCommitModel,
+)
+
+
+def constant_matrix(n=5, rtt_ms=100.0, bin_ms=1.0, n_bins=1024):
+    pmfs = {
+        (a, b): Pmf.point(rtt_ms, bin_ms, n_bins)
+        for a in range(n) for b in range(n) if a != b
+    }
+    return LatencyMatrix(n, pmfs, bin_ms, n_bins)
+
+
+# ---------------------------------------------------------------- quorum store
+
+
+def test_quorum_store_zero_rate_is_certain():
+    model = QuorumStoreModel(constant_matrix(), read_quorum=2,
+                             write_quorum=2)
+    assert model.update_success_likelihood(0, 0.0) == 1.0
+
+
+def test_quorum_store_likelihood_decreases_with_rate():
+    model = QuorumStoreModel(constant_matrix(), read_quorum=2,
+                             write_quorum=2)
+    values = [model.update_success_likelihood(0, rate)
+              for rate in (0.0001, 0.001, 0.01)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_quorum_store_bigger_quorums_are_riskier():
+    # Waiting for more replicas lengthens the window -> lower success.
+    fast = QuorumStoreModel(constant_matrix(), read_quorum=1,
+                            write_quorum=1)
+    slow = QuorumStoreModel(constant_matrix(), read_quorum=4,
+                            write_quorum=4)
+    rate = 0.002
+    assert (slow.update_success_likelihood(0, rate)
+            < fast.update_success_likelihood(0, rate))
+
+
+def test_quorum_store_strict_quorums_never_stale():
+    model = QuorumStoreModel(constant_matrix(), read_quorum=3,
+                             write_quorum=3)  # R + W > N = 5
+    assert model.staleness_probability(0, 0.01) == 0.0
+
+
+def test_quorum_store_partial_quorums_can_be_stale():
+    model = QuorumStoreModel(constant_matrix(), read_quorum=1,
+                             write_quorum=1)
+    stale = model.staleness_probability(0, 0.005)
+    assert 0.0 < stale < 1.0
+    # Staleness grows with the write rate.
+    assert model.staleness_probability(0, 0.02) > stale
+
+
+def test_quorum_store_validation():
+    matrix = constant_matrix()
+    with pytest.raises(ValueError):
+        QuorumStoreModel(matrix, read_quorum=0)
+    with pytest.raises(ValueError):
+        QuorumStoreModel(matrix, write_quorum=6)
+    with pytest.raises(ValueError):
+        QuorumStoreModel(matrix, n_replicas=9)
+
+
+# ---------------------------------------------------------------- megastore
+
+
+def make_mdcc_model():
+    model = CommitLikelihoodModel(constant_matrix(), [0.2] * 5)
+    model.precompute()
+    return model
+
+
+def test_megastore_requires_precomputed_base():
+    raw = CommitLikelihoodModel(constant_matrix(), [0.2] * 5)
+    with pytest.raises(ValueError):
+        MegastoreModel(raw)
+
+
+def test_megastore_partition_rate_dominates():
+    base = make_mdcc_model()
+    megastore = MegastoreModel(base)
+    # A partition aggregating 50 records at rate r conflicts like one
+    # record at 50 r — far below the per-record MDCC likelihood.
+    record_rate = 0.0002
+    per_record = base.record_likelihood(0, 1, record_rate)
+    per_partition = megastore.partition_likelihood(0, 1, record_rate * 50)
+    assert per_partition < per_record
+
+
+def test_megastore_transaction_product():
+    megastore = MegastoreModel(make_mdcc_model())
+    single = megastore.partition_likelihood(0, 1, 0.003)
+    double = megastore.transaction_likelihood(0, [(1, 0.003), (1, 0.003)])
+    assert double == pytest.approx(single ** 2)
+
+
+# ---------------------------------------------------------------- 2pc
+
+
+def test_two_phase_commit_zero_rate_certain():
+    model = TwoPhaseCommitModel(constant_matrix())
+    assert model.record_likelihood(0, [1, 2], 0.0) == 1.0
+
+
+def test_two_phase_commit_extra_hold_lowers_likelihood():
+    rate = 0.002
+    plain = TwoPhaseCommitModel(constant_matrix())
+    slow = TwoPhaseCommitModel(constant_matrix(), extra_hold_ms=500.0)
+    assert (slow.record_likelihood(0, [1, 2], rate)
+            < plain.record_likelihood(0, [1, 2], rate))
+
+
+def test_two_phase_commit_more_participants_riskier():
+    model = TwoPhaseCommitModel(constant_matrix())
+    rate = 0.002
+    few = model.record_likelihood(0, [1], rate)
+    many = model.record_likelihood(0, [1, 2, 3, 4], rate)
+    assert many <= few
+
+
+def test_two_phase_commit_transaction_product():
+    model = TwoPhaseCommitModel(constant_matrix())
+    single = model.record_likelihood(0, [1, 2], 0.002)
+    double = model.transaction_likelihood(
+        0, [([1, 2], 0.002), ([1, 2], 0.002)])
+    assert double == pytest.approx(single ** 2)
+
+
+def test_two_phase_commit_validation():
+    with pytest.raises(ValueError):
+        TwoPhaseCommitModel(constant_matrix(), extra_hold_ms=-1)
+
+
+def test_protocol_ordering_under_same_conditions():
+    """Qualitative cross-protocol comparison at one operating point:
+    single-replica-quorum EC store risks least waiting, 2PC with a
+    long hold risks most."""
+    matrix = constant_matrix()
+    rate = 0.002
+    ec = QuorumStoreModel(matrix, read_quorum=1, write_quorum=1)
+    mdcc = make_mdcc_model()
+    tpc = TwoPhaseCommitModel(matrix, extra_hold_ms=400.0)
+    p_ec = ec.update_success_likelihood(0, rate)
+    p_mdcc = mdcc.record_likelihood(0, 1, rate)
+    p_2pc = tpc.record_likelihood(0, [1, 2, 3, 4], rate)
+    assert p_ec > p_mdcc > p_2pc

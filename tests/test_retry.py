@@ -1,0 +1,190 @@
+"""Tests for the exponential-backoff retry helper."""
+
+import random
+
+import pytest
+
+from repro.core import AdmissionPolicy, PlanetSession, TxState
+from repro.core.retry import BackoffPolicy, RetryingTransaction, \
+    execute_with_retries
+from repro.mdcc import Cluster
+from repro.net import uniform_topology
+from repro.sim import Environment, RandomStreams
+from repro.storage import Update, WriteOp
+
+
+class RejectFirstN(AdmissionPolicy):
+    """Rejects the first ``n`` decisions, then admits everything."""
+
+    def __init__(self, n):
+        self.remaining = n
+
+    def decide(self, likelihood, rng):
+        if self.remaining > 0:
+            self.remaining -= 1
+            return False
+        return True
+
+    def describe(self):
+        return f"reject-first-{self.remaining}"
+
+
+def make_session(admission=None, seed=91):
+    env = Environment()
+    topo = uniform_topology(3, one_way_ms=20.0, sigma=0.02)
+    cluster = Cluster(env, topo, RandomStreams(seed=seed))
+    cluster.load({"item:1": 100})
+    session = PlanetSession(cluster, "web", 0, admission=admission)
+    return env, cluster, session
+
+
+# ---------------------------------------------------------------- backoff
+
+
+def test_backoff_grows_exponentially():
+    policy = BackoffPolicy(initial_ms=100, multiplier=2.0,
+                           max_backoff_ms=10_000, jitter=0.0)
+    rng = random.Random(0)
+    delays = [policy.delay_ms(a, rng) for a in (1, 2, 3, 4)]
+    assert delays == [100.0, 200.0, 400.0, 800.0]
+
+
+def test_backoff_caps_at_max():
+    policy = BackoffPolicy(initial_ms=100, multiplier=10.0,
+                           max_backoff_ms=500, jitter=0.0)
+    rng = random.Random(0)
+    assert policy.delay_ms(5, rng) == 500.0
+
+
+def test_backoff_jitter_bounds():
+    policy = BackoffPolicy(initial_ms=100, jitter=0.2)
+    rng = random.Random(1)
+    for _ in range(100):
+        delay = policy.delay_ms(1, rng)
+        assert 80.0 <= delay <= 120.0
+
+
+def test_backoff_validation():
+    with pytest.raises(ValueError):
+        BackoffPolicy(initial_ms=0)
+    with pytest.raises(ValueError):
+        BackoffPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        BackoffPolicy(max_backoff_ms=10, initial_ms=100)
+    with pytest.raises(ValueError):
+        BackoffPolicy(jitter=1.0)
+    policy = BackoffPolicy()
+    with pytest.raises(ValueError):
+        policy.delay_ms(0, random.Random(0))
+
+
+# ---------------------------------------------------------------- retries
+
+
+def test_first_attempt_commit_needs_no_retry():
+    env, cluster, session = make_session()
+    retry = execute_with_retries(session, [WriteOp("item:1",
+                                                   Update.delta(-1))],
+                                 timeout_ms=5_000)
+    env.run()
+    assert retry.committed
+    assert len(retry.attempts) == 1
+
+
+def test_rejections_are_retried_until_admitted():
+    env, cluster, session = make_session(admission=RejectFirstN(2))
+    retry = execute_with_retries(
+        session, [WriteOp("item:1", Update.delta(-1))], timeout_ms=5_000,
+        backoff=BackoffPolicy(initial_ms=50, jitter=0.0))
+    env.run()
+    assert retry.committed
+    assert len(retry.attempts) == 3
+    assert [t.state for t in retry.attempts] == [
+        TxState.REJECTED, TxState.REJECTED, TxState.COMMITTED]
+
+
+def test_attempt_budget_is_respected():
+    env, cluster, session = make_session(admission=RejectFirstN(99))
+    retry = execute_with_retries(
+        session, [WriteOp("item:1", Update.delta(-1))], timeout_ms=5_000,
+        max_attempts=3, backoff=BackoffPolicy(initial_ms=10, jitter=0.0))
+    env.run()
+    assert not retry.committed
+    assert retry.final_info.state is TxState.REJECTED
+    assert len(retry.attempts) == 3
+
+
+def test_backoff_delays_attempts():
+    env, cluster, session = make_session(admission=RejectFirstN(2))
+    retry = execute_with_retries(
+        session, [WriteOp("item:1", Update.delta(-1))], timeout_ms=5_000,
+        backoff=BackoffPolicy(initial_ms=100, multiplier=2.0, jitter=0.0))
+    env.run()
+    starts = [t.start_ms for t in retry.attempts]
+    assert starts[1] - starts[0] >= 100.0
+    assert starts[2] - starts[1] >= 200.0
+
+
+def test_aborts_not_retried_by_default():
+    # Two clients race; the loser aborts and (by default) stays lost.
+    env, cluster, session = make_session()
+    rival = PlanetSession(cluster, "rival", 1)
+    results = []
+
+    def driver(env):
+        (rival.transaction([WriteOp("item:1", Update.delta(-1))],
+                           timeout_ms=5_000)
+         .on_failure(lambda i: None)).execute()
+        retry = execute_with_retries(
+            session, [WriteOp("item:1", Update.delta(-1))],
+            timeout_ms=5_000)
+        info = yield retry.done_event
+        results.append((info.state, len(retry.attempts)))
+
+    env.process(driver(env))
+    env.run()
+    state, attempts = results[0]
+    if state is TxState.ABORTED:  # lost the race: no retry
+        assert attempts == 1
+
+
+def test_retry_aborts_opt_in():
+    env, cluster, session = make_session()
+    rival = PlanetSession(cluster, "rival", 0)
+    results = []
+
+    def driver(env):
+        (rival.transaction([WriteOp("item:1", Update.delta(-1))],
+                           timeout_ms=5_000)
+         .on_failure(lambda i: None)).execute()
+        retry = RetryingTransaction(
+            session, [WriteOp("item:1", Update.delta(-1))],
+            timeout_ms=5_000, retry_aborts=True,
+            backoff=BackoffPolicy(initial_ms=300, jitter=0.0))
+        info = yield retry.done_event
+        results.append((info.state, len(retry.attempts)))
+
+    env.process(driver(env))
+    env.run()
+    state, attempts = results[0]
+    assert state is TxState.COMMITTED
+    assert attempts >= 1  # retried if the first attempt lost the race
+    assert cluster.read_value("item:1") == 98  # both deltas applied
+
+
+def test_configure_hook_runs_each_attempt():
+    env, cluster, session = make_session(admission=RejectFirstN(1))
+    seen = []
+    retry = execute_with_retries(
+        session, [WriteOp("item:1", Update.delta(-1))], timeout_ms=5_000,
+        configure=lambda tx: seen.append(tx),
+        backoff=BackoffPolicy(initial_ms=10, jitter=0.0))
+    env.run()
+    assert len(seen) == len(retry.attempts) == 2
+
+
+def test_retry_validation():
+    env, cluster, session = make_session()
+    with pytest.raises(ValueError):
+        RetryingTransaction(session, [WriteOp("item:1", Update.delta(-1))],
+                            timeout_ms=5_000, max_attempts=0)

@@ -1,0 +1,102 @@
+"""Tests for the finite-capacity (queued) RPC server model."""
+
+import pytest
+
+from repro.net import RpcEndpoint, Transport, uniform_topology
+from repro.sim import AllOf, Environment, RandomStreams
+
+
+def make_pair(service_time_ms):
+    env = Environment()
+    topo = uniform_topology(2, one_way_ms=10.0, sigma=0.01)
+    transport = Transport(env, topo, RandomStreams(seed=44))
+    client = RpcEndpoint(env, transport, "client", 0)
+    server = RpcEndpoint(env, transport, "server", 1,
+                         service_time_ms=service_time_ms)
+    return env, client, server
+
+
+def test_negative_service_time_rejected():
+    env = Environment()
+    topo = uniform_topology(2)
+    transport = Transport(env, topo, RandomStreams(seed=1))
+    with pytest.raises(ValueError):
+        RpcEndpoint(env, transport, "x", 0, service_time_ms=-1)
+
+
+def test_zero_service_time_is_instant():
+    env, client, server = make_pair(0.0)
+    server.on("echo", lambda p, s: p)
+    done = []
+
+    def caller(env):
+        value = yield client.call("server", "echo", 1)
+        done.append((env.now, value))
+
+    env.process(caller(env))
+    env.run()
+    # One ~20ms round trip, no service delay.
+    assert done[0][0] < 25.0
+
+
+def test_service_time_serializes_requests():
+    env, client, server = make_pair(5.0)
+    served = []
+    server.on("work", lambda p, s: served.append(env.now) or p)
+
+    def caller(env):
+        calls = [client.call("server", "work", i) for i in range(4)]
+        yield AllOf(env, calls)
+
+    env.process(caller(env))
+    env.run()
+    # Requests arrive ~simultaneously but are served 5ms apart.
+    gaps = [b - a for a, b in zip(served, served[1:])]
+    assert all(gap == pytest.approx(5.0, abs=0.5) for gap in gaps)
+    assert server.max_queue_depth >= 3
+
+
+def test_overload_builds_queueing_delay():
+    env, client, server = make_pair(10.0)
+    finished = []
+    server.on("work", lambda p, s: p)
+
+    def caller(env, i):
+        start = env.now
+        yield client.call("server", "work", i)
+        finished.append(env.now - start)
+
+    def burst(env):
+        # Offered load 1 msg/ms >> capacity 0.1 msg/ms.
+        for i in range(50):
+            env.process(caller(env, i))
+            yield env.timeout(1.0)
+
+    env.process(burst(env))
+    env.run()
+    assert len(finished) == 50
+    # Later requests wait behind the queue: latency grows by roughly
+    # the service-time deficit.
+    assert max(finished) > 10 * min(finished)
+
+
+def test_replies_also_pay_service_time():
+    # The queued endpoint charges for every inbound message, including
+    # responses it is waiting on (a server acting as a client, like a
+    # record leader collecting phase2b votes).
+    env = Environment()
+    topo = uniform_topology(2, one_way_ms=10.0, sigma=0.01)
+    transport = Transport(env, topo, RandomStreams(seed=45))
+    busy = RpcEndpoint(env, transport, "busy", 0, service_time_ms=50.0)
+    helper = RpcEndpoint(env, transport, "helper", 1)
+    helper.on("help", lambda p, s: p)
+    done = []
+
+    def caller(env):
+        value = yield busy.call("helper", "help", 1)
+        done.append(env.now)
+
+    env.process(caller(env))
+    env.run()
+    # Round trip ~20ms plus one 50ms service slot for the reply.
+    assert done[0] == pytest.approx(70.0, abs=5.0)

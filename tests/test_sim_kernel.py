@@ -1,0 +1,415 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        yield env.timeout(10)
+        log.append(env.now)
+        yield env.timeout(5.5)
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert log == [10.0, 15.5]
+
+
+def test_timeout_value_is_returned():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        value = yield env.timeout(1, value="hello")
+        seen.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == ["hello"]
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_process_return_value_via_join():
+    env = Environment()
+    results = []
+
+    def child(env):
+        yield env.timeout(3)
+        return 42
+
+    def parent(env):
+        value = yield env.process(child(env))
+        results.append((env.now, value))
+
+    env.process(parent(env))
+    env.run()
+    assert results == [(3.0, 42)]
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    woke = []
+
+    def waiter(env):
+        value = yield gate
+        woke.append((env.now, value))
+
+    def opener(env):
+        yield env.timeout(7)
+        gate.succeed("open")
+
+    env.process(waiter(env))
+    env.process(opener(env))
+    env.run()
+    assert woke == [(7.0, "open")]
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer(env):
+        yield env.timeout(1)
+        gate.fail(RuntimeError("boom"))
+
+    env.process(waiter(env))
+    env.process(failer(env))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_failure_crashes_run():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("explode")
+
+    env.process(bad(env))
+    with pytest.raises(ValueError, match="explode"):
+        env.run()
+
+
+def test_double_trigger_is_an_error():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_run_until_stops_exactly():
+    env = Environment()
+    ticks = []
+
+    def ticker(env):
+        while True:
+            yield env.timeout(10)
+            ticks.append(env.now)
+
+    env.process(ticker(env))
+    env.run(until=35)
+    assert ticks == [10.0, 20.0, 30.0]
+    assert env.now == 35.0
+
+
+def test_run_until_in_past_rejected():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(100)
+
+    env.process(proc(env))
+    env.run(until=50)
+    with pytest.raises(ValueError):
+        env.run(until=10)
+
+
+def test_deterministic_fifo_order_at_same_time():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(5)
+        order.append(name)
+
+    for name in ("a", "b", "c"):
+        env.process(proc(env, name))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_all_of_collects_all_values():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        t1 = env.timeout(3, value="x")
+        t2 = env.timeout(8, value="y")
+        result = yield AllOf(env, [t1, t2])
+        seen.append((env.now, sorted(result.values())))
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [(8.0, ["x", "y"])]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        result = yield AllOf(env, [])
+        seen.append((env.now, result))
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [(0.0, {})]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        t1 = env.timeout(3, value="fast")
+        t2 = env.timeout(8, value="slow")
+        result = yield AnyOf(env, [t1, t2])
+        seen.append((env.now, list(result.values())))
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [(3.0, ["fast"])]
+
+
+def test_all_of_propagates_failure():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def proc(env):
+        try:
+            yield AllOf(env, [env.timeout(10), gate])
+        except RuntimeError as exc:
+            caught.append((env.now, str(exc)))
+
+    def failer(env):
+        yield env.timeout(2)
+        gate.fail(RuntimeError("bad"))
+
+    env.process(proc(env))
+    env.process(failer(env))
+    env.run()
+    assert caught == [(2.0, "bad")]
+
+
+def test_interrupt_wakes_sleeping_process():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+            log.append("slept")
+        except Interrupt as interrupt:
+            log.append(("interrupted", env.now, interrupt.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(5)
+        victim.interrupt(cause="wakeup")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [("interrupted", 5.0, "wakeup")]
+
+
+def test_interrupt_dead_process_is_error():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    proc = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_process_survives_interrupt_and_continues():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            pass
+        yield env.timeout(10)
+        log.append(env.now)
+
+    def interrupter(env, victim):
+        yield env.timeout(5)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [15.0]
+
+
+def test_yielding_already_processed_event_continues_immediately():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        timeout = env.timeout(1, value="v")
+        yield env.timeout(5)  # the first timeout fires meanwhile
+        value = yield timeout
+        log.append((env.now, value))
+
+    env.process(proc(env))
+    env.run()
+    assert log == [(5.0, "v")]
+
+
+def test_yielding_non_event_fails_process():
+    env = Environment()
+
+    def proc(env):
+        yield 42
+
+    env.process(proc(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_nested_processes():
+    env = Environment()
+    log = []
+
+    def grandchild(env):
+        yield env.timeout(1)
+        return "gc"
+
+    def child(env):
+        value = yield env.process(grandchild(env))
+        yield env.timeout(1)
+        return value + "-c"
+
+    def parent(env):
+        value = yield env.process(child(env))
+        log.append((env.now, value))
+
+    env.process(parent(env))
+    env.run()
+    assert log == [(2.0, "gc-c")]
+
+
+def test_interrupt_while_waiting_on_condition():
+    env = Environment()
+    log = []
+
+    def waiter(env):
+        try:
+            yield AllOf(env, [env.timeout(100), env.timeout(200)])
+            log.append("completed")
+        except Interrupt:
+            log.append(("interrupted", env.now))
+
+    def interrupter(env, victim):
+        yield env.timeout(50)
+        victim.interrupt()
+
+    victim = env.process(waiter(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [("interrupted", 50.0)]
+
+
+def test_any_of_with_already_processed_child():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        fast = env.timeout(1, value="fast")
+        yield env.timeout(10)  # fast already fired and processed
+        result = yield AnyOf(env, [fast, env.timeout(100, value="slow")])
+        log.append((env.now, list(result.values())))
+
+    env.process(proc(env))
+    env.run()
+    assert log == [(10.0, ["fast"])]
+
+
+def test_nested_conditions():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        inner = AnyOf(env, [env.timeout(30, value="a"),
+                            env.timeout(60, value="b")])
+        outer = yield AllOf(env, [inner, env.timeout(10, value="c")])
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert log == [30.0]
+
+
+def test_urgent_priority_runs_first():
+    env = Environment()
+    order = []
+
+    first = env.event()
+    first.callbacks.append(lambda e: order.append("normal"))
+    first._ok, first._value = True, None
+    env.schedule(first, delay=5)
+
+    second = env.event()
+    second.callbacks.append(lambda e: order.append("urgent"))
+    second._ok, second._value = True, None
+    env.schedule(second, delay=5, priority=Environment.PRIORITY_URGENT)
+
+    env.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_process_return_none_by_default():
+    env = Environment()
+    results = []
+
+    def child(env):
+        yield env.timeout(1)
+
+    def parent(env):
+        value = yield env.process(child(env))
+        results.append(value)
+
+    env.process(parent(env))
+    env.run()
+    assert results == [None]

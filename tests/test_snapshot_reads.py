@@ -1,0 +1,137 @@
+"""Tests for point-in-time (MVCC) reads over the version history."""
+
+import pytest
+
+from repro.core import PlanetSession
+from repro.mdcc import Cluster
+from repro.net import uniform_topology
+from repro.sim import Environment, RandomStreams
+from repro.storage import Record, Update, WriteOp
+
+
+def make_cluster(seed=93):
+    env = Environment()
+    topo = uniform_topology(3, one_way_ms=20.0, sigma=0.02)
+    cluster = Cluster(env, topo, RandomStreams(seed=seed))
+    cluster.load({"item:1": 100})
+    return env, cluster
+
+
+# ---------------------------------------------------------------- record
+
+
+def test_record_history_appended_on_commit():
+    record = Record(key="k", value=10, version=1, history=[(0.0, 10)])
+    record.add_pending("t1", Update.delta(-3))
+    record.commit_pending("t1", now_ms=50.0)
+    assert record.history == [(0.0, 10), (50.0, 7)]
+
+
+def test_record_value_as_of():
+    record = Record(key="k", value=10, version=1, history=[(0.0, 10)])
+    for i, at in enumerate((100.0, 200.0, 300.0), start=1):
+        record.add_pending(f"t{i}", Update.delta(-1))
+        record.commit_pending(f"t{i}", now_ms=at)
+    assert record.value_as_of(50.0) == (10, 3)
+    assert record.value_as_of(100.0) == (9, 2)
+    assert record.value_as_of(250.0) == (8, 1)
+    assert record.value_as_of(1_000.0) == (7, 0)
+
+
+def test_record_history_is_bounded():
+    record = Record(key="k", value=0, version=1, history=[(0.0, 0)])
+    for i in range(1, 50):
+        record.add_pending(f"t{i}", Update.delta(1))
+        record.commit_pending(f"t{i}", now_ms=float(i))
+    assert len(record.history) == Record.HISTORY_KEEP
+    # Asking before the retained horizon degrades to the oldest kept.
+    value, newer = record.value_as_of(0.0)
+    assert value == record.history[0][1]
+
+
+def test_record_without_history_returns_current():
+    record = Record(key="k", value=42, version=1)
+    assert record.value_as_of(0.0) == (42, 0)
+
+
+# ---------------------------------------------------------------- end to end
+
+
+def test_snapshot_read_sees_the_past():
+    env, cluster = make_cluster()
+    session = PlanetSession(cluster, "web", 0)
+    observations = {}
+
+    def driver(env):
+        tx = (session.transaction([WriteOp("item:1", Update.delta(-10))],
+                                  timeout_ms=5_000)
+              .on_failure(lambda i: None))
+        planet_tx = tx.execute()
+        yield planet_tx.final_event
+        assert planet_tx.committed
+        yield env.timeout(500)  # visibility settled locally
+        write_visible_at = env.now
+        now_read = yield session.read(["item:1"])
+        past_read = yield session.read(["item:1"], as_of_ms=1.0)
+        observations["now"] = now_read["item:1"].value
+        observations["past"] = past_read["item:1"].value
+
+    env.process(driver(env))
+    env.run()
+    assert observations == {"now": 90, "past": 100}
+
+
+def test_snapshot_read_multiple_keys_same_timestamp():
+    env, cluster = make_cluster()
+    cluster.load({"item:2": 200})
+    session = PlanetSession(cluster, "web", 0)
+    seen = {}
+
+    def driver(env):
+        first = (session.transaction([WriteOp("item:1", Update.delta(-1))],
+                                     timeout_ms=5_000)
+                 .on_failure(lambda i: None)).execute()
+        yield first.final_event
+        yield env.timeout(500)
+        checkpoint = env.now
+        second = (session.transaction([WriteOp("item:2", Update.delta(-2))],
+                                      timeout_ms=5_000)
+                  .on_failure(lambda i: None)).execute()
+        yield second.final_event
+        yield env.timeout(500)
+        snap = yield session.read(["item:1", "item:2"],
+                                  as_of_ms=checkpoint)
+        seen.update({key: reply.value for key, reply in snap.items()})
+
+    env.process(driver(env))
+    env.run()
+    # At the checkpoint, the first write is visible, the second is not.
+    assert seen == {"item:1": 99, "item:2": 200}
+
+
+def test_snapshot_read_cannot_read_the_future():
+    env, cluster = make_cluster()
+    session = PlanetSession(cluster, "web", 0)
+    with pytest.raises(ValueError):
+        session.read(["item:1"], as_of_ms=1e12)
+
+
+def test_snapshot_read_version_reflects_offset():
+    env, cluster = make_cluster()
+    session = PlanetSession(cluster, "web", 0)
+    versions = {}
+
+    def driver(env):
+        tx = (session.transaction([WriteOp("item:1", Update.delta(-1))],
+                                  timeout_ms=5_000)
+              .on_failure(lambda i: None)).execute()
+        yield tx.final_event
+        yield env.timeout(500)
+        now_read = yield session.read(["item:1"])
+        past_read = yield session.read(["item:1"], as_of_ms=1.0)
+        versions["now"] = now_read["item:1"].version
+        versions["past"] = past_read["item:1"].version
+
+    env.process(driver(env))
+    env.run()
+    assert versions["now"] == versions["past"] + 1

@@ -1,0 +1,85 @@
+"""Tests for the staged-timeout baseline (Galera / Oracle RAC style)."""
+
+import pytest
+
+from repro.baseline import StagedOutcome, StagedTimeoutClient
+from repro.mdcc import Cluster
+from repro.net import uniform_topology
+from repro.sim import Environment, RandomStreams
+from repro.storage import Update, WriteOp
+
+
+def make_cluster(one_way=50.0, mastership=0, seed=113):
+    env = Environment()
+    topo = uniform_topology(3, one_way_ms=one_way, sigma=0.02)
+    cluster = Cluster(env, topo, RandomStreams(seed=seed),
+                      mastership=mastership)
+    cluster.load({"item:1": 100})
+    return env, cluster
+
+
+def test_commit_inside_both_deadlines():
+    env, cluster = make_cluster(one_way=20.0)
+    client = StagedTimeoutClient(cluster, "app", 0)
+    txn = client.execute([WriteOp("item:1", Update.delta(-1))],
+                         send_timeout_ms=1_000,
+                         completion_timeout_ms=5_000)
+    env.run()
+    assert txn.app_outcome is StagedOutcome.COMMITTED
+    assert txn.response_time_ms < 5_000
+
+
+def test_send_timeout_when_leader_unreachable():
+    env, cluster = make_cluster(mastership=1)
+    cluster.transport.partition(0, 1)
+    client = StagedTimeoutClient(cluster, "app", 0)
+    txn = client.execute([WriteOp("item:1", Update.delta(-1))],
+                         send_timeout_ms=200,
+                         completion_timeout_ms=5_000)
+    env.run(until=10_000)
+    assert txn.app_outcome is StagedOutcome.SEND_TIMEOUT
+    assert txn.response_time_ms == pytest.approx(200.0)
+
+
+def test_completion_timeout_distinguished_from_send():
+    # Local leader: the ack is fast; the remote quorum is slower than
+    # the completion deadline — the app learns "acked but unknown".
+    env, cluster = make_cluster(one_way=50.0, mastership=0)
+    client = StagedTimeoutClient(cluster, "app", 0)
+    txn = client.execute([WriteOp("item:1", Update.delta(-1))],
+                         send_timeout_ms=20,
+                         completion_timeout_ms=40)
+    env.run(until=10_000)
+    assert txn.app_outcome is StagedOutcome.COMPLETION_TIMEOUT
+    # The critique made concrete: the transaction actually committed,
+    # but the staged-timeout model never tells the application.
+    assert txn.handle.result is not None and txn.handle.result.committed
+
+
+def test_returned_event_carries_outcome():
+    env, cluster = make_cluster(one_way=20.0)
+    client = StagedTimeoutClient(cluster, "app", 0)
+    seen = []
+
+    def driver(env):
+        txn = client.execute([WriteOp("item:1", Update.delta(-1))],
+                             send_timeout_ms=1_000,
+                             completion_timeout_ms=5_000)
+        outcome = yield txn.returned_event
+        seen.append(outcome)
+
+    env.process(driver(env))
+    env.run()
+    assert seen == [StagedOutcome.COMMITTED]
+
+
+def test_staged_validation():
+    env, cluster = make_cluster()
+    client = StagedTimeoutClient(cluster, "app", 0)
+    writes = [WriteOp("item:1", Update.delta(-1))]
+    with pytest.raises(ValueError):
+        client.execute(writes, send_timeout_ms=0,
+                       completion_timeout_ms=100)
+    with pytest.raises(ValueError):
+        client.execute(writes, send_timeout_ms=500,
+                       completion_timeout_ms=100)

@@ -1,0 +1,121 @@
+"""Tests for statistics collection, dissemination, and model building."""
+
+import pytest
+
+from repro.core.statistics import OracleLatencySource, StatisticsService
+from repro.mdcc import Cluster
+from repro.net import uniform_topology
+from repro.sim import Environment, RandomStreams
+
+
+def make_cluster(n_dc=3, one_way=20.0, seed=9):
+    env = Environment()
+    topo = uniform_topology(n_dc, one_way_ms=one_way, sigma=0.05)
+    streams = RandomStreams(seed=seed)
+    cluster = Cluster(env, topo, streams)
+    return env, topo, streams, cluster
+
+
+# ---------------------------------------------------------------- oracle
+
+
+def test_oracle_matrix_means_match_topology():
+    _env, topo, streams, _cluster = make_cluster()
+    matrix = OracleLatencySource(topo, streams, samples=2000).latency_matrix()
+    for a in range(3):
+        for b in range(3):
+            if a != b:
+                assert matrix.rtt(a, b).mean() == pytest.approx(
+                    topo.mean_rtt(a, b), rel=0.1)
+
+
+# ---------------------------------------------------------------- probing
+
+
+def test_agents_measure_all_pairs():
+    env, topo, streams, cluster = make_cluster()
+    stats = StatisticsService(env, cluster, streams, rotate_ms=0)
+    for dc in range(3):
+        stats.start_agent(dc, ping_interval_ms=500.0)
+    env.run(until=5_000)
+    assert stats.coverage() >= 3 * 3  # includes local pairs
+    matrix = stats.latency_matrix()
+    assert matrix.rtt(0, 1).mean() == pytest.approx(
+        topo.mean_rtt(0, 1), rel=0.25)
+
+
+def test_latency_matrix_fallback_for_unmeasured_pairs():
+    env, topo, streams, cluster = make_cluster()
+    stats = StatisticsService(env, cluster, streams)
+    stats.start_agent(0, ping_interval_ms=500.0)  # only DC 0 probes
+    env.run(until=3_000)
+    with pytest.raises(ValueError):
+        stats.latency_matrix()  # pair (1, 2) never measured
+    matrix = stats.latency_matrix(fallback=topo)
+    assert matrix.rtt(1, 2).mean() == pytest.approx(
+        topo.mean_rtt(1, 2), rel=0.2)
+
+
+def test_rotation_ages_out_old_network_conditions():
+    env, _topo, streams, cluster = make_cluster()
+    stats = StatisticsService(env, cluster, streams, generations=2,
+                              rotate_ms=1_000)
+    stats.record_rtt(0, 1, 40.0)
+    env.run(until=5_000)  # several rotations, no new samples
+    hist = stats._rtt[(0, 1)]
+    assert hist.total_count() == 0
+
+
+# ---------------------------------------------------------------- sizes
+
+
+def test_size_distribution_default():
+    env, _topo, streams, cluster = make_cluster()
+    stats = StatisticsService(env, cluster, streams)
+    assert stats.size_distribution() == {1: 1.0}
+
+
+def test_size_distribution_normalizes():
+    env, _topo, streams, cluster = make_cluster()
+    stats = StatisticsService(env, cluster, streams)
+    for size in (1, 1, 2, 4):
+        stats.record_transaction_size(size)
+    dist = stats.size_distribution()
+    assert dist == {1: 0.5, 2: 0.25, 4: 0.25}
+    with pytest.raises(ValueError):
+        stats.record_transaction_size(0)
+
+
+# ---------------------------------------------------------------- model build
+
+
+def test_build_model_from_measurements():
+    env, topo, streams, cluster = make_cluster()
+    stats = StatisticsService(env, cluster, streams, rotate_ms=0)
+    for dc in range(3):
+        stats.start_agent(dc, ping_interval_ms=500.0)
+    stats.record_transaction_size(1)
+    stats.record_transaction_size(2)
+    env.run(until=5_000)
+    model = stats.build_model(fallback=topo)
+    assert model.ready
+    likelihood = model.record_likelihood(0, 1, 0.001)
+    assert 0.0 < likelihood < 1.0
+    assert model.size_dist == {1: 0.5, 2: 0.5}
+
+
+def test_measured_model_close_to_oracle_model():
+    env, topo, streams, cluster = make_cluster()
+    stats = StatisticsService(env, cluster, streams, rotate_ms=0)
+    for dc in range(3):
+        stats.start_agent(dc, ping_interval_ms=200.0)
+    env.run(until=20_000)
+    measured = stats.build_model(fallback=topo)
+    oracle_matrix = OracleLatencySource(
+        topo, streams, samples=2000).latency_matrix()
+    from repro.core.likelihood import CommitLikelihoodModel
+    oracle = CommitLikelihoodModel(oracle_matrix, [1 / 3] * 3)
+    oracle.precompute()
+    for rate in (0.0005, 0.002, 0.01):
+        assert measured.record_likelihood(0, 1, rate) == pytest.approx(
+            oracle.record_likelihood(0, 1, rate), abs=0.05)

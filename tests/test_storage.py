@@ -1,0 +1,132 @@
+"""Unit tests for records, updates, and access-rate tracking."""
+
+import pytest
+
+from repro.storage import AccessRateTracker, Record, Update
+
+
+# ---------------------------------------------------------------- updates
+
+
+def test_update_set_and_delta():
+    assert Update.set(5).apply_to(99) == 5
+    assert Update.delta(-3).apply_to(10) == 7
+    assert Update.delta(4).apply_to(None) == 4
+
+
+def test_update_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        Update(kind="merge", value=1)
+
+
+def test_update_delta_requires_number():
+    with pytest.raises(TypeError):
+        Update.delta("oops")
+
+
+def test_update_floor_admissibility():
+    decrement = Update.delta(-5, floor=0)
+    assert decrement.admissible_on(5)
+    assert not decrement.admissible_on(4)
+    assert Update.delta(-5).admissible_on(0)  # no floor -> always
+    assert Update.set("x").admissible_on(None)
+
+
+# ---------------------------------------------------------------- records
+
+
+def test_record_pending_lifecycle_commit():
+    record = Record(key="k", value=10, version=1)
+    record.add_pending("tx1", Update.delta(-4))
+    assert record.has_pending_option
+    assert record.value == 10  # pending is invisible to reads
+    assert record.commit_pending("tx1")
+    assert record.value == 6
+    assert record.version == 2
+    assert not record.has_pending_option
+
+
+def test_record_pending_lifecycle_abort():
+    record = Record(key="k", value=10, version=1)
+    record.add_pending("tx1", Update.delta(-4))
+    record.clear_pending("tx1")
+    assert record.value == 10
+    assert record.version == 1
+    assert not record.has_pending_option
+
+
+def test_record_commit_unknown_txid_is_noop():
+    record = Record(key="k", value=10, version=1)
+    assert not record.commit_pending("ghost")
+    assert record.value == 10
+
+
+def test_record_multiple_pending_options():
+    # Replicas can hold two in-flight options when visibility messages
+    # race with the next option's phase2a.
+    record = Record(key="k", value=10, version=1)
+    record.add_pending("tx1", Update.delta(-1))
+    record.add_pending("tx2", Update.delta(-2))
+    assert record.commit_pending("tx2")
+    assert record.value == 8
+    assert record.commit_pending("tx1")
+    assert record.value == 7
+    assert record.version == 3
+
+
+# ---------------------------------------------------------------- access rate
+
+
+def test_access_rate_zero_without_accesses():
+    tracker = AccessRateTracker()
+    assert tracker.arrival_rate("k", now_ms=0.0) == 0.0
+
+
+def test_access_rate_counts_within_window():
+    tracker = AccessRateTracker(bucket_ms=10_000, keep_buckets=6)
+    for t in range(0, 60_000, 1000):  # one access per second for 60s
+        tracker.record_access("k", now_ms=float(t))
+    rate = tracker.arrival_rate("k", now_ms=59_999.0)
+    assert rate == pytest.approx(1 / 1000.0, rel=0.01)  # 1/s in per-ms
+
+
+def test_access_rate_no_cold_start_underestimate():
+    # 0.2 updates/s for the first 5 seconds of a run: the estimate must
+    # divide by the elapsed 5s, not the full 60s window.
+    tracker = AccessRateTracker(bucket_ms=10_000, keep_buckets=6)
+    for t in range(0, 5_000, 1000):
+        tracker.record_access("k", now_ms=float(t))
+    rate = tracker.arrival_rate("k", now_ms=5_000.0)
+    assert rate == pytest.approx(5 / 5_000.0)
+
+
+def test_access_rate_ages_out():
+    tracker = AccessRateTracker(bucket_ms=10_000, keep_buckets=6)
+    for _ in range(100):
+        tracker.record_access("k", now_ms=0.0)
+    # Right after, rate is high; 10 minutes later all buckets aged out.
+    assert tracker.arrival_rate("k", now_ms=1.0) > 0
+    assert tracker.arrival_rate("k", now_ms=600_000.0) == 0.0
+
+
+def test_access_rate_keeps_limited_buckets():
+    tracker = AccessRateTracker(bucket_ms=10.0, keep_buckets=2)
+    tracker.record_access("k", now_ms=0.0)
+    tracker.record_access("k", now_ms=10.0)
+    tracker.record_access("k", now_ms=20.0)
+    assert tracker._buckets["k"][0][0] == 1  # oldest bucket dropped
+
+
+def test_access_rate_forget_stale():
+    tracker = AccessRateTracker(bucket_ms=10.0, keep_buckets=2)
+    tracker.record_access("old", now_ms=0.0)
+    tracker.record_access("new", now_ms=100.0)
+    tracker.forget_stale(now_ms=100.0)
+    assert tracker.tracked_keys() == 1
+
+
+def test_access_rate_validation():
+    with pytest.raises(ValueError):
+        AccessRateTracker(bucket_ms=0)
+    with pytest.raises(ValueError):
+        AccessRateTracker(keep_buckets=0)

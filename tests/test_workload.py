@@ -1,0 +1,294 @@
+"""Tests for the TPC-W-like buy workload."""
+
+import random
+
+import pytest
+
+from repro.sim import Environment, RandomStreams
+from repro.storage import WriteOp
+from repro.workload import (
+    BuyTransactionFactory,
+    HotspotAccess,
+    OpenSystemLoad,
+    PoissonArrivals,
+    UniformAccess,
+    generate_items,
+)
+from repro.workload.items import item_key
+from repro.workload.load import UniformArrivals
+
+
+# ---------------------------------------------------------------- items
+
+
+def test_generate_items():
+    items = generate_items(3, initial_stock=50)
+    assert items == {"item:0": 50, "item:1": 50, "item:2": 50}
+
+
+def test_generate_items_validation():
+    with pytest.raises(ValueError):
+        generate_items(0)
+    with pytest.raises(ValueError):
+        generate_items(1, initial_stock=-1)
+
+
+# ---------------------------------------------------------------- access
+
+
+def test_uniform_access_distinct_keys():
+    pattern = UniformAccess(100)
+    rng = random.Random(0)
+    keys = pattern.sample_keys(rng, 4)
+    assert len(set(keys)) == 4
+    assert all(not pattern.is_hot(k) for k in keys)
+
+
+def test_uniform_access_covers_table():
+    pattern = UniformAccess(10)
+    rng = random.Random(1)
+    seen = set()
+    for _ in range(500):
+        seen.update(pattern.sample_keys(rng, 1))
+    assert len(seen) == 10
+
+
+def test_uniform_access_validation():
+    with pytest.raises(ValueError):
+        UniformAccess(0)
+    pattern = UniformAccess(3)
+    with pytest.raises(ValueError):
+        pattern.sample_keys(random.Random(0), 4)
+
+
+def test_hotspot_access_fraction():
+    pattern = HotspotAccess(1000, hotspot_size=10, hot_prob=0.9)
+    rng = random.Random(2)
+    hot = 0
+    trials = 3000
+    for _ in range(trials):
+        keys = pattern.sample_keys(rng, 2)
+        if any(pattern.is_hot(k) for k in keys):
+            hot += 1
+    assert 0.85 < hot / trials < 0.95
+
+
+def test_hotspot_transactions_stay_in_region():
+    pattern = HotspotAccess(1000, hotspot_size=10, hot_prob=0.9)
+    rng = random.Random(3)
+    for _ in range(200):
+        keys = pattern.sample_keys(rng, 3)
+        hotness = {pattern.is_hot(k) for k in keys}
+        assert len(hotness) == 1  # all hot or all cold
+
+
+def test_hotspot_count_clamped_to_region():
+    pattern = HotspotAccess(1000, hotspot_size=2, hot_prob=1.0)
+    rng = random.Random(4)
+    keys = pattern.sample_keys(rng, 4)
+    assert len(keys) == 2  # cannot pick 4 distinct from a 2-item hotspot
+
+
+def test_hotspot_validation():
+    with pytest.raises(ValueError):
+        HotspotAccess(10, hotspot_size=0)
+    with pytest.raises(ValueError):
+        HotspotAccess(10, hotspot_size=11)
+    with pytest.raises(ValueError):
+        HotspotAccess(10, hotspot_size=5, hot_prob=2.0)
+
+
+# ---------------------------------------------------------------- factory
+
+
+def test_factory_builds_decrements():
+    factory = BuyTransactionFactory(UniformAccess(100), min_items=2,
+                                    max_items=2, quantity=3)
+    writes, hot = factory.build(random.Random(0))
+    assert len(writes) == 2
+    assert all(isinstance(op, WriteOp) for op in writes)
+    assert all(op.update.kind == "delta" and op.update.value == -3
+               for op in writes)
+    assert not hot
+
+
+def test_factory_size_range():
+    factory = BuyTransactionFactory(UniformAccess(100))
+    rng = random.Random(1)
+    sizes = {len(factory.build(rng)[0]) for _ in range(200)}
+    assert sizes == {1, 2, 3, 4}
+
+
+def test_factory_floor_option():
+    factory = BuyTransactionFactory(UniformAccess(10),
+                                    enforce_stock_floor=True)
+    writes, _hot = factory.build(random.Random(2))
+    assert all(op.update.floor == 0 for op in writes)
+
+
+def test_factory_hot_flag():
+    pattern = HotspotAccess(100, hotspot_size=10, hot_prob=1.0)
+    factory = BuyTransactionFactory(pattern)
+    _writes, hot = factory.build(random.Random(3))
+    assert hot
+
+
+def test_factory_validation():
+    with pytest.raises(ValueError):
+        BuyTransactionFactory(UniformAccess(10), min_items=3, max_items=2)
+    with pytest.raises(ValueError):
+        BuyTransactionFactory(UniformAccess(10), quantity=0)
+
+
+# ---------------------------------------------------------------- load
+
+
+class _CountingIssuer:
+    def __init__(self):
+        self.calls = []
+
+    def issue(self, writes, touches_hotspot):
+        self.calls.append((len(writes), touches_hotspot))
+
+
+def test_open_system_load_rate():
+    env = Environment()
+    factory = BuyTransactionFactory(UniformAccess(1000))
+    issuer = _CountingIssuer()
+    load = OpenSystemLoad(env, factory, issuer, rate_tps=100.0,
+                          streams=RandomStreams(seed=5))
+    load.start(duration_ms=10_000)
+    env.run()
+    # 100 TPS over 10 s -> about 1000 arrivals.
+    assert 850 < len(issuer.calls) < 1150
+    assert load.issued == len(issuer.calls)
+
+
+def test_open_system_uniform_arrivals_exact():
+    env = Environment()
+    factory = BuyTransactionFactory(UniformAccess(1000))
+    issuer = _CountingIssuer()
+    load = OpenSystemLoad(env, factory, issuer, rate_tps=50.0,
+                          streams=RandomStreams(seed=6),
+                          arrivals=UniformArrivals(50.0))
+    load.start(duration_ms=2_000)
+    env.run()
+    assert len(issuer.calls) == 99  # metronome at 20ms, open interval
+
+
+def test_open_system_stop():
+    env = Environment()
+    factory = BuyTransactionFactory(UniformAccess(1000))
+    issuer = _CountingIssuer()
+    load = OpenSystemLoad(env, factory, issuer, rate_tps=100.0,
+                          streams=RandomStreams(seed=7))
+    load.start()
+
+    def stopper(env):
+        yield env.timeout(1_000)
+        load.stop()
+
+    env.process(stopper(env))
+    env.run()
+    assert 50 < len(issuer.calls) < 200
+
+
+def test_open_system_double_start_rejected():
+    env = Environment()
+    factory = BuyTransactionFactory(UniformAccess(1000))
+    load = OpenSystemLoad(env, factory, _CountingIssuer(), rate_tps=10.0,
+                          streams=RandomStreams(seed=8))
+    load.start(duration_ms=100)
+    with pytest.raises(RuntimeError):
+        load.start(duration_ms=100)
+
+
+def test_arrival_validation():
+    with pytest.raises(ValueError):
+        PoissonArrivals(0)
+    with pytest.raises(ValueError):
+        UniformArrivals(-5)
+
+
+class _ReadCountingIssuer(_CountingIssuer):
+    def __init__(self):
+        super().__init__()
+        self.reads = []
+
+    def issue_read(self, keys):
+        self.reads.append(list(keys))
+
+
+def test_read_fraction_splits_traffic():
+    env = Environment()
+    factory = BuyTransactionFactory(UniformAccess(1000))
+    issuer = _ReadCountingIssuer()
+    load = OpenSystemLoad(env, factory, issuer, rate_tps=200.0,
+                          streams=RandomStreams(seed=9),
+                          read_fraction=0.8)
+    load.start(duration_ms=10_000)
+    env.run()
+    total = len(issuer.calls) + len(issuer.reads)
+    assert total > 1500
+    read_share = len(issuer.reads) / total
+    assert 0.75 < read_share < 0.85
+    assert load.reads_issued == len(issuer.reads)
+    assert all(1 <= len(keys) <= 4 for keys in issuer.reads)
+
+
+def test_read_fraction_validation():
+    env = Environment()
+    factory = BuyTransactionFactory(UniformAccess(10))
+    with pytest.raises(ValueError):
+        OpenSystemLoad(env, factory, _ReadCountingIssuer(), rate_tps=10.0,
+                       streams=RandomStreams(seed=1), read_fraction=1.0)
+    with pytest.raises(ValueError):
+        # plain issuer cannot serve reads
+        OpenSystemLoad(env, factory, _CountingIssuer(), rate_tps=10.0,
+                       streams=RandomStreams(seed=1), read_fraction=0.5)
+
+
+# ---------------------------------------------------------------- zipfian
+
+
+def test_zipfian_skews_to_head():
+    from repro.workload import ZipfianAccess
+    pattern = ZipfianAccess(1000, s=0.99)
+    rng = random.Random(11)
+    counts = {}
+    for _ in range(5000):
+        key = pattern.sample_keys(rng, 1)[0]
+        counts[key] = counts.get(key, 0) + 1
+    head = counts.get(item_key(0), 0)
+    mid = counts.get(item_key(500), 0)
+    assert head > 50 * max(mid, 1) or mid == 0
+    # Head rank roughly follows 1/H_n: around 7% of draws for n=1000.
+    assert 0.03 < head / 5000 < 0.2
+
+
+def test_zipfian_distinct_keys_and_hot_flag():
+    from repro.workload import ZipfianAccess
+    pattern = ZipfianAccess(50, s=1.2, hot_top=5)
+    rng = random.Random(12)
+    keys = pattern.sample_keys(rng, 4)
+    assert len(set(keys)) == 4
+    assert pattern.is_hot(item_key(0))
+    assert not pattern.is_hot(item_key(49))
+    assert not pattern.is_hot("garbage")
+
+
+def test_zipfian_count_clamped():
+    from repro.workload import ZipfianAccess
+    pattern = ZipfianAccess(3, s=1.0)
+    keys = pattern.sample_keys(random.Random(13), 10)
+    assert sorted(keys) == [item_key(0), item_key(1), item_key(2)]
+
+
+def test_zipfian_validation():
+    from repro.workload import ZipfianAccess
+    with pytest.raises(ValueError):
+        ZipfianAccess(0)
+    with pytest.raises(ValueError):
+        ZipfianAccess(10, s=0)
+    with pytest.raises(ValueError):
+        ZipfianAccess(10, hot_top=-1)
