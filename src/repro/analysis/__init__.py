@@ -1,0 +1,50 @@
+"""AST-based static analysis for the repro codebase.
+
+The simulator's reproducibility contract — same seeds, byte-identical
+traces — and the MDCC protocol's invariants are enforced *statically*
+here, before a single simulation tick runs: a registry of AST checkers
+scans the tree for wall-clock reads, global RNG state, hash-order
+iteration, broken sim-process discipline, and unhandled message kinds.
+
+Run ``python -m repro.analysis src`` from the repository root; see
+``docs/analysis.md`` for the checker catalogue, error-code rationale,
+and suppression syntax.
+"""
+
+from repro.analysis.base import (
+    Checker,
+    SourceFile,
+    all_checkers,
+    register,
+)
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    render_json,
+    render_text,
+)
+from repro.analysis.runner import (
+    AnalysisReport,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    module_name_for,
+)
+from repro.analysis.suppressions import Suppressions
+
+__all__ = [
+    "AnalysisReport",
+    "Checker",
+    "Diagnostic",
+    "Severity",
+    "SourceFile",
+    "Suppressions",
+    "all_checkers",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "module_name_for",
+    "register",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,90 @@
+"""Command-line entry point: ``python -m repro.analysis [paths]``.
+
+Exit status: 0 when the tree is clean, 1 when any finding (error or
+warning) survives suppression, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Type
+
+from repro.analysis.base import Checker, all_checkers
+from repro.analysis.diagnostics import render_json, render_text
+from repro.analysis.runner import analyze_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=("AST-based determinism and protocol-invariant "
+                     "checks for the repro codebase."))
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)")
+    parser.add_argument(
+        "--checker", action="append", metavar="NAME",
+        help="run only the named checker (repeatable); "
+             "see --list-checkers")
+    parser.add_argument(
+        "--no-suppress", action="store_true",
+        help="ignore '# repro: allow[...]' suppression comments")
+    parser.add_argument(
+        "--list-checkers", action="store_true",
+        help="print the checker and error-code catalogue and exit")
+    return parser
+
+
+def _catalogue() -> str:
+    lines: List[str] = []
+    for name, cls in all_checkers().items():
+        lines.append(f"{name}  (scope: {', '.join(cls.scope) or 'all'})")
+        for code in sorted(cls.codes):
+            lines.append(f"  {code}  {cls.codes[code]}")
+    return "\n".join(lines)
+
+
+def _select(names: Sequence[str]) -> List[Type[Checker]]:
+    registry = all_checkers()
+    unknown = [name for name in names if name not in registry]
+    if unknown:
+        known = ", ".join(registry)
+        raise SystemExit(
+            f"unknown checker(s): {', '.join(unknown)} (known: {known})")
+    return [registry[name] for name in names]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_checkers:
+        print(_catalogue())
+        return 0
+    try:
+        checkers = _select(args.checker) if args.checker else None
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        report = analyze_paths(
+            args.paths, checkers=checkers,
+            respect_suppressions=not args.no_suppress)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(report.diagnostics,
+                          files_analyzed=report.files_analyzed,
+                          suppressed=report.suppressed))
+    else:
+        if report.diagnostics:
+            print(render_text(report.diagnostics))
+        print(report.summary(), file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

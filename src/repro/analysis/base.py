@@ -1,0 +1,100 @@
+"""Checker base class, the per-file source bundle, and the registry.
+
+A checker is instantiated once per analysis run.  It sees every
+analyzed file through :meth:`Checker.check_file` and may draw
+project-wide conclusions in :meth:`Checker.check_project` after the
+last file (used by the protocol-completeness pass, which must match
+message sends in one module against handlers in another).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple, Type
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.names import ImportMap
+
+
+@dataclass
+class SourceFile:
+    """One parsed module handed to every applicable checker."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    imports: ImportMap
+
+
+def within(module: str, prefix: str) -> bool:
+    """True if ``module`` is ``prefix`` or nested inside it."""
+    return module == prefix or module.startswith(prefix + ".")
+
+
+class Checker:
+    """Base class for one analysis pass.
+
+    Subclasses set ``name`` (the registry key), ``codes`` (error code
+    -> one-line description, the catalogue rendered by
+    ``--list-checkers``), and optionally ``scope``: module prefixes the
+    checker applies to (empty means every module).  ``exclude`` wins
+    over ``scope``; by default the analysis package does not lint
+    itself (its tables are full of the very names it hunts for).
+    """
+
+    name: str = ""
+    codes: Mapping[str, str] = {}
+    scope: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ("repro.analysis",)
+
+    def applies_to(self, module: str) -> bool:
+        if any(within(module, prefix) for prefix in self.exclude):
+            return False
+        if not self.scope:
+            return True
+        return any(within(module, prefix) for prefix in self.scope)
+
+    def check_file(self, file: SourceFile) -> Iterable[Diagnostic]:
+        return ()
+
+    def check_project(self) -> Iterable[Diagnostic]:
+        return ()
+
+    # -- convenience -------------------------------------------------------
+
+    def at(self, path: str, node: ast.AST, code: str, message: str,
+           severity: Severity = Severity.ERROR) -> Diagnostic:
+        """Build a diagnostic anchored to ``node``."""
+        if code not in self.codes:
+            raise ValueError(f"{self.name}: unknown code {code!r}")
+        return Diagnostic(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+            severity=severity,
+            checker=self.name,
+        )
+
+
+_REGISTRY: Dict[str, Type[Checker]] = {}
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.name:
+        raise ValueError(f"checker {cls!r} has no name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate checker name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_checkers() -> Dict[str, Type[Checker]]:
+    """The registry, importing the built-in checker wave on first use."""
+    import repro.analysis.checkers  # noqa: F401  (import registers them)
+
+    return dict(sorted(_REGISTRY.items()))

@@ -1,0 +1,289 @@
+"""Determinism checks: same seeds must mean identical traces.
+
+The simulation's virtual clock is ``Environment.now`` and its only
+entropy is the seeded :class:`repro.sim.rng.RandomStreams` family.
+Anything else — wall clock, the process-global ``random`` module, OS
+entropy, object identity, or hash-order iteration — silently varies
+between runs and invalidates every benchmark downstream.
+
+Codes
+-----
+DET001
+    Wall-clock read (``time.time``, ``datetime.now``, ...).
+DET002
+    Call into the process-global ``random`` module state.
+DET003
+    OS entropy source (``os.urandom``, ``uuid.uuid4``, ``secrets``).
+DET004
+    Sort key built from ``id()``/``hash()`` — interpreter-run
+    dependent ordering.
+DET005
+    Order-sensitive iteration over a ``set``/``frozenset``.
+
+For DET005 note the asymmetry with dicts: CPython dicts preserve
+insertion order (guaranteed since 3.7), so iterating a dict populated
+deterministically is deterministic; sets never make that promise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Union
+
+from repro.analysis.base import Checker, SourceFile, register
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.names import ImportMap
+
+WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.clock_gettime", "time.localtime",
+    "time.gmtime", "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+GLOBAL_RANDOM = frozenset({
+    f"random.{name}" for name in (
+        "random", "uniform", "randint", "randrange", "getrandbits",
+        "choice", "choices", "shuffle", "sample", "betavariate",
+        "binomialvariate", "expovariate", "gammavariate", "gauss",
+        "lognormvariate", "normalvariate", "vonmisesvariate",
+        "paretovariate", "weibullvariate", "triangular", "seed",
+        "setstate",
+    )
+})
+
+ENTROPY_SOURCES = frozenset({
+    "os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
+    "random.SystemRandom",
+})
+
+#: Builtins whose ``key=`` argument orders the result.
+_ORDERING_CALLS = frozenset({"sorted", "min", "max"})
+
+#: ``list(s)``/``tuple(s)``/... materialize the set's hash order.
+_MATERIALIZERS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _is_set_annotation(node: ast.AST, imports: ImportMap) -> bool:
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    qualname = imports.qualname(node)
+    return qualname in {
+        "set", "frozenset", "Set", "FrozenSet",
+        "typing.Set", "typing.FrozenSet", "typing.AbstractSet",
+        "typing.MutableSet",
+    }
+
+
+class _SetOrderVisitor(ast.NodeVisitor):
+    """Flags order-sensitive consumption of set-typed expressions.
+
+    Local type inference is deliberately simple and conservative: a
+    name counts as set-typed only when *every* assignment to it in the
+    enclosing scope is a set expression, so rebinding a set to its
+    ``sorted(...)`` form clears the taint.  ``self.<attr>`` names
+    assigned a set anywhere in the module (the ``self._active: set``
+    idiom) are tracked too.
+    """
+
+    def __init__(self, checker: "DeterminismChecker", file: SourceFile):
+        self._checker = checker
+        self._file = file
+        self._imports = file.imports
+        self.diagnostics: List[Diagnostic] = []
+        self._self_set_attrs = self._collect_self_attrs(file.tree)
+        #: Stack of {name: is-set-everywhere} scopes; [0] is module scope.
+        self._scopes: List[Dict[str, bool]] = [
+            self._scope_bindings(file.tree)]
+
+    # -- scope bookkeeping --------------------------------------------------
+
+    def _collect_self_attrs(self, tree: ast.Module) -> Set[str]:
+        attrs: Set[str] = set()
+        for node in ast.walk(tree):
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = list(node.targets), node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets, value = [node.target], node.value
+                if (_is_set_annotation(node.annotation, self._imports)
+                        and isinstance(node.target, ast.Attribute)
+                        and isinstance(node.target.value, ast.Name)
+                        and node.target.value.id == "self"):
+                    attrs.add(node.target.attr)
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and value is not None
+                        and self._is_set_literal(value)):
+                    attrs.add(target.attr)
+        return attrs
+
+    def _scope_bindings(self, scope: ast.AST) -> Dict[str, bool]:
+        bindings: Dict[str, bool] = {}
+        for node in self._walk_scope(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        is_set = self._is_set_literal(node.value)
+                        previous = bindings.get(target.id, True)
+                        bindings[target.id] = previous and is_set
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    is_set = (
+                        _is_set_annotation(node.annotation, self._imports)
+                        or (node.value is not None
+                            and self._is_set_literal(node.value)))
+                    previous = bindings.get(node.target.id, True)
+                    bindings[node.target.id] = previous and is_set
+            elif isinstance(node, (ast.For, ast.AugAssign, ast.withitem)):
+                # Loop targets and augmented assignment taint nothing,
+                # but a name rebound by them is no longer known-set.
+                target = getattr(node, "target", None) or getattr(
+                    node, "optional_vars", None)
+                if isinstance(target, ast.Name):
+                    bindings[target.id] = False
+        return {name: True for name, is_set in bindings.items() if is_set}
+
+    @staticmethod
+    def _walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+        """Walk a function/module body without entering nested defs."""
+        body = getattr(scope, "body", [])
+        stack: List[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda, ast.ClassDef)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    # -- set-expression predicate -------------------------------------------
+
+    def _is_set_literal(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return self._imports.qualname(node.func) in {"set", "frozenset"}
+        return False
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if self._is_set_literal(node):
+            return True
+        if isinstance(node, ast.Name):
+            for scope in reversed(self._scopes):
+                if node.id in scope:
+                    return True
+            return False
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            return node.attr in self._self_set_attrs
+        return False
+
+    # -- flagged constructs ---------------------------------------------------
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.diagnostics.append(self._checker.at(
+            self._file.path, node, "DET005",
+            f"{what} iterates a set in hash order; wrap it in sorted() "
+            "or use an insertion-ordered structure"))
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scopes.append(self._scope_bindings(node))
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set_expr(node.iter):
+            self._flag(node.iter, "this for loop")
+        self.generic_visit(node)
+
+    def _check_comprehension(
+            self, node: Union[ast.ListComp, ast.DictComp]) -> None:
+        for generator in node.generators:
+            if self._is_set_expr(generator.iter):
+                self._flag(generator.iter, "this comprehension")
+        self.generic_visit(node)
+
+    # SetComp/GeneratorExp outputs are order-free or consumer-dependent;
+    # only comprehensions with ordered outputs are flagged.
+    visit_ListComp = _check_comprehension  # type: ignore[assignment]
+    visit_DictComp = _check_comprehension  # type: ignore[assignment]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        qualname = self._imports.qualname(node.func)
+        if (qualname in _MATERIALIZERS and len(node.args) == 1
+                and not node.keywords
+                and self._is_set_expr(node.args[0])):
+            self._flag(node, f"{qualname}() over a set")
+        self.generic_visit(node)
+
+
+@register
+class DeterminismChecker(Checker):
+    """Forbids every known source of run-to-run nondeterminism."""
+
+    name = "determinism"
+    codes = {
+        "DET001": "wall-clock read inside deterministic code",
+        "DET002": "use of the process-global random module state",
+        "DET003": "OS entropy source",
+        "DET004": "ordering by id()/hash()",
+        "DET005": "order-sensitive iteration over a set",
+    }
+    scope = ("repro",)
+
+    def check_file(self, file: SourceFile) -> Iterable[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        imports = file.imports
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualname = imports.qualname(node.func)
+            if qualname in WALL_CLOCK:
+                diagnostics.append(self.at(
+                    file.path, node, "DET001",
+                    f"{qualname}() reads the wall clock; simulation time "
+                    "is Environment.now"))
+            elif qualname in GLOBAL_RANDOM:
+                diagnostics.append(self.at(
+                    file.path, node, "DET002",
+                    f"{qualname}() draws from the process-global stream; "
+                    "use an injected random.Random "
+                    "(see repro.sim.rng.RandomStreams)"))
+            elif (qualname in ENTROPY_SOURCES
+                    or (qualname or "").startswith("secrets.")):
+                diagnostics.append(self.at(
+                    file.path, node, "DET003",
+                    f"{qualname} is an OS entropy source; derive all "
+                    "randomness from the seeded RandomStreams family"))
+            diagnostics.extend(self._check_sort_key(file, node, imports))
+        visitor = _SetOrderVisitor(self, file)
+        visitor.visit(file.tree)
+        diagnostics.extend(visitor.diagnostics)
+        return diagnostics
+
+    def _check_sort_key(self, file: SourceFile, node: ast.Call,
+                        imports: ImportMap) -> Iterable[Diagnostic]:
+        qualname = imports.qualname(node.func)
+        is_ordering = qualname in _ORDERING_CALLS or (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "sort")
+        if not is_ordering:
+            return
+        for keyword in node.keywords:
+            if keyword.arg != "key":
+                continue
+            for name in ast.walk(keyword.value):
+                if isinstance(name, ast.Name) and name.id in ("id", "hash"):
+                    yield self.at(
+                        file.path, node, "DET004",
+                        f"sort key uses {name.id}(); object identity and "
+                        "hashes vary between interpreter runs")
+                    break

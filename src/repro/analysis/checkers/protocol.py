@@ -1,0 +1,210 @@
+"""Protocol-completeness checks across the whole analyzed tree.
+
+The RPC fabric drops messages with no registered handler on the floor
+(like a real server, see ``RpcEndpoint._dispatch``) — so a typo'd kind
+string in a ``call``/``cast`` wedges a protocol silently.  Likewise, a
+transaction state nobody ever transitions into means the state machine
+and the paper's §3.1 have drifted apart.  Both are cross-module
+properties, so this checker accumulates per-file facts and judges them
+in :meth:`check_project`.
+
+Run it over the *full* tree (``python -m repro.analysis src``): on a
+single file, sends whose handlers live in another module would be
+reported as unhandled.
+
+Codes
+-----
+PROTO001
+    A message kind is sent (``endpoint.call``/``cast``) but no
+    endpoint anywhere registers a handler for it.
+PROTO002
+    A handler is registered for a kind that is never sent (dead
+    handler; warning).
+PROTO003
+    A member of a ``*State`` enum is never referenced outside its
+    defining module: unreachable in any transition.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.base import Checker, SourceFile, register
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.names import dotted_parts
+
+#: Enum base classes that make a ``*State`` class a state machine.
+_ENUM_BASES = frozenset({
+    "enum.Enum", "enum.IntEnum", "enum.Flag", "enum.IntFlag",
+    "Enum", "IntEnum", "Flag", "IntFlag",
+})
+
+
+@dataclass(frozen=True)
+class _Site:
+    path: str
+    line: int
+    col: int
+
+    def node(self) -> ast.AST:
+        placeholder = ast.Pass()
+        placeholder.lineno = self.line
+        placeholder.col_offset = self.col
+        return placeholder
+
+
+@register
+class ProtocolChecker(Checker):
+    """Cross-checks message kinds and state-machine reachability."""
+
+    name = "protocol"
+    codes = {
+        "PROTO001": "message kind sent but never handled",
+        "PROTO002": "handler registered for a kind never sent",
+        "PROTO003": "state enum member unreachable outside its module",
+    }
+    scope = ("repro",)
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, List[_Site]] = {}
+        self._sends: Dict[str, List[_Site]] = {}
+        #: enum class name -> (defining module, {member: site})
+        self._enums: Dict[str, Tuple[str, Dict[str, _Site]]] = {}
+        #: (owner name, attribute) -> modules referencing it
+        self._attr_uses: Dict[Tuple[str, str], Set[str]] = {}
+        #: bare class-name references -> modules
+        self._name_uses: Dict[str, Set[str]] = {}
+
+    # -- per-file collection ---------------------------------------------------
+
+    def check_file(self, file: SourceFile) -> Iterable[Diagnostic]:
+        consumed: Set[int] = set()
+        annotation_nodes = self._annotation_nodes(file.tree)
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Call):
+                self._collect_endpoint_call(file, node)
+            elif isinstance(node, ast.ClassDef):
+                self._collect_state_enum(file, node)
+            elif isinstance(node, ast.Attribute) and id(node) not in consumed:
+                parts = dotted_parts(node)
+                if parts is None:
+                    continue
+                for child in ast.walk(node):
+                    consumed.add(id(child))
+                for owner, attribute in zip(parts, parts[1:]):
+                    self._attr_uses.setdefault(
+                        (owner, attribute), set()).add(file.module)
+                # A chain *ending* in an uppercase name passes the class
+                # itself around: treat every member as referenced.
+                if (parts[-1][:1].isupper()
+                        and id(node) not in annotation_nodes):
+                    self._name_uses.setdefault(
+                        parts[-1], set()).add(file.module)
+            elif isinstance(node, ast.Name) and id(node) not in consumed:
+                if (node.id[:1].isupper()
+                        and id(node) not in annotation_nodes):
+                    self._name_uses.setdefault(
+                        node.id, set()).add(file.module)
+        return ()
+
+    @staticmethod
+    def _annotation_nodes(tree: ast.Module) -> Set[int]:
+        """Node ids inside type annotations.
+
+        Naming a class in an annotation does not make its members
+        reachable — only real value references do.
+        """
+        roots: List[Optional[ast.expr]] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign):
+                roots.append(node.annotation)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                roots.append(node.returns)
+            elif isinstance(node, ast.arg):
+                roots.append(node.annotation)
+        ids: Set[int] = set()
+        for root in roots:
+            if root is not None:
+                for node in ast.walk(root):
+                    ids.add(id(node))
+        return ids
+
+    def _collect_endpoint_call(self, file: SourceFile,
+                               node: ast.Call) -> None:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        method = node.func.attr
+        if method not in ("on", "call", "cast"):
+            return
+        receiver = dotted_parts(node.func.value)
+        if not receiver or not receiver[-1].endswith("endpoint"):
+            return
+        kind_index = 0 if method == "on" else 1
+        if len(node.args) <= kind_index:
+            return
+        kind_node = node.args[kind_index]
+        if not (isinstance(kind_node, ast.Constant)
+                and isinstance(kind_node.value, str)):
+            return  # dynamic kind: out of static reach
+        site = _Site(file.path, kind_node.lineno, kind_node.col_offset)
+        bucket = self._handlers if method == "on" else self._sends
+        bucket.setdefault(kind_node.value, []).append(site)
+
+    def _collect_state_enum(self, file: SourceFile,
+                            node: ast.ClassDef) -> None:
+        if not node.name.endswith("State"):
+            return
+        base_names = {file.imports.qualname(base) for base in node.bases}
+        if not (base_names & _ENUM_BASES):
+            return
+        members: Dict[str, _Site] = {}
+        for statement in node.body:
+            if isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    if (isinstance(target, ast.Name)
+                            and not target.id.startswith("_")):
+                        members[target.id] = _Site(
+                            file.path, target.lineno, target.col_offset)
+        if members:
+            self._enums[node.name] = (file.module, members)
+
+    # -- project-level verdicts ---------------------------------------------------
+
+    def check_project(self) -> Iterable[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        for kind in sorted(self._sends):
+            if kind in self._handlers:
+                continue
+            for site in self._sends[kind]:
+                diagnostics.append(self.at(
+                    site.path, site.node(), "PROTO001",
+                    f"message kind {kind!r} is sent here but no endpoint "
+                    "registers a handler for it; the RPC layer will drop "
+                    "it silently"))
+        for kind in sorted(self._handlers):
+            if kind in self._sends:
+                continue
+            for site in self._handlers[kind]:
+                diagnostics.append(self.at(
+                    site.path, site.node(), "PROTO002",
+                    f"handler for kind {kind!r} is registered but nothing "
+                    "in the tree sends it",
+                    severity=Severity.WARNING))
+        for class_name in sorted(self._enums):
+            defining_module, members = self._enums[class_name]
+            wildcard = self._name_uses.get(class_name, set())
+            if wildcard - {defining_module}:
+                continue  # the class itself is passed around: all reachable
+            for member in sorted(members):
+                uses = self._attr_uses.get((class_name, member), set())
+                if uses - {defining_module}:
+                    continue
+                site = members[member]
+                diagnostics.append(self.at(
+                    site.path, site.node(), "PROTO003",
+                    f"state {class_name}.{member} is never referenced "
+                    f"outside {defining_module}; it is unreachable in "
+                    "any transition"))
+        return diagnostics

@@ -1,0 +1,108 @@
+"""RNG-discipline checks: randomness is injected, never improvised.
+
+The convention (see ``repro.sim.rng`` and the ``sample(self, rng)``
+signatures throughout ``repro.net.latency`` / ``repro.workload``): a
+stochastic function takes an explicit ``random.Random`` and the only
+place streams are *constructed* is the seeded
+:class:`~repro.sim.rng.RandomStreams` factory.  Ad-hoc construction
+forks an unregistered stream — reordering draws and quietly decoupling
+components from the master seed.
+
+Codes
+-----
+RNG001
+    RNG constructed with no seed: seeded from OS entropy, so every run
+    differs.
+RNG002
+    Ad-hoc (even seeded) RNG construction outside the RandomStreams
+    factory.
+RNG003
+    Call into numpy's module-global RNG.
+RNG004
+    RNG constructed in a default argument: evaluated once at import,
+    the stream is shared by every caller.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.analysis.base import Checker, SourceFile, register
+from repro.analysis.diagnostics import Diagnostic
+
+CONSTRUCTORS = frozenset({
+    "random.Random",
+    "numpy.random.RandomState",
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+})
+
+#: numpy.random attributes that are types/factories, not global draws.
+_NUMPY_NON_DRAWS = frozenset({
+    "RandomState", "Generator", "default_rng", "SeedSequence",
+    "BitGenerator", "MT19937", "PCG64", "PCG64DXSM", "Philox", "SFC64",
+})
+
+
+@register
+class RngDisciplineChecker(Checker):
+    """Every stochastic component draws from an injected stream."""
+
+    name = "rng-discipline"
+    codes = {
+        "RNG001": "RNG constructed without a seed",
+        "RNG002": "ad-hoc RNG construction outside the stream factory",
+        "RNG003": "module-global numpy RNG call",
+        "RNG004": "RNG constructed in a default argument",
+    }
+    scope = ("repro",)
+
+    def check_file(self, file: SourceFile) -> Iterable[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        in_default: Set[int] = set()
+        for node in ast.walk(file.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None]
+                for default in defaults:
+                    diagnostics.extend(
+                        self._check_default(file, default, in_default))
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call) or id(node) in in_default:
+                continue
+            qualname = file.imports.qualname(node.func)
+            if qualname is None:
+                continue
+            if qualname in CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    diagnostics.append(self.at(
+                        file.path, node, "RNG001",
+                        f"{qualname}() with no seed draws its state from "
+                        "OS entropy; every run will differ"))
+                else:
+                    diagnostics.append(self.at(
+                        file.path, node, "RNG002",
+                        f"ad-hoc {qualname}(...) forks a stream outside "
+                        "the seeded RandomStreams factory; inject an rng "
+                        "instead"))
+            elif (qualname.startswith("numpy.random.")
+                    and qualname.rsplit(".", 1)[1] not in _NUMPY_NON_DRAWS):
+                diagnostics.append(self.at(
+                    file.path, node, "RNG003",
+                    f"{qualname}() uses numpy's module-global RNG; use a "
+                    "Generator built from the master seed"))
+        return diagnostics
+
+    def _check_default(self, file: SourceFile, default: ast.expr,
+                       in_default: Set[int]) -> Iterable[Diagnostic]:
+        for node in ast.walk(default):
+            if (isinstance(node, ast.Call)
+                    and file.imports.qualname(node.func) in CONSTRUCTORS):
+                in_default.add(id(node))
+                yield self.at(
+                    file.path, node, "RNG004",
+                    "an RNG in a default argument is built once at import "
+                    "and shared by every caller; default to None and "
+                    "require an explicit stream")

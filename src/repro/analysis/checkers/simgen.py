@@ -1,0 +1,173 @@
+"""Sim-process discipline: kernel processes are well-formed generators.
+
+``Environment.process`` drives a *generator* that yields
+:class:`~repro.sim.kernel.Event` objects.  Passing a plain function
+crashes at start-up; yielding a non-event crashes mid-run with a
+``SimulationError``; calling blocking stdlib I/O stalls the host while
+virtual time stands still.  All three are detectable before a tick
+runs.
+
+Codes
+-----
+SIM001
+    ``env.process(f(...))`` where ``f`` contains no ``yield``.
+SIM002
+    A kernel process yields an obvious non-event (bare ``yield``,
+    constant, or container literal).
+SIM003
+    Blocking host I/O (``time.sleep``, ``open``, ``socket``, ...)
+    inside simulation code.  ``repro.harness`` is exempt: it runs on
+    the host side and legitimately writes reports.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from repro.analysis.base import Checker, SourceFile, register, within
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.names import dotted_parts
+
+_FunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+BLOCKING_CALLS = frozenset({
+    "time.sleep", "os.system", "os.popen", "input", "open",
+    "io.open", "os.fork", "os.wait",
+})
+
+BLOCKING_PREFIXES = (
+    "socket.", "subprocess.", "urllib.", "requests.", "http.client.",
+    "shutil.", "multiprocessing.", "threading.",
+)
+
+#: Host-side packages exempt from the blocking-I/O rule.
+_HOST_SIDE = ("repro.harness",)
+
+
+def _walk_own_body(function: _FunctionDef) -> Iterator[ast.AST]:
+    """Walk a function's statements without entering nested defs."""
+    stack: List[ast.AST] = list(function.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_generator(function: _FunctionDef) -> bool:
+    return any(isinstance(node, (ast.Yield, ast.YieldFrom))
+               for node in _walk_own_body(function))
+
+
+@register
+class SimProcessChecker(Checker):
+    """Statically validates functions handed to ``env.process``."""
+
+    name = "sim-process"
+    codes = {
+        "SIM001": "process target is not a generator",
+        "SIM002": "kernel process yields a non-event value",
+        "SIM003": "blocking host I/O inside simulation code",
+    }
+    scope = ("repro",)
+
+    def check_file(self, file: SourceFile) -> Iterable[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        functions = self._functions_by_name(file.tree)
+        targets: Dict[int, _FunctionDef] = {}
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            self._check_process_call(file, node, functions, targets,
+                                     diagnostics)
+            if not any(within(file.module, pkg) for pkg in _HOST_SIDE):
+                self._check_blocking(file, node, diagnostics)
+        for target in sorted(targets.values(), key=lambda f: f.lineno):
+            self._check_yields(file, target, diagnostics)
+        return diagnostics
+
+    # -- collection -----------------------------------------------------------
+
+    @staticmethod
+    def _functions_by_name(
+            tree: ast.Module) -> Dict[str, List[_FunctionDef]]:
+        functions: Dict[str, List[_FunctionDef]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions.setdefault(node.name, []).append(node)
+        return functions
+
+    # -- SIM001 ----------------------------------------------------------------
+
+    def _check_process_call(self, file: SourceFile, node: ast.Call,
+                            functions: Dict[str, List[_FunctionDef]],
+                            targets: Dict[int, _FunctionDef],
+                            diagnostics: List[Diagnostic]) -> None:
+        if not (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "process"):
+            return
+        receiver = dotted_parts(node.func.value)
+        if not receiver or receiver[-1] not in ("env", "environment"):
+            return
+        if not node.args:
+            return
+        argument = node.args[0]
+        if not isinstance(argument, ast.Call):
+            return  # a pre-built generator object: nothing to resolve
+        callee: Optional[str] = None
+        if isinstance(argument.func, ast.Name):
+            callee = argument.func.id
+        elif (isinstance(argument.func, ast.Attribute)
+                and isinstance(argument.func.value, ast.Name)
+                and argument.func.value.id == "self"):
+            callee = argument.func.attr
+        if callee is None:
+            return
+        candidates = functions.get(callee, [])
+        if not candidates:
+            return  # defined elsewhere; out of this file's reach
+        if not any(_is_generator(candidate) for candidate in candidates):
+            diagnostics.append(self.at(
+                file.path, argument, "SIM001",
+                f"{callee}() contains no yield; env.process() needs a "
+                "generator, this call would crash at start-up"))
+            return
+        for candidate in candidates:
+            targets[candidate.lineno] = candidate
+
+    # -- SIM002 -----------------------------------------------------------------
+
+    def _check_yields(self, file: SourceFile, function: _FunctionDef,
+                      diagnostics: List[Diagnostic]) -> None:
+        for node in _walk_own_body(function):
+            if not isinstance(node, ast.Yield):
+                continue
+            value = node.value
+            if value is None:
+                diagnostics.append(self.at(
+                    file.path, node, "SIM002",
+                    f"bare yield in kernel process {function.name}() "
+                    "yields None; processes may only yield Event objects"))
+            elif isinstance(value, (ast.Constant, ast.Tuple, ast.List,
+                                    ast.Dict, ast.Set, ast.JoinedStr)):
+                diagnostics.append(self.at(
+                    file.path, node, "SIM002",
+                    f"kernel process {function.name}() yields a literal; "
+                    "processes may only yield Event objects"))
+
+    # -- SIM003 -------------------------------------------------------------------
+
+    def _check_blocking(self, file: SourceFile, node: ast.Call,
+                        diagnostics: List[Diagnostic]) -> None:
+        qualname = file.imports.qualname(node.func)
+        if qualname is None:
+            return
+        if (qualname in BLOCKING_CALLS
+                or qualname.startswith(BLOCKING_PREFIXES)):
+            diagnostics.append(self.at(
+                file.path, node, "SIM003",
+                f"{qualname}() blocks the host process; simulation code "
+                "must wait on virtual time (env.timeout) instead"))

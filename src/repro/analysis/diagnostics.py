@@ -1,0 +1,83 @@
+"""Diagnostic records and output rendering.
+
+Every checker finding is a :class:`Diagnostic` anchored to one source
+location.  The canonical text form is ``path:line: CODE message`` so
+editors and CI annotators can jump straight to the offending line; the
+JSON form carries the same fields machine-readably.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Tuple
+
+
+class Severity(enum.Enum):
+    """How serious a finding is.
+
+    ``ERROR`` findings break the reproducibility or protocol contract
+    outright.  ``WARNING`` findings are advisory (e.g. dead handlers)
+    but still make the CLI exit non-zero so they cannot accumulate
+    silently.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, anchored to ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+    checker: str = ""
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def format(self) -> str:
+        tag = "" if self.severity is Severity.ERROR else f" [{self.severity.value}]"
+        return f"{self.path}:{self.line}: {self.code} {self.message}{tag}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "checker": self.checker,
+        }
+
+
+def render_text(diagnostics: Iterable[Diagnostic]) -> str:
+    """The one-line-per-finding form consumed by humans and editors."""
+    return "\n".join(diag.format() for diag in diagnostics)
+
+
+def render_json(diagnostics: Iterable[Diagnostic], *,
+                files_analyzed: int = 0, suppressed: int = 0) -> str:
+    """A stable machine-readable report (``--format=json``)."""
+    diags: List[Diagnostic] = list(diagnostics)
+    payload: Dict[str, Any] = {
+        "version": 1,
+        "findings": [diag.to_dict() for diag in diags],
+        "summary": {
+            "total": len(diags),
+            "errors": sum(1 for d in diags if d.severity is Severity.ERROR),
+            "warnings": sum(
+                1 for d in diags if d.severity is Severity.WARNING),
+            "files_analyzed": files_analyzed,
+            "suppressed": suppressed,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,84 @@
+"""Resolving dotted call targets through a module's imports.
+
+Checkers need to know that ``dt.datetime.now()`` is really
+``datetime.datetime.now`` and that a bare ``randint(1, 6)`` came from
+``from random import randint``.  :class:`ImportMap` records every
+alias a module binds (including function-local imports) and rewrites a
+``Name``/``Attribute`` chain to its fully qualified dotted form.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+
+def dotted_parts(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-name expressions."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+class ImportMap:
+    """Maps local names to the qualified names they were imported as."""
+
+    def __init__(self, tree: ast.AST, module: str = "") -> None:
+        #: local binding -> fully qualified dotted name
+        self.aliases: Dict[str, str] = {}
+        package = module.rsplit(".", 1)[0] if "." in module else ""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        # ``import a.b.c`` binds the root package ``a``.
+                        root = alias.name.split(".", 1)[0]
+                        self.aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from(node, package)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = (
+                        f"{base}.{alias.name}" if base else alias.name)
+
+    @staticmethod
+    def _resolve_from(node: ast.ImportFrom, package: str) -> Optional[str]:
+        if node.level == 0:
+            return node.module or ""
+        # Relative import: walk ``level - 1`` packages up from the
+        # importing module's package.  Without a known package the
+        # target cannot be resolved; skip rather than guess.
+        if not package:
+            return None
+        parts = package.split(".")
+        cut = node.level - 1
+        if cut > len(parts):
+            return None
+        kept = parts[: len(parts) - cut]
+        if node.module:
+            kept.append(node.module)
+        return ".".join(kept)
+
+    def qualname(self, node: ast.AST) -> Optional[str]:
+        """Fully qualified dotted name of a ``Name``/``Attribute`` chain.
+
+        The chain's root is rewritten through the alias table; builtins
+        and local variables resolve to themselves.
+        """
+        parts = dotted_parts(node)
+        if parts is None:
+            return None
+        root = self.aliases.get(parts[0], parts[0])
+        return ".".join([root, *parts[1:]])

@@ -1,0 +1,206 @@
+"""File discovery and checker execution.
+
+The runner walks the given paths in sorted order (the linter itself
+must be deterministic), parses each ``*.py`` file, derives its dotted
+module name, and feeds it to every checker whose scope matches.  After
+the last file, project-level checks run (protocol completeness needs
+the whole picture).
+
+Module naming: a file under a ``src/`` directory is named by its path
+below it (``src/repro/net/rpc.py`` -> ``repro.net.rpc``); otherwise a
+path containing a ``repro`` package is named from there; otherwise the
+bare stem.  A file may override this with a directive in its first few
+lines::
+
+    # repro: module=repro.sim.fixture_clock
+
+which is how test fixtures place themselves inside a checker's scope.
+
+Directories named ``fixtures`` (deliberate-violation corpora),
+``__pycache__``, and hidden directories are skipped when walking;
+explicitly listed files are always analyzed.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Type
+
+from repro.analysis.base import Checker, SourceFile, all_checkers
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.names import ImportMap
+from repro.analysis.suppressions import Suppressions
+
+#: Directory basenames pruned while walking (never applied to paths the
+#: caller names explicitly).
+EXCLUDED_DIRS = frozenset({
+    "__pycache__", "fixtures", "build", "dist", ".git", ".hg", ".tox",
+    ".venv", "venv", "node_modules",
+})
+
+_MODULE_DIRECTIVE = re.compile(
+    r"^#\s*repro:\s*module=([A-Za-z_][A-Za-z0-9_.]*)\s*$")
+
+#: How many leading lines may carry a ``module=`` directive.
+_DIRECTIVE_WINDOW = 10
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield ``*.py`` files under ``paths`` in deterministic order."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    name for name in dirnames
+                    if name not in EXCLUDED_DIRS
+                    and not name.startswith("."))
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+
+
+def module_name_for(path: str, source: str = "") -> str:
+    """The dotted module name a file will be analyzed as."""
+    for line in source.splitlines()[:_DIRECTIVE_WINDOW]:
+        match = _MODULE_DIRECTIVE.match(line.strip())
+        if match:
+            return match.group(1)
+    normalized = os.path.normpath(path)
+    parts = list(os.path.splitdrive(normalized)[1].split(os.sep))
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "src" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("src")
+        tail = parts[anchor + 1:]
+        if tail:
+            return ".".join(tail)
+    if "repro" in parts:
+        return ".".join(parts[parts.index("repro"):])
+    return parts[-1] if parts else "unknown"
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one run produced."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    files_analyzed: int = 0
+    suppressed: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for d in self.diagnostics
+                   if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for d in self.diagnostics
+                   if d.severity is Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def summary(self) -> str:
+        return (f"{len(self.diagnostics)} finding(s) "
+                f"({self.errors} error(s), {self.warnings} warning(s)) "
+                f"in {self.files_analyzed} file(s); "
+                f"{self.suppressed} suppressed")
+
+
+@dataclass
+class _Loaded:
+    file: SourceFile
+    suppressions: Optional[Suppressions]
+
+
+#: Diagnostic code for files the runner itself could not analyze.
+PARSE_CODE = "PARSE"
+
+
+def _run(loaded: Sequence[_Loaded],
+         checker_types: Sequence[Type[Checker]],
+         pre_diagnostics: Sequence[Diagnostic]) -> AnalysisReport:
+    checkers = [cls() for cls in checker_types]
+    report = AnalysisReport(files_analyzed=len(loaded))
+    report.diagnostics.extend(pre_diagnostics)
+    by_path: Dict[str, Suppressions] = {}
+    for item in loaded:
+        if item.suppressions is not None:
+            by_path[item.file.path] = item.suppressions
+
+    def emit(diagnostic: Diagnostic) -> None:
+        suppressions = by_path.get(diagnostic.path)
+        if suppressions is not None and suppressions.is_suppressed(diagnostic):
+            report.suppressed += 1
+        else:
+            report.diagnostics.append(diagnostic)
+
+    for item in loaded:
+        for checker in checkers:
+            if not checker.applies_to(item.file.module):
+                continue
+            for diagnostic in checker.check_file(item.file):
+                emit(diagnostic)
+    for checker in checkers:
+        for diagnostic in checker.check_project():
+            emit(diagnostic)
+    report.diagnostics.sort(key=lambda d: d.sort_key)
+    return report
+
+
+def analyze_paths(paths: Sequence[str],
+                  checkers: Optional[Sequence[Type[Checker]]] = None,
+                  respect_suppressions: bool = True) -> AnalysisReport:
+    """Analyze files and directories; the CLI's engine."""
+    checker_types = (list(checkers) if checkers is not None
+                     else list(all_checkers().values()))
+    loaded: List[_Loaded] = []
+    pre: List[Diagnostic] = []
+    for path in iter_python_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            tree = ast.parse(source, filename=path)
+        except (OSError, SyntaxError, ValueError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            pre.append(Diagnostic(
+                path=path, line=int(line), col=0, code=PARSE_CODE,
+                message=f"could not analyze file: {exc}",
+                severity=Severity.ERROR, checker="runner"))
+            continue
+        module = module_name_for(path, source)
+        loaded.append(_Loaded(
+            file=SourceFile(path=path, module=module, source=source,
+                            tree=tree, imports=ImportMap(tree, module)),
+            suppressions=(Suppressions.scan(source)
+                          if respect_suppressions else None)))
+    report = _run(loaded, checker_types, pre)
+    report.files_analyzed = len(loaded) + len(pre)
+    return report
+
+
+def analyze_source(source: str, path: str = "<memory>",
+                   module: Optional[str] = None,
+                   checkers: Optional[Sequence[Type[Checker]]] = None,
+                   respect_suppressions: bool = True) -> List[Diagnostic]:
+    """Analyze one in-memory module; the test-suite's engine."""
+    checker_types = (list(checkers) if checkers is not None
+                     else list(all_checkers().values()))
+    tree = ast.parse(source, filename=path)
+    resolved = module if module is not None else module_name_for(path, source)
+    loaded = _Loaded(
+        file=SourceFile(path=path, module=resolved, source=source,
+                        tree=tree, imports=ImportMap(tree, resolved)),
+        suppressions=(Suppressions.scan(source)
+                      if respect_suppressions else None))
+    return _run([loaded], checker_types, []).diagnostics

@@ -1,0 +1,54 @@
+"""Inline suppression comments.
+
+A finding can be silenced at its line or for a whole file:
+
+- ``# repro: allow[DET001]`` on the flagged line suppresses that code
+  there; several codes may be listed: ``allow[DET001,RNG002]``.
+- ``# repro: allow[*]`` suppresses every code on the line.
+- ``# repro: allow-file[RNG002]`` (conventionally near the top of the
+  file) suppresses the code file-wide; ``allow-file[*]`` silences the
+  whole file.
+
+Suppressions are matched against the *reported* line of a diagnostic,
+which for multi-line statements is the line the statement starts on.
+The scan is textual, so the marker is recognised even inside a string
+literal — do not spell the marker in test data you want linted.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Set
+
+from repro.analysis.diagnostics import Diagnostic
+
+_MARKER = re.compile(r"#\s*repro:\s*(allow|allow-file)\[([^\]]+)\]")
+
+
+class Suppressions:
+    """The suppression markers of one source file."""
+
+    def __init__(self) -> None:
+        self.file_codes: Set[str] = set()
+        self.line_codes: Dict[int, Set[str]] = {}
+
+    @classmethod
+    def scan(cls, source: str) -> "Suppressions":
+        result = cls()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            for kind, codes in _MARKER.findall(line):
+                names = {code.strip() for code in codes.split(",")
+                         if code.strip()}
+                if kind == "allow-file":
+                    result.file_codes.update(names)
+                else:
+                    result.line_codes.setdefault(lineno, set()).update(names)
+        return result
+
+    def is_suppressed(self, diagnostic: Diagnostic) -> bool:
+        if "*" in self.file_codes or diagnostic.code in self.file_codes:
+            return True
+        at_line = self.line_codes.get(diagnostic.line)
+        if at_line is None:
+            return False
+        return "*" in at_line or diagnostic.code in at_line

@@ -1,0 +1,24 @@
+# repro: module=repro.core.fixture_global_random
+"""Deliberate DET002/DET003 violations: global RNG state, OS entropy."""
+
+import os
+import random
+import uuid
+from random import randint
+
+
+def jitter_ms():
+    return random.random() * 5.0  # expect[DET002]
+
+
+def reseed():
+    random.seed(42)  # expect[DET002]
+
+
+def roll():
+    return randint(1, 6)  # expect[DET002]
+
+
+def token():
+    seed = os.urandom(8)  # expect[DET003]
+    return seed, uuid.uuid4()  # expect[DET003]

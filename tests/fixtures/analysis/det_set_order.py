@@ -1,0 +1,22 @@
+# repro: module=repro.storage.fixture_set_order
+"""Deliberate DET004/DET005 violations: hash-order scheduling."""
+
+
+def fan_out(replicas, send):
+    pending = set(replicas)
+    for replica in pending:  # expect[DET005]
+        send(replica)
+
+
+def dispatch_order(handlers):
+    return sorted(handlers, key=id)  # expect[DET004]
+
+
+def snapshot(keys):
+    return list({key for key in keys})  # expect[DET005]
+
+
+def safe_fan_out(replicas, send):
+    # Clean: sorted() pins the order, so no diagnostics below.
+    for replica in sorted(set(replicas)):
+        send(replica)

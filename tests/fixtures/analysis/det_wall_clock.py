@@ -1,0 +1,20 @@
+# repro: module=repro.sim.fixture_wall_clock
+"""Deliberate DET001 violations: wall-clock reads in sim-scoped code.
+
+Each expect marker names the diagnostic the test suite asserts on
+that line.  This file lives under ``tests/fixtures/`` so the
+tree-wide analysis run never visits it.
+"""
+
+import time
+from datetime import datetime
+from time import monotonic
+
+
+def stamp_event():
+    return time.time()  # expect[DET001]
+
+
+def stamp_fancy():
+    started = datetime.now()  # expect[DET001]
+    return started, monotonic()  # expect[DET001]

@@ -1,0 +1,19 @@
+# repro: module=repro.storage.fixture_proto_node
+"""Deliberate PROTO001/PROTO002 violations: kind/handler mismatches."""
+
+
+class FixtureNode:
+    def __init__(self, endpoint):
+        self.endpoint = endpoint
+        self.endpoint.on("fixture_read", self._on_read)
+        self.endpoint.on("fixture_drain", self._on_drain)  # expect[PROTO002]
+
+    def _on_read(self, payload, src):
+        return payload
+
+    def _on_drain(self, payload, src):
+        return None
+
+    def run(self):
+        self.endpoint.call("peer", "fixture_read", None)
+        self.endpoint.cast("peer", "fixture_write", None)  # expect[PROTO001]

@@ -1,0 +1,14 @@
+# repro: module=repro.core.fixture_states
+"""A state enum with an unreachable member (PROTO003).
+
+Analyzed together with ``proto_fixture_states_use.py``, which reaches
+every member except ZOMBIE.
+"""
+
+import enum
+
+
+class ReplicaState(enum.Enum):
+    ONLINE = "online"
+    OFFLINE = "offline"
+    ZOMBIE = "zombie"  # expect[PROTO003]

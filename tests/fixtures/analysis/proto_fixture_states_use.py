@@ -1,0 +1,8 @@
+# repro: module=repro.core.fixture_states_use
+"""Companion module: reaches every ReplicaState member but ZOMBIE."""
+
+from repro.core.fixture_states import ReplicaState
+
+
+def transition(online):
+    return ReplicaState.ONLINE if online else ReplicaState.OFFLINE

@@ -1,0 +1,23 @@
+# repro: module=repro.net.fixture_rng
+"""Deliberate RNG-discipline violations: ad-hoc stream construction."""
+
+import random
+
+import numpy as np
+
+
+def unseeded():
+    return random.Random()  # expect[RNG001]
+
+
+def ad_hoc(seed):
+    return random.Random(seed)  # expect[RNG002]
+
+
+def numpy_global(n):
+    np.random.seed(0)  # expect[RNG003]
+    return np.random.rand(n)  # expect[RNG003]
+
+
+def shared_default(rng=random.Random(7)):  # expect[RNG004]
+    return rng.random()

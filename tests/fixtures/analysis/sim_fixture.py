@@ -1,0 +1,25 @@
+# repro: module=repro.sim.fixture_process
+"""Deliberate SIM violations: broken kernel-process discipline."""
+
+import time
+
+
+def not_a_generator(env):
+    return env.timeout(5)
+
+
+def chatty(env):
+    yield env.timeout(1)
+    yield 5  # expect[SIM002]
+    yield  # expect[SIM002]
+
+
+def sleepy(env):
+    time.sleep(0.1)  # expect[SIM003]
+    yield env.timeout(1)
+
+
+def boot(env):
+    env.process(not_a_generator(env))  # expect[SIM001]
+    env.process(chatty(env))
+    env.process(sleepy(env))

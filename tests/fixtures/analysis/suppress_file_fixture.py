@@ -1,0 +1,14 @@
+# repro: module=repro.sim.fixture_suppress_file
+# repro: allow-file[DET001]
+"""File-wide suppression of one code; other codes still fire."""
+
+import random
+import time
+
+
+def clock():
+    return time.time()
+
+
+def draw():
+    return random.random()  # expect[DET002]

@@ -1,0 +1,16 @@
+# repro: module=repro.sim.fixture_suppress
+"""Line-level suppression syntax, analyzed with and without markers."""
+
+import time
+
+
+def suppressed_line():
+    return time.time()  # repro: allow[DET001]
+
+
+def suppressed_star():
+    return time.time()  # repro: allow[*]
+
+
+def unsuppressed():
+    return time.time()  # expect[DET001]

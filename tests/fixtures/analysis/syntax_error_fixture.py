@@ -1,0 +1,5 @@
+# repro: module=repro.sim.fixture_syntax
+"""Unparseable on purpose: the runner must report PARSE, not crash."""
+
+def broken(:
+    pass

@@ -1,0 +1,128 @@
+"""Framework behaviour: suppressions, scoping, CLI exit codes, JSON."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import (
+    analyze_paths,
+    analyze_source,
+    module_name_for,
+)
+from repro.analysis.__main__ import main
+
+ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "analysis"
+
+
+# -- suppressions -----------------------------------------------------------
+
+
+def test_line_suppressions_respected():
+    path = str(FIXTURES / "suppress_fixture.py")
+    report = analyze_paths([path])
+    assert [d.code for d in report.diagnostics] == ["DET001"]
+    assert report.suppressed == 2
+
+
+def test_no_suppress_reveals_everything():
+    path = str(FIXTURES / "suppress_fixture.py")
+    report = analyze_paths([path], respect_suppressions=False)
+    assert [d.code for d in report.diagnostics] == ["DET001"] * 3
+    assert report.suppressed == 0
+
+
+def test_file_level_suppression_filters_one_code():
+    path = str(FIXTURES / "suppress_file_fixture.py")
+    report = analyze_paths([path])
+    assert [d.code for d in report.diagnostics] == ["DET002"]
+    assert report.suppressed == 1
+
+
+# -- module naming and scoping -----------------------------------------------
+
+
+def test_module_name_from_src_layout():
+    assert module_name_for("src/repro/net/rpc.py") == "repro.net.rpc"
+    assert module_name_for("src/repro/sim/__init__.py") == "repro.sim"
+    assert module_name_for("tests/test_net.py") == "test_net"
+
+
+def test_module_directive_overrides_path():
+    source = "# repro: module=repro.sim.custom\nx = 1\n"
+    assert module_name_for("anywhere/odd.py", source) == "repro.sim.custom"
+
+
+def test_scope_gates_checkers():
+    source = "import time\n\n\ndef f():\n    return time.time()\n"
+    in_scope = analyze_source(source, module="repro.sim.clock")
+    assert [d.code for d in in_scope] == ["DET001"]
+    # Outside the repro tree the determinism contract does not apply.
+    assert analyze_source(source, module="scripts.clock") == []
+
+
+def test_fixture_directories_skipped_when_walking():
+    report = analyze_paths([str(ROOT / "tests")])
+    analyzed_fixture = any("fixtures" in d.path for d in report.diagnostics)
+    assert not analyzed_fixture and report.ok
+
+
+def test_syntax_errors_reported_not_raised():
+    report = analyze_paths([str(FIXTURES / "syntax_error_fixture.py")])
+    (diag,) = report.diagnostics
+    assert diag.code == "PARSE"
+
+
+# -- CLI ------------------------------------------------------------------------
+
+
+def test_cli_exit_one_on_findings(capsys):
+    assert main([str(FIXTURES / "det_wall_clock.py")]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out
+
+
+def test_cli_exit_zero_on_clean_tree(capsys):
+    assert main([str(ROOT / "src")]) == 0
+
+
+def test_cli_exit_two_on_bad_usage(capsys):
+    assert main(["no/such/path.py"]) == 2
+    assert main(["--checker", "nonsense", str(ROOT / "src")]) == 2
+
+
+def test_cli_checker_selection(capsys):
+    # Only the rng checker runs: the wall-clock fixture comes out clean.
+    assert main(["--checker", "rng-discipline",
+                 str(FIXTURES / "det_wall_clock.py")]) == 0
+
+
+def test_cli_list_checkers(capsys):
+    assert main(["--list-checkers"]) == 0
+    out = capsys.readouterr().out
+    for code in ("DET001", "RNG001", "SIM001", "PROTO001"):
+        assert code in out
+
+
+def test_cli_json_format(capsys):
+    assert main(["--format", "json",
+                 str(FIXTURES / "det_wall_clock.py")]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["summary"]["total"] == len(payload["findings"]) > 0
+    finding = payload["findings"][0]
+    assert {"path", "line", "col", "code", "severity",
+            "message", "checker"} <= set(finding)
+
+
+def test_cli_module_entry_point():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src"],
+        cwd=str(ROOT), env=env, capture_output=True, text=True,
+        check=False)
+    assert result.returncode == 0, result.stdout + result.stderr
