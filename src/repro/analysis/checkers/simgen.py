@@ -16,8 +16,8 @@ SIM002
     constant, or container literal).
 SIM003
     Blocking host I/O (``time.sleep``, ``open``, ``socket``, ...)
-    inside simulation code.  ``repro.harness`` is exempt: it runs on
-    the host side and legitimately writes reports.
+    inside simulation code.  ``repro.harness`` and the check CLI are
+    exempt: they run on the host side and legitimately write reports.
 """
 
 from __future__ import annotations
@@ -41,8 +41,9 @@ BLOCKING_PREFIXES = (
     "shutil.", "multiprocessing.", "threading.",
 )
 
-#: Host-side packages exempt from the blocking-I/O rule.
-_HOST_SIDE = ("repro.harness",)
+#: Host-side packages exempt from the blocking-I/O rule.  The check
+#: CLI is host-side too: it writes failing fuzz traces to disk.
+_HOST_SIDE = ("repro.harness", "repro.check.__main__")
 
 
 def _walk_own_body(function: _FunctionDef) -> Iterator[ast.AST]:

@@ -1,0 +1,46 @@
+"""Deterministic simulation testing for the MDCC/PLANET stack.
+
+Three pieces, composable separately or through the CLI
+(``python -m repro.check``):
+
+- :class:`HistoryRecorder` taps the kernel's trace hooks and turns one
+  cluster run into a structured :class:`History`;
+- :func:`check_history` runs the offline protocol-invariant catalogue
+  (``CHK001``–``CHK006``) over any history, recorded or hand-built;
+- :func:`run_check` / :func:`fuzz_sweep` / :func:`shrink` compose
+  randomized workloads with injected faults (:class:`FaultSchedule`),
+  check every resulting history, and minimize failures to replayable
+  reproductions.
+
+See ``docs/testing.md`` for the event schema and workflow.
+"""
+
+from repro.check.events import History, HistoryEvent, Violation
+from repro.check.faults import FaultAction, FaultSchedule
+from repro.check.invariants import CHECKS, check_history
+from repro.check.recorder import HistoryRecorder
+from repro.check.runner import (
+    CheckConfig,
+    CheckResult,
+    ShrinkResult,
+    fuzz_sweep,
+    run_check,
+    shrink,
+)
+
+__all__ = [
+    "CHECKS",
+    "CheckConfig",
+    "CheckResult",
+    "FaultAction",
+    "FaultSchedule",
+    "History",
+    "HistoryEvent",
+    "HistoryRecorder",
+    "ShrinkResult",
+    "Violation",
+    "check_history",
+    "fuzz_sweep",
+    "run_check",
+    "shrink",
+]

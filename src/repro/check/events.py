@@ -1,0 +1,159 @@
+"""The structured history a recorded simulation run leaves behind.
+
+A :class:`History` is an append-only, totally ordered sequence of
+:class:`HistoryEvent` records — the raw material the offline invariant
+checkers (:mod:`repro.check.invariants`) judge.  Ordering is the order
+the kernel executed the emitting handlers in, which (the kernel being
+deterministic) is itself a pure function of the seed; ties in virtual
+time keep their causal append order.
+
+Event catalogue (``etype`` / emitted by / fields)
+-------------------------------------------------
+``cluster_meta``     recorder     n_datacenters, partitions_per_dc, quorum
+``send``             transport    kind, dst, msg_id, reply_to
+``deliver``          transport    kind, src, msg_id
+``drop``             transport    kind, dst, msg_id, reason
+``tx_begin``         coordinator  txid, keys
+``propose``          coordinator  txid, key, leader
+``tx_accepted``      coordinator  txid, key
+``tx_learned``       coordinator  txid, key, decision
+``tx_decided``       coordinator  txid, committed, keys
+``option``           leader       txid, key, seq, decision, conflict
+``round_start``      leader       key, seq, ballot, quorum, n_replicas
+``round_decided``    leader       key, seq, ballot, won, accepts,
+                                  rejects, reason
+``phase2b``          acceptor     key, seq, ballot, accepted, promised,
+                                  txid, decision
+``promise``          acceptor     key, ballot, granted, prev
+``mastership_acquired`` new leader  key, ballot, promises
+``read_reply``       replica      key, version, value, as_of, exists,
+                                  reader
+``version_visible``  replica      key, version, value, txid ("" for
+                                  bulk-loaded baselines)
+``visibility_applied`` replica    txid, commit, keys
+
+Ballots appear as ``(number, proposer)`` tuples (see
+:func:`repro.paxos.ballot_key`) so histories stay plain-data and
+digestable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """One recorded occurrence: virtual timestamp, type, emitting node
+    (``""`` for fabric-level events), and type-specific fields."""
+
+    ts: float
+    etype: str
+    node: str
+    fields: Dict[str, Any]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.fields.get(name, default)
+
+    def canonical(self) -> str:
+        """A stable one-line rendering (the digest/trace format)."""
+        parts = [f"{name}={self.fields[name]!r}"
+                 for name in sorted(self.fields)]
+        node = self.node or "-"
+        return f"{self.ts:.6f} {self.etype:<20} {node:<16} " + " ".join(parts)
+
+
+class History:
+    """An append-only event log plus the query helpers checkers use."""
+
+    def __init__(self, events: Optional[List[HistoryEvent]] = None):
+        self.events: List[HistoryEvent] = list(events or [])
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, ts: float, etype: str, node: str,
+               fields: Dict[str, Any]) -> None:
+        """The ``Environment.tracer`` entry point."""
+        self.events.append(HistoryEvent(ts, etype, node, dict(fields)))
+
+    def append(self, ts: float, etype: str, node: str = "",
+               **fields: Any) -> "History":
+        """Keyword-style append — the hand-built-history test idiom."""
+        self.record(ts, etype, node, fields)
+        return self
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[HistoryEvent]:
+        return iter(self.events)
+
+    def __getitem__(self, index: int) -> HistoryEvent:
+        return self.events[index]
+
+    def of_type(self, *etypes: str) -> List[HistoryEvent]:
+        wanted = dict.fromkeys(etypes)
+        return [event for event in self.events if event.etype in wanted]
+
+    def meta(self) -> Dict[str, Any]:
+        """Fields of the first ``cluster_meta`` event (``{}`` if none)."""
+        for event in self.events:
+            if event.etype == "cluster_meta":
+                return dict(event.fields)
+        return {}
+
+    def counts(self) -> Dict[str, int]:
+        """Event count per type (observability / trace summaries)."""
+        totals: Dict[str, int] = {}
+        for event in self.events:
+            totals[event.etype] = totals.get(event.etype, 0) + 1
+        return totals
+
+    # -- rendering ----------------------------------------------------------
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical rendering of every event.
+
+        Two runs of the same seed through the deterministic kernel must
+        produce byte-identical digests — the regression the
+        seed-stability test pins down.
+        """
+        hasher = hashlib.sha256()
+        for event in self.events:
+            hasher.update(event.canonical().encode("utf-8"))
+            hasher.update(b"\n")
+        return hasher.hexdigest()
+
+    def format(self, indices: Optional[Tuple[int, ...]] = None,
+               limit: Optional[int] = None) -> str:
+        """Render events as text; ``indices`` selects an excerpt."""
+        if indices is not None:
+            chosen = [(i, self.events[i]) for i in indices
+                      if 0 <= i < len(self.events)]
+        else:
+            chosen = list(enumerate(self.events))
+        if limit is not None and len(chosen) > limit:
+            chosen = chosen[:limit]
+        return "\n".join(f"[{i:>6}] {event.canonical()}"
+                         for i, event in chosen)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach found by an offline checker.
+
+    ``evidence`` holds history indices of the implicated events so a
+    failing fuzz seed can print exactly the slice that matters.
+    """
+
+    code: str
+    subject: str      # what broke: a txid, a "node/key", ...
+    message: str
+    evidence: Tuple[int, ...] = field(default_factory=tuple)
+
+    def format(self) -> str:
+        return f"{self.code} [{self.subject}] {self.message}"

@@ -1,0 +1,154 @@
+"""Declarative fault schedules for the seed-sweep fuzzer.
+
+A :class:`FaultSchedule` is a plain list of :class:`FaultAction`
+records — *data*, not processes — so a failing run's schedule can be
+printed, replayed verbatim, and shrunk action-by-action.  Applying a
+schedule to a cluster spawns one kernel process per action that opens
+the fault at ``at_ms`` and (for windowed kinds) closes it again at
+``until_ms``.
+
+Supported kinds and their ``args``:
+
+``drop``       ``src_dc, dst_dc, prob`` — lossy directed link window
+``spike``      ``src_dc, dst_dc, extra_ms`` — WAN latency spike window
+``partition``  ``dc_a, dc_b`` — full bidirectional cut window
+``crash``      ``address`` — fail-stop node outage window (state kept)
+``transfer``   ``key, new_dc`` — instant mastership takeover attempt
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.mdcc.cluster import Cluster
+
+KINDS = ("drop", "spike", "partition", "crash", "transfer")
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One injected fault: what, when, and (if windowed) until when."""
+
+    at_ms: float
+    kind: str
+    until_ms: Optional[float] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        window = ("" if self.until_ms is None
+                  else f" until {self.until_ms:.0f}ms")
+        parts = " ".join(f"{name}={self.args[name]}"
+                         for name in sorted(self.args))
+        return f"@{self.at_ms:.0f}ms {self.kind}{window} {parts}"
+
+
+class FaultSchedule:
+    """An ordered set of fault actions applied to one cluster run."""
+
+    def __init__(self, actions: Sequence[FaultAction] = ()):
+        self.actions = list(actions)
+        for action in self.actions:
+            if action.kind not in KINDS:
+                raise ValueError(f"unknown fault kind {action.kind!r}")
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def without(self, index: int) -> "FaultSchedule":
+        """A copy with one action removed — the shrinker's move."""
+        return FaultSchedule(self.actions[:index] + self.actions[index + 1:])
+
+    def describe(self) -> str:
+        if not self.actions:
+            return "(no faults)"
+        return "\n".join(f"  [{i}] {action.describe()}"
+                         for i, action in enumerate(self.actions))
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def random(cls, rng: Random, n_faults: int, horizon_ms: float,
+               n_datacenters: int, addresses: Sequence[str],
+               keys: Sequence[str],
+               kinds: Sequence[str] = KINDS) -> "FaultSchedule":
+        """Sample a schedule within the workload window.
+
+        Fault windows start inside [5%, 70%] of the horizon and always
+        close before 90% of it, so the drain phase runs on a healed
+        network and every run terminates.
+        """
+        if n_datacenters < 2:
+            raise ValueError("fault injection needs at least two DCs")
+        actions = []
+        for _ in range(n_faults):
+            kind = kinds[rng.randrange(len(kinds))]
+            at_ms = rng.uniform(0.05, 0.70) * horizon_ms
+            until_ms = min(at_ms + rng.uniform(0.02, 0.25) * horizon_ms,
+                           0.90 * horizon_ms)
+            if kind == "drop":
+                src = rng.randrange(n_datacenters)
+                dst = rng.randrange(n_datacenters)
+                actions.append(FaultAction(at_ms, "drop", until_ms, {
+                    "src_dc": src, "dst_dc": dst,
+                    "prob": round(rng.uniform(0.05, 0.35), 3)}))
+            elif kind == "spike":
+                src = rng.randrange(n_datacenters)
+                dst = rng.randrange(n_datacenters)
+                actions.append(FaultAction(at_ms, "spike", until_ms, {
+                    "src_dc": src, "dst_dc": dst,
+                    "extra_ms": round(rng.uniform(50.0, 400.0), 1)}))
+            elif kind == "partition":
+                dc_a = rng.randrange(n_datacenters)
+                dc_b = (dc_a + 1 + rng.randrange(n_datacenters - 1)) \
+                    % n_datacenters
+                actions.append(FaultAction(at_ms, "partition", until_ms, {
+                    "dc_a": dc_a, "dc_b": dc_b}))
+            elif kind == "crash":
+                address = addresses[rng.randrange(len(addresses))]
+                actions.append(FaultAction(at_ms, "crash", until_ms, {
+                    "address": address}))
+            elif kind == "transfer":
+                key = keys[rng.randrange(len(keys))]
+                actions.append(FaultAction(at_ms, "transfer", None, {
+                    "key": key, "new_dc": rng.randrange(n_datacenters)}))
+            else:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        actions.sort(key=lambda action: (action.at_ms, action.kind))
+        return cls(actions)
+
+    # -- application ---------------------------------------------------------
+
+    def apply(self, cluster: Cluster) -> None:
+        """Spawn the injection processes on the cluster's kernel."""
+        for action in self.actions:
+            cluster.env.process(self._inject(cluster, action))
+
+    def _inject(self, cluster: Cluster, action: FaultAction):
+        env, transport = cluster.env, cluster.transport
+        if action.at_ms > env.now:
+            yield env.timeout(action.at_ms - env.now)
+        args = action.args
+        if action.kind == "drop":
+            transport.set_drop_probability(
+                args["src_dc"], args["dst_dc"], args["prob"])
+            yield env.timeout(max(action.until_ms - env.now, 0.0))
+            transport.set_drop_probability(args["src_dc"], args["dst_dc"], 0.0)
+        elif action.kind == "spike":
+            transport.set_extra_delay(
+                args["src_dc"], args["dst_dc"], args["extra_ms"])
+            yield env.timeout(max(action.until_ms - env.now, 0.0))
+            transport.set_extra_delay(args["src_dc"], args["dst_dc"], 0.0)
+        elif action.kind == "partition":
+            transport.partition(args["dc_a"], args["dc_b"])
+            yield env.timeout(max(action.until_ms - env.now, 0.0))
+            transport.heal(args["dc_a"], args["dc_b"])
+        elif action.kind == "crash":
+            transport.take_down(args["address"])
+            yield env.timeout(max(action.until_ms - env.now, 0.0))
+            transport.bring_up(args["address"])
+        elif action.kind == "transfer":
+            # Fire-and-forget: a contested takeover may legitimately
+            # fail; the invariants must hold either way.
+            cluster.transfer_mastership(args["key"], args["new_dc"])

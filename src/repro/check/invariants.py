@@ -1,0 +1,338 @@
+"""Offline protocol invariants checked over a recorded history.
+
+Each checker is a pure function ``History -> List[Violation]``; all of
+them together form the safety net the fuzzer throws every randomized
+run against.  The catalogue:
+
+``CHK001`` ballot monotonicity — an acceptor never grants a promise or
+    accepts a phase2a below a ballot it already promised.
+``CHK002`` unique chosen value — two different transactions are never
+    accepted at the same (key, instance, ballot).  (The same instance
+    *may* be re-proposed under a higher ballot after a mastership
+    transfer; that is Paxos working as intended.)
+``CHK003`` decision agreement — a transaction has at most one verdict;
+    commit iff every option was learned ACCEPTED; every visibility
+    application and visible version agrees with that verdict (no
+    replica applies a COMMIT the TM decided to ABORT, and no
+    uncommitted write ever becomes visible).
+``CHK004`` read-committed visibility — every read returns exactly the
+    latest version visible at that replica at that moment (or version
+    0 when nothing is visible yet); point-in-time reads return some
+    previously visible version.
+``CHK005`` quorum durability — by the time a transaction commits, each
+    of its writes has been accepted by a majority of replicas, so the
+    write survives any minority failure (including the mastership
+    transfers the fuzzer injects).
+``CHK006`` version monotonicity — the visible version sequence of a
+    record at one replica only moves forward.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.check.events import History, Violation
+
+BallotKey = Tuple[int, str]
+
+
+def _fmt_ballot(ballot: Optional[BallotKey]) -> str:
+    if ballot is None:
+        return "none"
+    return f"({ballot[0]},{ballot[1]})"
+
+
+# ---------------------------------------------------------------------------
+# CHK001: ballot monotonicity per (acceptor node, key)
+# ---------------------------------------------------------------------------
+
+def check_ballot_monotonic(history: History) -> List[Violation]:
+    violations: List[Violation] = []
+    # (node, key) -> (max promised ballot, index where it was set)
+    promised: Dict[Tuple[str, str], Tuple[BallotKey, int]] = {}
+
+    def bump(slot: Tuple[str, str], ballot: Optional[BallotKey],
+             index: int) -> None:
+        if ballot is None:
+            return
+        current = promised.get(slot)
+        if current is None or ballot > current[0]:
+            promised[slot] = (ballot, index)
+
+    for index, event in enumerate(history):
+        if event.etype == "promise":
+            slot = (event.node, event.get("key"))
+            ballot = event.get("ballot")
+            current = promised.get(slot)
+            if event.get("granted"):
+                if (current is not None and ballot is not None
+                        and ballot < current[0]):
+                    violations.append(Violation(
+                        "CHK001", f"{event.node}/{slot[1]}",
+                        f"promise granted at ballot {_fmt_ballot(ballot)} "
+                        f"below earlier promise {_fmt_ballot(current[0])}",
+                        evidence=(current[1], index)))
+                bump(slot, ballot, index)
+            else:
+                # A refusal implies the acceptor holds a strictly higher
+                # promise; refusing an equal-or-higher ballot is a bug.
+                prev = event.get("prev")
+                if (prev is not None and ballot is not None
+                        and not ballot < prev):
+                    violations.append(Violation(
+                        "CHK001", f"{event.node}/{slot[1]}",
+                        f"promise refused at ballot {_fmt_ballot(ballot)} "
+                        f"although only {_fmt_ballot(prev)} was promised",
+                        evidence=(index,)))
+                bump(slot, prev, index)
+        elif event.etype == "phase2b":
+            slot = (event.node, event.get("key"))
+            ballot = event.get("ballot")
+            current = promised.get(slot)
+            if event.get("accepted"):
+                if (current is not None and ballot is not None
+                        and ballot < current[0]):
+                    violations.append(Violation(
+                        "CHK001", f"{event.node}/{slot[1]}",
+                        f"phase2a accepted at ballot {_fmt_ballot(ballot)} "
+                        f"below promise {_fmt_ballot(current[0])}",
+                        evidence=(current[1], index)))
+            bump(slot, event.get("promised"), index)
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# CHK002: at most one value chosen per (key, seq, ballot)
+# ---------------------------------------------------------------------------
+
+def check_unique_chosen(history: History) -> List[Violation]:
+    violations: List[Violation] = []
+    # (key, seq, ballot) -> (txid, first index)
+    chosen: Dict[Tuple[str, int, BallotKey], Tuple[str, int]] = {}
+    for index, event in enumerate(history):
+        if event.etype != "phase2b" or not event.get("accepted"):
+            continue
+        instance = (event.get("key"), event.get("seq"), event.get("ballot"))
+        txid = event.get("txid")
+        current = chosen.get(instance)
+        if current is None:
+            chosen[instance] = (txid, index)
+        elif current[0] != txid:
+            key, seq, ballot = instance
+            violations.append(Violation(
+                "CHK002", f"{key}@{seq}",
+                f"instance {seq} of {key!r} accepted two values at ballot "
+                f"{_fmt_ballot(ballot)}: {current[0]!r} and {txid!r}",
+                evidence=(current[1], index)))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# CHK003: decision agreement
+# ---------------------------------------------------------------------------
+
+def check_decision_agreement(history: History) -> List[Violation]:
+    violations: List[Violation] = []
+    # txid -> (committed, keys, index)
+    decided: Dict[str, Tuple[bool, Tuple[str, ...], int]] = {}
+    # (txid, key) -> (decision string, index)  [first learned wins, as at TM]
+    learned: Dict[Tuple[str, str], Tuple[str, int]] = {}
+
+    for index, event in enumerate(history):
+        if event.etype == "tx_learned":
+            slot = (event.get("txid"), event.get("key"))
+            if slot not in learned:
+                learned[slot] = (event.get("decision"), index)
+        elif event.etype == "tx_decided":
+            txid = event.get("txid")
+            previous = decided.get(txid)
+            if previous is not None:
+                violations.append(Violation(
+                    "CHK003", txid,
+                    "transaction decided twice",
+                    evidence=(previous[2], index)))
+                continue
+            committed = bool(event.get("committed"))
+            keys = tuple(event.get("keys") or ())
+            decided[txid] = (committed, keys, index)
+            rejected = [key for key in keys
+                        if learned.get((txid, key), ("", -1))[0] == "rejected"]
+            if committed and rejected:
+                evidence = tuple([index] + [learned[(txid, key)][1]
+                                            for key in rejected])
+                violations.append(Violation(
+                    "CHK003", txid,
+                    f"committed although options for {rejected} were "
+                    "learned REJECTED", evidence=evidence))
+            if not committed and not rejected:
+                violations.append(Violation(
+                    "CHK003", txid,
+                    "aborted although no option was learned REJECTED",
+                    evidence=(index,)))
+        elif event.etype == "visibility_applied":
+            txid = event.get("txid")
+            verdict = decided.get(txid)
+            if verdict is None:
+                violations.append(Violation(
+                    "CHK003", txid,
+                    f"{event.node} applied visibility for an undecided "
+                    "transaction", evidence=(index,)))
+            elif bool(event.get("commit")) != verdict[0]:
+                want = "COMMIT" if verdict[0] else "ABORT"
+                got = "COMMIT" if event.get("commit") else "ABORT"
+                violations.append(Violation(
+                    "CHK003", txid,
+                    f"{event.node} applied {got} but the TM decided {want}",
+                    evidence=(verdict[2], index)))
+        elif event.etype == "version_visible":
+            txid = event.get("txid")
+            if not txid:
+                continue  # bulk-loaded baseline version
+            verdict = decided.get(txid)
+            if verdict is None or not verdict[0]:
+                state = "aborted" if verdict is not None else "undecided"
+                violations.append(Violation(
+                    "CHK003", txid,
+                    f"write of {state} transaction became visible as "
+                    f"{event.get('key')!r} v{event.get('version')} "
+                    f"on {event.node}", evidence=(index,)))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# CHK004: read-committed visibility
+# ---------------------------------------------------------------------------
+
+def check_read_committed(history: History) -> List[Violation]:
+    violations: List[Violation] = []
+    # (node, key) -> list of (version, value, index) in visibility order
+    visible: Dict[Tuple[str, str], List[Tuple[int, Any, int]]] = {}
+
+    for index, event in enumerate(history):
+        if event.etype == "version_visible":
+            slot = (event.node, event.get("key"))
+            visible.setdefault(slot, []).append(
+                (event.get("version"), event.get("value"), index))
+        elif event.etype == "read_reply":
+            slot = (event.node, event.get("key"))
+            version = event.get("version")
+            value = event.get("value")
+            versions = visible.get(slot, [])
+            if event.get("as_of") is None:
+                if not versions:
+                    if version != 0:
+                        violations.append(Violation(
+                            "CHK004", f"{event.node}/{slot[1]}",
+                            f"read returned v{version} but no version is "
+                            "visible yet", evidence=(index,)))
+                    continue
+                latest = versions[-1]
+                if version != latest[0] or value != latest[1]:
+                    violations.append(Violation(
+                        "CHK004", f"{event.node}/{slot[1]}",
+                        f"read returned v{version}={value!r} but the "
+                        f"latest visible version is "
+                        f"v{latest[0]}={latest[1]!r}",
+                        evidence=(latest[2], index)))
+            else:
+                if version == 0:
+                    continue  # nothing visible at the requested time
+                matches = [entry for entry in versions
+                           if entry[0] == version and entry[1] == value]
+                if not matches:
+                    violations.append(Violation(
+                        "CHK004", f"{event.node}/{slot[1]}",
+                        f"point-in-time read returned v{version}={value!r}"
+                        " which was never visible at this replica",
+                        evidence=(index,)))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# CHK005: quorum durability of committed writes
+# ---------------------------------------------------------------------------
+
+def check_quorum_durability(history: History) -> List[Violation]:
+    violations: List[Violation] = []
+    quorum = history.meta().get("quorum")
+    if quorum is None:
+        return violations  # hand-built history without topology facts
+    # (txid, key) -> {node: first accept index}
+    accepts: Dict[Tuple[str, str], Dict[str, int]] = {}
+    for index, event in enumerate(history):
+        if event.etype == "phase2b":
+            if event.get("accepted") and event.get("decision") == "accepted":
+                slot = (event.get("txid"), event.get("key"))
+                accepts.setdefault(slot, {}).setdefault(event.node, index)
+        elif event.etype == "tx_decided" and event.get("committed"):
+            txid = event.get("txid")
+            for key in tuple(event.get("keys") or ()):
+                voters = accepts.get((txid, key), {})
+                if len(voters) < quorum:
+                    evidence = tuple([index] + sorted(voters.values()))
+                    violations.append(Violation(
+                        "CHK005", txid,
+                        f"committed with {len(voters)} accept(s) for "
+                        f"{key!r} — quorum is {quorum}; the write can be "
+                        "lost to a minority failure", evidence=evidence))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# CHK006: visible-version monotonicity per (node, key)
+# ---------------------------------------------------------------------------
+
+def check_version_monotonic(history: History) -> List[Violation]:
+    violations: List[Violation] = []
+    # (node, key) -> (last version, index)
+    last: Dict[Tuple[str, str], Tuple[int, int]] = {}
+    for index, event in enumerate(history):
+        if event.etype != "version_visible":
+            continue
+        slot = (event.node, event.get("key"))
+        version = event.get("version")
+        previous = last.get(slot)
+        if previous is not None and version <= previous[0]:
+            violations.append(Violation(
+                "CHK006", f"{event.node}/{slot[1]}",
+                f"visible version went from v{previous[0]} to v{version}",
+                evidence=(previous[1], index)))
+        last[slot] = (version, index)
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+Checker = Callable[[History], List[Violation]]
+
+#: code -> (one-line description, checker) in catalogue order.
+CHECKS: Dict[str, Tuple[str, Checker]] = {
+    "CHK001": ("acceptors never go below a promised ballot",
+               check_ballot_monotonic),
+    "CHK002": ("one value chosen per (key, instance, ballot)",
+               check_unique_chosen),
+    "CHK003": ("replicas and TM agree on every commit/abort verdict",
+               check_decision_agreement),
+    "CHK004": ("reads return the latest (or a previously) visible version",
+               check_read_committed),
+    "CHK005": ("committed writes are durable on a majority",
+               check_quorum_durability),
+    "CHK006": ("visible versions only move forward",
+               check_version_monotonic),
+}
+
+
+def check_history(history: History,
+                  codes: Optional[List[str]] = None) -> List[Violation]:
+    """Run the selected (default: all) checkers over ``history``."""
+    selected = list(CHECKS) if codes is None else list(codes)
+    violations: List[Violation] = []
+    for code in selected:
+        try:
+            _description, checker = CHECKS[code]
+        except KeyError:
+            raise ValueError(f"unknown invariant {code!r}") from None
+        violations.extend(checker(history))
+    return violations

@@ -1,0 +1,80 @@
+"""Attach a :class:`~repro.check.events.History` to a live cluster.
+
+The recorder is deliberately thin: the simulation layers already emit
+trace callbacks through ``Environment.trace`` whenever a tracer is
+installed, so "recording" is just pointing the kernel's tracer at a
+history and writing down the run's static facts (topology shape,
+quorum size, and the versions already visible from bulk loads) that
+the offline checkers need as context.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.check.events import History
+from repro.mdcc.cluster import Cluster
+
+
+class HistoryRecorder:
+    """Records one cluster run into a :class:`History`.
+
+    >>> recorder = HistoryRecorder()
+    >>> history = recorder.attach(cluster)
+    >>> ... run the workload ...
+    >>> recorder.detach()
+    >>> violations = check_history(history)
+
+    Attach before starting workload processes; events emitted while no
+    recorder is attached are simply not produced (the hooks are
+    zero-cost when ``env.tracer`` is None).
+    """
+
+    def __init__(self) -> None:
+        self.history: Optional[History] = None
+        self._cluster: Optional[Cluster] = None
+
+    def attach(self, cluster: Cluster,
+               history: Optional[History] = None) -> History:
+        if self._cluster is not None:
+            raise RuntimeError("recorder already attached")
+        history = history if history is not None else History()
+        self.history = history
+        self._cluster = cluster
+        n_datacenters = len(cluster.topology)
+        history.record(cluster.env.now, "cluster_meta", "", {
+            "n_datacenters": n_datacenters,
+            "partitions_per_dc": cluster.partitions,
+            # One replica per DC per record, so the phase-2 quorum is a
+            # majority of data centers.
+            "quorum": n_datacenters // 2 + 1,
+        })
+        # Baseline visibility: records bulk-loaded before attach never
+        # traced their version 1, so snapshot them here — the
+        # read-committed checker needs a complete visible-version set.
+        for dc in sorted(cluster.nodes):
+            for node in cluster.nodes[dc]:
+                for key in sorted(node.records):
+                    record = node.records[key]
+                    if record.version > 0:
+                        history.record(
+                            cluster.env.now, "version_visible",
+                            node.address,
+                            {"key": key, "version": record.version,
+                             "value": record.value, "txid": ""})
+        cluster.env.tracer = history.record
+        return history
+
+    def detach(self) -> Optional[History]:
+        """Stop recording; returns the (now frozen) history."""
+        if self._cluster is not None:
+            self._cluster.env.tracer = None
+            self._cluster = None
+        history, self.history = self.history, None
+        return history
+
+    def __enter__(self) -> "HistoryRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()

@@ -1,0 +1,235 @@
+"""Build, run, check, and shrink one randomized simulation.
+
+``run_check`` assembles a small MDCC cluster, records its history
+while a randomized buy workload executes under an (optionally
+randomized) fault schedule, then throws the full invariant catalogue
+at the result.  ``fuzz_sweep`` does that across many seeds;
+``shrink`` minimizes a failing run to the smallest workload and fault
+schedule that still violates an invariant.
+
+Everything is derived from ``CheckConfig.seed`` through the named
+random streams, so a failing seed is a complete, replayable bug
+report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.check.events import History, Violation
+from repro.check.faults import KINDS, FaultSchedule
+from repro.check.invariants import check_history
+from repro.check.recorder import HistoryRecorder
+from repro.mdcc.cluster import Cluster
+from repro.net.topology import uniform_topology
+from repro.sim import Environment, RandomStreams
+from repro.workload.access import UniformAccess
+from repro.workload.buying import BuyTransactionFactory
+from repro.workload.items import generate_items, item_key
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """One fuzz run: topology, workload, and fault-injection knobs.
+
+    The defaults are a deliberately tiny cluster — 3 DCs, one
+    partition — so a 100-seed sweep finishes in seconds while still
+    exercising quorums, conflicts, and every fault kind.
+    """
+
+    seed: int = 0
+    # topology
+    n_datacenters: int = 3
+    partitions_per_dc: int = 1
+    one_way_ms: float = 20.0
+    sigma: float = 0.10
+    # data & workload
+    n_items: int = 6
+    initial_stock: int = 50
+    n_txns: int = 40
+    mean_gap_ms: float = 60.0
+    min_items: int = 1
+    max_items: int = 3
+    read_fraction: float = 0.2
+    round_timeout_ms: float = 1_500.0
+    # faults
+    n_faults: int = 6
+    fault_kinds: Tuple[str, ...] = KINDS
+
+    def horizon_ms(self) -> float:
+        """Nominal workload window faults are scheduled within."""
+        return max(self.n_txns * self.mean_gap_ms, 1.0)
+
+
+@dataclass
+class CheckResult:
+    """Everything one checked run produced."""
+
+    config: CheckConfig
+    schedule: FaultSchedule
+    history: History
+    violations: List[Violation]
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def report(self, max_events: int = 40) -> str:
+        """Human-readable failure report with the implicated events."""
+        lines = [f"seed {self.config.seed}: "
+                 f"{len(self.violations)} violation(s)",
+                 "fault schedule:", self.schedule.describe()]
+        for violation in self.violations:
+            lines.append(violation.format())
+            if violation.evidence:
+                lines.append(self.history.format(
+                    indices=violation.evidence, limit=max_events))
+        return "\n".join(lines)
+
+
+def run_check(config: CheckConfig,
+              schedule: Optional[FaultSchedule] = None) -> CheckResult:
+    """One recorded, checked simulation run.
+
+    Passing ``schedule`` replays/overrides the fault schedule (the
+    shrinker's entry point); the workload itself still derives from
+    ``config.seed`` and is unaffected, because workload and faults
+    draw from independent named streams.
+    """
+    env = Environment()
+    streams = RandomStreams(seed=config.seed)
+    topology = uniform_topology(config.n_datacenters,
+                                one_way_ms=config.one_way_ms,
+                                sigma=config.sigma, spike_prob=0.0)
+    cluster = Cluster(env, topology, streams,
+                      partitions_per_dc=config.partitions_per_dc,
+                      round_timeout_ms=config.round_timeout_ms)
+    keys = [item_key(i) for i in range(config.n_items)]
+    cluster.load(generate_items(config.n_items, config.initial_stock))
+
+    recorder = HistoryRecorder()
+    history = recorder.attach(cluster)
+
+    if schedule is None:
+        addresses = [Cluster.node_address(dc, partition)
+                     for dc in range(config.n_datacenters)
+                     for partition in range(config.partitions_per_dc)]
+        schedule = FaultSchedule.random(
+            streams.get("check-faults"), config.n_faults,
+            config.horizon_ms(), config.n_datacenters, addresses, keys,
+            kinds=config.fault_kinds)
+    schedule.apply(cluster)
+
+    tms = [cluster.create_client(f"check-{dc}", dc)
+           for dc in range(config.n_datacenters)]
+    factory = BuyTransactionFactory(UniformAccess(config.n_items),
+                                    min_items=config.min_items,
+                                    max_items=min(config.max_items,
+                                                  config.n_items))
+    load_rng = streams.get("check-load")
+
+    def workload():
+        for index in range(config.n_txns):
+            yield env.timeout(load_rng.expovariate(1.0 / config.mean_gap_ms))
+            tm = tms[index % len(tms)]
+            if load_rng.random() < config.read_fraction:
+                count = load_rng.randint(1, min(2, config.n_items))
+                read_keys = [keys[load_rng.randrange(config.n_items)]
+                             for _ in range(count)]
+                tm.read_only(read_keys)
+            else:
+                writes, _hot = factory.build(load_rng)
+                tm.begin(writes)
+
+    env.process(workload())
+    # Run to quiescence: every fault window closes inside the horizon
+    # and every protocol wait is bounded (round timeouts, RPC timeouts,
+    # capped visibility retries), so the event heap always drains.
+    env.run()
+    recorder.detach()
+
+    violations = check_history(history)
+    stats = {
+        "virtual_ms": env.now,
+        "events": float(len(history)),
+        "started": float(sum(tm.started for tm in tms)),
+        "committed": float(sum(tm.committed for tm in tms)),
+        "aborted": float(sum(tm.aborted for tm in tms)),
+        "msgs_sent": float(cluster.transport.sent),
+        "msgs_dropped": float(cluster.transport.dropped),
+    }
+    return CheckResult(config=config, schedule=schedule, history=history,
+                       violations=violations, stats=stats)
+
+
+def fuzz_sweep(seeds: Sequence[int], base: Optional[CheckConfig] = None,
+               on_result: Optional[Callable[[CheckResult], None]] = None,
+               ) -> List[CheckResult]:
+    """Run every seed; returns the failing results (empty = all clean)."""
+    base = base if base is not None else CheckConfig()
+    failures: List[CheckResult] = []
+    for seed in seeds:
+        result = run_check(dataclasses.replace(base, seed=seed))
+        if on_result is not None:
+            on_result(result)
+        if not result.ok:
+            failures.append(result)
+    return failures
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized reproduction of one failing seed."""
+
+    config: CheckConfig
+    schedule: FaultSchedule
+    result: CheckResult
+    runs: int = 0
+
+
+def shrink(failing: CheckResult, max_runs: int = 60) -> ShrinkResult:
+    """Greedy minimization of a failing run.
+
+    First halves the workload while the failure persists, then drops
+    fault actions one at a time (last first, so cleanup windows go
+    before the faults they close) until no single removal keeps the
+    run failing.  Every trial is a full deterministic re-run, so the
+    final (config, schedule) pair is a standalone reproduction.
+    """
+    config, schedule = failing.config, failing.schedule
+    best = failing
+    runs = 0
+
+    def still_fails(trial_config: CheckConfig,
+                    trial_schedule: FaultSchedule) -> Optional[CheckResult]:
+        result = run_check(trial_config, schedule=trial_schedule)
+        return result if not result.ok else None
+
+    # 1. Shrink the workload: fewer transactions, same faults.
+    while runs < max_runs and config.n_txns > 1:
+        trial_config = dataclasses.replace(config,
+                                           n_txns=config.n_txns // 2)
+        runs += 1
+        result = still_fails(trial_config, schedule)
+        if result is None:
+            break
+        config, best = trial_config, result
+
+    # 2. Shrink the schedule: greedily drop actions until fixpoint.
+    changed = True
+    while changed and runs < max_runs:
+        changed = False
+        for index in range(len(schedule) - 1, -1, -1):
+            if runs >= max_runs:
+                break
+            trial_schedule = schedule.without(index)
+            runs += 1
+            result = still_fails(config, trial_schedule)
+            if result is not None:
+                schedule, best = trial_schedule, result
+                changed = True
+    return ShrinkResult(config=config, schedule=schedule, result=best,
+                        runs=runs)

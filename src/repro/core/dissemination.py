@@ -20,7 +20,6 @@ aggregates within a few probe rounds, and ages with the windows.
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -83,21 +82,26 @@ class NodeStatsStore:
 
 
 class ClientStatsAgent:
-    """One client's measuring, pushing, and merging loop."""
+    """One client's measuring, pushing, and merging loop.
 
-    _ids = itertools.count(1)
+    ``agent_id`` must be unique per transport; the service hands out
+    sequential run-local ids so runs reproduce byte-identically (a
+    process-global counter would leak across runs).
+    """
 
     def __init__(self, env: Environment, cluster, datacenter: int,
                  streams: RandomStreams, bin_ms: float = 2.0,
                  n_bins: int = 1024, generations: int = 6,
                  ping_interval_ms: float = 1000.0,
-                 rotate_ms: float = 60_000.0):
+                 rotate_ms: float = 60_000.0,
+                 agent_id: Optional[str] = None):
         self.env = env
         self.cluster = cluster
         self.datacenter = datacenter
         self.bin_ms = float(bin_ms)
         self.n_bins = int(n_bins)
-        self.client_id = f"statsagent/{next(self._ids)}"
+        self.client_id = (agent_id if agent_id is not None
+                          else f"statsagent/dc{datacenter}")
         self.endpoint = RpcEndpoint(env, cluster.transport, self.client_id,
                                     datacenter)
         self._rng = streams.get(f"dissemination-{self.client_id}")
@@ -274,6 +278,7 @@ class DisseminationService:
             self.env, self.cluster, datacenter, self.streams,
             bin_ms=self.bin_ms, n_bins=self.n_bins,
             generations=self.generations,
-            ping_interval_ms=ping_interval_ms, rotate_ms=rotate_ms)
+            ping_interval_ms=ping_interval_ms, rotate_ms=rotate_ms,
+            agent_id=f"statsagent/{len(self.agents) + 1}")
         self.agents.append(agent)
         return agent

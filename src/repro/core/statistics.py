@@ -72,11 +72,12 @@ class OracleLatencySource:
 class StatisticsService:
     """The cluster-wide statistics hub plus client-side probe agents."""
 
-    _agent_ids = itertools.count(1)
-
     def __init__(self, env: Environment, cluster, streams: RandomStreams,
                  bin_ms: float = 2.0, n_bins: int = 1024,
                  generations: int = 6, rotate_ms: float = 60_000.0):
+        # Per-service so agent names (and the RNG streams derived from
+        # them) are reproducible across runs within one host process.
+        self._agent_ids = itertools.count(1)
         self.env = env
         self.cluster = cluster
         self.streams = streams

@@ -113,10 +113,11 @@ class TransactionHandle:
 class TransactionManager:
     """Runs MDCC transactions on behalf of one application client."""
 
-    _ids = itertools.count(1)
-
     def __init__(self, env: Environment, transport, address: str,
                  datacenter: int, cluster_view):
+        # Per-instance so txids are reproducible across runs in one
+        # process; the address prefix keeps them globally unique.
+        self._ids = itertools.count(1)
         self.env = env
         self.address = address
         self.datacenter = datacenter
@@ -150,6 +151,9 @@ class TransactionManager:
             raise ValueError("a transaction needs at least one write")
         txid = f"{self.address}#{next(self._ids)}"
         handle = TransactionHandle(self.env, txid, writes)
+        if self.env.tracer is not None:
+            self.env.trace("tx_begin", node=self.address, txid=txid,
+                           keys=tuple(handle.write_keys))
         if gate_after_reads:
             handle.gate = self.env.event()
         self._active[txid] = handle
@@ -230,6 +234,9 @@ class TransactionManager:
         handle.w_ms = self.env.now - read_start
         for op in handle.writes:
             leader = self.cluster.leader_address(op.key)
+            if self.env.tracer is not None:
+                self.env.trace("propose", node=self.address,
+                               txid=handle.txid, key=op.key, leader=leader)
             self.endpoint.cast(leader, "propose", Propose(
                 txid=handle.txid, key=op.key, update=op.update,
                 tm_address=self.address))
@@ -243,6 +250,9 @@ class TransactionManager:
             return RpcEndpoint.NO_REPLY
         if handle.accepted_ms is None:
             handle.accepted_ms = self.env.now
+            if self.env.tracer is not None:
+                self.env.trace("tx_accepted", node=self.address,
+                               txid=ack.txid, key=ack.key)
             if not handle.accepted_event.triggered:
                 handle.accepted_event.succeed(handle)
             handle._notify("accepted")
@@ -253,6 +263,10 @@ class TransactionManager:
         if handle is None or learned.key in handle.learned:
             return RpcEndpoint.NO_REPLY
         handle.learned[learned.key] = learned.decision
+        if self.env.tracer is not None:
+            self.env.trace("tx_learned", node=self.address,
+                           txid=learned.txid, key=learned.key,
+                           decision=learned.decision.value)
         handle._notify("learned")
         if not handle.unlearned_keys:
             self._decide(handle)
@@ -270,6 +284,10 @@ class TransactionManager:
             self.committed += 1
         else:
             self.aborted += 1
+        if self.env.tracer is not None:
+            self.env.trace("tx_decided", node=self.address,
+                           txid=handle.txid, committed=committed,
+                           keys=tuple(handle.write_keys))
         # 6. Commit/abort visibility to every replica of every written
         #    record (accepted options must be applied or discarded
         #    everywhere; rejected ones left no pending state).  The

@@ -79,7 +79,8 @@ class RpcEndpoint:
         """Send an asynchronous response to ``request``."""
         self.transport.send(self.datacenter, Message(
             src=self.address, dst=request.src, kind=f"{request.kind}.reply",
-            payload=payload, reply_to=request.msg_id))
+            payload=payload, msg_id=self.transport.next_msg_id(),
+            reply_to=request.msg_id))
 
     # -- client side --------------------------------------------------------
 
@@ -93,7 +94,8 @@ class RpcEndpoint:
         callers combine it with their own deadline events.
         """
         message = Message(src=self.address, dst=dst, kind=kind,
-                          payload=payload)
+                          payload=payload,
+                          msg_id=self.transport.next_msg_id())
         result = self.env.event()
         self._pending[message.msg_id] = result
         self.transport.send(self.datacenter, message)
@@ -104,7 +106,8 @@ class RpcEndpoint:
     def cast(self, dst: str, kind: str, payload: Any) -> None:
         """One-way message with no response expected."""
         self.transport.send(self.datacenter, Message(
-            src=self.address, dst=dst, kind=kind, payload=payload))
+            src=self.address, dst=dst, kind=kind, payload=payload,
+            msg_id=self.transport.next_msg_id()))
 
     # -- internals ------------------------------------------------------------
 

@@ -26,6 +26,9 @@ class Message:
     ``kind`` is a short protocol tag (e.g. ``"phase2a"``); ``payload``
     is arbitrary protocol data.  ``msg_id`` is unique per simulation
     run and is used by the RPC layer to match responses to requests.
+    The RPC layer draws ids from :meth:`Transport.next_msg_id` so runs
+    are reproducible within one host process; the module-level fallback
+    only serves directly constructed messages in tests.
     """
 
     src: str
@@ -44,9 +47,14 @@ class Transport:
         self.env = env
         self.topology = topology
         self._rng = streams.get("transport")
+        # Per-transport id sequence: two runs built from the same seed
+        # in one process must produce identical message ids (the check
+        # subsystem compares their history digests byte for byte).
+        self._msg_ids = itertools.count(1)
         self._handlers: Dict[str, Callable[[Message], None]] = {}
         self._locations: Dict[str, int] = {}
         self._drop_prob: Dict[Tuple[int, int], float] = {}
+        self._extra_delay: Dict[Tuple[int, int], float] = {}
         self._partitioned: Set[Tuple[int, int]] = set()
         self._down: Set[str] = set()
         #: Counters for observability: messages sent/delivered/dropped.
@@ -70,6 +78,10 @@ class Transport:
         """Data-center index of a registered address."""
         return self._locations[address]
 
+    def next_msg_id(self) -> int:
+        """A fresh run-local message id (deterministic per run)."""
+        return next(self._msg_ids)
+
     # -- fault injection ----------------------------------------------------
 
     def set_drop_probability(self, src_dc: int, dst_dc: int,
@@ -78,6 +90,21 @@ class Transport:
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"probability {probability} outside [0, 1]")
         self._drop_prob[(src_dc, dst_dc)] = probability
+
+    def set_extra_delay(self, src_dc: int, dst_dc: int,
+                        extra_ms: float) -> None:
+        """Add a fixed latency penalty on the directed link src->dst.
+
+        Models a WAN latency spike (congestion, rerouting); the fault
+        fuzzer opens and closes spike windows with this.  ``0`` clears
+        the penalty.
+        """
+        if extra_ms < 0:
+            raise ValueError(f"negative extra delay {extra_ms}")
+        if extra_ms == 0:
+            self._extra_delay.pop((src_dc, dst_dc), None)
+        else:
+            self._extra_delay[(src_dc, dst_dc)] = extra_ms
 
     def partition(self, dc_a: int, dc_b: int) -> None:
         """Cut both directions between two data centers."""
@@ -113,21 +140,26 @@ class Transport:
         — exactly the behaviour a WAN gives an application.
         """
         self.sent += 1
+        if self.env.tracer is not None:
+            self.env.trace("send", node=message.src, kind=message.kind,
+                           dst=message.dst, msg_id=message.msg_id,
+                           reply_to=message.reply_to)
         dst_dc = self._locations.get(message.dst)
         if dst_dc is None:
-            self.dropped += 1
+            self._drop(message, "unknown-address")
             return
         if message.dst in self._down or message.src in self._down:
-            self.dropped += 1
+            self._drop(message, "node-down")
             return
         if (src_dc, dst_dc) in self._partitioned:
-            self.dropped += 1
+            self._drop(message, "partition")
             return
         drop = self._drop_prob.get((src_dc, dst_dc), 0.0)
         if drop and self._rng.random() < drop:
-            self.dropped += 1
+            self._drop(message, "loss")
             return
-        delay = self.topology.latency(src_dc, dst_dc).sample(self._rng)
+        delay = (self.topology.latency(src_dc, dst_dc).sample(self._rng)
+                 + self._extra_delay.get((src_dc, dst_dc), 0.0))
         # Schedule a bare event rather than a generator process: one
         # heap operation per message keeps large experiments fast.
         event = Event(self.env)
@@ -136,12 +168,22 @@ class Transport:
         event.callbacks.append(self._deliver)
         self.env.schedule(event, delay=delay)
 
+    def _drop(self, message: Message, reason: str) -> None:
+        self.dropped += 1
+        if self.env.tracer is not None:
+            self.env.trace("drop", node=message.src, kind=message.kind,
+                           dst=message.dst, msg_id=message.msg_id,
+                           reason=reason)
+
     def _deliver(self, event: Event) -> None:
         message: Message = event.value
         handler = self._handlers.get(message.dst)
         if handler is None or message.dst in self._down:
             # Unregistered, or crashed while the message was in flight.
-            self.dropped += 1
+            self._drop(message, "down-in-flight")
             return
         self.delivered += 1
+        if self.env.tracer is not None:
+            self.env.trace("deliver", node=message.dst, kind=message.kind,
+                           src=message.src, msg_id=message.msg_id)
         handler(message)

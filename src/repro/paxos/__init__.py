@@ -10,7 +10,7 @@ split a round.
 
 from repro.paxos.ballot import Ballot
 from repro.paxos.messages import Phase2a, Phase2b
-from repro.paxos.acceptor import AcceptorState, handle_phase2a
+from repro.paxos.acceptor import AcceptorState, ballot_key, handle_phase2a
 from repro.paxos.round import PaxosRound, PaxosRoundTimeout
 
 __all__ = [
@@ -20,5 +20,6 @@ __all__ = [
     "PaxosRoundTimeout",
     "Phase2a",
     "Phase2b",
+    "ballot_key",
     "handle_phase2a",
 ]

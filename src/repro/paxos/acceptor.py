@@ -8,10 +8,21 @@ layer stays cleanly separated from storage semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.paxos.ballot import Ballot
 from repro.paxos.messages import Phase2a, Phase2b
+
+#: Observer signature for acceptor instrumentation: ``(etype, fields)``.
+AcceptorObserver = Callable[[str, Dict[str, Any]], None]
+
+
+def ballot_key(ballot: Optional[Ballot]) -> Optional[Tuple[int, str]]:
+    """A ballot as a comparable, serializable ``(number, proposer)``
+    tuple — the form history events carry (see ``repro.check``)."""
+    if ballot is None:
+        return None
+    return (ballot.number, ballot.proposer)
 
 
 @dataclass
@@ -55,19 +66,37 @@ def handle_phase1a(state: AcceptorState, ballot: Ballot) -> Tuple[bool, Optional
     return True, previous
 
 
-def handle_phase2a(state: AcceptorState, message: Phase2a) -> Phase2b:
+def handle_phase2a(state: AcceptorState, message: Phase2a,
+                   observer: Optional[AcceptorObserver] = None) -> Phase2b:
     """Run the acceptor's phase-2 vote and mutate ``state``.
 
     Accepts iff the message ballot is at least the promised ballot
     (classic Paxos acceptance rule); accepting also raises the promise
     so a stale leader cannot later win the same instance.
+
+    ``observer`` (when given) receives one ``("phase2b", fields)``
+    call per vote — the history recorder's acceptor-side hook.
     """
     if state.promised is not None and message.ballot < state.promised:
-        return Phase2b(key=message.key, seq=message.seq,
+        vote = Phase2b(key=message.key, seq=message.seq,
                        ballot=message.ballot, accepted=False,
                        promised=state.promised)
-    state.promised = message.ballot
-    state.accepted[message.seq] = (message.ballot, message.payload)
-    state.truncate()
-    return Phase2b(key=message.key, seq=message.seq, ballot=message.ballot,
-                   accepted=True, promised=state.promised)
+    else:
+        state.promised = message.ballot
+        state.accepted[message.seq] = (message.ballot, message.payload)
+        state.truncate()
+        vote = Phase2b(key=message.key, seq=message.seq,
+                       ballot=message.ballot, accepted=True,
+                       promised=state.promised)
+    if observer is not None:
+        payload = message.payload
+        observer("phase2b", {
+            "key": message.key, "seq": message.seq,
+            "ballot": ballot_key(message.ballot),
+            "accepted": vote.accepted,
+            "promised": ballot_key(vote.promised),
+            "txid": getattr(payload, "txid", ""),
+            "decision": getattr(getattr(payload, "decision", None),
+                                "value", ""),
+        })
+    return vote

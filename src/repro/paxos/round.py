@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.net.rpc import RpcEndpoint
+from repro.paxos.acceptor import ballot_key
 from repro.paxos.messages import Phase2a, Phase2b
 from repro.sim import Environment, Event
 
@@ -38,16 +39,31 @@ class PaxosRound:
             raise ValueError(
                 f"quorum {quorum} impossible with {len(replicas)} replicas")
         self.env = env
+        self.endpoint = endpoint
+        self.phase2a = phase2a
         self.quorum = quorum
         self.replicas = list(replicas)
         self.result: Event = env.event()
         self.accepts = 0
         self.rejects = 0
+        if env.tracer is not None:
+            env.trace("round_start", node=endpoint.address,
+                      key=phase2a.key, seq=phase2a.seq,
+                      ballot=ballot_key(phase2a.ballot), quorum=quorum,
+                      n_replicas=len(self.replicas))
         for replica in self.replicas:
             call = endpoint.call(replica, "phase2a", phase2a)
             call.callbacks.append(self._on_vote)
         if timeout_ms is not None:
             env.process(self._expire(timeout_ms))
+
+    def _trace_outcome(self, won: bool, reason: str) -> None:
+        if self.env.tracer is not None:
+            self.env.trace("round_decided", node=self.endpoint.address,
+                           key=self.phase2a.key, seq=self.phase2a.seq,
+                           ballot=ballot_key(self.phase2a.ballot), won=won,
+                           accepts=self.accepts, rejects=self.rejects,
+                           reason=reason)
 
     def _on_vote(self, event: Event) -> None:
         if self.result.triggered or not event.ok:
@@ -58,13 +74,16 @@ class PaxosRound:
         else:
             self.rejects += 1
         if self.accepts >= self.quorum:
+            self._trace_outcome(True, "quorum")
             self.result.succeed(True)
         elif self.rejects > len(self.replicas) - self.quorum:
+            self._trace_outcome(False, "blocked")
             self.result.succeed(False)
 
     def _expire(self, timeout_ms: float):
         yield self.env.timeout(timeout_ms)
         if not self.result.triggered:
+            self._trace_outcome(False, "timeout")
             self.result.fail(PaxosRoundTimeout(
                 f"round undecided after {timeout_ms} ms "
                 f"({self.accepts} accepts / {self.rejects} rejects)"))

@@ -302,11 +302,29 @@ class Environment:
         self._queue: List[tuple] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Optional structured-event sink: a callable
+        #: ``(ts_ms, etype, node, fields)`` installed by the history
+        #: recorder (``repro.check``).  ``None`` keeps tracing free:
+        #: instrumented components guard their ``trace`` calls with
+        #: ``if env.tracer is not None`` so disabled runs pay only an
+        #: attribute check per hook site.
+        self.tracer: Optional[Callable[[float, str, str, dict], None]] = None
 
     @property
     def now(self) -> float:
         """Current virtual time in milliseconds."""
         return self._now
+
+    def trace(self, etype: str, node: str = "", **fields: Any) -> None:
+        """Emit one structured history event to the installed tracer.
+
+        A no-op while :attr:`tracer` is ``None``; every instrumented
+        layer (transport, Paxos, coordinator, storage) funnels its
+        events through here so a recorder sees one totally ordered
+        stream stamped with the virtual clock.
+        """
+        if self.tracer is not None:
+            self.tracer(self._now, etype, node, fields)
 
     @property
     def active_process(self) -> Optional[Process]:

@@ -17,6 +17,7 @@ from repro.paxos import (
     Ballot,
     PaxosRound,
     Phase2a,
+    ballot_key,
     handle_phase2a,
 )
 from repro.paxos.round import PaxosRoundTimeout
@@ -89,6 +90,7 @@ class StorageNode:
         self.stats_provider: Optional[Callable[[Any, str], Any]] = None
         #: Observability counters.
         self.proposals = 0
+        self.stale_proposals = 0
         self.options_accepted = 0
         self.options_rejected = 0
         self.rounds_lost = 0
@@ -108,6 +110,9 @@ class StorageNode:
         for key, value in items.items():
             self.records[key] = Record(key=key, value=value, version=1,
                                        history=[(0.0, value)])
+            if self.env.tracer is not None:
+                self.env.trace("version_visible", node=self.address,
+                               key=key, version=1, value=value, txid="")
 
     def record(self, key: str) -> Record:
         """The local record for ``key``, created on first touch.
@@ -121,6 +126,10 @@ class StorageNode:
             if self.default_value is not None:
                 record = Record(key=key, value=self.default_value, version=1,
                                 history=[(0.0, self.default_value)])
+                if self.env.tracer is not None:
+                    self.env.trace("version_visible", node=self.address,
+                                   key=key, version=1,
+                                   value=self.default_value, txid="")
             else:
                 record = Record(key=key)
             self.records[key] = record
@@ -138,21 +147,28 @@ class StorageNode:
             record = self.record(request.key)
         rate = self.access_stats.arrival_rate(request.key, self.env.now)
         if record is None:
-            return ReadReply(key=request.key, value=None, version=0,
-                             arrival_rate=rate,
-                             leader_dc=self._leader_dc_of(request.key),
-                             has_pending=False, exists=False)
-        if request.as_of_ms is not None:
+            reply = ReadReply(key=request.key, value=None, version=0,
+                              arrival_rate=rate,
+                              leader_dc=self._leader_dc_of(request.key),
+                              has_pending=False, exists=False)
+        elif request.as_of_ms is not None:
             value, newer = record.value_as_of(request.as_of_ms)
-            return ReadReply(key=request.key, value=value,
-                             version=max(record.version - newer, 0),
-                             arrival_rate=rate,
-                             leader_dc=self._leader_dc_of(request.key),
-                             has_pending=record.has_pending_option)
-        return ReadReply(key=request.key, value=record.value,
-                         version=record.version, arrival_rate=rate,
-                         leader_dc=self._leader_dc_of(request.key),
-                         has_pending=record.has_pending_option)
+            reply = ReadReply(key=request.key, value=value,
+                              version=max(record.version - newer, 0),
+                              arrival_rate=rate,
+                              leader_dc=self._leader_dc_of(request.key),
+                              has_pending=record.has_pending_option)
+        else:
+            reply = ReadReply(key=request.key, value=record.value,
+                              version=record.version, arrival_rate=rate,
+                              leader_dc=self._leader_dc_of(request.key),
+                              has_pending=record.has_pending_option)
+        if self.env.tracer is not None:
+            self.env.trace("read_reply", node=self.address, key=reply.key,
+                           version=reply.version, value=reply.value,
+                           as_of=request.as_of_ms, exists=reply.exists,
+                           reader=src)
+        return reply
 
     # -- leader path --------------------------------------------------------------
 
@@ -168,10 +184,17 @@ class StorageNode:
         control relieves.
         """
         if not self.leads(propose.key):
-            # Stale mastership at the client: refuse loudly rather than
-            # silently corrupting the conflict window.
-            raise RuntimeError(
-                f"{self.address} is not the leader of {propose.key!r}")
+            # Stale mastership at the client: the record's leadership
+            # moved while this proposal was in flight (found by the
+            # repro.check fuzzer racing transfers against proposals).
+            # Refuse with a REJECTED verdict so the transaction aborts
+            # cleanly instead of crashing or silently corrupting the
+            # conflict window.
+            self.stale_proposals += 1
+            self.endpoint.cast(propose.tm_address, "learned",
+                               Learned(txid=propose.txid, key=propose.key,
+                                       decision=Decision.REJECTED))
+            return RpcEndpoint.NO_REPLY
         self.proposals += 1
         # Acceptance signal: confirm receipt before running the round.
         self.endpoint.cast(propose.tm_address, "proposal_ack",
@@ -202,6 +225,10 @@ class StorageNode:
             self.options_accepted += 1
 
         record.seq += 1
+        if self.env.tracer is not None:
+            self.env.trace("option", node=self.address, key=propose.key,
+                           txid=propose.txid, seq=record.seq,
+                           decision=decision.value, conflict=conflict)
         payload = OptionPayload(txid=propose.txid, key=propose.key,
                                 update=propose.update, decision=decision)
         ballot = self._ballots.get(propose.key, self._default_ballot)
@@ -275,6 +302,10 @@ class StorageNode:
                     highest_seen = previous
             if promised >= quorum:
                 self._ballots[key] = ballot
+                if self.env.tracer is not None:
+                    self.env.trace("mastership_acquired", node=self.address,
+                                   key=key, ballot=ballot_key(ballot),
+                                   promises=promised)
                 if not result.triggered:
                     result.succeed(True)
                 return
@@ -302,7 +333,12 @@ class StorageNode:
         if state is None:
             state = AcceptorState()
             self.acceptors[message.key] = state
-        return handle_phase1a(state, message.ballot)
+        granted, previous = handle_phase1a(state, message.ballot)
+        if self.env.tracer is not None:
+            self.env.trace("promise", node=self.address, key=message.key,
+                           ballot=ballot_key(message.ballot),
+                           granted=granted, prev=ballot_key(previous))
+        return granted, previous
 
     # -- acceptor path ---------------------------------------------------------------
 
@@ -314,12 +350,18 @@ class StorageNode:
         if state is None:
             state = AcceptorState()
             self.acceptors[message.key] = state
-        vote = handle_phase2a(state, message)
+        observer = (self._trace_acceptor if self.env.tracer is not None
+                    else None)
+        vote = handle_phase2a(state, message, observer=observer)
         option: OptionPayload = message.payload
         if (vote.accepted and option.decision is Decision.ACCEPTED
                 and option.txid not in self._finalized):
             self.record(message.key).add_pending(option.txid, option.update)
         return vote
+
+    def _trace_acceptor(self, etype: str, fields: Dict[str, Any]) -> None:
+        """Forward an acceptor-hook event onto the kernel tracer."""
+        self.env.trace(etype, node=self.address, **fields)
 
     # -- visibility path -----------------------------------------------------------------
 
@@ -339,8 +381,17 @@ class StorageNode:
                     if update is not None:
                         record.apply_value(update.apply_to(record.value),
                                            now_ms=self.env.now)
+                        applied = True
+                if applied and self.env.tracer is not None:
+                    self.env.trace("version_visible", node=self.address,
+                                   key=key, version=record.version,
+                                   value=record.value, txid=visibility.txid)
             else:
                 record.clear_pending(visibility.txid)
+        if self.env.tracer is not None:
+            self.env.trace("visibility_applied", node=self.address,
+                           txid=visibility.txid, commit=visibility.commit,
+                           keys=tuple(visibility.keys))
         self._remember_finalized(visibility.txid)
         # Acknowledge so the TM's at-least-once delivery can stop
         # retrying; the operation is idempotent.

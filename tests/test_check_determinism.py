@@ -1,0 +1,62 @@
+"""Seed stability: the same seed must reproduce byte-identical runs.
+
+The whole check subsystem rests on this — a failing fuzz seed is only
+a bug report if replaying it reproduces the exact same history — so
+regressions here are caught at the digest level, for both the fuzzer's
+own runs and the experiment harness.
+"""
+
+import hashlib
+import json
+
+from repro.check import run_check
+from repro.check.runner import CheckConfig
+from repro.harness.experiment import Experiment, ExperimentConfig
+
+CONFIG = CheckConfig(seed=7, n_txns=20, n_faults=4)
+
+
+def test_same_seed_gives_identical_history_digest():
+    first = run_check(CONFIG)
+    second = run_check(CONFIG)
+    assert first.history.digest() == second.history.digest()
+    assert len(first.history) == len(second.history)
+    assert first.stats == second.stats
+
+
+def test_different_seeds_diverge():
+    first = run_check(CONFIG)
+    import dataclasses
+    second = run_check(dataclasses.replace(CONFIG, seed=8))
+    assert first.history.digest() != second.history.digest()
+
+
+def test_replayed_schedule_reproduces_the_run():
+    first = run_check(CONFIG)
+    replay = run_check(CONFIG, schedule=first.schedule)
+    assert replay.history.digest() == first.history.digest()
+
+
+def _experiment_digest(seed: int) -> str:
+    config = ExperimentConfig(
+        name="digest-probe", seed=seed, system="traditional",
+        topology="uniform", n_datacenters=3, uniform_one_way_ms=20.0,
+        partitions_per_dc=1, n_items=100, rate_tps=100.0,
+        warmup_ms=500.0, duration_ms=2_000.0, drain_ms=1_500.0)
+    result = Experiment(config).run()
+    records = [
+        (record.issued_ms, record.decided_ms, record.committed,
+         record.size, record.hot)
+        for record in result.metrics.records
+    ]
+    blob = json.dumps({"summary": result.summary(), "records": records},
+                      sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def test_experiment_metrics_digest_is_seed_stable():
+    assert _experiment_digest(seed=3) == _experiment_digest(seed=3)
+
+
+def test_experiment_metrics_digest_depends_on_seed():
+    assert _experiment_digest(seed=3) != _experiment_digest(seed=4)

@@ -1,0 +1,111 @@
+"""Tier-1 fuzz smoke: a small fixed sweep must be clean, and a
+deliberately broken protocol must be caught and shrunk.
+
+The sweep uses a reduced configuration (fewer transactions, drop and
+crash faults only) so it finishes in seconds; the nightly CI job runs
+the full-width sweep.
+"""
+
+import pytest
+
+from repro.check import fuzz_sweep, run_check, shrink
+from repro.check.runner import CheckConfig
+from repro.paxos import PaxosRound
+
+SMOKE = CheckConfig(n_txns=20, n_faults=4, fault_kinds=("drop", "crash"))
+
+
+def test_smoke_sweep_is_clean():
+    failures = fuzz_sweep(range(20), SMOKE)
+    reports = "\n\n".join(failure.report() for failure in failures)
+    assert not failures, f"invariant violations in smoke sweep:\n{reports}"
+
+
+def test_runs_produce_substantial_histories():
+    result = run_check(SMOKE)
+    assert result.ok
+    counts = result.history.counts()
+    # Every layer's hook fired: transport, coordinator, leader,
+    # acceptor, and replica events all present.
+    for etype in ("cluster_meta", "send", "deliver", "tx_begin",
+                  "propose", "round_start", "round_decided", "phase2b",
+                  "option", "tx_decided", "read_reply",
+                  "version_visible", "visibility_applied"):
+        assert counts.get(etype, 0) > 0, f"no {etype!r} events recorded"
+    assert result.stats["committed"] > 0
+
+
+class _MajoritySkippingRound(PaxosRound):
+    """The seeded bug: the leader treats a single accept as a quorum,
+    skipping the majority check entirely."""
+
+    def __init__(self, env, endpoint, replicas, phase2a, quorum,
+                 timeout_ms=None):
+        super().__init__(env, endpoint, replicas, phase2a, 1,
+                         timeout_ms=timeout_ms)
+
+
+def test_seeded_majority_bug_is_caught_and_shrunk(monkeypatch):
+    monkeypatch.setattr("repro.storage.node.PaxosRound",
+                        _MajoritySkippingRound)
+    failure = None
+    for seed in range(10):
+        result = run_check(
+            CheckConfig(seed=seed, n_txns=20, n_faults=4,
+                        fault_kinds=("drop", "crash")))
+        if not result.ok:
+            failure = result
+            break
+    assert failure is not None, \
+        "seeded majority-check bug survived 10 fuzz seeds"
+    assert "CHK005" in [violation.code for violation in failure.violations]
+
+    shrunk = shrink(failure)
+    assert not shrunk.result.ok
+    assert "CHK005" in [violation.code
+                        for violation in shrunk.result.violations]
+    # The reproduction got no bigger in either dimension.
+    assert shrunk.config.n_txns <= failure.config.n_txns
+    assert len(shrunk.schedule) <= len(failure.schedule)
+    # The report names the fault schedule and the implicated events.
+    report = shrunk.result.report()
+    assert "CHK005" in report and "fault schedule" in report
+
+
+def test_cli_fuzz_and_list(capsys, tmp_path):
+    from repro.check.__main__ import main
+
+    assert main(["fuzz", "--seeds", "2", "--txns", "10",
+                 "--faults", "2"]) == 0
+    assert "no invariant violations" in capsys.readouterr().out
+    assert main(["list"]) == 0
+    assert "CHK005" in capsys.readouterr().out
+    assert main(["replay", "--seed", "0", "--txns", "10",
+                 "--faults", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "history digest:" in out and "OK" in out
+
+
+def test_cli_reports_seeded_bug(capsys, monkeypatch, tmp_path):
+    from repro.check.__main__ import main
+
+    monkeypatch.setattr("repro.storage.node.PaxosRound",
+                        _MajoritySkippingRound)
+    out_dir = tmp_path / "traces"
+    code = main(["fuzz", "--seeds", "6", "--txns", "15", "--faults", "3",
+                 "--fault-kinds", "drop,crash",
+                 "--out", str(out_dir)])
+    assert code == 1
+    output = capsys.readouterr().out
+    assert "FAIL" in output and "CHK005" in output
+    traces = list(out_dir.glob("seed-*.trace"))
+    assert traces, "failing trace file was not written"
+    assert "CHK005" in traces[0].read_text()
+
+
+@pytest.mark.parametrize("kind", ["drop", "spike", "partition", "crash",
+                                  "transfer"])
+def test_each_fault_kind_runs_clean(kind):
+    result = run_check(CheckConfig(seed=3, n_txns=15, n_faults=3,
+                                   fault_kinds=(kind,)))
+    assert result.ok, result.report()

@@ -1,0 +1,392 @@
+"""Exact checker verdicts on hand-built histories.
+
+Each invariant gets a minimal legal history (no violations) and a
+minimal illegal one (exactly the expected violation), so a checker
+regression shows up as a precise diff rather than a flaky fuzz run.
+"""
+
+import pytest
+
+from repro.check import History, check_history
+from repro.check.invariants import (
+    CHECKS,
+    check_ballot_monotonic,
+    check_decision_agreement,
+    check_quorum_durability,
+    check_read_committed,
+    check_unique_chosen,
+    check_version_monotonic,
+)
+
+B1 = (1, "storage/0/0")
+B2 = (2, "storage/1/0")
+B3 = (3, "storage/2/0")
+
+
+def with_meta(quorum: int = 2) -> History:
+    return History().append(0.0, "cluster_meta", n_datacenters=3,
+                            partitions_per_dc=1, quorum=quorum)
+
+
+def codes(violations) -> list:
+    return [violation.code for violation in violations]
+
+
+# -- CHK001: ballot monotonicity -------------------------------------------
+
+
+def test_monotone_ballots_are_legal():
+    history = (History()
+               .append(1.0, "promise", "storage/0/0", key="k", ballot=B1,
+                       granted=True, prev=None)
+               .append(2.0, "phase2b", "storage/0/0", key="k", seq=1,
+                       ballot=B1, accepted=True, promised=B1,
+                       txid="t1", decision="accepted")
+               .append(3.0, "promise", "storage/0/0", key="k", ballot=B2,
+                       granted=True, prev=B1)
+               .append(4.0, "phase2b", "storage/0/0", key="k", seq=1,
+                       ballot=B2, accepted=True, promised=B2,
+                       txid="t2", decision="accepted"))
+    assert check_ballot_monotonic(history) == []
+
+
+def test_promise_below_promise_is_flagged():
+    history = (History()
+               .append(1.0, "promise", "storage/0/0", key="k", ballot=B3,
+                       granted=True, prev=None)
+               .append(2.0, "promise", "storage/0/0", key="k", ballot=B1,
+                       granted=True, prev=B3))
+    violations = check_ballot_monotonic(history)
+    assert codes(violations) == ["CHK001"]
+    assert violations[0].evidence == (0, 1)
+
+
+def test_accept_below_promise_is_flagged():
+    history = (History()
+               .append(1.0, "promise", "storage/1/0", key="k", ballot=B2,
+                       granted=True, prev=None)
+               .append(2.0, "phase2b", "storage/1/0", key="k", seq=4,
+                       ballot=B1, accepted=True, promised=B2,
+                       txid="t1", decision="accepted"))
+    assert codes(check_ballot_monotonic(history)) == ["CHK001"]
+
+
+def test_refusing_a_higher_ballot_is_flagged():
+    history = History().append(
+        1.0, "promise", "storage/0/0", key="k", ballot=B3,
+        granted=False, prev=B1)
+    assert codes(check_ballot_monotonic(history)) == ["CHK001"]
+
+
+def test_equal_ballot_accept_is_legal():
+    history = (History()
+               .append(1.0, "promise", "storage/0/0", key="k", ballot=B2,
+                       granted=True, prev=None)
+               .append(2.0, "phase2b", "storage/0/0", key="k", seq=1,
+                       ballot=B2, accepted=True, promised=B2,
+                       txid="t1", decision="accepted"))
+    assert check_ballot_monotonic(history) == []
+
+
+# -- CHK002: unique chosen value -------------------------------------------
+
+
+def test_same_value_on_all_replicas_is_legal():
+    history = History()
+    for node in ("storage/0/0", "storage/1/0"):
+        history.append(1.0, "phase2b", node, key="k", seq=7, ballot=B1,
+                       accepted=True, promised=B1, txid="t1",
+                       decision="accepted")
+    assert check_unique_chosen(history) == []
+
+
+def test_two_values_at_one_ballot_is_flagged():
+    history = (History()
+               .append(1.0, "phase2b", "storage/0/0", key="k", seq=7,
+                       ballot=B1, accepted=True, promised=B1,
+                       txid="t1", decision="accepted")
+               .append(2.0, "phase2b", "storage/1/0", key="k", seq=7,
+                       ballot=B1, accepted=True, promised=B1,
+                       txid="t2", decision="accepted"))
+    violations = check_unique_chosen(history)
+    assert codes(violations) == ["CHK002"]
+    assert violations[0].evidence == (0, 1)
+
+
+def test_reproposal_under_higher_ballot_is_legal():
+    # A mastership transfer may re-run an instance at a higher ballot —
+    # that is Paxos working, not a split decision.
+    history = (History()
+               .append(1.0, "phase2b", "storage/0/0", key="k", seq=7,
+                       ballot=B1, accepted=True, promised=B1,
+                       txid="t1", decision="accepted")
+               .append(2.0, "phase2b", "storage/0/0", key="k", seq=7,
+                       ballot=B2, accepted=True, promised=B2,
+                       txid="t2", decision="accepted"))
+    assert check_unique_chosen(history) == []
+
+
+# -- CHK003: decision agreement ---------------------------------------------
+
+
+def _decided_commit(history: History, txid: str = "t1",
+                    key: str = "k") -> History:
+    return (history
+            .append(1.0, "tx_learned", "client/a", txid=txid, key=key,
+                    decision="accepted")
+            .append(2.0, "tx_decided", "client/a", txid=txid,
+                    committed=True, keys=(key,)))
+
+
+def test_agreeing_commit_is_legal():
+    history = _decided_commit(History())
+    history.append(3.0, "visibility_applied", "storage/0/0", txid="t1",
+                   commit=True, keys=("k",))
+    history.append(3.0, "version_visible", "storage/0/0", key="k",
+                   version=2, value=9, txid="t1")
+    assert check_decision_agreement(history) == []
+
+
+def test_double_decision_is_flagged():
+    history = _decided_commit(History())
+    history.append(4.0, "tx_decided", "client/a", txid="t1",
+                   committed=False, keys=("k",))
+    assert codes(check_decision_agreement(history)) == ["CHK003"]
+
+
+def test_commit_over_rejected_option_is_flagged():
+    history = (History()
+               .append(1.0, "tx_learned", "client/a", txid="t1", key="k",
+                       decision="rejected")
+               .append(2.0, "tx_decided", "client/a", txid="t1",
+                       committed=True, keys=("k",)))
+    assert codes(check_decision_agreement(history)) == ["CHK003"]
+
+
+def test_abort_without_rejection_is_flagged():
+    history = (History()
+               .append(1.0, "tx_learned", "client/a", txid="t1", key="k",
+                       decision="accepted")
+               .append(2.0, "tx_decided", "client/a", txid="t1",
+                       committed=False, keys=("k",)))
+    assert codes(check_decision_agreement(history)) == ["CHK003"]
+
+
+def test_replica_commit_of_aborted_tx_is_flagged():
+    history = (History()
+               .append(1.0, "tx_learned", "client/a", txid="t1", key="k",
+                       decision="rejected")
+               .append(2.0, "tx_decided", "client/a", txid="t1",
+                       committed=False, keys=("k",))
+               .append(3.0, "visibility_applied", "storage/0/0",
+                       txid="t1", commit=True, keys=("k",)))
+    assert codes(check_decision_agreement(history)) == ["CHK003"]
+
+
+def test_visibility_of_undecided_tx_is_flagged():
+    history = History().append(
+        3.0, "visibility_applied", "storage/0/0", txid="ghost",
+        commit=True, keys=("k",))
+    assert codes(check_decision_agreement(history)) == ["CHK003"]
+
+
+def test_visible_write_of_aborted_tx_is_flagged():
+    history = (History()
+               .append(1.0, "tx_learned", "client/a", txid="t1", key="k",
+                       decision="rejected")
+               .append(2.0, "tx_decided", "client/a", txid="t1",
+                       committed=False, keys=("k",))
+               .append(3.0, "version_visible", "storage/0/0", key="k",
+                       version=2, value=9, txid="t1"))
+    assert codes(check_decision_agreement(history)) == ["CHK003"]
+
+
+def test_bulk_loaded_versions_need_no_transaction():
+    history = History().append(0.0, "version_visible", "storage/0/0",
+                               key="k", version=1, value=10, txid="")
+    assert check_decision_agreement(history) == []
+
+
+# -- CHK004: read-committed visibility --------------------------------------
+
+
+def test_reading_the_latest_visible_version_is_legal():
+    history = (History()
+               .append(0.0, "version_visible", "storage/0/0", key="k",
+                       version=1, value=10, txid="")
+               .append(1.0, "version_visible", "storage/0/0", key="k",
+                       version=2, value=9, txid="t1")
+               .append(2.0, "read_reply", "storage/0/0", key="k",
+                       version=2, value=9, as_of=None, exists=True,
+                       reader="client/a"))
+    assert check_read_committed(history) == []
+
+
+def test_reading_before_any_version_returns_zero():
+    history = History().append(
+        1.0, "read_reply", "storage/0/0", key="k", version=0, value=None,
+        as_of=None, exists=False, reader="client/a")
+    assert check_read_committed(history) == []
+
+
+def test_stale_read_is_flagged():
+    history = (History()
+               .append(0.0, "version_visible", "storage/0/0", key="k",
+                       version=1, value=10, txid="")
+               .append(1.0, "version_visible", "storage/0/0", key="k",
+                       version=2, value=9, txid="t1")
+               .append(2.0, "read_reply", "storage/0/0", key="k",
+                       version=1, value=10, as_of=None, exists=True,
+                       reader="client/a"))
+    violations = check_read_committed(history)
+    assert codes(violations) == ["CHK004"]
+    assert violations[0].evidence == (1, 2)
+
+
+def test_phantom_read_is_flagged():
+    history = History().append(
+        1.0, "read_reply", "storage/0/0", key="k", version=3, value=7,
+        as_of=None, exists=True, reader="client/a")
+    assert codes(check_read_committed(history)) == ["CHK004"]
+
+
+def test_point_in_time_read_of_old_version_is_legal():
+    history = (History()
+               .append(0.0, "version_visible", "storage/0/0", key="k",
+                       version=1, value=10, txid="")
+               .append(1.0, "version_visible", "storage/0/0", key="k",
+                       version=2, value=9, txid="t1")
+               .append(2.0, "read_reply", "storage/0/0", key="k",
+                       version=1, value=10, as_of=0.5, exists=True,
+                       reader="client/a"))
+    assert check_read_committed(history) == []
+
+
+def test_point_in_time_read_of_unknown_version_is_flagged():
+    history = (History()
+               .append(0.0, "version_visible", "storage/0/0", key="k",
+                       version=1, value=10, txid="")
+               .append(2.0, "read_reply", "storage/0/0", key="k",
+                       version=5, value=3, as_of=1.0, exists=True,
+                       reader="client/a"))
+    assert codes(check_read_committed(history)) == ["CHK004"]
+
+
+def test_visibility_is_tracked_per_replica():
+    # Version 2 visible on another node must not satisfy this node.
+    history = (History()
+               .append(0.0, "version_visible", "storage/0/0", key="k",
+                       version=1, value=10, txid="")
+               .append(1.0, "version_visible", "storage/1/0", key="k",
+                       version=2, value=9, txid="t1")
+               .append(2.0, "read_reply", "storage/1/0", key="k",
+                       version=1, value=10, as_of=None, exists=True,
+                       reader="client/a"))
+    assert codes(check_read_committed(history)) == ["CHK004"]
+
+
+# -- CHK005: quorum durability ----------------------------------------------
+
+
+def _accept(history: History, node: str, txid: str = "t1",
+            ts: float = 1.0) -> History:
+    return history.append(ts, "phase2b", node, key="k", seq=1, ballot=B1,
+                          accepted=True, promised=B1, txid=txid,
+                          decision="accepted")
+
+
+def test_majority_accepted_commit_is_legal():
+    history = with_meta(quorum=2)
+    _accept(history, "storage/0/0")
+    _accept(history, "storage/1/0")
+    history.append(2.0, "tx_decided", "client/a", txid="t1",
+                   committed=True, keys=("k",))
+    assert check_quorum_durability(history) == []
+
+
+def test_minority_commit_is_flagged():
+    history = with_meta(quorum=2)
+    _accept(history, "storage/0/0")
+    history.append(2.0, "tx_decided", "client/a", txid="t1",
+                   committed=True, keys=("k",))
+    violations = check_quorum_durability(history)
+    assert codes(violations) == ["CHK005"]
+    assert "quorum is 2" in violations[0].message
+
+
+def test_accepts_after_the_decision_do_not_count():
+    history = with_meta(quorum=2)
+    _accept(history, "storage/0/0")
+    history.append(2.0, "tx_decided", "client/a", txid="t1",
+                   committed=True, keys=("k",))
+    _accept(history, "storage/1/0", ts=3.0)
+    assert codes(check_quorum_durability(history)) == ["CHK005"]
+
+
+def test_duplicate_accepts_from_one_node_do_not_count_twice():
+    history = with_meta(quorum=2)
+    _accept(history, "storage/0/0")
+    _accept(history, "storage/0/0", ts=1.5)
+    history.append(2.0, "tx_decided", "client/a", txid="t1",
+                   committed=True, keys=("k",))
+    assert codes(check_quorum_durability(history)) == ["CHK005"]
+
+
+def test_aborts_need_no_quorum():
+    history = with_meta(quorum=2)
+    history.append(2.0, "tx_decided", "client/a", txid="t1",
+                   committed=False, keys=("k",))
+    assert check_quorum_durability(history) == []
+
+
+# -- CHK006: version monotonicity --------------------------------------------
+
+
+def test_forward_versions_are_legal():
+    history = (History()
+               .append(0.0, "version_visible", "storage/0/0", key="k",
+                       version=1, value=10, txid="")
+               .append(1.0, "version_visible", "storage/0/0", key="k",
+                       version=2, value=9, txid="t1"))
+    assert check_version_monotonic(history) == []
+
+
+def test_version_regression_is_flagged():
+    history = (History()
+               .append(0.0, "version_visible", "storage/0/0", key="k",
+                       version=2, value=9, txid="t1")
+               .append(1.0, "version_visible", "storage/0/0", key="k",
+                       version=1, value=10, txid="t2"))
+    assert codes(check_version_monotonic(history)) == ["CHK006"]
+
+
+def test_repeated_version_is_flagged():
+    history = (History()
+               .append(0.0, "version_visible", "storage/0/0", key="k",
+                       version=2, value=9, txid="t1")
+               .append(1.0, "version_visible", "storage/0/0", key="k",
+                       version=2, value=9, txid="t2"))
+    assert codes(check_version_monotonic(history)) == ["CHK006"]
+
+
+# -- the catalogue ------------------------------------------------------------
+
+
+def test_check_history_runs_every_checker():
+    history = with_meta(quorum=2)
+    history.append(1.0, "version_visible", "storage/0/0", key="k",
+                   version=2, value=9, txid="ghost")
+    history.append(2.0, "version_visible", "storage/0/0", key="k",
+                   version=1, value=10, txid="")
+    found = codes(check_history(history))
+    assert "CHK003" in found  # ghost transaction became visible
+    assert "CHK006" in found  # version went backwards
+
+
+def test_check_history_rejects_unknown_codes():
+    with pytest.raises(ValueError):
+        check_history(History(), codes=["CHK999"])
+
+
+def test_catalogue_is_complete():
+    assert list(CHECKS) == [f"CHK00{i}" for i in range(1, 7)]

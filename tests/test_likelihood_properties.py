@@ -1,0 +1,125 @@
+"""Property-style tests for the commit-likelihood model (§5.1.2).
+
+Rather than pinning single values, these check the shape of the model:
+likelihoods are probabilities, they decay monotonically in conflict
+pressure (arrival rate, processing time w, transaction size), and the
+zero-pressure limit is certainty.
+"""
+
+import pytest
+
+from repro.core.histograms import Pmf
+from repro.core.likelihood import CommitLikelihoodModel, LatencyMatrix
+
+N_DC = 3
+BIN_MS = 2.0
+N_BINS = 256
+
+RATES = [0.0, 1e-4, 5e-4, 1e-3, 5e-3, 0.02, 0.1, 0.5]
+WAITS = [0.0, 10.0, 50.0, 200.0, 1_000.0]
+
+
+def make_model(rtt_ms: float = 40.0, quorum=None,
+               sizes=None) -> CommitLikelihoodModel:
+    rtts = {(a, b): Pmf.point(rtt_ms, BIN_MS, N_BINS)
+            for a in range(N_DC) for b in range(a + 1, N_DC)}
+    matrix = LatencyMatrix(N_DC, rtts, BIN_MS, N_BINS)
+    model = CommitLikelihoodModel(
+        matrix, leader_distribution=[1.0 / N_DC] * N_DC,
+        quorum=quorum, size_distribution=sizes)
+    model.precompute()
+    return model
+
+
+@pytest.fixture(scope="module")
+def model() -> CommitLikelihoodModel:
+    return make_model()
+
+
+def all_cells():
+    return [(client, leader) for client in range(N_DC)
+            for leader in range(N_DC)]
+
+
+def test_likelihood_is_a_probability(model):
+    for client, leader in all_cells():
+        for rate in RATES:
+            for w_ms in WAITS:
+                likelihood = model.record_likelihood(client, leader,
+                                                     rate, w_ms)
+                assert 0.0 <= likelihood <= 1.0, \
+                    (client, leader, rate, w_ms, likelihood)
+
+
+def test_zero_arrival_rate_means_certain_commit(model):
+    for client, leader in all_cells():
+        assert model.record_likelihood(client, leader, 0.0) \
+            == pytest.approx(1.0)
+        assert model.record_likelihood(client, leader, 0.0,
+                                       w_ms=10_000.0) \
+            == pytest.approx(1.0)
+
+
+def test_monotone_non_increasing_in_arrival_rate(model):
+    for client, leader in all_cells():
+        previous = 1.0 + 1e-12
+        for rate in RATES:
+            likelihood = model.record_likelihood(client, leader, rate)
+            assert likelihood <= previous + 1e-12, (client, leader, rate)
+            previous = likelihood
+
+
+def test_monotone_non_increasing_in_processing_time(model):
+    rate = 1e-3
+    for client, leader in all_cells():
+        previous = 1.0 + 1e-12
+        for w_ms in WAITS:
+            likelihood = model.record_likelihood(client, leader, rate,
+                                                 w_ms)
+            assert likelihood <= previous + 1e-12, (client, leader, w_ms)
+            previous = likelihood
+
+
+def test_positive_pressure_costs_something(model):
+    # A busy record during a nonzero window cannot be a sure commit.
+    likelihood = model.record_likelihood(0, 1, 0.05)
+    assert likelihood < 1.0
+
+
+def test_transaction_likelihood_is_product_of_records(model):
+    records = [(0, 1e-3), (1, 2e-3), (2, 5e-4)]
+    product = 1.0
+    for leader, rate in records:
+        product *= model.record_likelihood(0, leader, rate)
+    assert model.transaction_likelihood(0, records) \
+        == pytest.approx(product)
+    # More records can only lower the likelihood.
+    assert model.transaction_likelihood(0, records) \
+        <= model.transaction_likelihood(0, records[:1]) + 1e-12
+
+
+def test_larger_quorum_lengthens_the_window():
+    fast = make_model(quorum=1)
+    slow = make_model(quorum=N_DC)
+    rate = 2e-3
+    for client, leader in all_cells():
+        assert slow.record_likelihood(client, leader, rate) \
+            <= fast.record_likelihood(client, leader, rate) + 1e-12
+
+
+def test_bigger_previous_transactions_lower_the_likelihood():
+    small = make_model(sizes={1: 1.0})
+    large = make_model(sizes={8: 1.0})
+    rate = 2e-3
+    for client, leader in all_cells():
+        assert large.record_likelihood(client, leader, rate) \
+            <= small.record_likelihood(client, leader, rate) + 1e-12
+
+
+def test_farther_topology_lowers_the_likelihood():
+    near = make_model(rtt_ms=20.0)
+    far = make_model(rtt_ms=200.0)
+    rate = 2e-3
+    for client, leader in all_cells():
+        assert far.record_likelihood(client, leader, rate) \
+            <= near.record_likelihood(client, leader, rate) + 1e-12
