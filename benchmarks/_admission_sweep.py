@@ -13,9 +13,8 @@ accepted or rejected.  We model that disk-bound cost with a heavier
 at the saturation point the testbed exhibited.
 """
 
-from _common import base_config, emit, windows
+from _common import base_config, emit, run_all, windows
 from repro.core import DynamicPolicy, FixedPolicy
-from repro.harness import Experiment
 
 PARAMS = [0, 10, 40, 70, 100]
 N_ITEMS = 25_000
@@ -33,20 +32,26 @@ FAMILIES = ["Dyn", "F20", "F40", "F60"]
 
 
 def run_sweep(rate_tps: float):
-    results = {}
-    for family in FAMILIES:
-        for param in PARAMS:
-            config = base_config(
-                name=f"fig12-{family}-{param}-{rate_tps}", system="planet",
-                n_items=N_ITEMS, hotspot_size=HOTSPOT, rate_tps=rate_tps,
-                timeout_ms=5_000.0, min_items=1, max_items=1,
-                admission=make_policy(family, param),
-                storage_service_overrides={"phase2a": 5.5},
-                **windows(warmup_ms=8_000, duration_ms=16_000,
-                          drain_ms=20_000))
-            result = Experiment(config).run()
-            results[(family, param)] = result.metrics
-    return results
+    """All (family, param) cells, fanned out across the bench pool.
+
+    The cells are independent runs, so they shard cleanly; the result
+    dict is rebuilt from the ordered result list, making the merge
+    independent of which worker finished first.
+    """
+    cells = [(family, param) for family in FAMILIES for param in PARAMS]
+    configs = [
+        base_config(
+            name=f"fig12-{family}-{param}-{rate_tps}", system="planet",
+            n_items=N_ITEMS, hotspot_size=HOTSPOT, rate_tps=rate_tps,
+            timeout_ms=5_000.0, min_items=1, max_items=1,
+            admission=make_policy(family, param),
+            storage_service_overrides={"phase2a": 5.5},
+            **windows(warmup_ms=8_000, duration_ms=16_000,
+                      drain_ms=20_000))
+        for family, param in cells
+    ]
+    return {cell: result.metrics
+            for cell, result in zip(cells, run_all(configs))}
 
 
 def report(figure: str, rate_tps: float, results) -> list:

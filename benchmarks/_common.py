@@ -4,7 +4,10 @@ Every benchmark prints the same rows/series the paper's figure plots
 and also writes them under ``benchmarks/results/`` so the output
 survives pytest's capture.  ``PLANET_BENCH_SCALE`` (a float, default
 1.0) scales the virtual measurement windows — e.g. 0.3 for a quick
-smoke pass, 2.0 for tighter confidence intervals.
+smoke pass, 2.0 for tighter confidence intervals.  ``PLANET_BENCH_POOL``
+sets the worker-pool size figure sweeps fan out over (default 1 =
+serial; 0 = one worker per CPU) — results are identical either way,
+only the wall-clock changes.
 """
 
 from __future__ import annotations
@@ -12,9 +15,15 @@ from __future__ import annotations
 import csv
 import os
 from pathlib import Path
-from typing import Sequence
+from typing import List, Sequence
 
-from repro.harness import ExperimentConfig, format_table
+from repro.harness import (
+    ExperimentConfig,
+    ExperimentResult,
+    default_pool_size,
+    format_table,
+    run_experiments,
+)
 
 SCALE = float(os.environ.get("PLANET_BENCH_SCALE", "1.0"))
 
@@ -43,6 +52,22 @@ def base_config(**kwargs) -> ExperimentConfig:
     defaults.update(windows())
     defaults.update(kwargs)
     return ExperimentConfig(**defaults)
+
+
+def pool_size() -> int:
+    """Sweep fan-out width from ``PLANET_BENCH_POOL`` (default serial)."""
+    raw = os.environ.get("PLANET_BENCH_POOL", "1").strip()
+    value = int(raw) if raw else 1
+    return default_pool_size() if value == 0 else max(1, value)
+
+
+def run_all(configs: Sequence[ExperimentConfig]) -> List[ExperimentResult]:
+    """Run a figure's sweep, fanned out over the configured pool.
+
+    The merge is deterministic: results come back in config order, and
+    each equals what a serial ``Experiment(config).run()`` produces.
+    """
+    return run_experiments(configs, processes=pool_size())
 
 
 def emit(name: str, headers: Sequence[str], rows: Sequence[Sequence[object]],

@@ -35,7 +35,8 @@ def run_messages():
     def sender(env):
         for i in range(N_EVENTS):
             transport.send(0, Message(src="src", dst="sink", kind="k",
-                                      payload=i))
+                                      payload=i,
+                                      msg_id=transport.next_msg_id()))
             if i % 64 == 0:
                 yield env.timeout(0.1)
 

@@ -238,6 +238,9 @@ class DeterminismChecker(Checker):
         "DET005": "order-sensitive iteration over a set",
     }
     scope = ("repro",)
+    # repro.perf measures wall time by design; it is host-side code
+    # that never runs inside a simulation.
+    exclude = Checker.exclude + ("repro.perf",)
 
     def check_file(self, file: SourceFile) -> Iterable[Diagnostic]:
         diagnostics: List[Diagnostic] = []

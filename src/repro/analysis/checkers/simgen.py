@@ -42,8 +42,9 @@ BLOCKING_PREFIXES = (
 )
 
 #: Host-side packages exempt from the blocking-I/O rule.  The check
-#: CLI is host-side too: it writes failing fuzz traces to disk.
-_HOST_SIDE = ("repro.harness", "repro.check.__main__")
+#: CLI is host-side too: it writes failing fuzz traces to disk, and
+#: the benchmark harness writes reports and prints progress.
+_HOST_SIDE = ("repro.harness", "repro.check.__main__", "repro.perf")
 
 
 def _walk_own_body(function: _FunctionDef) -> Iterator[ast.AST]:

@@ -82,7 +82,11 @@ def _cmd_fuzz(namespace: argparse.Namespace) -> int:
             print(f"... {checked}/{namespace.seeds} seeds clean",
                   flush=True)
 
-    failures = fuzz_sweep(seeds, base, on_result=progress)
+    if namespace.jobs == 0:
+        from repro.harness.parallel import default_pool_size
+        namespace.jobs = default_pool_size()
+    failures = fuzz_sweep(seeds, base, on_result=progress,
+                          processes=namespace.jobs)
     if not failures:
         print(f"OK: {namespace.seeds} seeds, no invariant violations")
         return 0
@@ -147,6 +151,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="directory for failing-trace files")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="report failures without minimizing them")
+    fuzz.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for the sweep "
+                           "(0 = one per CPU; default %(default)s)")
     _add_config_flags(fuzz)
     fuzz.set_defaults(handler=_cmd_fuzz)
 

@@ -165,19 +165,29 @@ def run_check(config: CheckConfig,
                        violations=violations, stats=stats)
 
 
+def _run_seed(config: CheckConfig) -> CheckResult:
+    """Pool-worker body for :func:`fuzz_sweep` (module-level: pickled)."""
+    return run_check(config)
+
+
 def fuzz_sweep(seeds: Sequence[int], base: Optional[CheckConfig] = None,
                on_result: Optional[Callable[[CheckResult], None]] = None,
+               processes: int = 1,
                ) -> List[CheckResult]:
-    """Run every seed; returns the failing results (empty = all clean)."""
+    """Run every seed; returns the failing results (empty = all clean).
+
+    ``processes > 1`` shards the seeds across a worker pool (see
+    :mod:`repro.harness.parallel`); results — and ``on_result`` calls —
+    still arrive in seed order, identical to the serial sweep, because
+    each seed's run is a pure function of its config.
+    """
+    from repro.harness.parallel import parallel_map
+
     base = base if base is not None else CheckConfig()
-    failures: List[CheckResult] = []
-    for seed in seeds:
-        result = run_check(dataclasses.replace(base, seed=seed))
-        if on_result is not None:
-            on_result(result)
-        if not result.ok:
-            failures.append(result)
-    return failures
+    configs = [dataclasses.replace(base, seed=seed) for seed in seeds]
+    results = parallel_map(_run_seed, configs, processes=processes,
+                           on_result=on_result)
+    return [result for result in results if not result.ok]
 
 
 @dataclass

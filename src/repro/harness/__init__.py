@@ -20,6 +20,11 @@ from repro.harness.report import (
     render_curves,
 )
 from repro.harness.monitoring import ClusterSnapshot, HealthMonitor, snapshot
+from repro.harness.parallel import (
+    default_pool_size,
+    parallel_map,
+    run_experiments,
+)
 from repro.harness.tracing import TransactionTrace, TransactionTracer
 
 __all__ = [
@@ -32,9 +37,12 @@ __all__ = [
     "TransactionTrace",
     "TransactionTracer",
     "TxRecord",
+    "default_pool_size",
     "format_table",
+    "parallel_map",
     "print_table",
     "render_bars",
     "render_curves",
+    "run_experiments",
     "snapshot",
 ]

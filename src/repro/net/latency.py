@@ -5,6 +5,14 @@ body around the propagation delay and occasional spikes exceeding
 800 ms.  We model a one-way delay as a shifted log-normal "body" with a
 rare multiplicative "spike" tail; an empirical variant replays a
 measured histogram instead.
+
+Sampling is on the transport's per-message hot path, so every model
+also offers :meth:`LatencyModel.bind`: given the rng it will always be
+sampled with, it returns a zero-argument closure with the distribution
+parameters and the rng's methods pre-bound as locals.  A bound sampler
+MUST consume exactly the same rng draws in the same order as
+``sample`` — the deterministic-replay digests (``repro.check``) compare
+runs byte for byte.
 """
 
 from __future__ import annotations
@@ -12,11 +20,13 @@ from __future__ import annotations
 import math
 import random
 from abc import ABC, abstractmethod
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 
 class LatencyModel(ABC):
     """A distribution of one-way message delays in milliseconds."""
+
+    __slots__ = ()
 
     @abstractmethod
     def sample(self, rng: random.Random) -> float:
@@ -26,9 +36,20 @@ class LatencyModel(ABC):
     def mean(self) -> float:
         """Expected delay in ms (used for sanity checks and reports)."""
 
+    def bind(self, rng: random.Random) -> Callable[[], float]:
+        """A fast zero-argument sampler drawing from ``rng``.
+
+        The default wraps :meth:`sample`; subclasses override it to
+        pre-bind their parameters and the rng methods they use.
+        """
+        sample = self.sample
+        return lambda: sample(rng)
+
 
 class ConstantLatency(LatencyModel):
     """A fixed delay — useful for tests and analytic cross-checks."""
+
+    __slots__ = ("delay_ms",)
 
     def __init__(self, delay_ms: float):
         if delay_ms < 0:
@@ -37,6 +58,10 @@ class ConstantLatency(LatencyModel):
 
     def sample(self, rng: random.Random) -> float:
         return self.delay_ms
+
+    def bind(self, rng: random.Random) -> Callable[[], float]:
+        delay = self.delay_ms
+        return lambda: delay
 
     def mean(self) -> float:
         return self.delay_ms
@@ -53,6 +78,8 @@ class LogNormalLatency(LatencyModel):
     relative spread (0.1–0.3 matches the tight bodies of Figure 1).
     """
 
+    __slots__ = ("median_ms", "sigma", "floor_ms", "_mu")
+
     def __init__(self, median_ms: float, sigma: float = 0.15,
                  floor_ms: float = 0.0):
         if median_ms <= floor_ms:
@@ -66,6 +93,13 @@ class LogNormalLatency(LatencyModel):
 
     def sample(self, rng: random.Random) -> float:
         return self.floor_ms + rng.lognormvariate(self._mu, self.sigma)
+
+    def bind(self, rng: random.Random) -> Callable[[], float]:
+        floor = self.floor_ms
+        mu = self._mu
+        sigma = self.sigma
+        lognormvariate = rng.lognormvariate
+        return lambda: floor + lognormvariate(mu, sigma)
 
     def mean(self) -> float:
         body = math.exp(self._mu + self.sigma ** 2 / 2.0)
@@ -85,6 +119,8 @@ class SpikingLatency(LatencyModel):
     the distribution body.
     """
 
+    __slots__ = ("base", "spike_prob", "spike_factor")
+
     def __init__(self, base: LatencyModel, spike_prob: float = 0.001,
                  spike_factor: Tuple[float, float] = (4.0, 12.0)):
         if not 0.0 <= spike_prob <= 1.0:
@@ -102,6 +138,23 @@ class SpikingLatency(LatencyModel):
             delay *= rng.uniform(*self.spike_factor)
         return delay
 
+    def bind(self, rng: random.Random) -> Callable[[], float]:
+        # Same draw order as sample(): base first, then the spike coin,
+        # then (rarely) the spike factor.
+        base = self.base.bind(rng)
+        spike_prob = self.spike_prob
+        lo, hi = self.spike_factor
+        rng_random = rng.random
+        uniform = rng.uniform
+
+        def sampler() -> float:
+            delay = base()
+            if spike_prob and rng_random() < spike_prob:
+                delay *= uniform(lo, hi)
+            return delay
+
+        return sampler
+
     def mean(self) -> float:
         lo, hi = self.spike_factor
         mean_factor = 1.0 + self.spike_prob * ((lo + hi) / 2.0 - 1.0)
@@ -118,6 +171,8 @@ class EmpiricalLatency(LatencyModel):
     Useful to replay distributions collected by the statistics service
     (or to plug in real RTT traces if available).
     """
+
+    __slots__ = ("_delays", "_cumulative", "_mean")
 
     def __init__(self, samples: Sequence[Tuple[float, float]]):
         points: List[Tuple[float, float]] = [

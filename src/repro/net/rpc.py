@@ -37,6 +37,10 @@ class RpcEndpoint:
     #: Sentinel a handler returns when it will respond asynchronously.
     NO_REPLY = object()
 
+    __slots__ = ("env", "transport", "address", "datacenter",
+                 "service_time_ms", "service_overrides", "_handlers",
+                 "_pending", "_queue", "_serving", "max_queue_depth")
+
     def __init__(self, env: Environment, transport: Transport,
                  address: str, datacenter: int,
                  service_time_ms: float = 0.0,

@@ -9,7 +9,6 @@ the paper shows ~100 ms average RTTs with spikes beyond 800 ms).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.net.latency import (
@@ -20,15 +19,28 @@ from repro.net.latency import (
 )
 
 
-@dataclass(frozen=True)
 class DataCenter:
     """A named replica site."""
 
-    index: int
-    name: str
+    __slots__ = ("index", "name")
+
+    def __init__(self, index: int, name: str):
+        self.index = index
+        self.name = name
 
     def __str__(self) -> str:
         return self.name
+
+    def __repr__(self) -> str:
+        return f"DataCenter(index={self.index!r}, name={self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataCenter):
+            return NotImplemented
+        return self.index == other.index and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash((self.index, self.name))
 
 
 class Topology:
@@ -39,6 +51,8 @@ class Topology:
     constant local delay (the paper treats local round trips as
     insignificant).
     """
+
+    __slots__ = ("datacenters", "_local", "_models")
 
     def __init__(self, names: Sequence[str],
                  pair_models: Dict[Tuple[int, int], LatencyModel],

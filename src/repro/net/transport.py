@@ -5,42 +5,70 @@ samples the one-way delay for the (source DC, destination DC) pair and
 schedules delivery.  Links can be configured to drop messages or to be
 partitioned for a time window — used by the failure-injection tests to
 exercise PLANET's uncertainty guarantees.
+
+``send`` is the single hottest function in a figure-scale run (every
+Paxos phase, RPC, and statistics ping goes through it), so it avoids
+allocation where it can: delivery events are recycled through a free
+list instead of constructed per message, and per-link latency samplers
+are bound once (:meth:`repro.net.latency.LatencyModel.bind`) rather
+than re-resolved through the topology on every send.  Neither shortcut
+may change the rng draw order — history digests pin that down.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.net.topology import Topology
 from repro.sim import Environment, Event, RandomStreams
 
-_msg_counter = itertools.count(1)
 
-
-@dataclass
 class Message:
     """An addressed message in flight.
 
     ``kind`` is a short protocol tag (e.g. ``"phase2a"``); ``payload``
     is arbitrary protocol data.  ``msg_id`` is unique per simulation
     run and is used by the RPC layer to match responses to requests.
-    The RPC layer draws ids from :meth:`Transport.next_msg_id` so runs
-    are reproducible within one host process; the module-level fallback
-    only serves directly constructed messages in tests.
+    Ids come from :meth:`Transport.next_msg_id` (or are chosen
+    explicitly by tests): there is deliberately no process-global
+    fallback counter, because any module-level sequence makes message
+    ids — and therefore history digests — depend on how many runs the
+    host process executed before this one.
     """
 
-    src: str
-    dst: str
-    kind: str
-    payload: Any
-    msg_id: int = field(default_factory=lambda: next(_msg_counter))
-    reply_to: Optional[int] = None
+    __slots__ = ("src", "dst", "kind", "payload", "msg_id", "reply_to")
+
+    def __init__(self, src: str, dst: str, kind: str, payload: Any,
+                 msg_id: int, reply_to: Optional[int] = None):
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload
+        self.msg_id = msg_id
+        self.reply_to = reply_to
+
+    def __repr__(self) -> str:
+        return (f"Message(src={self.src!r}, dst={self.dst!r}, "
+                f"kind={self.kind!r}, payload={self.payload!r}, "
+                f"msg_id={self.msg_id!r}, reply_to={self.reply_to!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (self.src == other.src and self.dst == other.dst
+                and self.kind == other.kind and self.payload == other.payload
+                and self.msg_id == other.msg_id
+                and self.reply_to == other.reply_to)
 
 
 class Transport:
     """Delivers messages between registered nodes with sampled delays."""
+
+    __slots__ = ("env", "topology", "_rng", "_msg_ids", "_handlers",
+                 "_locations", "_drop_prob", "_extra_delay", "_partitioned",
+                 "_down", "_samplers", "_event_pool", "sent", "delivered",
+                 "dropped")
 
     def __init__(self, env: Environment, topology: Topology,
                  streams: RandomStreams):
@@ -57,6 +85,14 @@ class Transport:
         self._extra_delay: Dict[Tuple[int, int], float] = {}
         self._partitioned: Set[Tuple[int, int]] = set()
         self._down: Set[str] = set()
+        #: Per-link bound samplers, built lazily on first send over a
+        #: link.  All of them draw from ``self._rng`` in exactly the
+        #: order ``model.sample`` would.
+        self._samplers: Dict[Tuple[int, int], Callable[[], float]] = {}
+        #: Recycled delivery events: a delivery event's lifecycle ends
+        #: inside ``_deliver``, so the object (and its callback list)
+        #: can be handed straight back to the next ``send``.
+        self._event_pool: List[Event] = []
         #: Counters for observability: messages sent/delivered/dropped.
         self.sent = 0
         self.delivered = 0
@@ -140,33 +176,48 @@ class Transport:
         — exactly the behaviour a WAN gives an application.
         """
         self.sent += 1
-        if self.env.tracer is not None:
-            self.env.trace("send", node=message.src, kind=message.kind,
-                           dst=message.dst, msg_id=message.msg_id,
-                           reply_to=message.reply_to)
+        env = self.env
+        if env.tracer is not None:
+            env.trace("send", node=message.src, kind=message.kind,
+                      dst=message.dst, msg_id=message.msg_id,
+                      reply_to=message.reply_to)
         dst_dc = self._locations.get(message.dst)
         if dst_dc is None:
             self._drop(message, "unknown-address")
             return
-        if message.dst in self._down or message.src in self._down:
+        if self._down and (message.dst in self._down
+                           or message.src in self._down):
             self._drop(message, "node-down")
             return
-        if (src_dc, dst_dc) in self._partitioned:
+        link = (src_dc, dst_dc)
+        if self._partitioned and link in self._partitioned:
             self._drop(message, "partition")
             return
-        drop = self._drop_prob.get((src_dc, dst_dc), 0.0)
-        if drop and self._rng.random() < drop:
-            self._drop(message, "loss")
-            return
-        delay = (self.topology.latency(src_dc, dst_dc).sample(self._rng)
-                 + self._extra_delay.get((src_dc, dst_dc), 0.0))
-        # Schedule a bare event rather than a generator process: one
-        # heap operation per message keeps large experiments fast.
-        event = Event(self.env)
-        event._ok = True
-        event._value = message
-        event.callbacks.append(self._deliver)
-        self.env.schedule(event, delay=delay)
+        if self._drop_prob:
+            drop = self._drop_prob.get(link, 0.0)
+            if drop and self._rng.random() < drop:
+                self._drop(message, "loss")
+                return
+        sampler = self._samplers.get(link)
+        if sampler is None:
+            sampler = self.topology.latency(src_dc, dst_dc).bind(self._rng)
+            self._samplers[link] = sampler
+        delay = sampler()
+        if self._extra_delay:
+            delay += self._extra_delay.get(link, 0.0)
+        # Schedule a bare event rather than a generator process (one
+        # heap operation per message), recycling processed delivery
+        # events through the pool (no allocation per message).
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event._value = message
+        else:
+            event = Event(env)
+            event._ok = True
+            event._value = message
+            event.callbacks.append(self._deliver)
+        env.schedule(event, delay=delay)
 
     def _drop(self, message: Message, reason: str) -> None:
         self.dropped += 1
@@ -176,7 +227,14 @@ class Transport:
                            reason=reason)
 
     def _deliver(self, event: Event) -> None:
-        message: Message = event.value
+        message: Message = event._value
+        # The event's job is done: recycle it before dispatching, so a
+        # handler that immediately sends can reuse it for its own
+        # delivery.  The kernel's post-callback check only reads
+        # ``_ok``/``_defused``, which recycling leaves True/False.
+        event._value = None
+        event.callbacks = [self._deliver]
+        self._event_pool.append(event)
         handler = self._handlers.get(message.dst)
         if handler is None or message.dst in self._down:
             # Unregistered, or crashed while the message was in flight.

@@ -1,0 +1,44 @@
+"""Wall-clock benchmark harness (``python -m repro.perf``).
+
+The simulator's value scales with how many scenarios a unit of
+hardware time can cover (ROADMAP: "as fast as the hardware allows"),
+so perf is a tested, regression-gated property here — not folklore.
+This package measures it at three granularities:
+
+* **micro** — raw kernel event throughput (``kernel``) and transport
+  message throughput (``transport``), the two inner loops every
+  simulated millisecond passes through;
+* **macro** — wall time of a figure-scale PLANET experiment
+  (``figure``), including peak RSS;
+* **fan-out** — a serial-vs-parallel sweep of independent experiment
+  configs (``sweep``), measuring what :mod:`repro.harness.parallel`
+  buys on the current machine.
+
+``python -m repro.perf`` writes ``BENCH_kernel.json`` (repo root by
+convention); ``--compare OLD.json`` re-runs and fails on >25%
+regression — CI's bench-smoke job wires the committed baseline into
+exactly that check.  ``--profile`` wraps each bench in cProfile for
+hot-path hunting.  See ``docs/performance.md``.
+
+This package is deliberately **host-side**: it reads the wall clock
+and writes files, which simulation code must never do, so it is exempt
+from the determinism lint (DET001) and the blocking-I/O lint (SIM003)
+— see the exclusion lists in ``repro.analysis.checkers``.
+"""
+
+from repro.perf.benches import BENCHES, BenchSpec
+from repro.perf.harness import (
+    SCHEMA_VERSION,
+    compare_reports,
+    load_report,
+    write_report,
+)
+
+__all__ = [
+    "BENCHES",
+    "BenchSpec",
+    "SCHEMA_VERSION",
+    "compare_reports",
+    "load_report",
+    "write_report",
+]

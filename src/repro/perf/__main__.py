@@ -1,0 +1,133 @@
+"""Command-line front end of the benchmark harness.
+
+::
+
+    python -m repro.perf                       # full run -> BENCH_kernel.json
+    python -m repro.perf --smoke               # CI-sized run (scale 0.2)
+    python -m repro.perf --only kernel --only transport
+    python -m repro.perf --compare BENCH_kernel.json   # regression gate
+    python -m repro.perf --profile             # cProfile the benches
+
+``--compare`` exits non-zero iff any benchmark's score metric is more
+than ``--threshold`` percent worse than the baseline file — CI feeds
+it the committed ``BENCH_kernel.json``.  Results are always written
+(``--out``, default ``BENCH_kernel.json`` in the current directory) so
+the fresh numbers survive as an artifact even when the gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+from typing import Dict, List, Optional
+
+from repro.perf.benches import BENCHES
+from repro.perf.harness import (
+    build_report,
+    compare_reports,
+    format_report,
+    load_report,
+    write_report,
+)
+
+#: Pre-change reference numbers: the same micro benches measured at
+#: the seed revision (before the __slots__/pooling/sampler-binding
+#: work, commit bb8ec9e) on the machine that produced the committed
+#: baseline.  Informational — compare mode never reads this block.
+UNOPTIMIZED_REFERENCE = {
+    "rev": "bb8ec9e (pre-optimization)",
+    "kernel_events_per_sec": 638_927.0,
+    "transport_messages_per_sec": 167_234.0,
+    "figure_seconds": 3.044,
+}
+
+
+def _run_benches(names: List[str], scale: float, pool: int, repeats: int,
+                 profile: bool) -> Dict[str, Dict[str, float]]:
+    results: Dict[str, Dict[str, float]] = {}
+    for spec in BENCHES:
+        if names and spec.name not in names:
+            continue
+        print(f"running {spec.name} ({spec.description}) ...", flush=True)
+        if profile:
+            profiler = cProfile.Profile()
+            profiler.enable()
+        results[spec.name] = spec.fn(scale, pool, repeats=repeats)
+        if profile:
+            profiler.disable()
+            stream = io.StringIO()
+            stats = pstats.Stats(profiler, stream=stream)
+            stats.sort_stats("cumulative").print_stats(20)
+            print(f"--- cProfile: {spec.name} ---")
+            print(stream.getvalue())
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="micro/macro wall-clock benchmarks of the simulator")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: scale 0.2, single repeat")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="work multiplier (default 1.0; --smoke: 0.2)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed repetitions, best-of (default 3; "
+                             "--smoke: 1)")
+    parser.add_argument("--pool", type=int, default=4,
+                        help="worker pool for the sweep bench "
+                             "(default %(default)s)")
+    parser.add_argument("--only", action="append", default=[],
+                        choices=[spec.name for spec in BENCHES],
+                        help="run only this bench (repeatable)")
+    parser.add_argument("--out", type=str, default="BENCH_kernel.json",
+                        help="result file (default %(default)s)")
+    parser.add_argument("--compare", type=str, default=None, metavar="FILE",
+                        help="baseline report; exit 1 on regression")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="allowed regression percent "
+                             "(default %(default)s)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile each bench and print hot functions")
+    namespace = parser.parse_args(argv)
+
+    scale = namespace.scale if namespace.scale is not None else (
+        0.2 if namespace.smoke else 1.0)
+    repeats = namespace.repeats if namespace.repeats is not None else (
+        1 if namespace.smoke else 3)
+
+    results = _run_benches(namespace.only, scale, namespace.pool, repeats,
+                           namespace.profile)
+    scores = {spec.name: (spec.score_metric, spec.higher_is_better,
+                          spec.unit)
+              for spec in BENCHES if spec.name in results}
+    report = build_report(results, scores, scale, namespace.pool,
+                          reference=UNOPTIMIZED_REFERENCE)
+    print()
+    print(format_report(report))
+    write_report(namespace.out, report)
+    print(f"\nreport written to {namespace.out}")
+
+    if namespace.compare:
+        baseline = load_report(namespace.compare)
+        if baseline.get("scale") != report.get("scale"):
+            print(f"note: baseline scale {baseline.get('scale')} != "
+                  f"current scale {report.get('scale')}; comparing anyway")
+        regressions = compare_reports(report, baseline,
+                                      threshold_pct=namespace.threshold)
+        if regressions:
+            print(f"\nFAIL: {len(regressions)} regression(s) beyond "
+                  f"{namespace.threshold:.0f}% vs {namespace.compare}")
+            for regression in regressions:
+                print("  " + regression.format())
+            return 1
+        print(f"\nOK: no regression beyond {namespace.threshold:.0f}% "
+              f"vs {namespace.compare}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

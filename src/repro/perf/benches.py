@@ -1,0 +1,172 @@
+"""The benchmark bodies: micro (kernel, transport), macro (figure),
+and fan-out (serial-vs-parallel sweep).
+
+Every bench is a pure function of ``(scale, pool)`` built entirely
+from seeded components, so two runs on the same interpreter do the
+same work — the only thing that varies is how fast the hardware gets
+through it.  ``scale`` multiplies the event counts / virtual windows
+(CI smoke uses 0.2); ``pool`` sizes the worker pool of the sweep
+bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.harness.experiment import Experiment, ExperimentConfig
+from repro.harness.parallel import run_experiments
+from repro.net import Message, Transport, uniform_topology
+from repro.perf.harness import best_of, peak_rss_mb, timed
+from repro.sim import Environment, RandomStreams
+
+#: Event/message counts at scale 1.0.
+KERNEL_EVENTS = 200_000
+TRANSPORT_MESSAGES = 200_000
+SWEEP_RUNS = 4
+
+
+def bench_kernel(scale: float, pool: int,
+                 repeats: int = 3) -> Dict[str, float]:
+    """Raw kernel throughput: one process cycling bare timeouts."""
+    n_events = max(1_000, int(KERNEL_EVENTS * scale))
+
+    def run() -> float:
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(n_events):
+                yield env.timeout(1.0)
+
+        env.process(ticker(env))
+        return timed(env.run)
+
+    seconds = best_of(run, repeats)
+    return {
+        "events": float(n_events),
+        "seconds": seconds,
+        "events_per_sec": n_events / seconds,
+    }
+
+
+def bench_transport(scale: float, pool: int,
+                    repeats: int = 3) -> Dict[str, float]:
+    """Transport hot path: send/sample/schedule/deliver per message."""
+    n_messages = max(1_000, int(TRANSPORT_MESSAGES * scale))
+
+    def run() -> float:
+        env = Environment()
+        topology = uniform_topology(3, one_way_ms=10.0, sigma=0.05)
+        transport = Transport(env, topology, RandomStreams(seed=1))
+        received = [0]
+
+        def sink(message: Message) -> None:
+            received[0] += 1
+
+        transport.register("sink", 1, sink)
+
+        def sender(env):
+            for index in range(n_messages):
+                transport.send(0, Message(
+                    src="src", dst="sink", kind="k", payload=index,
+                    msg_id=transport.next_msg_id()))
+                if index % 64 == 0:
+                    yield env.timeout(0.1)
+
+        env.process(sender(env))
+        seconds = timed(env.run)
+        assert received[0] == n_messages
+        return seconds
+
+    seconds = best_of(run, repeats)
+    return {
+        "messages": float(n_messages),
+        "seconds": seconds,
+        "messages_per_sec": n_messages / seconds,
+    }
+
+
+def _figure_config(scale: float, seed: int = 1234,
+                   name: str = "perf-figure") -> ExperimentConfig:
+    """A shrunken §6-style PLANET run: EC2 topology, hotspot, real
+    storage service times — every subsystem a figure exercises."""
+    return ExperimentConfig(
+        name=name, seed=seed, system="planet", topology="ec2",
+        n_items=5_000, hotspot_size=50, rate_tps=150.0,
+        storage_service_ms=0.4, oracle_samples=800,
+        warmup_ms=max(800.0, 4_000.0 * scale),
+        duration_ms=max(1_600.0, 8_000.0 * scale),
+        drain_ms=max(800.0, 4_000.0 * scale))
+
+
+def bench_figure(scale: float, pool: int,
+                 repeats: int = 2) -> Dict[str, float]:
+    """Wall time of one figure-scale experiment, plus peak RSS."""
+    committed = [0]
+
+    def run() -> float:
+        experiment = Experiment(_figure_config(scale))
+        seconds = timed(lambda: committed.__setitem__(
+            0, experiment.run().metrics.n_committed))
+        return seconds
+
+    seconds = best_of(run, repeats)
+    return {
+        "seconds": seconds,
+        # Deterministic given (scale, seed): a drifting commit count
+        # means the bench itself lost reproducibility.
+        "committed": float(committed[0]),
+        "peak_rss_mb": peak_rss_mb(),
+    }
+
+
+def bench_sweep(scale: float, pool: int,
+                repeats: int = 1) -> Dict[str, float]:
+    """Figure-scale sweep, serial vs. a pool of ``pool`` workers.
+
+    The sweep is ``SWEEP_RUNS`` independent seeds of the figure
+    config; ``speedup`` is serial over parallel wall time on *this*
+    machine — on a single-CPU host expect ~1.0 or slightly below
+    (pool overhead), which is exactly what the number is for.
+    """
+    configs = [
+        _figure_config(scale, seed=1000 + index, name=f"perf-sweep-{index}")
+        for index in range(SWEEP_RUNS)
+    ]
+
+    serial_s = best_of(
+        lambda: timed(lambda: run_experiments(configs, processes=1)),
+        repeats)
+    parallel_s = best_of(
+        lambda: timed(lambda: run_experiments(configs, processes=pool)),
+        repeats)
+    return {
+        "runs": float(len(configs)),
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+    }
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered benchmark and how to judge it in compare mode."""
+
+    name: str
+    fn: Callable[..., Dict[str, float]]
+    score_metric: str
+    higher_is_better: bool
+    unit: str
+    description: str
+
+
+BENCHES: List[BenchSpec] = [
+    BenchSpec("kernel", bench_kernel, "events_per_sec", True,
+              "events/s", "discrete-event kernel timer throughput"),
+    BenchSpec("transport", bench_transport, "messages_per_sec", True,
+              "messages/s", "transport send->deliver throughput"),
+    BenchSpec("figure", bench_figure, "seconds", False,
+              "s", "one figure-scale PLANET experiment"),
+    BenchSpec("sweep", bench_sweep, "parallel_seconds", False,
+              "s", "independent-config sweep, serial vs pooled"),
+]

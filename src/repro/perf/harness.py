@@ -1,0 +1,159 @@
+"""Measurement plumbing: timing, RSS, report files, regression compare.
+
+Kept separate from the benchmark bodies (:mod:`repro.perf.benches`) so
+the compare logic can be unit-tested against hand-built reports
+without running a single benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Bump when the report layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def best_of(fn: Callable[[], float], repeats: int) -> float:
+    """Minimum of ``repeats`` timed runs — the least-noise estimator
+    for a deterministic workload on a busy machine."""
+    return min(fn() for _ in range(max(1, repeats)))
+
+
+def timed(fn: Callable[[], object]) -> float:
+    """Wall seconds one call of ``fn`` takes."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def peak_rss_mb() -> float:
+    """High-water resident set size of this process, in MiB.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalize both.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One benchmark that got worse than the allowed threshold."""
+
+    bench: str
+    metric: str
+    baseline: float
+    current: float
+    change_pct: float
+
+    def format(self) -> str:
+        return (f"{self.bench}: {self.metric} regressed "
+                f"{self.change_pct:+.1f}% "
+                f"({self.baseline:.6g} -> {self.current:.6g})")
+
+
+def build_report(results: Dict[str, Dict[str, float]],
+                 scores: Dict[str, Tuple[str, bool, str]],
+                 scale: float, pool: int,
+                 reference: Optional[Dict[str, object]] = None) -> dict:
+    """Assemble the JSON document ``BENCH_kernel.json`` holds.
+
+    ``scores`` maps bench name to ``(metric_key, higher_is_better,
+    unit)`` — the compare mode judges exactly that metric per bench.
+    """
+    report = {
+        "schema": SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "cpus": _cpu_count(),
+        "scale": scale,
+        "pool": pool,
+        "benchmarks": {
+            name: {
+                "metrics": metrics,
+                "score_metric": scores[name][0],
+                "higher_is_better": scores[name][1],
+                "unit": scores[name][2],
+            }
+            for name, metrics in sorted(results.items())
+        },
+    }
+    if reference is not None:
+        report["reference"] = reference
+    return report
+
+
+def _cpu_count() -> int:
+    import os
+
+    return os.cpu_count() or 1
+
+
+def write_report(path: str, report: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def load_report(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare_reports(current: dict, baseline: dict,
+                    threshold_pct: float = 25.0) -> List[Regression]:
+    """Regressions of ``current`` against ``baseline``.
+
+    Only benchmarks present in both reports are judged, each on its
+    declared score metric.  ``change_pct`` is signed so that negative
+    is always *worse* — a drop for higher-is-better throughputs, a
+    rise for lower-is-better wall times — and a regression is reported
+    when the loss exceeds ``threshold_pct``.
+    """
+    regressions: List[Regression] = []
+    base_benches = baseline.get("benchmarks", {})
+    for name, entry in current.get("benchmarks", {}).items():
+        base = base_benches.get(name)
+        if base is None:
+            continue
+        metric = entry.get("score_metric")
+        higher = bool(entry.get("higher_is_better", True))
+        now = entry.get("metrics", {}).get(metric)
+        then = base.get("metrics", {}).get(metric)
+        if now is None or then is None or then <= 0:
+            continue
+        if higher:
+            change_pct = (now - then) / then * 100.0
+        else:
+            change_pct = (then - now) / now * 100.0 if now > 0 else 0.0
+        if change_pct < -threshold_pct:
+            regressions.append(Regression(
+                bench=name, metric=metric, baseline=then, current=now,
+                change_pct=change_pct))
+    return regressions
+
+
+def format_report(report: dict) -> str:
+    """Human-readable rendering of one report (the CLI's output)."""
+    lines = [
+        f"repro.perf  python {report.get('python')}  "
+        f"cpus={report.get('cpus')}  scale={report.get('scale')}  "
+        f"pool={report.get('pool')}"
+    ]
+    for name, entry in report.get("benchmarks", {}).items():
+        metric = entry.get("score_metric")
+        value = entry.get("metrics", {}).get(metric)
+        unit = entry.get("unit", "")
+        lines.append(f"  {name:<10} {value:>14,.1f} {unit}")
+        for key, val in sorted(entry.get("metrics", {}).items()):
+            if key != metric:
+                lines.append(f"    {key:<24} {val:,.4f}")
+    return "\n".join(lines)

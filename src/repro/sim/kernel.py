@@ -7,12 +7,33 @@ when the yielded event fires.  The kernel is deliberately small and
 fully deterministic: ties in time are broken by a monotonically
 increasing sequence number, so two runs with the same seeds produce
 identical traces.
+
+Hot-path notes
+--------------
+Every message a figure-scale experiment sends becomes at least one
+:class:`Event` through this kernel, so the per-event constant factors
+here bound the whole reproduction's wall-clock time.  Three deliberate
+choices keep them small:
+
+* every kernel class declares ``__slots__`` (no per-instance dict;
+  attribute access compiles to a fixed-offset load),
+* the failure-propagation flag ``_defused`` is a slotted attribute
+  initialized in ``Event.__init__`` rather than a ``getattr`` probe in
+  the event loop, and
+* :meth:`Environment.run` inlines the body of :meth:`Environment.step`
+  with the queue and ``heappop`` bound to locals — one Python frame per
+  event instead of two.
+
+``python -m repro.perf`` benchmarks this loop; regressions fail CI.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 #: Sentinel for an event that has not yet been given a value.
 _PENDING = object()
@@ -43,11 +64,17 @@ class Event:
     themselves in :attr:`callbacks`.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
         self._ok = True
+        #: True once a waiter has taken responsibility for a failure;
+        #: the event loop then will not re-raise it.  A plain slotted
+        #: bool (not a getattr probe) — the loop reads it per event.
+        self._defused = False
 
     @property
     def triggered(self) -> bool:
@@ -72,7 +99,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
@@ -87,7 +114,7 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
@@ -103,18 +130,26 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically after ``delay`` virtual ms."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Flattened Event.__init__ (no super() call): timeouts are the
+        # single most common event the workload generators create.
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._defused = False
+        self.delay = delay
         env.schedule(self, delay=delay)
 
 
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
@@ -132,6 +167,8 @@ class Process(Event):
     with the raised exception on failure.  Other processes may
     ``yield`` a process to join it.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
@@ -175,14 +212,15 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         env = self.env
         env._active_process = self
+        generator = self._generator
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     # Mark the failure as handled by this process.
                     event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as exc:
                 self._ok = True
                 self._value = exc.value
@@ -224,6 +262,8 @@ class ConditionEvent(Event):
     it.
     """
 
+    __slots__ = ("events",)
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self.events: List[Event] = list(events)
@@ -254,6 +294,8 @@ class ConditionEvent(Event):
 class AllOf(ConditionEvent):
     """Fires once every child event has occurred (or any child fails)."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -267,6 +309,8 @@ class AllOf(ConditionEvent):
 
 class AnyOf(ConditionEvent):
     """Fires as soon as the first child event occurs."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -293,6 +337,8 @@ class Environment:
         env.run()
         assert env.now == 10.0
     """
+
+    __slots__ = ("_now", "_queue", "_eid", "_active_process", "tracer")
 
     PRIORITY_URGENT = 0
     PRIORITY_NORMAL = 1
@@ -355,30 +401,40 @@ class Environment:
     def schedule(self, event: Event, delay: float = 0.0,
                  priority: int = PRIORITY_NORMAL) -> None:
         """Put a triggered event on the queue ``delay`` ms from now."""
-        self._eid += 1
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, self._eid, event))
+        eid = self._eid + 1
+        self._eid = eid
+        _heappush(self._queue, (self._now + delay, priority, eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process the single next event on the queue."""
+        """Process the single next event on the queue.
+
+        :meth:`run` inlines this body (with heap/queue bound to locals)
+        — keep the two in sync when changing event-loop semantics.
+        """
         if not self._queue:
             raise SimulationError("no more events to process")
-        when, _priority, _eid, event = heapq.heappop(self._queue)
+        when, _priority, _eid, event = _heappop(self._queue)
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
-        if not event._ok and not getattr(event, "_defused", False):
+        if not event._ok and not event._defused:
             # An unhandled failure: crash the simulation loudly rather
             # than letting errors pass silently.
             raise event._value
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or virtual time reaches ``until``."""
+        # Both branches inline step() with `queue`/`pop` as locals: the
+        # loop runs once per simulated event, and dropping the extra
+        # method call per event is a measurable share of figure-scale
+        # wall time (see docs/performance.md).
+        queue = self._queue
+        pop = _heappop
         if until is not None:
             if until < self._now:
                 raise ValueError(
@@ -388,13 +444,23 @@ class Environment:
             stop._value = None
             self.schedule(stop, delay=until - self._now,
                           priority=self.PRIORITY_URGENT)
-            while self._queue:
-                when, _priority, _eid, head = self._queue[0]
-                if head is stop:
-                    heapq.heappop(self._queue)
-                    self._now = when
+            while queue:
+                if queue[0][3] is stop:
+                    self._now = pop(queue)[0]
                     return
-                self.step()
+                when, _priority, _eid, event = pop(queue)
+                self._now = when
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
         else:
-            while self._queue:
-                self.step()
+            while queue:
+                when, _priority, _eid, event = pop(queue)
+                self._now = when
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value

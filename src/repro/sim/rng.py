@@ -24,6 +24,8 @@ class RandomStreams:
     True
     """
 
+    __slots__ = ("seed", "_streams")
+
     def __init__(self, seed: int = 0):
         self.seed = int(seed)
         self._streams: Dict[str, random.Random] = {}

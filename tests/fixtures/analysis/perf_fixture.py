@@ -1,0 +1,55 @@
+# repro: module=repro.net.fixture_perf
+"""Deliberate PERF001 violations: unslotted hot-path classes."""
+
+import enum
+from dataclasses import dataclass
+from typing import NamedTuple, Protocol
+
+
+class Packet:  # expect[PERF001]
+    def __init__(self, src, dst):
+        self.src = src
+        self.dst = dst
+
+
+@dataclass
+class Frame:  # expect[PERF001]
+    src: int
+    dst: int
+
+
+class SlottedPacket:
+    __slots__ = ("src", "dst")
+
+    def __init__(self, src, dst):
+        self.src = src
+        self.dst = dst
+
+
+class TransportError(Exception):
+    """Clean: exceptions are failure-path, never hot."""
+
+
+class LinkHealth(enum.Enum):
+    """Clean: Enum metaclass manages layout."""
+
+    UP = "up"
+    DOWN = "down"
+
+
+class Address(NamedTuple):
+    """Clean: NamedTuple is slotted by construction."""
+
+    dc: int
+    port: int
+
+
+class Sink(Protocol):
+    """Clean: Protocol classes are never instantiated."""
+
+    def deliver(self, packet) -> None: ...
+
+
+class DebugProbe:  # repro: allow[PERF001] -- test-only introspection hook
+    def __init__(self):
+        self.seen = []

@@ -63,6 +63,16 @@ def test_sim_process_discipline_detected():
     assert_matches_markers("sim_fixture.py")
 
 
+def test_unslotted_hot_path_classes_detected():
+    report = assert_matches_markers("perf_fixture.py")
+    by_line = {d.line: d for d in report.diagnostics}
+    assert all(d.code == "PERF001" for d in report.diagnostics)
+    assert any("Packet" in d.message for d in report.diagnostics)
+    # The allow[] escape on DebugProbe must have been honored.
+    assert report.suppressed >= 1
+    assert not any("DebugProbe" in d.message for d in by_line.values())
+
+
 def test_unhandled_and_dead_message_kinds_detected():
     report = assert_matches_markers("proto_fixture_node.py")
     by_code = {d.code: d for d in report.diagnostics}

@@ -6,14 +6,40 @@ regressions here are caught at the digest level, for both the fuzzer's
 own runs and the experiment harness.
 """
 
+import dataclasses
 import hashlib
 import json
+import sys
+
+import pytest
 
 from repro.check import run_check
-from repro.check.runner import CheckConfig
+from repro.check.runner import CheckConfig, fuzz_sweep
 from repro.harness.experiment import Experiment, ExperimentConfig
+from repro.harness.parallel import run_experiments
 
 CONFIG = CheckConfig(seed=7, n_txns=20, n_faults=4)
+
+#: Digests captured on CPython 3.11 *before* the kernel/transport
+#: hot-path optimization (__slots__, event pooling, bound latency
+#: samplers).  The optimized code must reproduce them byte for byte —
+#: any drift means the "optimization" changed scheduling or rng draw
+#: order, i.e. it changed behaviour.  The Mersenne Twister stream is
+#: version-stable but the variate *algorithms* are only promised
+#: stable within a feature release, so the golden comparison runs on
+#: the capturing version; the relative tests above cover the rest.
+GOLDEN_CHECK_DIGESTS = {
+    7: "45f5bfa5f7e34e10c4c6158d020aca22fd4478fc858fa1e7e4bb8b9a5cbf2329",
+    11: "87f2cad48a3bace299d1b0b78ac2fe5adb1dff2afcdffe501a23374e47d8451d",
+    23: "b30a4b7519715f5d6a6ac1c015e1f8afe4541639b4f33d8ae606dcd67122b249",
+    42: "7d13da683d8ed7c57a4809b6f68c40fe2903a323a4af256eb0dfde12fcf32e1f",
+}
+
+GOLDEN_EXPERIMENT_DIGESTS = {
+    3: "460d27f20198e2f7538f42bbf9590b658834f7b40ad936e4c14ca28cd1204d47",
+    4: "f42fda6a7256a1768292953395cf121ef5da08822eba818ed579d1eee5e81783",
+    5: "4644b2668967c7bdbb3a5de82702d6b5c187583bd7d9a22ce4aa5754ec255b28",
+}
 
 
 def test_same_seed_gives_identical_history_digest():
@@ -26,7 +52,6 @@ def test_same_seed_gives_identical_history_digest():
 
 def test_different_seeds_diverge():
     first = run_check(CONFIG)
-    import dataclasses
     second = run_check(dataclasses.replace(CONFIG, seed=8))
     assert first.history.digest() != second.history.digest()
 
@@ -60,3 +85,60 @@ def test_experiment_metrics_digest_is_seed_stable():
 
 def test_experiment_metrics_digest_depends_on_seed():
     assert _experiment_digest(seed=3) != _experiment_digest(seed=4)
+
+
+_on_capture_version = pytest.mark.skipif(
+    sys.version_info[:2] != (3, 11),
+    reason="golden digests captured on CPython 3.11; variate algorithms "
+           "are only promised stable within a feature release")
+
+
+@_on_capture_version
+def test_check_digests_match_pre_optimization_goldens():
+    for seed, expected in GOLDEN_CHECK_DIGESTS.items():
+        result = run_check(CheckConfig(seed=seed, n_txns=20, n_faults=4))
+        assert result.history.digest() == expected, (
+            f"seed {seed}: optimized kernel diverged from the "
+            "pre-optimization history")
+
+
+@_on_capture_version
+def test_experiment_digests_match_pre_optimization_goldens():
+    for seed, expected in GOLDEN_EXPERIMENT_DIGESTS.items():
+        assert _experiment_digest(seed=seed) == expected, (
+            f"seed {seed}: optimized kernel diverged from the "
+            "pre-optimization experiment metrics")
+
+
+def _sweep_digests(processes: int):
+    seeds = [7, 11, 23]
+    digests = {}
+    fuzz_sweep(seeds, processes=processes,
+               on_result=lambda result: digests.__setitem__(
+                   result.config.seed, result.history.digest()))
+    return digests
+
+
+def test_parallel_fuzz_sweep_matches_serial():
+    serial = _sweep_digests(processes=1)
+    parallel = _sweep_digests(processes=2)
+    assert set(serial) == {7, 11, 23}
+    assert serial == parallel
+
+
+def test_parallel_experiments_match_serial():
+    configs = [
+        ExperimentConfig(
+            name=f"par-probe-{seed}", seed=seed, system="traditional",
+            topology="uniform", n_datacenters=3, uniform_one_way_ms=20.0,
+            partitions_per_dc=1, n_items=100, rate_tps=100.0,
+            warmup_ms=500.0, duration_ms=1_000.0, drain_ms=1_000.0)
+        for seed in (3, 4, 5)
+    ]
+    serial = run_experiments(configs, processes=1)
+    parallel = run_experiments(configs, processes=2)
+    assert [r.config.name for r in parallel] == [c.name for c in configs]
+    for one, two in zip(serial, parallel):
+        assert one.summary() == two.summary()
+        assert ([dataclasses.astuple(rec) for rec in one.metrics.records]
+                == [dataclasses.astuple(rec) for rec in two.metrics.records])

@@ -137,7 +137,8 @@ def test_transport_delivers_with_delay():
     env, _topo, transport = _make_transport()
     received = []
     transport.register("node-b", 1, lambda m: received.append((env.now, m)))
-    transport.send(0, Message(src="a", dst="node-b", kind="ping", payload=1))
+    transport.send(0, Message(src="a", dst="node-b", kind="ping", payload=1,
+                              msg_id=transport.next_msg_id()))
     env.run()
     assert len(received) == 1
     when, message = received[0]
@@ -147,7 +148,8 @@ def test_transport_delivers_with_delay():
 
 def test_transport_unknown_destination_dropped():
     env, _topo, transport = _make_transport()
-    transport.send(0, Message(src="a", dst="ghost", kind="ping", payload=1))
+    transport.send(0, Message(src="a", dst="ghost", kind="ping", payload=1,
+                              msg_id=transport.next_msg_id()))
     env.run()
     assert transport.dropped == 1
     assert transport.delivered == 0
@@ -165,11 +167,13 @@ def test_transport_partition_blocks_and_heals():
     received = []
     transport.register("node-b", 1, lambda m: received.append(env.now))
     transport.partition(0, 1)
-    transport.send(0, Message(src="a", dst="node-b", kind="k", payload=None))
+    transport.send(0, Message(src="a", dst="node-b", kind="k", payload=None,
+                              msg_id=transport.next_msg_id()))
     env.run()
     assert received == []
     transport.heal(0, 1)
-    transport.send(0, Message(src="a", dst="node-b", kind="k", payload=None))
+    transport.send(0, Message(src="a", dst="node-b", kind="k", payload=None,
+                              msg_id=transport.next_msg_id()))
     env.run()
     assert len(received) == 1
 
@@ -181,7 +185,8 @@ def test_transport_drop_probability():
     transport.set_drop_probability(0, 1, 1.0)
     for _ in range(5):
         transport.send(0, Message(src="a", dst="node-b", kind="k",
-                                  payload=None))
+                                  payload=None,
+                                  msg_id=transport.next_msg_id()))
     env.run()
     assert received == []
     assert transport.dropped == 5
@@ -197,7 +202,8 @@ def test_transport_local_delivery_fast():
     env, _topo, transport = _make_transport()
     received = []
     transport.register("node-a2", 0, lambda m: received.append(env.now))
-    transport.send(0, Message(src="a", dst="node-a2", kind="k", payload=None))
+    transport.send(0, Message(src="a", dst="node-a2", kind="k", payload=None,
+                              msg_id=transport.next_msg_id()))
     env.run()
     assert received and received[0] < 1.0
 

@@ -1,0 +1,64 @@
+"""repro.harness.parallel: order, determinism, and serial fallback."""
+
+import os
+
+import pytest
+
+from repro.harness.parallel import (
+    default_pool_size,
+    parallel_map,
+    run_experiments,
+)
+from repro.harness.experiment import ExperimentConfig
+
+
+def _square(value):
+    return value * value
+
+
+def test_serial_path_preserves_order_and_streams_results():
+    seen = []
+    results = parallel_map(_square, [3, 1, 2], processes=1,
+                           on_result=seen.append)
+    assert results == [9, 1, 4]
+    assert seen == [9, 1, 4]
+
+
+def test_pooled_path_matches_serial():
+    items = list(range(20))
+    serial = parallel_map(_square, items, processes=1)
+    pooled = parallel_map(_square, items, processes=2)
+    assert pooled == serial
+
+
+def test_pooled_on_result_arrives_in_input_order():
+    seen = []
+    parallel_map(_square, [5, 4, 3, 2, 1], processes=2,
+                 on_result=seen.append)
+    assert seen == [25, 16, 9, 4, 1]
+
+
+def test_empty_input():
+    assert parallel_map(_square, [], processes=4) == []
+
+
+def test_default_pool_size_env_override(monkeypatch):
+    monkeypatch.setenv("PLANET_POOL", "3")
+    assert default_pool_size() == 3
+    monkeypatch.delenv("PLANET_POOL")
+    assert default_pool_size() == (os.cpu_count() or 1)
+
+
+def test_run_experiments_returns_configs_in_order():
+    configs = [
+        ExperimentConfig(
+            name=f"tiny-{seed}", seed=seed, system="traditional",
+            topology="uniform", n_datacenters=3, uniform_one_way_ms=20.0,
+            partitions_per_dc=1, n_items=50, rate_tps=50.0,
+            warmup_ms=200.0, duration_ms=400.0, drain_ms=400.0)
+        for seed in (1, 2)
+    ]
+    results = run_experiments(configs, processes=2)
+    assert [result.config.name for result in results] == ["tiny-1", "tiny-2"]
+    for result in results:
+        assert result.metrics.n_issued >= 0

@@ -153,7 +153,8 @@ def test_queued_server_conserves_messages(seed, n_messages, service_ms):
     server.on("blast", lambda payload, src: seen.append(payload))
     for i in range(n_messages):
         transport.send(0, Message(src="x", dst="server", kind="blast",
-                                  payload=i))
+                                  payload=i,
+                                  msg_id=transport.next_msg_id()))
     env.run()
     assert sorted(seen) == list(range(n_messages))
     assert server.max_queue_depth <= n_messages
