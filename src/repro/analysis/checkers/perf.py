@@ -13,12 +13,20 @@ Codes
 PERF001
     A class under ``repro.sim`` or ``repro.net`` declares no
     ``__slots__``.
+PERF002
+    A direct ``np.convolve`` / ``np.fft.*`` call outside
+    ``repro.core.histograms``.  All PMF algebra must route through
+    :class:`~repro.core.histograms.Pmf` operations so the spectrum
+    cache, tail-tolerance policy, and exactness pins apply uniformly
+    — a stray hand-rolled convolution silently forfeits all three.
 
-Exempt without an escape comment: exception classes (instantiated on
-failure paths, never hot) and typing-level bases (``Protocol``,
-``NamedTuple``, ``TypedDict``, ``Enum`` variants) whose metaclasses
-manage layout themselves.  Anything else that genuinely must carry a
-``__dict__`` takes a ``# repro: allow[PERF001]`` with a reason.
+Exempt without an escape comment (PERF001): exception classes
+(instantiated on failure paths, never hot) and typing-level bases
+(``Protocol``, ``NamedTuple``, ``TypedDict``, ``Enum`` variants) whose
+metaclasses manage layout themselves.  Anything else that genuinely
+must carry a ``__dict__`` takes a ``# repro: allow[PERF001]`` with a
+reason; likewise a deliberate raw spectral call outside the histogram
+module takes ``# repro: allow[PERF002]``.
 """
 
 from __future__ import annotations
@@ -101,3 +109,40 @@ class SlotsChecker(Checker):
             if qualname in _EXEMPT_BASES:
                 return True
         return False
+
+
+#: Raw spectral entry points that bypass the ``Pmf`` algebra layer.
+_RAW_PMF_CALLS = frozenset({"numpy.convolve"})
+_RAW_PMF_PREFIXES = ("numpy.fft.",)
+
+
+@register
+class PmfOpsChecker(Checker):
+    """Keeps PMF spectral algebra behind the ``Pmf`` layer."""
+
+    name = "perf_pmf"
+    codes = {
+        "PERF002": "raw convolution/FFT call outside the Pmf layer",
+    }
+    #: The histogram module *is* the Pmf layer — the one place raw
+    #: ``np.convolve`` / ``np.fft`` calls belong.
+    exclude = Checker.exclude + ("repro.core.histograms",)
+
+    def check_file(self, file: SourceFile) -> Iterable[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualname = file.imports.qualname(node.func)
+            if qualname is None:
+                continue
+            if (qualname in _RAW_PMF_CALLS
+                    or qualname.startswith(_RAW_PMF_PREFIXES)):
+                diagnostics.append(self.at(
+                    file.path, node, "PERF002",
+                    f"direct {qualname}() outside repro.core.histograms; "
+                    "PMF algebra must go through Pmf operations "
+                    "(convolve/mixture/convolution_mixture) so spectrum "
+                    "caching and tail-tolerance policy apply (or "
+                    "'# repro: allow[PERF002]' with a reason)"))
+        return diagnostics

@@ -18,6 +18,107 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Iterable, Optional, Tuple
+
+
+class LikelihoodMemo:
+    """Admission-time LRU over per-record likelihood evaluations.
+
+    Every admission decision re-runs the eq. 8b Poisson integral —
+    a ~1000-term dot product — even though the inputs repeat heavily:
+    the (client DC, leader DC) cell is one of N², the processing time
+    *w* is usually a per-workload constant, and hot records share
+    arrival-rate buckets.  This cache sits in front of
+    :meth:`~repro.core.likelihood.CommitLikelihoodModel.record_likelihood`
+    and keys on ``(client_dc, leader_dc, rate, w)``.
+
+    **Exact by default.**  With ``rate_quantum``/``w_quantum`` unset,
+    keys are the raw float inputs: a hit returns the bit-identical
+    value a fresh evaluation would have produced, so memoization never
+    changes an admission decision.  Setting a quantum trades exactness
+    for hit rate: inputs are snapped to the quantization grid and the
+    integral is evaluated *at the snapped values*, keeping the cache
+    coherent (one key, one value — never a stale neighbour's value).
+
+    The likelihood model invalidates per cell when a rebuild changes
+    that cell's conflict-window PMF, so entries never outlive the
+    matrix they were computed from.
+    """
+
+    __slots__ = ("capacity", "rate_quantum", "w_quantum", "hits",
+                 "misses", "_entries")
+
+    def __init__(self, capacity: int = 4096,
+                 rate_quantum: Optional[float] = None,
+                 w_quantum: Optional[float] = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if rate_quantum is not None and rate_quantum <= 0:
+            raise ValueError("rate quantum must be positive")
+        if w_quantum is not None and w_quantum <= 0:
+            raise ValueError("w quantum must be positive")
+        self.capacity = int(capacity)
+        self.rate_quantum = rate_quantum
+        self.w_quantum = w_quantum
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[tuple, float]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def evaluation_point(self, rate: float,
+                         w_ms: float) -> Tuple[float, float]:
+        """The (rate, w) the integral is evaluated at for these inputs.
+
+        The identity map unless quantization is enabled; snapped
+        values are also the cache key, so cached and computed results
+        always agree.
+        """
+        if self.rate_quantum is not None and rate > 0.0:
+            rate = max(round(rate / self.rate_quantum), 1) \
+                * self.rate_quantum
+        if self.w_quantum is not None and w_ms > 0.0:
+            w_ms = round(w_ms / self.w_quantum) * self.w_quantum
+        return rate, w_ms
+
+    def lookup(self, client_dc: int, leader_dc: int, rate: float,
+               w_ms: float) -> Tuple[tuple, Optional[float]]:
+        """``(key, cached value or None)`` for one evaluation."""
+        rate, w_ms = self.evaluation_point(rate, w_ms)
+        key = (client_dc, leader_dc, rate, w_ms)
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+            self._entries.move_to_end(key)
+        return key, value
+
+    def store(self, key: tuple, value: float) -> None:
+        entries = self._entries
+        entries[key] = value
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+
+    def invalidate_cells(
+            self, cells: Iterable[Tuple[int, int]]) -> int:
+        """Drop entries whose (client_dc, leader_dc) cell was rebuilt."""
+        cells = set(cells)
+        if not cells:
+            return 0
+        stale = [key for key in self._entries if key[:2] in cells]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 class AdmissionPolicy(ABC):

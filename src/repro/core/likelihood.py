@@ -23,13 +23,47 @@ collapses to an ``N x N`` matrix of PMFs (one per (client DC, leader
 DC) pair) computed by :meth:`CommitLikelihoodModel.precompute` — the
 compact matrix of §5.2.4.  Per-transaction evaluation is then a lookup
 plus one dot product per record.
+
+Fast paths
+----------
+Model maintenance and evaluation each carry an accelerated layer on
+top of the exact defaults:
+
+* :meth:`CommitLikelihoodModel.precompute` is the exact **reference
+  rebuild** — unchanged numerics, always available as the fallback —
+  but it now also retains every intermediate node of the dependency
+  chain ``rtt → q_leader → q_to_client → mixed → u_by_client →
+  visible_at → phi``.
+* :meth:`CommitLikelihoodModel.refresh` is the **incremental
+  rebuild**: given the set of (src, dst) RTT pairs that actually
+  changed since the last build, it propagates dirtiness through that
+  chain and recomputes only the affected nodes, using the FFT
+  convolution path with per-PMF cached spectra and the
+  ``renormalize=False`` CDF-domain operations (pinned to the exact
+  reference within 1e-12 by the property suite).  It returns the set
+  of changed ``(client_dc, leader_dc)`` matrix cells.
+* :meth:`CommitLikelihoodModel.record_likelihood` consults a
+  :class:`~repro.core.admission.LikelihoodMemo` keyed on
+  ``(client_dc, leader_dc, rate, w)``.  With the default exact keys a
+  hit is bit-identical to a fresh evaluation; ``rate_quantum`` /
+  ``w_quantum`` trade exactness for hit rate.  The memo is cleared on
+  :meth:`precompute` and invalidated per cell on :meth:`refresh`.
+* :meth:`CommitLikelihoodModel.transaction_likelihood` batches the
+  eq. 8b integrals of all memo-missing records into one ``np.exp``
+  call (element-wise, so still bit-identical to the scalar loop).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
+from repro.core.admission import LikelihoodMemo
 from repro.core.histograms import Pmf
+
+#: A (client_dc, leader_dc) cell of the precomputed matrix.
+Cell = Tuple[int, int]
 
 
 class LatencyMatrix:
@@ -38,6 +72,11 @@ class LatencyMatrix:
     One-way delays are modelled as RTT/2 (the paper measures only round
     trips and assumes message types behave alike, §5.2.1).  Local
     (intra-DC) delays are a small constant.
+
+    Derived one-way PMFs are cached per pair so a model rebuild does
+    not re-bin them; :meth:`update_rtt` replaces one directed pair and
+    drops its cached derivation, which is how the incremental model
+    refresh feeds changed statistics in.
     """
 
     def __init__(self, n_datacenters: int,
@@ -50,7 +89,9 @@ class LatencyMatrix:
         self.bin_ms = float(bin_ms)
         self.n_bins = int(n_bins)
         self._local = Pmf.point(local_rtt_ms, self.bin_ms, self.n_bins)
+        self._local_one_way = self._local.scale(0.5)
         self._rtt: Dict[Tuple[int, int], Pmf] = {}
+        self._one_way: Dict[Tuple[int, int], Pmf] = {}
         for a in range(n_datacenters):
             for b in range(n_datacenters):
                 if a == b:
@@ -66,7 +107,22 @@ class LatencyMatrix:
         return self._rtt[(a, b)]
 
     def one_way(self, a: int, b: int) -> Pmf:
-        return self.rtt(a, b).scale(0.5)
+        if a == b:
+            return self._local_one_way
+        cached = self._one_way.get((a, b))
+        if cached is None:
+            cached = self._rtt[(a, b)].scale(0.5)
+            self._one_way[(a, b)] = cached
+        return cached
+
+    def update_rtt(self, a: int, b: int, pmf: Pmf) -> None:
+        """Replace one directed pair's RTT PMF (incremental refresh)."""
+        if a == b:
+            raise ValueError("cannot update the local-delay pair")
+        if (a, b) not in self._rtt:
+            raise ValueError(f"unknown pair ({a}, {b})")
+        self._rtt[(a, b)] = pmf
+        self._one_way.pop((a, b), None)
 
 
 class CommitLikelihoodModel:
@@ -90,36 +146,70 @@ class CommitLikelihoodModel:
     max_size:
         Truncation for the size marginalization (sizes above it are
         folded into the largest bucket).
+    memo_capacity:
+        Entries of the admission-time likelihood LRU; ``0`` disables
+        memoization entirely.
+    rate_quantum / w_quantum:
+        Optional memo-key quantization steps (see
+        :class:`~repro.core.admission.LikelihoodMemo`).  ``None`` — the
+        default — keys on the exact inputs, so memoized results are
+        bit-identical to unmemoized ones.
+    truncate_epsilon:
+        Tail mass the *incremental* refresh may fold into the last
+        kept bin of each intermediate PMF.  ``0.0`` (default) is
+        exact; the reference :meth:`precompute` never truncates.
     """
 
     def __init__(self, latency: LatencyMatrix,
                  leader_distribution: Sequence[float],
                  client_distribution: Optional[Sequence[float]] = None,
                  size_distribution: Optional[Dict[int, float]] = None,
-                 quorum: Optional[int] = None, max_size: int = 8):
+                 quorum: Optional[int] = None, max_size: int = 8,
+                 memo_capacity: int = 4096,
+                 rate_quantum: Optional[float] = None,
+                 w_quantum: Optional[float] = None,
+                 truncate_epsilon: float = 0.0):
         self.latency = latency
         n = latency.n
-        if len(leader_distribution) != n:
-            raise ValueError("leader distribution length mismatch")
-        total = float(sum(leader_distribution))
-        if total <= 0:
-            raise ValueError("leader distribution sums to zero")
-        self.leader_dist = [p / total for p in leader_distribution]
+        self.leader_dist = self._normalize_weights(
+            leader_distribution, n, "leader")
         if client_distribution is None:
             self.client_dist = [1.0 / n] * n
         else:
-            if len(client_distribution) != n:
-                raise ValueError("client distribution length mismatch")
-            ctotal = float(sum(client_distribution))
-            if ctotal <= 0:
-                raise ValueError("client distribution sums to zero")
-            self.client_dist = [p / ctotal for p in client_distribution]
-        self.size_dist = self._normalize_sizes(size_distribution, max_size)
+            self.client_dist = self._normalize_weights(
+                client_distribution, n, "client")
+        self.max_size = int(max_size)
+        self.size_dist = self._normalize_sizes(size_distribution,
+                                               self.max_size)
         self.quorum = quorum if quorum is not None else n // 2 + 1
         if not 1 <= self.quorum <= n:
             raise ValueError(f"quorum {self.quorum} impossible with {n} DCs")
-        self._phi: Optional[Dict[Tuple[int, int], Pmf]] = None
+        if truncate_epsilon < 0:
+            raise ValueError("truncate_epsilon must be >= 0")
+        self.truncate_epsilon = float(truncate_epsilon)
+        self.memo: Optional[LikelihoodMemo] = (
+            LikelihoodMemo(memo_capacity, rate_quantum=rate_quantum,
+                           w_quantum=w_quantum)
+            if memo_capacity > 0 else None)
+        # Every intermediate node of the §5.2.4 precompute chain is
+        # retained so refresh() can rebuild only what a statistics
+        # rotation actually dirtied.
         self._q_leader: Dict[int, Pmf] = {}
+        self._q_to_client: Dict[Tuple[int, int], Pmf] = {}
+        self._mixed: Dict[int, Pmf] = {}
+        self._u: Dict[int, Pmf] = {}
+        self._visible: Dict[int, Pmf] = {}
+        self._phi: Optional[Dict[Cell, Pmf]] = None
+
+    @staticmethod
+    def _normalize_weights(weights: Sequence[float], n: int,
+                           label: str) -> List[float]:
+        if len(weights) != n:
+            raise ValueError(f"{label} distribution length mismatch")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError(f"{label} distribution sums to zero")
+        return [p / total for p in weights]
 
     @staticmethod
     def _normalize_sizes(size_distribution: Optional[Dict[int, float]],
@@ -140,7 +230,12 @@ class CommitLikelihoodModel:
     # -- precomputation (§5.2.4) ------------------------------------------------
 
     def precompute(self) -> None:
-        """Build the N x N matrix of conflict-window PMFs (eq. 8a)."""
+        """Build the N x N matrix of conflict-window PMFs (eq. 8a).
+
+        The exact reference rebuild: every node recomputed with the
+        default (exact) PMF operations.  Clears the likelihood memo —
+        every cell may have moved.
+        """
         n = self.latency.n
         # eq. 2: quorum wait at each possible leader location.
         self._q_leader = {
@@ -149,33 +244,154 @@ class CommitLikelihoodModel:
             for l in range(n)
         }
         # eq. 3: + learned message back to the previous client.
-        q_to_client: Dict[Tuple[int, int], Pmf] = {
+        self._q_to_client = {
             (l, cp): self._q_leader[l].convolve(self.latency.one_way(l, cp))
             for l in range(n) for cp in range(n)
         }
         # eq. 4 marginalized over leader locations and sizes: for a
         # previous transaction of size tau with i.i.d. leaders, the max
         # of tau draws from the leader-mixture distribution.
-        u_by_client: Dict[int, Pmf] = {}
         for cp in range(n):
-            mixed = Pmf.mixture([q_to_client[(l, cp)] for l in range(n)],
-                                self.leader_dist)
-            u_by_client[cp] = Pmf.mixture(
+            mixed = Pmf.mixture(
+                [self._q_to_client[(l, cp)] for l in range(n)],
+                self.leader_dist)
+            self._mixed[cp] = mixed
+            self._u[cp] = Pmf.mixture(
                 [mixed.iid_max(tau) for tau in self.size_dist],
                 list(self.size_dist.values()))
         # eq. 4 tail + eq. 6 marginalization over cp: add the commit-
         # visibility delay cp -> cc and mix over the client prior.
-        visible_at: Dict[int, Pmf] = {}
         for cc in range(n):
-            visible_at[cc] = Pmf.mixture(
-                [u_by_client[cp].convolve(self.latency.one_way(cp, cc))
+            self._visible[cc] = Pmf.mixture(
+                [self._u[cp].convolve(self.latency.one_way(cp, cc))
                  for cp in range(n)],
                 self.client_dist)
         # eq. 8a: + propose delay from the current client to the leader.
         self._phi = {
-            (cc, l): visible_at[cc].convolve(self.latency.one_way(cc, l))
+            (cc, l): self._visible[cc].convolve(self.latency.one_way(cc, l))
             for cc in range(n) for l in range(n)
         }
+        if self.memo is not None:
+            self.memo.clear()
+
+    def refresh(self, rtt_updates: Optional[Dict[Tuple[int, int],
+                                                 Pmf]] = None,
+                size_distribution: Optional[Dict[int, float]] = None,
+                leader_distribution: Optional[Sequence[float]] = None,
+                client_distribution: Optional[Sequence[float]] = None,
+                ) -> Set[Cell]:
+        """Incrementally rebuild the cells dirtied by changed inputs.
+
+        ``rtt_updates`` maps directed (src, dst) pairs to their new RTT
+        PMFs; the distribution arguments replace the respective priors
+        when given (``None`` means unchanged).  Dirtiness propagates
+        through the dependency chain and only dirty nodes are
+        recomputed — on the accelerated path (FFT convolution with
+        cached spectra, CDF-domain operations without the final
+        re-normalizing division, optional tail truncation).  Property
+        tests pin the result to a fresh :meth:`precompute` within
+        1e-12.
+
+        Returns the set of changed ``(client_dc, leader_dc)`` cells and
+        invalidates exactly those cells in the likelihood memo.  Falls
+        back to the full reference rebuild when no matrix exists yet.
+        """
+        n = self.latency.n
+        dirty_pairs: Set[Tuple[int, int]] = set()
+        if rtt_updates:
+            for (a, b), pmf in rtt_updates.items():
+                self.latency.update_rtt(a, b, pmf)
+                dirty_pairs.add((a, b))
+        leaders_changed = False
+        if leader_distribution is not None:
+            new_leaders = self._normalize_weights(
+                leader_distribution, n, "leader")
+            if new_leaders != self.leader_dist:
+                self.leader_dist = new_leaders
+                leaders_changed = True
+        clients_changed = False
+        if client_distribution is not None:
+            new_clients = self._normalize_weights(
+                client_distribution, n, "client")
+            if new_clients != self.client_dist:
+                self.client_dist = new_clients
+                clients_changed = True
+        sizes_changed = False
+        if size_distribution is not None:
+            new_sizes = self._normalize_sizes(size_distribution,
+                                              self.max_size)
+            if new_sizes != self.size_dist:
+                self.size_dist = new_sizes
+                sizes_changed = True
+
+        if self._phi is None:
+            # Nothing to patch: the exact rebuild is the baseline.
+            self.precompute()
+            return set(self._phi)
+        if (not dirty_pairs and not leaders_changed and not clients_changed
+                and not sizes_changed):
+            return set()
+
+        eps = self.truncate_epsilon
+        latency = self.latency
+
+        # eq. 2: only leaders with a changed incident RTT.
+        dirty_leaders = {a for (a, b) in dirty_pairs}
+        for l in sorted(dirty_leaders):
+            self._q_leader[l] = Pmf.quorum_of(
+                [latency.rtt(l, b) for b in range(n)], self.quorum,
+                renormalize=False).truncate(eps)
+        # eq. 3: a (l, cp) node moves with its quorum wait or its link.
+        dirty_qtc: Set[Tuple[int, int]] = set()
+        for l in range(n):
+            for cp in range(n):
+                if l in dirty_leaders or (l, cp) in dirty_pairs:
+                    self._q_to_client[(l, cp)] = self._q_leader[l].convolve(
+                        latency.one_way(l, cp),
+                        method="fft").truncate(eps)
+                    dirty_qtc.add((l, cp))
+        # eq. 4 + size marginalization.
+        dirty_u: Set[int] = set()
+        for cp in range(n):
+            mixed_dirty = (leaders_changed
+                           or any((l, cp) in dirty_qtc for l in range(n)))
+            if mixed_dirty:
+                self._mixed[cp] = Pmf.mixture(
+                    [self._q_to_client[(l, cp)] for l in range(n)],
+                    self.leader_dist, renormalize=False)
+            if mixed_dirty or sizes_changed:
+                mixed = self._mixed[cp]
+                self._u[cp] = Pmf.mixture(
+                    [mixed.iid_max(tau, renormalize=False)
+                     for tau in self.size_dist],
+                    list(self.size_dist.values()),
+                    renormalize=False).truncate(eps)
+                dirty_u.add(cp)
+        # eq. 6: convolve each visibility term with the cp -> cc delay
+        # and mix over the client prior — commuting operations, fused
+        # into one spectral pass per client data center.
+        dirty_visible: Set[int] = set()
+        for cc in range(n):
+            terms_changed = bool(dirty_u) or any(
+                (cp, cc) in dirty_pairs for cp in range(n))
+            if terms_changed or clients_changed:
+                self._visible[cc] = Pmf.convolution_mixture(
+                    [(self._u[cp], latency.one_way(cp, cc))
+                     for cp in range(n)],
+                    self.client_dist).truncate(eps)
+                dirty_visible.add(cc)
+        # eq. 8a: final propose-delay convolution per dirty cell.
+        changed: Set[Cell] = set()
+        for cc in range(n):
+            for l in range(n):
+                if cc in dirty_visible or (cc, l) in dirty_pairs:
+                    self._phi[(cc, l)] = self._visible[cc].convolve(
+                        latency.one_way(cc, l),
+                        method="fft").truncate(eps)
+                    changed.add((cc, l))
+        if self.memo is not None:
+            self.memo.invalidate_cells(changed)
+        return changed
 
     @property
     def ready(self) -> bool:
@@ -192,10 +408,25 @@ class CommitLikelihoodModel:
     def record_likelihood(self, client_dc: int, leader_dc: int,
                           arrival_rate_per_ms: float,
                           w_ms: float = 0.0) -> float:
-        """Eq. 8b: P(no conflicting update during the window)."""
+        """Eq. 8b: P(no conflicting update during the window).
+
+        Memoized through :attr:`memo` when enabled; with the default
+        exact keys, a hit returns the bit-identical value a fresh
+        integral would have produced.
+        """
+        memo = self.memo
+        if memo is None:
+            phi = self.conflict_window_pmf(client_dc, leader_dc)
+            return phi.no_arrival_probability(arrival_rate_per_ms,
+                                              extra_ms=max(w_ms, 0.0))
+        key, cached = memo.lookup(client_dc, leader_dc,
+                                  arrival_rate_per_ms, w_ms)
+        if cached is not None:
+            return cached
         phi = self.conflict_window_pmf(client_dc, leader_dc)
-        return phi.no_arrival_probability(arrival_rate_per_ms,
-                                          extra_ms=max(w_ms, 0.0))
+        value = phi.no_arrival_probability(key[2], extra_ms=max(key[3], 0.0))
+        memo.store(key, value)
+        return value
 
     def transaction_likelihood(
             self, client_dc: int,
@@ -204,12 +435,51 @@ class CommitLikelihoodModel:
         """Eq. 9: product of per-record likelihoods.
 
         ``records`` is a list of ``(leader_dc, arrival_rate_per_ms)``
-        pairs, one per written record.
+        pairs, one per written record.  Memo hits resolve without any
+        array work; the remaining integrals are batched through one
+        ``np.exp`` over stacked exponent rows — element-wise, so the
+        result is bit-identical to the scalar per-record loop.
         """
+        if not records:
+            return 1.0
+        memo = self.memo
+        values: List[Optional[float]] = [None] * len(records)
+        pending: List[Tuple[int, Optional[tuple], Pmf, float, float]] = []
+        for index, (leader_dc, rate) in enumerate(records):
+            if memo is not None:
+                key, cached = memo.lookup(client_dc, leader_dc, rate, w_ms)
+                if cached is not None:
+                    values[index] = cached
+                    continue
+                eval_rate, eval_w = key[2], key[3]
+            else:
+                key = None
+                eval_rate, eval_w = rate, w_ms
+            if eval_rate < 0:
+                raise ValueError("negative arrival rate")
+            if eval_rate == 0:
+                values[index] = 1.0
+                if memo is not None:
+                    memo.store(key, 1.0)
+                continue
+            phi = self.conflict_window_pmf(client_dc, leader_dc)
+            pending.append((index, key, phi, eval_rate, eval_w))
+        if pending:
+            width = max(item[2].n_bins for item in pending)
+            exponents = np.zeros((len(pending), width))
+            for row, (_, _, phi, rate, w) in enumerate(pending):
+                times = phi.bin_centers() + max(w, 0.0)
+                exponents[row, :phi.n_bins] = -rate * times
+            decay = np.exp(exponents)
+            for row, (index, key, phi, _, _) in enumerate(pending):
+                value = float(np.dot(phi.probs, decay[row, :phi.n_bins]))
+                value = min(max(value, 0.0), 1.0)
+                values[index] = value
+                if memo is not None:
+                    memo.store(key, value)
         likelihood = 1.0
-        for leader_dc, rate in records:
-            likelihood *= self.record_likelihood(
-                client_dc, leader_dc, rate, w_ms)
+        for value in values:
+            likelihood *= value
         return likelihood
 
     # -- auxiliary estimates --------------------------------------------------------

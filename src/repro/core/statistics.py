@@ -86,6 +86,11 @@ class StatisticsService:
         self._rtt: Dict[Tuple[int, int], WindowedHistogram] = {}
         self._sizes: Counter = Counter()
         self._pings_sent = 0
+        # Incremental-rebuild state: the model built last time plus a
+        # snapshot of every directed pair's histogram version at that
+        # build, so the next build knows exactly which pairs moved.
+        self._model: Optional[CommitLikelihoodModel] = None
+        self._model_signature: Dict[Tuple[int, int], int] = {}
         for nodes in cluster.nodes.values():
             for node in nodes:
                 node.stats_provider = self._on_ping
@@ -183,16 +188,7 @@ class StatisticsService:
             for b in range(n):
                 if a == b:
                     continue
-                hist = self._rtt.get((a, b)) or self._rtt.get((b, a))
-                if hist is not None and hist.total_count() > 0:
-                    rtt_pmfs[(a, b)] = hist.pmf()
-                elif fallback is not None:
-                    rtt_pmfs[(a, b)] = Pmf.point(
-                        fallback.mean_rtt(a, b), self.bin_ms, self.n_bins)
-                else:
-                    raise ValueError(
-                        f"no RTT samples for DC pair ({a}, {b}) "
-                        "and no fallback topology")
+                rtt_pmfs[(a, b)] = self._pair_pmf(a, b, fallback)
         return LatencyMatrix(n, rtt_pmfs, self.bin_ms, self.n_bins)
 
     def size_distribution(self) -> Dict[int, float]:
@@ -202,14 +198,78 @@ class StatisticsService:
         return {size: count / total
                 for size, count in sorted(self._sizes.items())}
 
+    # -- incremental-rebuild bookkeeping --------------------------------------
+
+    def _pair_source(self, a: int, b: int) -> Optional[WindowedHistogram]:
+        """The histogram backing directed pair (a, b), if any has samples."""
+        hist = self._rtt.get((a, b)) or self._rtt.get((b, a))
+        if hist is not None and hist.total_count() > 0:
+            return hist
+        return None
+
+    def _signature(self) -> Dict[Tuple[int, int], int]:
+        """Per-directed-pair version stamp of the current statistics.
+
+        ``-1`` marks a pair still on the fallback point mass; a pair
+        moves between builds iff its stamp moved (histogram versions
+        are bumped only by aggregate-count changes).
+        """
+        n = len(self.cluster.topology)
+        signature: Dict[Tuple[int, int], int] = {}
+        for a in range(n):
+            for b in range(n):
+                if a == b:
+                    continue
+                hist = self._pair_source(a, b)
+                signature[(a, b)] = hist.version if hist is not None else -1
+        return signature
+
+    def _pair_pmf(self, a: int, b: int,
+                  fallback: Optional[Topology]) -> Pmf:
+        hist = self._pair_source(a, b)
+        if hist is not None:
+            return hist.pmf()
+        if fallback is not None:
+            return Pmf.point(fallback.mean_rtt(a, b), self.bin_ms,
+                             self.n_bins)
+        raise ValueError(f"no RTT samples for DC pair ({a}, {b}) "
+                         "and no fallback topology")
+
     def build_model(self,
                     leader_distribution: Optional[List[float]] = None,
                     client_distribution: Optional[List[float]] = None,
                     fallback: Optional[Topology] = None,
-                    quorum: Optional[int] = None) -> CommitLikelihoodModel:
-        """Assemble and precompute a likelihood model from current stats."""
+                    quorum: Optional[int] = None,
+                    incremental: bool = False) -> CommitLikelihoodModel:
+        """Assemble and precompute a likelihood model from current stats.
+
+        With ``incremental=True``, a model built by a previous call is
+        patched in place via
+        :meth:`~repro.core.likelihood.CommitLikelihoodModel.refresh`:
+        the histogram version stamps recorded at the last build tell
+        exactly which (src, dst) pairs changed, and only the matrix
+        cells those pairs dirty are recomputed (likelihood-memo entries
+        for the changed cells are invalidated, the rest survive).  The
+        first call — or a call after a topology/quorum change — always
+        takes the full reference rebuild.
+        """
         if leader_distribution is None:
             leader_distribution = self.cluster.mastership.leader_distribution()
+        signature = self._signature()
+        model = self._model
+        if (incremental and model is not None
+                and model.latency.n == len(self.cluster.topology)
+                and (quorum is None or quorum == model.quorum)):
+            changed = {pair for pair, stamp in signature.items()
+                       if self._model_signature.get(pair) != stamp}
+            updates = {pair: self._pair_pmf(pair[0], pair[1], fallback)
+                       for pair in sorted(changed)}
+            model.refresh(rtt_updates=updates,
+                          size_distribution=self.size_distribution(),
+                          leader_distribution=leader_distribution,
+                          client_distribution=client_distribution)
+            self._model_signature = signature
+            return model
         model = CommitLikelihoodModel(
             self.latency_matrix(fallback=fallback),
             leader_distribution,
@@ -217,4 +277,6 @@ class StatisticsService:
             size_distribution=self.size_distribution(),
             quorum=quorum)
         model.precompute()
+        self._model = model
+        self._model_signature = signature
         return model

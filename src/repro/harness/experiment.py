@@ -85,6 +85,11 @@ class ExperimentConfig:
     #: Rebuild measured/distributed models every interval (the paper
     #: recomputes as the statistics windows age); None = build once.
     model_refresh_ms: Optional[float] = None
+    #: Patch the measured model in place on refresh (dirty-pair
+    #: propagation + accelerated PMF algebra) instead of rebuilding
+    #: from scratch.  Pinned to the reference rebuild within 1e-12 by
+    #: the property suite; set False to force full rebuilds.
+    model_refresh_incremental: bool = True
     # windows (virtual time)
     warmup_ms: float = 30_000.0
     duration_ms: float = 60_000.0
@@ -321,8 +326,14 @@ class Experiment:
             session.model = self.model
 
     def _prepare_measured_model(self) -> None:
-        """Build the model from the statistics gathered during warmup."""
-        self.model = self.statistics.build_model(fallback=self.topology)
+        """Build the model from the statistics gathered during warmup.
+
+        The first call is always a full reference build; refresh-loop
+        calls reuse it incrementally unless the config opts out.
+        """
+        self.model = self.statistics.build_model(
+            fallback=self.topology,
+            incremental=self.config.model_refresh_incremental)
         for session in self.sessions:
             session.model = self.model
 

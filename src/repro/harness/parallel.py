@@ -16,10 +16,13 @@ order-*independent* by construction: results are reassembled by input
 position (``Pool.imap`` preserves it), never by arrival time.
 
 Pool sizing: pass ``processes`` explicitly, or set ``PLANET_POOL``;
-the default is one worker per CPU.  ``processes=1`` (or a single item)
-degrades to the plain serial loop with zero multiprocessing overhead —
-and is also the automatic fallback where worker pools cannot start
-(e.g. sandboxed CI runners without a usable ``/dev/shm``).
+the default is one worker per CPU.  The effective pool is always
+capped at ``min(jobs, cpu_count)`` — extra CPU-bound workers on a
+smaller machine only add fork and pickle overhead — and an effective
+pool of 1 (single-CPU hosts, a single item, ``processes=1``) degrades
+to the plain serial loop with zero multiprocessing overhead.  The same
+serial fallback engages where worker pools cannot start (e.g.
+sandboxed CI runners without a usable ``/dev/shm``).
 """
 
 from __future__ import annotations
@@ -66,7 +69,13 @@ def parallel_map(fn: Callable[[_Item], _Result],
     items = list(items)
     if processes is None:
         processes = default_pool_size()
-    processes = min(processes, len(items))
+    # Workers are CPU-bound and single-threaded, so a pool wider than
+    # the machine buys nothing; cap at min(jobs, cpus).  When only one
+    # worker would run — a single-CPU host, or a single item — skip
+    # the pool entirely: fork + pickle overhead would make the
+    # "parallel" path strictly slower than the serial loop it must
+    # match byte for byte anyway.
+    processes = min(processes, len(items), os.cpu_count() or 1)
     if processes > 1:
         try:
             pool = multiprocessing.Pool(processes)

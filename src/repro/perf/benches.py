@@ -11,12 +11,16 @@ bench.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
+from repro.core.admission import DynamicPolicy
+from repro.core.likelihood import CommitLikelihoodModel
+from repro.core.statistics import OracleLatencySource
 from repro.harness.experiment import Experiment, ExperimentConfig
 from repro.harness.parallel import run_experiments
-from repro.net import Message, Transport, uniform_topology
+from repro.net import Message, Transport, ec2_five_dc, uniform_topology
 from repro.perf.harness import best_of, peak_rss_mb, timed
 from repro.sim import Environment, RandomStreams
 
@@ -24,6 +28,9 @@ from repro.sim import Environment, RandomStreams
 KERNEL_EVENTS = 200_000
 TRANSPORT_MESSAGES = 200_000
 SWEEP_RUNS = 4
+#: Likelihood-bench workload sizes at scale 1.0.
+LIKELIHOOD_SAMPLES = 2_000
+DECISION_EVALUATIONS = 20_000
 
 
 def bench_kernel(scale: float, pool: int,
@@ -120,6 +127,112 @@ def bench_figure(scale: float, pool: int,
     }
 
 
+def _likelihood_model(scale: float) -> CommitLikelihoodModel:
+    """A converged 5-DC model on the paper's EC2 topology (no spikes:
+    the bench measures model algebra, not tail luck)."""
+    samples = max(200, int(LIKELIHOOD_SAMPLES * scale))
+    topology = ec2_five_dc(spike_prob=0.0)
+    matrix = OracleLatencySource(
+        topology, RandomStreams(seed=7), samples=samples).latency_matrix()
+    model = CommitLikelihoodModel(
+        matrix, [1.0] * 5,
+        size_distribution={1: 0.4, 2: 0.3, 3: 0.2, 4: 0.1})
+    model.precompute()
+    return model
+
+
+def bench_likelihood(scale: float, pool: int,
+                     repeats: int = 3) -> Dict[str, float]:
+    """Model maintenance: cold precompute vs 1-dirty-pair refresh.
+
+    The incremental path is measured in steady state — a rotation
+    stream perturbing one (src, dst) RTT pair per refresh, the way the
+    statistics windows age in a live run — against the full reference
+    rebuild of the same model.
+    """
+    model = _likelihood_model(scale)
+    cold_s = best_of(lambda: timed(model.precompute), repeats)
+
+    base = model.latency.rtt(0, 1)
+    perturbed = [base.shift(2.0), base.shift(4.0)]
+    # Warm the spectrum caches once: steady state is what rotations see.
+    model.refresh(rtt_updates={(0, 1): perturbed[0], (1, 0): perturbed[0]})
+    flip = itertools.cycle(perturbed[::-1])
+
+    def one_rotation() -> float:
+        update = next(flip)
+        return timed(lambda: model.refresh(
+            rtt_updates={(0, 1): update, (1, 0): update}))
+
+    refresh_s = best_of(one_rotation, max(5, repeats * 3))
+    return {
+        "precompute_ms": cold_s * 1e3,
+        "refresh_ms": refresh_s * 1e3,
+        "incremental_speedup": cold_s / refresh_s if refresh_s > 0 else 0.0,
+    }
+
+
+def bench_likelihood_decisions(scale: float, pool: int,
+                               repeats: int = 3) -> Dict[str, float]:
+    """Admission-decision throughput: eq. 8b integrals vs memo hits.
+
+    The evaluation stream cycles the 25 matrix cells across a handful
+    of arrival-rate buckets — the repetition admission sweeps actually
+    exhibit — so the memoized path is all hits after the first lap.
+    The memoized arm is timed in that steady state (the 100-key fill
+    lap runs before the clock starts): the fill cost is a fixed count
+    of integrals, so folding it in would just make the ratio depend on
+    ``scale`` instead of on the cache.
+    """
+    model = _likelihood_model(scale)
+    n_evals = max(2_000, int(DECISION_EVALUATIONS * scale))
+    keys = [(cc, l, 0.002 + 0.001 * bucket, 5.0)
+            for cc in range(5) for l in range(5) for bucket in range(4)]
+    stream = list(itertools.islice(itertools.cycle(keys), n_evals))
+
+    def evaluate() -> None:
+        for cc, l, rate, w in stream:
+            model.record_likelihood(cc, l, rate, w_ms=w)
+
+    model.memo.clear()
+    evaluate()  # fill lap: every key cached before the clock starts
+    memo_s = best_of(lambda: timed(evaluate), repeats)
+    memo, model.memo = model.memo, None
+    try:
+        raw_s = best_of(lambda: timed(evaluate), repeats)
+    finally:
+        model.memo = memo
+    return {
+        "evaluations": float(n_evals),
+        "unmemoized_per_sec": n_evals / raw_s,
+        "memoized_per_sec": n_evals / memo_s,
+        "memo_speedup": raw_s / memo_s if memo_s > 0 else 0.0,
+    }
+
+
+def bench_figure_admission(scale: float, pool: int,
+                           repeats: int = 2) -> Dict[str, float]:
+    """Figure-scale run exercising the whole likelihood fast path:
+    measured statistics, periodic incremental model refresh, and
+    admission decisions through the memo on every transaction."""
+    committed = [0]
+
+    def run() -> float:
+        config = _figure_config(scale, seed=4321, name="perf-admission")
+        config.admission = DynamicPolicy(50.0)
+        config.stats_mode = "measured"
+        config.model_refresh_ms = 2_000.0
+        experiment = Experiment(config)
+        return timed(lambda: committed.__setitem__(
+            0, experiment.run().metrics.n_committed))
+
+    seconds = best_of(run, repeats)
+    return {
+        "seconds": seconds,
+        "committed": float(committed[0]),
+    }
+
+
 def bench_sweep(scale: float, pool: int,
                 repeats: int = 1) -> Dict[str, float]:
     """Figure-scale sweep, serial vs. a pool of ``pool`` workers.
@@ -167,6 +280,13 @@ BENCHES: List[BenchSpec] = [
               "messages/s", "transport send->deliver throughput"),
     BenchSpec("figure", bench_figure, "seconds", False,
               "s", "one figure-scale PLANET experiment"),
+    BenchSpec("likelihood", bench_likelihood, "incremental_speedup", True,
+              "x", "likelihood model: cold precompute vs incremental refresh"),
+    BenchSpec("likelihood_decisions", bench_likelihood_decisions,
+              "memo_speedup", True,
+              "x", "record_likelihood throughput, memoized vs unmemoized"),
+    BenchSpec("figure_admission", bench_figure_admission, "seconds", False,
+              "s", "figure-scale run with admission + model refresh"),
     BenchSpec("sweep", bench_sweep, "parallel_seconds", False,
               "s", "independent-config sweep, serial vs pooled"),
 ]

@@ -1,0 +1,42 @@
+# repro: module=repro.core.fixture_pmf
+"""Deliberate PERF002 violations: raw spectral calls off the Pmf layer."""
+
+import numpy as np
+from numpy import convolve as raw_convolve
+from numpy import fft
+from numpy.fft import rfft
+
+
+def hand_rolled_window(a, b):
+    full = np.convolve(a, b)  # expect[PERF002]
+    return full[: len(a)]
+
+
+def aliased_convolution(a, b):
+    return raw_convolve(a, b)  # expect[PERF002]
+
+
+def spectral_product(a, b):
+    sa = np.fft.rfft(a, 64)  # expect[PERF002]
+    sb = rfft(b, 64)  # expect[PERF002]
+    return np.fft.irfft(sa * sb, 64)  # expect[PERF002]
+
+
+def submodule_alias(a):
+    return fft.rfft(a, 64)  # expect[PERF002]
+
+
+def clean_pmf_path(pa, pb, weights):
+    # Clean: PMF algebra through the Pmf layer keeps spectrum caching
+    # and the tail-tolerance policy in force.
+    mixed = pa.mixture([pa, pb], weights)
+    return mixed.convolve(pb)
+
+
+def clean_elementwise(a, b):
+    # Clean: plain ndarray arithmetic is not spectral algebra.
+    return np.multiply(a, b) + np.maximum(a, b)
+
+
+def pinned_reference(a, b):
+    return np.convolve(a, b)  # repro: allow[PERF002] -- oracle for a pin test

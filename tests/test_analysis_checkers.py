@@ -73,6 +73,18 @@ def test_unslotted_hot_path_classes_detected():
     assert not any("DebugProbe" in d.message for d in by_line.values())
 
 
+def test_raw_spectral_calls_detected():
+    report = assert_matches_markers("perf_pmf_fixture.py")
+    assert all(d.code == "PERF002" for d in report.diagnostics)
+    # Aliased imports must resolve: ``raw_convolve`` and bare ``rfft``
+    # both reach numpy under the covers.
+    messages = " ".join(d.message for d in report.diagnostics)
+    assert "numpy.convolve" in messages
+    assert "numpy.fft.rfft" in messages
+    # The allow[] escape on the pinned reference must have been honored.
+    assert report.suppressed >= 1
+
+
 def test_unhandled_and_dead_message_kinds_detected():
     report = assert_matches_markers("proto_fixture_node.py")
     by_code = {d.code: d for d in report.diagnostics}

@@ -42,6 +42,37 @@ def test_empty_input():
     assert parallel_map(_square, [], processes=4) == []
 
 
+def test_single_cpu_host_falls_back_to_serial(monkeypatch):
+    """On a 1-CPU machine the pool is skipped outright: requesting many
+    workers must never construct a Pool, and the results (and their
+    streaming order) must be exactly the serial loop's."""
+    import repro.harness.parallel as parallel_module
+
+    def _no_pool(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("Pool constructed on a single-CPU host")
+
+    monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 1)
+    monkeypatch.setattr(
+        parallel_module.multiprocessing, "Pool", _no_pool)
+    seen = []
+    results = parallel_map(_square, [4, 2, 3], processes=8,
+                           on_result=seen.append)
+    assert results == [_square(v) for v in [4, 2, 3]]
+    assert seen == results
+
+
+def test_pool_capped_at_item_count(monkeypatch):
+    """One item never pays pool overhead, however many workers asked."""
+    import repro.harness.parallel as parallel_module
+
+    def _no_pool(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("Pool constructed for a single item")
+
+    monkeypatch.setattr(
+        parallel_module.multiprocessing, "Pool", _no_pool)
+    assert parallel_map(_square, [7], processes=8) == [49]
+
+
 def test_default_pool_size_env_override(monkeypatch):
     monkeypatch.setenv("PLANET_POOL", "3")
     assert default_pool_size() == 3
