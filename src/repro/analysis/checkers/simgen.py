@@ -42,9 +42,11 @@ BLOCKING_PREFIXES = (
 )
 
 #: Host-side packages exempt from the blocking-I/O rule.  The check
-#: CLI is host-side too: it writes failing fuzz traces to disk, and
-#: the benchmark harness writes reports and prints progress.
-_HOST_SIDE = ("repro.harness", "repro.check.__main__", "repro.perf")
+#: CLI is host-side too: it writes failing fuzz traces to disk, the
+#: benchmark harness writes reports and prints progress, and the
+#: observability exporters save/load artifact files after a run.
+_HOST_SIDE = ("repro.harness", "repro.check.__main__", "repro.perf",
+              "repro.obs")
 
 
 def _walk_own_body(function: _FunctionDef) -> Iterator[ast.AST]:

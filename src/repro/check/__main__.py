@@ -15,6 +15,7 @@ minimal fault schedule plus the implicated history events.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -67,6 +68,28 @@ def _save_trace(directory: str, result: CheckResult) -> str:
     return path
 
 
+def _save_obs(directory: str, result: CheckResult) -> Optional[str]:
+    """Re-run the (shrunk) failing config with observability installed
+    and save the span/metric artifact next to the trace file.
+
+    The re-run is byte-identical to the failing run (observability
+    draws no randomness), so the artifact really shows the failure —
+    ``python -m repro.obs export seed-N.obs.json`` turns it into a
+    Perfetto-loadable trace.
+    """
+    observed = run_check(result.config, schedule=result.schedule,
+                         observe=True)
+    if observed.obs is None:
+        return None
+    path = os.path.join(directory,
+                        f"seed-{result.config.seed}.obs.json")
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(observed.obs, stream, sort_keys=True,
+                  separators=(",", ":"))
+        stream.write("\n")
+    return path
+
+
 def _cmd_fuzz(namespace: argparse.Namespace) -> int:
     base = _config_from(namespace, seed=0)
     seeds = range(namespace.start, namespace.start + namespace.seeds)
@@ -106,6 +129,10 @@ def _cmd_fuzz(namespace: argparse.Namespace) -> int:
         if namespace.out:
             path = _save_trace(namespace.out, final)
             print(f"trace written to {path}")
+            obs_path = _save_obs(namespace.out, final)
+            if obs_path:
+                print(f"obs artifact written to {obs_path} "
+                      f"(python -m repro.obs export {obs_path})")
         print()
     return 1
 

@@ -72,6 +72,10 @@ class CheckResult:
     history: History
     violations: List[Violation]
     stats: Dict[str, float] = field(default_factory=dict)
+    #: Observability artifacts when run with ``observe=True``; the
+    #: fuzz CLI saves these next to failing traces for Perfetto
+    #: inspection.
+    obs: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -91,15 +95,25 @@ class CheckResult:
 
 
 def run_check(config: CheckConfig,
-              schedule: Optional[FaultSchedule] = None) -> CheckResult:
+              schedule: Optional[FaultSchedule] = None,
+              observe: bool = False) -> CheckResult:
     """One recorded, checked simulation run.
 
     Passing ``schedule`` replays/overrides the fault schedule (the
     shrinker's entry point); the workload itself still derives from
     ``config.seed`` and is unaffected, because workload and faults
-    draw from independent named streams.
+    draw from independent named streams.  ``observe=True``
+    additionally installs a :class:`repro.obs.ObsSession` and returns
+    its artifacts on ``CheckResult.obs`` — observability never
+    perturbs the run (no rng draws, no trace events), so the history
+    digest is identical either way.
     """
     env = Environment()
+    obs_session = None
+    if observe:
+        from repro.obs import ObsSession
+        obs_session = ObsSession()
+        obs_session.install(env)
     streams = RandomStreams(seed=config.seed)
     topology = uniform_topology(config.n_datacenters,
                                 one_way_ms=config.one_way_ms,
@@ -150,6 +164,11 @@ def run_check(config: CheckConfig,
     # capped visibility retries), so the event heap always drains.
     env.run()
     recorder.detach()
+    obs_artifacts = None
+    if obs_session is not None:
+        obs_session.detach(env)
+        obs_artifacts = obs_session.artifacts(meta={
+            "source": "check", "seed": config.seed})
 
     violations = check_history(history)
     stats = {
@@ -162,7 +181,8 @@ def run_check(config: CheckConfig,
         "msgs_dropped": float(cluster.transport.dropped),
     }
     return CheckResult(config=config, schedule=schedule, history=history,
-                       violations=violations, stats=stats)
+                       violations=violations, stats=stats,
+                       obs=obs_artifacts)
 
 
 def _run_seed(config: CheckConfig) -> CheckResult:

@@ -226,6 +226,9 @@ class AdaptiveProbingPolicy(AdmissionPolicy):
                 1.0, max(self.min_rate,
                          self.admit_rate + self._direction * self.step))
             self.history.append((self.env.now, self.admit_rate))
+            if self.env.metrics is not None:
+                self.env.metrics.set_gauge("admission.admit_rate",
+                                           self.admit_rate)
 
     def describe(self) -> str:
         return f"Adaptive({self.admit_rate:.2f})"

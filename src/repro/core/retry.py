@@ -105,15 +105,23 @@ class RetryingTransaction:
             tx.on_complete(lambda info: None)
             if self.configure is not None:
                 self.configure(tx)
+            if self.env.metrics is not None:
+                self.env.metrics.inc("retry.attempts")
             planet_tx = tx.execute()
             self.attempts.append(planet_tx)
             info = yield planet_tx.final_event
             if not self._should_retry(info) or attempt == self.max_attempts:
+                if (self.env.metrics is not None
+                        and attempt == self.max_attempts
+                        and self._should_retry(info)):
+                    self.env.metrics.inc("retry.exhausted")
                 if not self.done_event.triggered:
                     self.done_event.succeed(info)
                 return
-            yield self.env.timeout(
-                self.backoff.delay_ms(attempt, self._rng))
+            delay = self.backoff.delay_ms(attempt, self._rng)
+            if self.env.metrics is not None:
+                self.env.metrics.observe("retry.backoff_ms", delay)
+            yield self.env.timeout(delay)
 
 
 def execute_with_retries(session: PlanetSession, writes: List[WriteOp],

@@ -355,6 +355,16 @@ class PlanetTransaction:
         self.current_likelihood = likelihood
         self.admitted = self.session.admission.decide(
             likelihood, self.session.rng)
+        metrics = self.env.metrics
+        if metrics is not None:
+            metrics.inc("planet.admission",
+                        label="admitted" if self.admitted else "rejected")
+            # Likelihoods live in [0, 1]: probability buckets, not the
+            # registry's default latency buckets.
+            metrics.histogram(
+                "planet.likelihood",
+                bounds=(0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0),
+            ).observe(likelihood)
         if not self.admitted:
             handle.gate.succeed(False)
             self._finish_rejected()
@@ -406,6 +416,8 @@ class PlanetTransaction:
         self.spec_committed = True
         self.spec_fired_ms = self.env.now
         self.state = TxState.SPEC_COMMITTED
+        if self.env.metrics is not None:
+            self.env.metrics.inc("planet.spec_commit")
         self._fire_stage("complete", self.tx._on_complete)
 
     def _after_decided(self, handle: TransactionHandle) -> None:
@@ -443,6 +455,8 @@ class PlanetTransaction:
         self.returned = True
         self.stage_fired = stage
         self.stage_fired_ms = self.env.now
+        if self.env.metrics is not None:
+            self.env.metrics.inc("planet.stage_fired", label=stage)
         info = self.info(stage=stage)
         if not self.closed_event.triggered:
             self.closed_event.succeed(info)
@@ -465,6 +479,8 @@ class PlanetTransaction:
         if self._finished:
             return
         self._finished = True
+        if self.env.metrics is not None and self.spec_incorrect:
+            self.env.metrics.inc("planet.spec_incorrect")
         # Feedback for adaptive admission policies (probing baselines).
         admission = self.session.admission
         if (self.admitted and self.committed is not None

@@ -94,6 +94,9 @@ class ExperimentConfig:
     warmup_ms: float = 30_000.0
     duration_ms: float = 60_000.0
     drain_ms: float = 15_000.0
+    #: Install a :class:`repro.obs.ObsSession` on the kernel: metric
+    #: registry + span tracing, dumped into ``ExperimentResult.obs``.
+    observe: bool = False
 
     def wants_model(self) -> bool:
         if self.need_model is not None:
@@ -109,6 +112,9 @@ class ExperimentResult:
     metrics: MetricsCollector
     initial_likelihoods: List[float] = field(default_factory=list)
     read_latencies_ms: List[float] = field(default_factory=list)
+    #: Observability artifacts (``{"version", "meta", "metrics",
+    #: "spans"}``) when the config set ``observe=True``; else None.
+    obs: Optional[Dict[str, object]] = None
 
     def summary(self) -> Dict[str, float]:
         metrics = self.metrics
@@ -237,6 +243,11 @@ class Experiment:
     def __init__(self, config: ExperimentConfig):
         self.config = config
         self.env = Environment()
+        self.obs_session = None
+        if config.observe:
+            from repro.obs import ObsSession
+            self.obs_session = ObsSession()
+            self.obs_session.install(self.env)
         self.streams = RandomStreams(seed=config.seed)
         self.topology = self._build_topology()
         self.cluster = Cluster(
@@ -408,7 +419,14 @@ class Experiment:
         collector = MetricsCollector(config.warmup_ms, total)
         likelihoods: List[float] = []
         self._issuer.finalize(collector, likelihoods)
+        obs_artifacts = None
+        if self.obs_session is not None:
+            self.obs_session.detach(self.env)
+            obs_artifacts = self.obs_session.artifacts(meta={
+                "source": "experiment", "name": config.name,
+                "seed": config.seed, "system": config.system})
         return ExperimentResult(
             config=config, metrics=collector,
             initial_likelihoods=likelihoods,
-            read_latencies_ms=list(self._issuer.read_latencies_ms))
+            read_latencies_ms=list(self._issuer.read_latencies_ms),
+            obs=obs_artifacts)

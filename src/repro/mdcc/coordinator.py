@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.net.rpc import RpcEndpoint, RpcTimeout
 from repro.sim import AllOf, Environment, Event
@@ -88,6 +88,10 @@ class TransactionHandle:
         #: Set by begin(gate_after_reads=True): succeed with True to
         #: proceed past the read phase, False to cancel unproposed.
         self.gate: Optional[Event] = None
+        #: The transaction's stage chain (a
+        #: :class:`repro.obs.spans.TxSpanSet`) when span tracing is
+        #: installed on the kernel; ``None`` otherwise.
+        self.obs: Optional[Any] = None
 
     @property
     def write_keys(self) -> List[str]:
@@ -154,6 +158,11 @@ class TransactionManager:
         if self.env.tracer is not None:
             self.env.trace("tx_begin", node=self.address, txid=txid,
                            keys=tuple(handle.write_keys))
+        if self.env.spans is not None:
+            handle.obs = self.env.spans.begin_tx(
+                txid, self.address, self.env.now, handle.write_keys)
+        if self.env.metrics is not None:
+            self.env.metrics.inc("tx.started")
         if gate_after_reads:
             handle.gate = self.env.event()
         self._active[txid] = handle
@@ -205,10 +214,11 @@ class TransactionManager:
         read_start = self.env.now
         # 1. Read phase: all reads go to this DC's replicas in parallel.
         if read_keys:
+            read_span = handle.obs.ctx if handle.obs is not None else None
             calls = [
                 self.endpoint.call(
                     self.cluster.local_replica_address(self.datacenter, key),
-                    "read", ReadRequest(key=key))
+                    "read", ReadRequest(key=key), span=read_span)
                 for key in read_keys
             ]
             replies = yield AllOf(self.env, calls)
@@ -221,8 +231,18 @@ class TransactionManager:
             if not proceed:
                 del self._active[handle.txid]
                 self.started -= 1  # never attempted
+                if handle.obs is not None:
+                    handle.obs.cancelled(self.env.now)
+                if self.env.metrics is not None:
+                    self.env.metrics.inc("tx.cancelled")
                 handle._notify("cancelled")
                 return
+
+        # Admission stage ends here: reads done and (when gated) the
+        # admission decision taken.  Think time and option fan-out
+        # belong to the propose stage.
+        if handle.obs is not None:
+            handle.obs.advance("propose", self.env.now)
 
         # 2. Local processing time between read and commit start.
         if think_time_ms > 0:
@@ -232,6 +252,7 @@ class TransactionManager:
         #    measured w of §5.1.2 is read-request to commit start.
         handle.proposed_ms = self.env.now
         handle.w_ms = self.env.now - read_start
+        propose_span = handle.obs.ctx if handle.obs is not None else None
         for op in handle.writes:
             leader = self.cluster.leader_address(op.key)
             if self.env.tracer is not None:
@@ -239,7 +260,11 @@ class TransactionManager:
                                txid=handle.txid, key=op.key, leader=leader)
             self.endpoint.cast(leader, "propose", Propose(
                 txid=handle.txid, key=op.key, update=op.update,
-                tm_address=self.address))
+                tm_address=self.address), span=propose_span)
+        # Options are in flight: the accept stage runs until the first
+        # proposal_ack comes back.
+        if handle.obs is not None:
+            handle.obs.advance("accept", self.env.now)
         handle._notify("proposed")
 
     # -- message handlers ------------------------------------------------------------
@@ -253,6 +278,8 @@ class TransactionManager:
             if self.env.tracer is not None:
                 self.env.trace("tx_accepted", node=self.address,
                                txid=ack.txid, key=ack.key)
+            if handle.obs is not None:
+                handle.obs.advance("learn", self.env.now)
             if not handle.accepted_event.triggered:
                 handle.accepted_event.succeed(handle)
             handle._notify("accepted")
@@ -288,6 +315,9 @@ class TransactionManager:
             self.env.trace("tx_decided", node=self.address,
                            txid=handle.txid, committed=committed,
                            keys=tuple(handle.write_keys))
+        if self.env.metrics is not None:
+            self.env.metrics.inc(
+                "tx.decided", label="commit" if committed else "abort")
         # 6. Commit/abort visibility to every replica of every written
         #    record (accepted options must be applied or discarded
         #    everywhere; rejected ones left no pending state).  The
@@ -297,8 +327,17 @@ class TransactionManager:
                    if committed else None)
         visibility = Visibility(txid=handle.txid, keys=handle.write_keys,
                                 commit=committed, updates=updates)
-        for address in self.cluster.all_replica_addresses(handle.write_keys):
-            self.env.process(self._deliver_visibility(address, visibility))
+        addresses = list(
+            self.cluster.all_replica_addresses(handle.write_keys))
+        if handle.obs is not None:
+            # Enter the visibility stage and arm its countdown before
+            # the delivery processes start, so obs.ctx below is the
+            # visibility-stage span.
+            handle.obs.decided(self.env.now, committed)
+            handle.obs.expect_visibility(len(addresses))
+        for address in addresses:
+            self.env.process(self._deliver_visibility(
+                address, visibility, obs=handle.obs))
         del self._active[handle.txid]
         if not handle.decided_event.triggered:
             handle.decided_event.succeed(handle.result)
@@ -306,14 +345,24 @@ class TransactionManager:
 
     def _deliver_visibility(self, address: str, visibility: Visibility,
                             max_attempts: int = 10,
-                            attempt_timeout_ms: float = 2_000.0):
+                            attempt_timeout_ms: float = 2_000.0,
+                            obs: Optional[Any] = None):
         """At-least-once delivery of one replica's visibility message."""
-        for _attempt in range(max_attempts):
-            try:
-                yield self.endpoint.call(address, "visibility", visibility,
-                                         timeout_ms=attempt_timeout_ms)
-                return
-            except RpcTimeout:
-                continue
-        # Give up: the replica is unreachable (durable partition); it
-        # will hold the pending option until connectivity returns.
+        span = obs.ctx if obs is not None else None
+        try:
+            for _attempt in range(max_attempts):
+                try:
+                    yield self.endpoint.call(
+                        address, "visibility", visibility,
+                        timeout_ms=attempt_timeout_ms, span=span)
+                    return
+                except RpcTimeout:
+                    continue
+            # Give up: the replica is unreachable (durable partition);
+            # it will hold the pending option until connectivity
+            # returns.
+        finally:
+            # Counts down whether the delivery landed or gave up — a
+            # partitioned replica must not hold the root span open.
+            if obs is not None:
+                obs.visibility_done(self.env.now)

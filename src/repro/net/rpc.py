@@ -10,7 +10,7 @@ back as the response.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Optional
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
 
 from repro.net.transport import Message, Transport
 from repro.sim import Environment, Event
@@ -39,7 +39,8 @@ class RpcEndpoint:
 
     __slots__ = ("env", "transport", "address", "datacenter",
                  "service_time_ms", "service_overrides", "_handlers",
-                 "_pending", "_queue", "_serving", "max_queue_depth")
+                 "_pending", "_queue", "_serving", "max_queue_depth",
+                 "current_span")
 
     def __init__(self, env: Environment, transport: Transport,
                  address: str, datacenter: int,
@@ -69,6 +70,11 @@ class RpcEndpoint:
         self._serving = False
         #: High-water mark of the service queue (observability).
         self.max_queue_depth = 0
+        #: The span context of the request currently being dispatched
+        #: (``None`` outside a handler, or when the sender attached no
+        #: span).  Handlers read this to parent their own spans under
+        #: the remote caller's.
+        self.current_span: Optional[Tuple[str, str]] = None
         transport.register(address, datacenter, self._on_message)
 
     # -- server side --------------------------------------------------------
@@ -80,26 +86,33 @@ class RpcEndpoint:
         self._handlers[kind] = handler
 
     def respond(self, request: Message, payload: Any) -> None:
-        """Send an asynchronous response to ``request``."""
+        """Send an asynchronous response to ``request``.
+
+        The response rides in the request's span context, so the
+        caller's trace shows the reply leg too.
+        """
         self.transport.send(self.datacenter, Message(
             src=self.address, dst=request.src, kind=f"{request.kind}.reply",
             payload=payload, msg_id=self.transport.next_msg_id(),
-            reply_to=request.msg_id))
+            reply_to=request.msg_id, span=request.span))
 
     # -- client side --------------------------------------------------------
 
     def call(self, dst: str, kind: str, payload: Any,
-             timeout_ms: Optional[float] = None) -> Event:
+             timeout_ms: Optional[float] = None,
+             span: Optional[Tuple[str, str]] = None) -> Event:
         """Send a request; the returned event fires with the response.
 
         With ``timeout_ms`` set, the event instead *fails* with
         :class:`RpcTimeout` if no response arrives in time.  Without a
         timeout the event may never fire (e.g. across a partition) —
-        callers combine it with their own deadline events.
+        callers combine it with their own deadline events.  ``span``
+        is the caller's span context; it rides on the message so the
+        receiver can stitch its spans under the caller's trace.
         """
         message = Message(src=self.address, dst=dst, kind=kind,
                           payload=payload,
-                          msg_id=self.transport.next_msg_id())
+                          msg_id=self.transport.next_msg_id(), span=span)
         result = self.env.event()
         self._pending[message.msg_id] = result
         self.transport.send(self.datacenter, message)
@@ -107,11 +120,12 @@ class RpcEndpoint:
             self.env.process(self._expire(message.msg_id, timeout_ms))
         return result
 
-    def cast(self, dst: str, kind: str, payload: Any) -> None:
+    def cast(self, dst: str, kind: str, payload: Any,
+             span: Optional[Tuple[str, str]] = None) -> None:
         """One-way message with no response expected."""
         self.transport.send(self.datacenter, Message(
             src=self.address, dst=dst, kind=kind, payload=payload,
-            msg_id=self.transport.next_msg_id()))
+            msg_id=self.transport.next_msg_id(), span=span))
 
     # -- internals ------------------------------------------------------------
 
@@ -156,6 +170,10 @@ class RpcEndpoint:
         handler = self._handlers.get(message.kind)
         if handler is None:
             return  # unknown kinds are dropped, like a real server
-        response = handler(message.payload, message.src)
+        self.current_span = message.span
+        try:
+            response = handler(message.payload, message.src)
+        finally:
+            self.current_span = None
         if response is not RpcEndpoint.NO_REPLY:
             self.respond(message, response)

@@ -35,18 +35,28 @@ class Message:
     fallback counter, because any module-level sequence makes message
     ids — and therefore history digests — depend on how many runs the
     host process executed before this one.
+
+    ``span`` is the sender's causal-tracing context, an opaque
+    ``(trace_id, span_id)`` tuple (``repro.obs.spans.SpanContext``)
+    that receivers use to parent their spans under the sender's; it is
+    ``None`` whenever span tracing is off and deliberately excluded
+    from equality and repr — it is observability metadata, not
+    protocol state.
     """
 
-    __slots__ = ("src", "dst", "kind", "payload", "msg_id", "reply_to")
+    __slots__ = ("src", "dst", "kind", "payload", "msg_id", "reply_to",
+                 "span")
 
     def __init__(self, src: str, dst: str, kind: str, payload: Any,
-                 msg_id: int, reply_to: Optional[int] = None):
+                 msg_id: int, reply_to: Optional[int] = None,
+                 span: Optional[Tuple[str, str]] = None):
         self.src = src
         self.dst = dst
         self.kind = kind
         self.payload = payload
         self.msg_id = msg_id
         self.reply_to = reply_to
+        self.span = span
 
     def __repr__(self) -> str:
         return (f"Message(src={self.src!r}, dst={self.dst!r}, "
@@ -181,6 +191,8 @@ class Transport:
             env.trace("send", node=message.src, kind=message.kind,
                       dst=message.dst, msg_id=message.msg_id,
                       reply_to=message.reply_to)
+        if env.metrics is not None:
+            env.metrics.inc("transport.sent", label=message.kind)
         dst_dc = self._locations.get(message.dst)
         if dst_dc is None:
             self._drop(message, "unknown-address")
@@ -205,6 +217,9 @@ class Transport:
         delay = sampler()
         if self._extra_delay:
             delay += self._extra_delay.get(link, 0.0)
+        if env.metrics is not None:
+            env.metrics.observe("transport.delay_ms", delay,
+                                label=f"{src_dc}->{dst_dc}")
         # Schedule a bare event rather than a generator process (one
         # heap operation per message), recycling processed delivery
         # events through the pool (no allocation per message).
@@ -225,6 +240,8 @@ class Transport:
             self.env.trace("drop", node=message.src, kind=message.kind,
                            dst=message.dst, msg_id=message.msg_id,
                            reason=reason)
+        if self.env.metrics is not None:
+            self.env.metrics.inc("transport.dropped", label=reason)
 
     def _deliver(self, event: Event) -> None:
         message: Message = event._value
@@ -244,4 +261,6 @@ class Transport:
         if self.env.tracer is not None:
             self.env.trace("deliver", node=message.dst, kind=message.kind,
                            src=message.src, msg_id=message.msg_id)
+        if self.env.metrics is not None:
+            self.env.metrics.inc("transport.delivered", label=message.kind)
         handler(message)

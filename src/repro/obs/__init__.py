@@ -1,0 +1,81 @@
+"""repro.obs — the unified observability layer.
+
+Three pieces, all deterministic in virtual time:
+
+* a typed **metrics registry** (:mod:`repro.obs.metrics`): counters,
+  gauges, and virtual-time histograms with labeled series.  A registry
+  is installed on the kernel as ``Environment.metrics``; every
+  instrumentation point in the simulator guards on
+  ``env.metrics is not None``, so runs without a registry pay only an
+  attribute check — the same zero-cost contract as
+  ``Environment.trace`` (verified by the ``obs`` bench in
+  ``python -m repro.perf``);
+* **causal span tracing** (:mod:`repro.obs.spans`): a
+  :class:`~repro.obs.spans.SpanRecorder` installed as
+  ``Environment.spans``.  Span context rides on
+  :class:`~repro.net.transport.Message`, so one transaction's spans
+  stitch across nodes into a single tree covering the paper's stages
+  (admission → propose → accept fan-out → learn → visibility).  Span
+  ids are derived from txids / keys / message ids, so traces are
+  seed-reproducible and digest-pinnable;
+* **exporters** (:mod:`repro.obs.export`): Chrome trace-event JSON
+  (loadable in Perfetto / ``chrome://tracing``, one track per node),
+  per-stage commit-latency breakdowns, and deterministic metric dumps.
+
+:class:`~repro.obs.record.ObsSession` bundles registry + recorder and
+attaches them to a kernel; ``python -m repro.obs`` records seeded runs
+and exports their artifacts.  The legacy helpers formerly living in
+``repro.harness.{metrics,tracing,monitoring}`` now live here
+(:mod:`repro.obs.txmetrics`, :mod:`repro.obs.txtrace`,
+:mod:`repro.obs.monitor`); the old modules remain as thin compat
+shims.
+
+See ``docs/observability.md`` for the span model and the metric
+naming conventions.
+"""
+
+from repro.obs.export import (
+    breakdown_json,
+    breakdown_table,
+    chrome_trace,
+    stage_breakdown,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.record import ObsSession, load_artifacts
+from repro.obs.spans import (
+    STAGES,
+    Span,
+    SpanRecorder,
+    TxSpanSet,
+    span_id_for,
+    trace_id_for,
+)
+from repro.obs.txmetrics import MetricsCollector, TxRecord
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "ObsSession",
+    "STAGES",
+    "Span",
+    "SpanRecorder",
+    "TxRecord",
+    "TxSpanSet",
+    "breakdown_json",
+    "breakdown_table",
+    "chrome_trace",
+    "load_artifacts",
+    "span_id_for",
+    "stage_breakdown",
+    "trace_id_for",
+    "write_chrome_trace",
+]

@@ -1,0 +1,184 @@
+"""Command-line front end of the observability layer.
+
+::
+
+    python -m repro.obs record --check-seed 7 --out run.obs.json
+    python -m repro.obs record --figure-seed 1234 --scale 0.2
+    python -m repro.obs export run.obs.json            # -> .perfetto.json
+    python -m repro.obs breakdown run.obs.json [--json]
+    python -m repro.obs top run.obs.json -n 10
+
+``record`` re-runs a seeded simulation (a ``repro.check`` run or a
+figure-scale experiment) with the observability session installed and
+writes the artifact file; the other commands consume artifact files —
+including the ``seed-N.obs.json`` files the fuzz CLI drops next to
+failing traces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.obs.export import (
+    breakdown_json,
+    breakdown_table,
+    chrome_trace,
+    stage_breakdown,
+    stage_summary,
+)
+from repro.obs.record import artifact_digests, load_artifacts
+
+
+def _write_json(path: str, data: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(data, stream, sort_keys=True, separators=(",", ":"))
+        stream.write("\n")
+
+
+def _record_check(seed: int, txns: int) -> Dict[str, Any]:
+    from repro.check.runner import CheckConfig, run_check
+
+    result = run_check(CheckConfig(seed=seed, n_txns=txns), observe=True)
+    assert result.obs is not None
+    return result.obs
+
+
+def _record_figure(seed: int, scale: float) -> Dict[str, Any]:
+    from repro.harness.experiment import Experiment, ExperimentConfig
+
+    config = ExperimentConfig(
+        name=f"obs-figure-{seed}", seed=seed, system="planet",
+        topology="ec2", n_items=5_000, hotspot_size=50, rate_tps=150.0,
+        storage_service_ms=0.4, oracle_samples=800,
+        warmup_ms=max(800.0, 4_000.0 * scale),
+        duration_ms=max(1_600.0, 8_000.0 * scale),
+        drain_ms=max(800.0, 4_000.0 * scale),
+        observe=True)
+    result = Experiment(config).run()
+    assert result.obs is not None
+    return result.obs
+
+
+def _cmd_record(namespace: argparse.Namespace) -> int:
+    if (namespace.check_seed is None) == (namespace.figure_seed is None):
+        print("record: give exactly one of --check-seed / --figure-seed",
+              file=sys.stderr)
+        return 2
+    if namespace.check_seed is not None:
+        artifacts = _record_check(namespace.check_seed, namespace.txns)
+        default_out = f"obs-check-{namespace.check_seed}.obs.json"
+    else:
+        artifacts = _record_figure(namespace.figure_seed, namespace.scale)
+        default_out = f"obs-figure-{namespace.figure_seed}.obs.json"
+    out = namespace.out or default_out
+    _write_json(out, artifacts)
+    digests = artifact_digests(artifacts)
+    print(f"recorded {len(artifacts['spans'])} spans -> {out}")
+    print(f"span digest:   {digests['spans']}")
+    print(f"metric digest: {digests['metrics']}")
+    return 0
+
+
+def _default_export_path(path: str) -> str:
+    base = path[:-len(".obs.json")] if path.endswith(".obs.json") \
+        else os.path.splitext(path)[0]
+    return base + ".perfetto.json"
+
+
+def _cmd_export(namespace: argparse.Namespace) -> int:
+    artifacts = load_artifacts(namespace.artifact)
+    out = namespace.out or _default_export_path(namespace.artifact)
+    meta = artifacts.get("meta") or {}
+    label = str(meta.get("source", "repro"))
+    trace = chrome_trace(artifacts["spans"], label=label)
+    _write_json(out, trace)
+    n_events = len(trace["traceEvents"])
+    print(f"{n_events} trace events -> {out} "
+          f"(open in https://ui.perfetto.dev or chrome://tracing)")
+    return 0
+
+
+def _cmd_breakdown(namespace: argparse.Namespace) -> int:
+    artifacts = load_artifacts(namespace.artifact)
+    breakdowns = stage_breakdown(artifacts["spans"])
+    if namespace.json:
+        print(breakdown_json(breakdowns))
+        return 0
+    if not breakdowns:
+        print("no transactions in artifact")
+        return 0
+    print(breakdown_table(breakdowns, limit=namespace.limit))
+    summary = stage_summary(breakdowns)
+    if summary:
+        parts = ", ".join(f"{name}={value:.2f}ms"
+                          for name, value in summary.items())
+        print(f"\nmean over complete transactions: {parts}")
+    return 0
+
+
+def _cmd_top(namespace: argparse.Namespace) -> int:
+    artifacts = load_artifacts(namespace.artifact)
+    breakdowns = stage_breakdown(artifacts["spans"])
+    finished = [b for b in breakdowns if not b.unfinished]
+    finished.sort(key=lambda b: (-b.e2e_ms, b.txid))
+    slowest = finished[:namespace.count]
+    if not slowest:
+        print("no finished transactions in artifact")
+        return 0
+    print(breakdown_table(slowest))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="record and export observability artifacts")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    record = commands.add_parser(
+        "record", help="run a seeded simulation with obs installed")
+    record.add_argument("--check-seed", type=int, default=None,
+                        help="record a repro.check run of this seed")
+    record.add_argument("--figure-seed", type=int, default=None,
+                        help="record a figure-scale experiment of this seed")
+    record.add_argument("--txns", type=int, default=40,
+                        help="check-run transactions (default %(default)s)")
+    record.add_argument("--scale", type=float, default=0.2,
+                        help="figure-run scale factor (default %(default)s)")
+    record.add_argument("--out", type=str, default=None,
+                        help="artifact path (default obs-<src>-<seed>.obs.json)")
+    record.set_defaults(handler=_cmd_record)
+
+    export = commands.add_parser(
+        "export", help="artifact -> Chrome trace-event (Perfetto) JSON")
+    export.add_argument("artifact", help="an .obs.json artifact file")
+    export.add_argument("--out", type=str, default=None,
+                        help="output path (default <artifact>.perfetto.json)")
+    export.set_defaults(handler=_cmd_export)
+
+    breakdown = commands.add_parser(
+        "breakdown", help="per-stage commit-latency table")
+    breakdown.add_argument("artifact", help="an .obs.json artifact file")
+    breakdown.add_argument("--json", action="store_true",
+                           help="emit JSON instead of the table")
+    breakdown.add_argument("--limit", type=int, default=20,
+                           help="max table rows (default %(default)s)")
+    breakdown.set_defaults(handler=_cmd_breakdown)
+
+    top = commands.add_parser(
+        "top", help="slowest transactions by end-to-end latency")
+    top.add_argument("artifact", help="an .obs.json artifact file")
+    top.add_argument("-n", "--count", type=int, default=10,
+                     help="how many (default %(default)s)")
+    top.set_defaults(handler=_cmd_top)
+
+    namespace = parser.parse_args(argv)
+    return namespace.handler(namespace)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

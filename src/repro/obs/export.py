@@ -1,0 +1,258 @@
+"""Exporters: Chrome trace-event JSON, per-stage latency breakdowns.
+
+``chrome_trace`` renders a span list in the Chrome trace-event format
+(the JSON flavour Perfetto and ``chrome://tracing`` load directly):
+one process, one *track per simulated node* (thread-name metadata),
+one complete ("X") event per finished span, with virtual milliseconds
+mapped to trace microseconds.
+
+``stage_breakdown`` folds a span list into per-transaction stage
+timings (admission / propose / accept / learn / visibility) and checks
+they sum to the root span's end-to-end duration — the table the
+paper's latency arguments are made from.
+
+All functions accept either live :class:`~repro.obs.spans.Span`
+objects or the plain dicts produced by
+:meth:`~repro.obs.spans.SpanRecorder.dump` (i.e. reloaded artifacts).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.obs.spans import STAGES, Span
+
+SpanLike = Union[Span, Mapping[str, object]]
+
+
+def _as_dict(span: SpanLike) -> Dict[str, object]:
+    if isinstance(span, Span):
+        return span.to_dict()
+    return dict(span)
+
+
+def _as_dicts(spans: Sequence[SpanLike]) -> List[Dict[str, object]]:
+    return [_as_dict(span) for span in spans]
+
+
+def _float(value: object, default: float = 0.0) -> float:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return default
+
+
+def _str(value: object) -> str:
+    return value if isinstance(value, str) else ""
+
+
+# -- Chrome trace-event JSON ------------------------------------------------
+
+
+def chrome_trace(spans: Sequence[SpanLike],
+                 label: str = "repro") -> Dict[str, object]:
+    """Render spans as a Chrome trace-event JSON object.
+
+    Open spans (no ``end_ms``) are rendered as zero-duration events so
+    nothing is silently dropped; their ``unfinished`` attribute (set by
+    :meth:`SpanRecorder.finish_open`) survives in ``args``.
+    """
+    records = _as_dicts(spans)
+    # One track per node.  dict.fromkeys keeps first-seen order; the
+    # sort makes track numbering independent of event order.
+    nodes = sorted(dict.fromkeys(_str(r.get("node")) for r in records))
+    tids = {node: index + 1 for index, node in enumerate(nodes)}
+
+    events: List[Dict[str, object]] = [{
+        "ph": "M", "name": "process_name", "pid": 1, "tid": 0,
+        "args": {"name": label},
+    }]
+    for node in nodes:
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": 1,
+            "tid": tids[node], "args": {"name": node},
+        })
+        events.append({
+            "ph": "M", "name": "thread_sort_index", "pid": 1,
+            "tid": tids[node], "args": {"sort_index": tids[node]},
+        })
+    for record in records:
+        start_ms = _float(record.get("start_ms"))
+        end_ms = record.get("end_ms")
+        duration_ms = (_float(end_ms) - start_ms
+                       if isinstance(end_ms, (int, float)) else 0.0)
+        attrs = record.get("attrs")
+        args: Dict[str, object] = {
+            "trace_id": _str(record.get("trace_id")),
+            "span_id": _str(record.get("span_id")),
+            "parent_id": record.get("parent_id"),
+        }
+        if isinstance(attrs, Mapping):
+            for key in sorted(attrs):
+                args[str(key)] = attrs[key]
+        events.append({
+            "ph": "X",
+            "name": _str(record.get("name")),
+            "cat": "span",
+            # Trace-event timestamps are microseconds.
+            "ts": round(start_ms * 1000.0, 3),
+            "dur": round(max(duration_ms, 0.0) * 1000.0, 3),
+            "pid": 1,
+            "tid": tids[_str(record.get("node"))],
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, spans: Sequence[SpanLike],
+                       label: str = "repro") -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(chrome_trace(spans, label=label), stream,
+                  sort_keys=True, separators=(",", ":"))
+        stream.write("\n")
+
+
+# -- per-stage breakdowns ----------------------------------------------------
+
+
+@dataclass
+class TxBreakdown:
+    """Stage timings of one transaction, from its span tree."""
+
+    txid: str
+    trace_id: str
+    start_ms: float
+    e2e_ms: float
+    committed: Optional[bool]
+    cancelled: bool
+    unfinished: bool
+    stage_ms: Dict[str, float] = field(default_factory=dict)
+    #: Distinct nodes any span of the trace ran on.
+    nodes: List[str] = field(default_factory=list)
+
+    @property
+    def stage_sum_ms(self) -> float:
+        return sum(self.stage_ms.values())
+
+    @property
+    def complete(self) -> bool:
+        """All five stages present and the chain closed cleanly."""
+        return (not self.unfinished and not self.cancelled
+                and all(stage in self.stage_ms for stage in STAGES))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "txid": self.txid,
+            "trace_id": self.trace_id,
+            "start_ms": self.start_ms,
+            "e2e_ms": self.e2e_ms,
+            "committed": self.committed,
+            "cancelled": self.cancelled,
+            "unfinished": self.unfinished,
+            "stage_ms": {name: self.stage_ms[name]
+                         for name in sorted(self.stage_ms)},
+            "nodes": list(self.nodes),
+        }
+
+
+def stage_breakdown(spans: Sequence[SpanLike]) -> List[TxBreakdown]:
+    """Per-transaction stage breakdowns, ordered by start time."""
+    records = _as_dicts(spans)
+    by_trace: Dict[str, List[Dict[str, object]]] = {}
+    for record in records:
+        by_trace.setdefault(_str(record.get("trace_id")), []).append(record)
+
+    breakdowns: List[TxBreakdown] = []
+    for trace_id, trace_spans in by_trace.items():
+        root = next((r for r in trace_spans
+                     if _str(r.get("name")) == "tx"), None)
+        if root is None:
+            continue
+        attrs = root.get("attrs")
+        root_attrs: Mapping[str, object] = (
+            attrs if isinstance(attrs, Mapping) else {})
+        committed = root_attrs.get("committed")
+        start_ms = _float(root.get("start_ms"))
+        end_ms = root.get("end_ms")
+        e2e = (_float(end_ms) - start_ms
+               if isinstance(end_ms, (int, float)) else 0.0)
+        unfinished = bool(root_attrs.get("unfinished"))
+        stage_ms: Dict[str, float] = {}
+        root_id = _str(root.get("span_id"))
+        for record in trace_spans:
+            name = _str(record.get("name"))
+            if name in STAGES and record.get("parent_id") == root_id:
+                s_end = record.get("end_ms")
+                s_attrs = record.get("attrs")
+                if (isinstance(s_attrs, Mapping)
+                        and s_attrs.get("unfinished")):
+                    unfinished = True
+                if isinstance(s_end, (int, float)):
+                    stage_ms[name] = (_float(s_end)
+                                      - _float(record.get("start_ms")))
+        nodes = sorted(dict.fromkeys(
+            _str(r.get("node")) for r in trace_spans))
+        breakdowns.append(TxBreakdown(
+            txid=_str(root_attrs.get("txid")) or trace_id,
+            trace_id=trace_id,
+            start_ms=start_ms,
+            e2e_ms=e2e,
+            committed=committed if isinstance(committed, bool) else None,
+            cancelled=bool(root_attrs.get("cancelled")),
+            unfinished=unfinished,
+            stage_ms=stage_ms,
+            nodes=nodes,
+        ))
+    breakdowns.sort(key=lambda b: (b.start_ms, b.txid))
+    return breakdowns
+
+
+def breakdown_json(breakdowns: Sequence[TxBreakdown]) -> str:
+    return json.dumps([b.to_dict() for b in breakdowns],
+                      sort_keys=True, separators=(",", ":"))
+
+
+def breakdown_table(breakdowns: Sequence[TxBreakdown],
+                    limit: Optional[int] = None) -> str:
+    """Plain-text per-stage table (one row per transaction)."""
+    headers = (["txid", "outcome"] + [f"{s}_ms" for s in STAGES]
+               + ["e2e_ms", "nodes"])
+    rows: List[List[str]] = []
+    shown = breakdowns if limit is None else breakdowns[:limit]
+    for b in shown:
+        if b.cancelled:
+            outcome = "rejected"
+        elif b.unfinished:
+            outcome = "unfinished"
+        elif b.committed is None:
+            outcome = "?"
+        else:
+            outcome = "commit" if b.committed else "abort"
+        rows.append([b.txid, outcome]
+                    + [f"{b.stage_ms.get(s, 0.0):.2f}" for s in STAGES]
+                    + [f"{b.e2e_ms:.2f}", str(len(b.nodes))])
+    widths = [max(len(headers[i]), *(len(row[i]) for row in rows))
+              if rows else len(headers[i]) for i in range(len(headers))]
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+             "  ".join("-" * w for w in widths)]
+    for row in rows:
+        lines.append("  ".join(cell.rjust(widths[i]) if i >= 2
+                               else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    if limit is not None and len(breakdowns) > limit:
+        lines.append(f"... {len(breakdowns) - limit} more transaction(s)")
+    return "\n".join(lines)
+
+
+def stage_summary(breakdowns: Sequence[TxBreakdown]) -> Dict[str, float]:
+    """Mean per-stage milliseconds over the complete transactions."""
+    complete = [b for b in breakdowns if b.complete]
+    if not complete:
+        return {}
+    summary: Dict[str, float] = {}
+    for stage in STAGES:
+        summary[stage] = (sum(b.stage_ms[stage] for b in complete)
+                         / len(complete))
+    summary["e2e"] = sum(b.e2e_ms for b in complete) / len(complete)
+    return summary

@@ -1,0 +1,330 @@
+"""The typed metrics registry: counters, gauges, virtual-time histograms.
+
+A :class:`MetricsRegistry` is installed on the kernel as
+``Environment.metrics``.  Instrumentation sites throughout the
+simulator guard on ``env.metrics is not None`` — the same zero-cost
+contract as ``Environment.trace`` — and then call the registry's flat
+hot-path API::
+
+    metrics = env.metrics
+    if metrics is not None:
+        metrics.inc("transport.sent")
+        metrics.observe("paxos.round_ms", elapsed, label=key)
+
+Every metric holds *labeled series*: one independent value (or bucket
+vector) per label string, with ``""`` as the unlabeled default.  Names
+are dotted ``layer.metric`` strings (``transport.dropped``,
+``planet.admission``); see ``docs/observability.md`` for the naming
+conventions and the catalogue of built-in instrumentation points.
+
+Determinism: registries observe only virtual-time quantities and
+deterministic counts, store them in insertion-ordered dicts, and render
+:meth:`MetricsRegistry.dump` with sorted keys — two runs with the same
+seed produce byte-identical dumps (and :meth:`MetricsRegistry.digest`
+values), which the determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+#: Default histogram bucket upper bounds, in virtual milliseconds.
+#: Chosen to resolve both local RPCs (sub-ms) and cross-continent
+#: commit latencies (hundreds of ms) on the paper's EC2 topology.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+    200.0, 500.0, 1_000.0, 2_000.0, 5_000.0, 10_000.0)
+
+MetricValue = Union[float, Dict[str, object]]
+
+
+class Counter:
+    """A monotonically increasing sum per label."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "series")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.series: Dict[str, float] = {}
+
+    def inc(self, amount: float = 1.0, label: str = "") -> None:
+        self.series[label] = self.series.get(label, 0.0) + amount
+
+    def value(self, label: str = "") -> float:
+        return self.series.get(label, 0.0)
+
+    def total(self) -> float:
+        return sum(self.series.values())
+
+    def dump(self) -> Dict[str, float]:
+        return {label: self.series[label] for label in sorted(self.series)}
+
+
+class Gauge:
+    """A point-in-time value per label (last write wins)."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "series")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.series: Dict[str, float] = {}
+
+    def set(self, value: float, label: str = "") -> None:
+        self.series[label] = value
+
+    def value(self, label: str = "") -> float:
+        return self.series.get(label, 0.0)
+
+    def dump(self) -> Dict[str, float]:
+        return {label: self.series[label] for label in sorted(self.series)}
+
+
+class HistogramSeries:
+    """One label's bucket vector plus running summary statistics."""
+
+    __slots__ = ("bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Tuple[float, ...]):
+        self.bounds = bounds
+        #: ``len(bounds) + 1`` buckets; the last one is the overflow.
+        self.buckets: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        index = 0
+        bounds = self.bounds
+        while index < len(bounds) and value > bounds[index]:
+            index += 1
+        self.buckets[index] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The bucket upper bound covering quantile ``q`` (conservative:
+        the overflow bucket reports the exact observed maximum)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket in enumerate(self.buckets):
+            cumulative += bucket
+            if cumulative >= target:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max
+        return self.max
+
+    def dump(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "buckets": list(self.buckets),
+        }
+
+
+class Histogram:
+    """A virtual-time distribution per label, on fixed bucket bounds."""
+
+    kind = "histogram"
+
+    __slots__ = ("name", "bounds", "series")
+
+    def __init__(self, name: str,
+                 bounds: Optional[Sequence[float]] = None):
+        chosen = tuple(bounds) if bounds is not None else DEFAULT_BUCKETS
+        if list(chosen) != sorted(chosen) or len(set(chosen)) != len(chosen):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.bounds = chosen
+        self.series: Dict[str, HistogramSeries] = {}
+
+    def observe(self, value: float, label: str = "") -> None:
+        series = self.series.get(label)
+        if series is None:
+            series = HistogramSeries(self.bounds)
+            self.series[label] = series
+        series.observe(value)
+
+    def labeled(self, label: str = "") -> Optional[HistogramSeries]:
+        return self.series.get(label)
+
+    def count(self, label: str = "") -> int:
+        series = self.series.get(label)
+        return series.count if series is not None else 0
+
+    def dump(self) -> Dict[str, object]:
+        return {
+            "bounds": list(self.bounds),
+            "series": {label: self.series[label].dump()
+                       for label in sorted(self.series)},
+        }
+
+
+class MetricsRegistry:
+    """All metrics of one run, addressable by dotted name.
+
+    The three ``inc``/``set_gauge``/``observe`` methods are the
+    hot-path API the instrumentation sites use: they create the metric
+    on first touch, so call sites never pre-register anything.  The
+    typed accessors (:meth:`counter`, :meth:`gauge`,
+    :meth:`histogram`) are for consumers that want the full object.
+    """
+
+    __slots__ = ("default_buckets", "_counters", "_gauges", "_histograms",
+                 "_hist_bounds")
+
+    def __init__(self,
+                 default_buckets: Optional[Sequence[float]] = None):
+        self.default_buckets: Tuple[float, ...] = (
+            tuple(default_buckets) if default_buckets is not None
+            else DEFAULT_BUCKETS)
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        #: Per-name bucket overrides installed via :meth:`histogram`.
+        self._hist_bounds: Dict[str, Tuple[float, ...]] = {}
+
+    # -- hot-path API -----------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0, label: str = "") -> None:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        counter.inc(amount, label)
+
+    def set_gauge(self, name: str, value: float, label: str = "") -> None:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = Gauge(name)
+            self._gauges[name] = gauge
+        gauge.set(value, label)
+
+    def observe(self, name: str, value: float, label: str = "") -> None:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(
+                name, self._hist_bounds.get(name, self.default_buckets))
+            self._histograms[name] = histogram
+        histogram.observe(value, label)
+
+    # -- typed accessors ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = Gauge(name)
+            self._gauges[name] = gauge
+        return gauge
+
+    def histogram(self, name: str,
+                  bounds: Optional[Sequence[float]] = None) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            if bounds is not None:
+                self._hist_bounds[name] = tuple(bounds)
+            histogram = Histogram(
+                name, self._hist_bounds.get(name, self.default_buckets))
+            self._histograms[name] = histogram
+        elif bounds is not None and tuple(bounds) != histogram.bounds:
+            raise ValueError(
+                f"histogram {name!r} already exists with other bounds")
+        return histogram
+
+    # -- convenience reads --------------------------------------------------
+
+    def counter_value(self, name: str, label: str = "") -> float:
+        counter = self._counters.get(name)
+        return counter.value(label) if counter is not None else 0.0
+
+    def gauge_value(self, name: str, label: str = "") -> float:
+        gauge = self._gauges.get(name)
+        return gauge.value(label) if gauge is not None else 0.0
+
+    def names(self) -> List[str]:
+        return sorted(set(self._counters) | set(self._gauges)
+                      | set(self._histograms))
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    # -- export ----------------------------------------------------------------
+
+    def dump(self) -> Dict[str, Dict[str, object]]:
+        """Deterministic nested dict: kind -> name -> series dump."""
+        return {
+            "counters": {name: self._counters[name].dump()
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name].dump()
+                       for name in sorted(self._gauges)},
+            "histograms": {name: self._histograms[name].dump()
+                           for name in sorted(self._histograms)},
+        }
+
+    def dump_json(self) -> str:
+        return json.dumps(self.dump(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        """sha256 over the canonical JSON dump — pin it in tests to
+        assert two runs produced byte-identical metrics."""
+        return hashlib.sha256(self.dump_json().encode("utf-8")).hexdigest()
+
+    def render(self, max_labels: int = 8) -> str:
+        """Plain-text summary table for CLI output and reports."""
+        lines: List[str] = []
+        for name in sorted(self._counters):
+            counter = self._counters[name]
+            labels = sorted(counter.series)
+            if labels == [""]:
+                lines.append(f"{name:<36} {counter.value():>14.0f}")
+                continue
+            lines.append(f"{name:<36} {counter.total():>14.0f}")
+            for label in labels[:max_labels]:
+                lines.append(f"  {label:<34} {counter.value(label):>14.0f}")
+            if len(labels) > max_labels:
+                lines.append(f"  ... {len(labels) - max_labels} more label(s)")
+        for name in sorted(self._gauges):
+            gauge = self._gauges[name]
+            for label in sorted(gauge.series)[:max_labels]:
+                shown = f"{name}{{{label}}}" if label else name
+                lines.append(f"{shown:<36} {gauge.value(label):>14.3f}")
+        for name in sorted(self._histograms):
+            histogram = self._histograms[name]
+            for label in sorted(histogram.series)[:max_labels]:
+                series = histogram.series[label]
+                shown = f"{name}{{{label}}}" if label else name
+                lines.append(
+                    f"{shown:<36} n={series.count:<8d} "
+                    f"mean={series.mean:9.2f} p50={series.quantile(0.5):9.2f} "
+                    f"p95={series.quantile(0.95):9.2f} max={series.max:9.2f}")
+        return "\n".join(lines)

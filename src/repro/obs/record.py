@@ -1,0 +1,100 @@
+"""Bundling the registry + recorder and attaching them to a kernel.
+
+:class:`ObsSession` is the one-stop entry point::
+
+    session = ObsSession()
+    session.install(env)      # env.metrics / env.spans now live
+    ...run the simulation...
+    session.detach(env)       # closes open spans, uninstalls
+    session.save("run.obs.json", meta={"seed": 7})
+
+Artifacts are a single JSON document holding the metric dump and the
+span list (plus caller-supplied metadata); ``load_artifacts`` reads
+one back for the exporters, which accept span dicts directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder
+
+#: Artifact schema version, bumped on incompatible layout changes.
+ARTIFACT_VERSION = 1
+
+
+class ObsSession:
+    """One run's observability state: registry + span recorder.
+
+    Either half can be disabled (``metrics=False`` / ``spans=False``)
+    to measure the cost of the other in isolation.
+    """
+
+    __slots__ = ("registry", "recorder")
+
+    def __init__(self, metrics: bool = True, spans: bool = True,
+                 buckets: Optional[Sequence[float]] = None):
+        self.registry: Optional[MetricsRegistry] = (
+            MetricsRegistry(default_buckets=buckets) if metrics else None)
+        self.recorder: Optional[SpanRecorder] = (
+            SpanRecorder(metrics=self.registry) if spans else None)
+
+    def install(self, env: Any) -> None:
+        """Attach to a kernel: instrumentation sites light up."""
+        env.metrics = self.registry
+        env.spans = self.recorder
+
+    def detach(self, env: Any) -> None:
+        """Uninstall and close any spans the run left open."""
+        if self.recorder is not None:
+            self.recorder.finish_open(env.now)
+        env.metrics = None
+        env.spans = None
+
+    def artifacts(self,
+                  meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """The run's full observability output as one JSON-able dict."""
+        return {
+            "version": ARTIFACT_VERSION,
+            "meta": dict(meta) if meta else {},
+            "metrics": (self.registry.dump()
+                        if self.registry is not None else {}),
+            "spans": (self.recorder.dump()
+                      if self.recorder is not None else []),
+        }
+
+    def save(self, path: str,
+             meta: Optional[Dict[str, Any]] = None) -> None:
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(self.artifacts(meta=meta), stream, sort_keys=True,
+                      separators=(",", ":"))
+            stream.write("\n")
+
+
+def artifact_digests(artifacts: Dict[str, Any]) -> Dict[str, str]:
+    """sha256 digests of the span and metric halves of an artifact.
+
+    Computed over canonical JSON, so they match across save/load
+    round-trips — the determinism tests pin these per seed.
+    """
+    import hashlib
+
+    def _digest(value: Any) -> str:
+        text = json.dumps(value, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    return {
+        "spans": _digest(artifacts.get("spans", [])),
+        "metrics": _digest(artifacts.get("metrics", {})),
+    }
+
+
+def load_artifacts(path: str) -> Dict[str, Any]:
+    """Read an artifact file written by :meth:`ObsSession.save`."""
+    with open(path, "r", encoding="utf-8") as stream:
+        data = json.load(stream)
+    if not isinstance(data, dict) or "spans" not in data:
+        raise ValueError(f"{path!r} is not a repro.obs artifact file")
+    return dict(data)

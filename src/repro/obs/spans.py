@@ -1,0 +1,303 @@
+"""Span-based causal tracing across simulated nodes.
+
+A :class:`SpanRecorder` is installed on the kernel as
+``Environment.spans`` (``None`` keeps tracing zero-cost, like
+``Environment.trace``).  Spans form trees: every span carries a
+``(trace_id, span_id)`` context, and the context *rides on messages*
+(:attr:`repro.net.transport.Message.span`), so the receiving node can
+parent its own spans under the sender's — one transaction's spans
+stitch across client, leaders, and replicas into a single tree.
+
+The per-transaction stage chain the paper's evaluation reasons in is
+managed by :class:`TxSpanSet`: five contiguous stage spans —
+``admission → propose → accept → learn → visibility`` — under one root
+``tx`` span, with each stage ending exactly where the next begins, so
+the per-stage breakdown sums to the end-to-end latency by
+construction.
+
+Determinism: span ids are sha256-derived from the trace id, span name,
+and a protocol-level disambiguator (txid, key/seq, message id) — never
+from object identity or wall-clock time — so two runs with the same
+seed produce byte-identical span trees (:meth:`SpanRecorder.digest`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+
+#: The paper's commit-latency stages, in causal order.
+STAGES: Tuple[str, ...] = (
+    "admission", "propose", "accept", "learn", "visibility")
+
+_STAGE_INDEX: Dict[str, int] = {name: i for i, name in enumerate(STAGES)}
+
+#: A span context as carried on messages: ``(trace_id, span_id)``.
+SpanContext = Tuple[str, str]
+
+
+def _short_hash(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def trace_id_for(txid: str) -> str:
+    """Deterministic trace id for one transaction."""
+    return _short_hash("trace/" + txid)
+
+
+def span_id_for(trace_id: str, name: str, disambiguator: str) -> str:
+    """Deterministic span id within a trace.
+
+    ``disambiguator`` is whatever protocol-level fact makes this span
+    unique among same-named spans of the trace: the txid for stage
+    spans, ``key/seq`` for rounds, the message id for per-delivery
+    point spans.
+    """
+    return _short_hash(f"span/{trace_id}/{name}/{disambiguator}")
+
+
+class Span:
+    """One named interval (or instant) on one node within a trace."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "node",
+                 "start_ms", "end_ms", "attrs")
+
+    def __init__(self, trace_id: str, span_id: str,
+                 parent_id: Optional[str], name: str, node: str,
+                 start_ms: float,
+                 attrs: Optional[Dict[str, object]] = None):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.node = node
+        self.start_ms = start_ms
+        self.end_ms: Optional[float] = None
+        self.attrs: Dict[str, object] = dict(attrs) if attrs else {}
+
+    @property
+    def ctx(self) -> SpanContext:
+        return (self.trace_id, self.span_id)
+
+    @property
+    def finished(self) -> bool:
+        return self.end_ms is not None
+
+    @property
+    def duration_ms(self) -> float:
+        if self.end_ms is None:
+            return 0.0
+        return self.end_ms - self.start_ms
+
+    def finish(self, end_ms: float, **attrs: object) -> None:
+        """Close the span (idempotent: the first close wins)."""
+        if self.end_ms is None:
+            self.end_ms = end_ms
+        if attrs:
+            self.attrs.update(attrs)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "node": self.node,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "attrs": {key: self.attrs[key] for key in sorted(self.attrs)},
+        }
+
+    def __repr__(self) -> str:
+        end = f"{self.end_ms:.3f}" if self.end_ms is not None else "open"
+        return (f"Span({self.name!r} on {self.node!r} "
+                f"[{self.start_ms:.3f}..{end}] id={self.span_id})")
+
+
+class SpanRecorder:
+    """Collects every span of one run, in creation order.
+
+    Optionally linked to a :class:`~repro.obs.metrics.MetricsRegistry`
+    so stage closes feed the ``tx.stage_ms`` / ``tx.e2e_ms``
+    histograms.
+    """
+
+    __slots__ = ("spans", "metrics", "_by_id")
+
+    def __init__(self, metrics: Optional["MetricsRegistry"] = None):
+        self.spans: List[Span] = []
+        self.metrics = metrics
+        self._by_id: Dict[str, Span] = {}
+
+    # -- creation -----------------------------------------------------------
+
+    def start(self, trace_id: str, name: str, node: str,
+              start_ms: float, disambiguator: str,
+              parent_id: Optional[str] = None,
+              **attrs: object) -> Span:
+        span = Span(trace_id, span_id_for(trace_id, name, disambiguator),
+                    parent_id, name, node, start_ms, attrs=attrs)
+        self.spans.append(span)
+        self._by_id[span.span_id] = span
+        return span
+
+    def child(self, parent: SpanContext, name: str, node: str,
+              start_ms: float, disambiguator: str,
+              **attrs: object) -> Span:
+        """A span under ``parent`` (a context possibly from a message)."""
+        trace_id, parent_id = parent
+        return self.start(trace_id, name, node, start_ms, disambiguator,
+                          parent_id=parent_id, **attrs)
+
+    def point(self, parent: SpanContext, name: str, node: str,
+              at_ms: float, disambiguator: str,
+              **attrs: object) -> Span:
+        """An instantaneous span (start == end) under ``parent``."""
+        span = self.child(parent, name, node, at_ms, disambiguator, **attrs)
+        span.finish(at_ms)
+        return span
+
+    def begin_tx(self, txid: str, node: str, now_ms: float,
+                 keys: Sequence[str] = ()) -> "TxSpanSet":
+        """Open the root span + stage chain for one transaction."""
+        return TxSpanSet(self, txid, node, now_ms, keys)
+
+    # -- lookup & lifecycle ---------------------------------------------------
+
+    def get(self, span_id: str) -> Optional[Span]:
+        return self._by_id.get(span_id)
+
+    def by_trace(self) -> Dict[str, List[Span]]:
+        traces: Dict[str, List[Span]] = {}
+        for span in self.spans:
+            traces.setdefault(span.trace_id, []).append(span)
+        return traces
+
+    def finish_open(self, now_ms: float) -> int:
+        """Close every still-open span (run ended mid-flight).
+
+        Marks them ``unfinished`` so exporters and breakdowns can tell
+        a partitioned-away transaction from a completed one.
+        """
+        closed = 0
+        for span in self.spans:
+            if span.end_ms is None:
+                span.finish(now_ms, unfinished=True)
+                closed += 1
+        return closed
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # -- export -----------------------------------------------------------------
+
+    def dump(self) -> List[Dict[str, object]]:
+        return [span.to_dict() for span in self.spans]
+
+    def dump_json(self) -> str:
+        return json.dumps(self.dump(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        """sha256 over the canonical JSON dump of the span tree."""
+        return hashlib.sha256(self.dump_json().encode("utf-8")).hexdigest()
+
+
+class TxSpanSet:
+    """The stage chain of one transaction, driven by the coordinator.
+
+    Keeps exactly one stage span open at a time and guarantees the
+    chain is *contiguous*: each stage's end is the next stage's start,
+    and the last stage ends together with the root span — so stage
+    durations sum to the root's end-to-end duration exactly.
+
+    Stage transitions are requested with :meth:`advance`; skipped
+    stages (e.g. a ``proposal_ack`` lost to a partition while the
+    round still completes) materialize as zero-length spans, keeping
+    the sum property intact.
+    """
+
+    __slots__ = ("recorder", "txid", "trace_id", "node", "root",
+                 "stage_spans", "_stage_index", "_open_stage",
+                 "_pending_visibility", "closed")
+
+    def __init__(self, recorder: SpanRecorder, txid: str, node: str,
+                 now_ms: float, keys: Sequence[str] = ()):
+        self.recorder = recorder
+        self.txid = txid
+        self.trace_id = trace_id_for(txid)
+        self.node = node
+        self.root = recorder.start(
+            self.trace_id, "tx", node, now_ms, txid,
+            txid=txid, keys=",".join(keys))
+        self.stage_spans: List[Span] = []
+        self._stage_index = 0
+        self._open_stage = self._open(STAGES[0], now_ms)
+        self._pending_visibility = 0
+        self.closed = False
+
+    def _open(self, stage: str, now_ms: float) -> Span:
+        span = self.recorder.child(self.root.ctx, stage, self.node,
+                                   now_ms, self.txid)
+        self.stage_spans.append(span)
+        return span
+
+    def _close_stage(self, span: Span, now_ms: float) -> None:
+        span.finish(now_ms)
+        metrics = self.recorder.metrics
+        if metrics is not None:
+            metrics.observe("tx.stage_ms", span.duration_ms,
+                            label=span.name)
+
+    @property
+    def ctx(self) -> SpanContext:
+        """Context of the currently open stage (for outgoing messages)."""
+        return self._open_stage.ctx
+
+    def advance(self, stage: str, now_ms: float) -> None:
+        """Close stages up to (and open) ``stage``; no-op when already
+        there or past it — progress events may arrive out of order."""
+        if self.closed:
+            return
+        target = _STAGE_INDEX[stage]
+        while self._stage_index < target:
+            self._close_stage(self._open_stage, now_ms)
+            self._stage_index += 1
+            self._open_stage = self._open(STAGES[self._stage_index], now_ms)
+
+    def decided(self, now_ms: float, committed: bool) -> None:
+        """The outcome is known: enter the visibility stage."""
+        self.root.attrs["committed"] = committed
+        self.advance("visibility", now_ms)
+
+    def expect_visibility(self, count: int) -> None:
+        """Arm the visibility countdown: ``count`` replica deliveries."""
+        self._pending_visibility = count
+
+    def visibility_done(self, now_ms: float) -> None:
+        """One replica's visibility delivery finished (or gave up)."""
+        if self.closed:
+            return
+        self._pending_visibility -= 1
+        if self._pending_visibility <= 0:
+            self._close_stage(self._open_stage, now_ms)
+            self._finish_root(now_ms)
+
+    def cancelled(self, now_ms: float) -> None:
+        """Admission control turned the transaction away: close out."""
+        if self.closed:
+            return
+        self._close_stage(self._open_stage, now_ms)
+        self.root.attrs["cancelled"] = True
+        self._finish_root(now_ms)
+
+    def _finish_root(self, now_ms: float) -> None:
+        self.closed = True
+        self.root.finish(now_ms)
+        metrics = self.recorder.metrics
+        if metrics is not None:
+            metrics.observe("tx.e2e_ms", self.root.duration_ms)

@@ -9,7 +9,7 @@ the round open; callers that need liveness bound it with
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from repro.net.rpc import RpcEndpoint
 from repro.paxos.acceptor import ballot_key
@@ -34,7 +34,8 @@ class PaxosRound:
 
     def __init__(self, env: Environment, endpoint: RpcEndpoint,
                  replicas: Sequence[str], phase2a: Phase2a, quorum: int,
-                 timeout_ms: Optional[float] = None):
+                 timeout_ms: Optional[float] = None,
+                 parent_span: Optional[Tuple[str, str]] = None):
         if not 1 <= quorum <= len(replicas):
             raise ValueError(
                 f"quorum {quorum} impossible with {len(replicas)} replicas")
@@ -46,24 +47,47 @@ class PaxosRound:
         self.result: Event = env.event()
         self.accepts = 0
         self.rejects = 0
+        self._started_ms = env.now
         if env.tracer is not None:
             env.trace("round_start", node=endpoint.address,
                       key=phase2a.key, seq=phase2a.seq,
                       ballot=ballot_key(phase2a.ballot), quorum=quorum,
                       n_replicas=len(self.replicas))
+        # The round span hangs off the caller's context (typically a
+        # storage option span that itself descends from the
+        # coordinator's stage chain); fan-out calls carry the round's
+        # own context so replica-side phase2b spans parent under it.
+        self.span = None
+        span_ctx = parent_span
+        if env.spans is not None and parent_span is not None:
+            self.span = env.spans.child(
+                parent_span, "paxos.round", endpoint.address, env.now,
+                f"{phase2a.key}/{phase2a.seq}/{ballot_key(phase2a.ballot)}",
+                key=phase2a.key, seq=phase2a.seq,
+                ballot=ballot_key(phase2a.ballot), quorum=quorum)
+            span_ctx = self.span.ctx
         for replica in self.replicas:
-            call = endpoint.call(replica, "phase2a", phase2a)
+            call = endpoint.call(replica, "phase2a", phase2a,
+                                 span=span_ctx)
             call.callbacks.append(self._on_vote)
         if timeout_ms is not None:
             env.process(self._expire(timeout_ms))
 
     def _trace_outcome(self, won: bool, reason: str) -> None:
-        if self.env.tracer is not None:
-            self.env.trace("round_decided", node=self.endpoint.address,
-                           key=self.phase2a.key, seq=self.phase2a.seq,
-                           ballot=ballot_key(self.phase2a.ballot), won=won,
-                           accepts=self.accepts, rejects=self.rejects,
-                           reason=reason)
+        env = self.env
+        if env.tracer is not None:
+            env.trace("round_decided", node=self.endpoint.address,
+                      key=self.phase2a.key, seq=self.phase2a.seq,
+                      ballot=ballot_key(self.phase2a.ballot), won=won,
+                      accepts=self.accepts, rejects=self.rejects,
+                      reason=reason)
+        if env.metrics is not None:
+            env.metrics.inc("paxos.rounds", label=reason)
+            env.metrics.observe("paxos.round_ms",
+                                env.now - self._started_ms)
+        if self.span is not None:
+            self.span.finish(env.now, won=won, reason=reason,
+                             accepts=self.accepts, rejects=self.rejects)
 
     def _on_vote(self, event: Event) -> None:
         if self.result.triggered or not event.ok:

@@ -93,6 +93,75 @@ def bench_transport(scale: float, pool: int,
     }
 
 
+def bench_obs(scale: float, pool: int,
+              repeats: int = 3) -> Dict[str, float]:
+    """Zero-cost contract of the observability layer.
+
+    Times the kernel and transport hot loops twice — with
+    ``env.metrics``/``env.spans`` left ``None`` (the default) and with
+    a live :class:`repro.obs.ObsSession` installed.  The score metric
+    is the uninstrumented kernel throughput, which ``--compare``
+    guards like any other bench; the overhead percentages are
+    informational (and bounded by the dedicated zero-cost test).
+    """
+    from repro.obs import ObsSession
+
+    n_events = max(1_000, int(KERNEL_EVENTS * scale) // 2)
+    n_messages = max(1_000, int(TRANSPORT_MESSAGES * scale) // 2)
+
+    def kernel_run(observe: bool) -> float:
+        env = Environment()
+        if observe:
+            ObsSession(spans=False).install(env)
+
+        def ticker(env):
+            for _ in range(n_events):
+                yield env.timeout(1.0)
+
+        env.process(ticker(env))
+        return timed(env.run)
+
+    def transport_run(observe: bool) -> float:
+        env = Environment()
+        if observe:
+            ObsSession(spans=False).install(env)
+        topology = uniform_topology(3, one_way_ms=10.0, sigma=0.05)
+        transport = Transport(env, topology, RandomStreams(seed=1))
+        received = [0]
+
+        def sink(message: Message) -> None:
+            received[0] += 1
+
+        transport.register("sink", 1, sink)
+
+        def sender(env):
+            for index in range(n_messages):
+                transport.send(0, Message(
+                    src="src", dst="sink", kind="k", payload=index,
+                    msg_id=transport.next_msg_id()))
+                if index % 64 == 0:
+                    yield env.timeout(0.1)
+
+        env.process(sender(env))
+        seconds = timed(env.run)
+        assert received[0] == n_messages
+        return seconds
+
+    kernel_off = best_of(lambda: kernel_run(False), repeats)
+    kernel_on = best_of(lambda: kernel_run(True), repeats)
+    transport_off = best_of(lambda: transport_run(False), repeats)
+    transport_on = best_of(lambda: transport_run(True), repeats)
+    return {
+        "kernel_events_per_sec_off": n_events / kernel_off,
+        "kernel_events_per_sec_on": n_events / kernel_on,
+        "kernel_overhead_pct": (kernel_on / kernel_off - 1.0) * 100.0,
+        "transport_msgs_per_sec_off": n_messages / transport_off,
+        "transport_msgs_per_sec_on": n_messages / transport_on,
+        "transport_overhead_pct":
+            (transport_on / transport_off - 1.0) * 100.0,
+    }
+
+
 def _figure_config(scale: float, seed: int = 1234,
                    name: str = "perf-figure") -> ExperimentConfig:
     """A shrunken §6-style PLANET run: EC2 topology, hotspot, real
@@ -278,6 +347,8 @@ BENCHES: List[BenchSpec] = [
               "events/s", "discrete-event kernel timer throughput"),
     BenchSpec("transport", bench_transport, "messages_per_sec", True,
               "messages/s", "transport send->deliver throughput"),
+    BenchSpec("obs", bench_obs, "kernel_events_per_sec_off", True,
+              "events/s", "observability off/on kernel+transport cost"),
     BenchSpec("figure", bench_figure, "seconds", False,
               "s", "one figure-scale PLANET experiment"),
     BenchSpec("likelihood", bench_likelihood, "incremental_speedup", True,

@@ -338,7 +338,8 @@ class Environment:
         assert env.now == 10.0
     """
 
-    __slots__ = ("_now", "_queue", "_eid", "_active_process", "tracer")
+    __slots__ = ("_now", "_queue", "_eid", "_active_process", "tracer",
+                 "metrics", "spans")
 
     PRIORITY_URGENT = 0
     PRIORITY_NORMAL = 1
@@ -355,6 +356,14 @@ class Environment:
         #: ``if env.tracer is not None`` so disabled runs pay only an
         #: attribute check per hook site.
         self.tracer: Optional[Callable[[float, str, str, dict], None]] = None
+        #: Optional observability hooks (``repro.obs``), duck-typed so
+        #: the kernel never imports that package: ``metrics`` is a
+        #: MetricsRegistry, ``spans`` a SpanRecorder.  Both default to
+        #: ``None`` and follow the same zero-cost contract as
+        #: :attr:`tracer` — instrumented layers guard each site with an
+        #: ``is not None`` check, verified by the ``obs`` perf bench.
+        self.metrics: Optional[Any] = None
+        self.spans: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -429,6 +438,12 @@ class Environment:
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or virtual time reaches ``until``."""
+        if self.metrics is not None:
+            # Instrumented runs take the metered loop; the fast loops
+            # below stay byte-identical for the no-registry case, so
+            # observability costs nothing when it is off.
+            self._run_instrumented(until)
+            return
         # Both branches inline step() with `queue`/`pop` as locals: the
         # loop runs once per simulated event, and dropping the extra
         # method call per event is a measurable share of figure-scale
@@ -464,3 +479,35 @@ class Environment:
                     callback(event)
                 if not event._ok and not event._defused:
                     raise event._value
+
+    def _run_instrumented(self, until: Optional[float]) -> None:
+        """The metered event loop: same semantics as :meth:`run`'s fast
+        loops (it delegates to :meth:`step`), plus a processed-event
+        count published as the ``sim.events`` counter even if the run
+        raises."""
+        metrics = self.metrics
+        processed = 0
+        try:
+            if until is not None:
+                if until < self._now:
+                    raise ValueError(
+                        f"until={until} lies in the past (now={self._now})")
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                self.schedule(stop, delay=until - self._now,
+                              priority=self.PRIORITY_URGENT)
+                queue = self._queue
+                while queue:
+                    if queue[0][3] is stop:
+                        self._now = _heappop(queue)[0]
+                        return
+                    self.step()
+                    processed += 1
+            else:
+                while self._queue:
+                    self.step()
+                    processed += 1
+        finally:
+            if processed:
+                metrics.inc("sim.events", float(processed))

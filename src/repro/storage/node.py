@@ -94,6 +94,11 @@ class StorageNode:
         self.options_accepted = 0
         self.options_rejected = 0
         self.rounds_lost = 0
+        # Open option spans keyed by (txid, key): started when the
+        # proposal arrives (under the coordinator's propose-stage span
+        # riding on the message), finished when the learned verdict is
+        # cast back.  Empty whenever span tracing is off.
+        self._option_spans: Dict[tuple, Any] = {}
 
         self.endpoint.on("read", self._on_read)
         self.endpoint.on("propose", self._on_propose)
@@ -168,6 +173,14 @@ class StorageNode:
                            version=reply.version, value=reply.value,
                            as_of=request.as_of_ms, exists=reply.exists,
                            reader=src)
+        if (self.env.spans is not None
+                and self.endpoint.current_span is not None):
+            self.env.spans.point(
+                self.endpoint.current_span, "read", self.address,
+                self.env.now, f"{reply.key}/{src}/{reply.version}",
+                key=reply.key, version=reply.version)
+        if self.env.metrics is not None:
+            self.env.metrics.inc("storage.reads")
         return reply
 
     # -- leader path --------------------------------------------------------------
@@ -191,11 +204,20 @@ class StorageNode:
             # cleanly instead of crashing or silently corrupting the
             # conflict window.
             self.stale_proposals += 1
+            if self.env.metrics is not None:
+                self.env.metrics.inc("storage.stale_proposals")
             self.endpoint.cast(propose.tm_address, "learned",
                                Learned(txid=propose.txid, key=propose.key,
                                        decision=Decision.REJECTED))
             return RpcEndpoint.NO_REPLY
         self.proposals += 1
+        if (self.env.spans is not None
+                and self.endpoint.current_span is not None):
+            span = self.env.spans.child(
+                self.endpoint.current_span, "storage.option", self.address,
+                self.env.now, f"{propose.txid}/{propose.key}",
+                txid=propose.txid, key=propose.key)
+            self._option_spans[(propose.txid, propose.key)] = span
         # Acceptance signal: confirm receipt before running the round.
         self.endpoint.cast(propose.tm_address, "proposal_ack",
                            ProposalAck(txid=propose.txid, key=propose.key))
@@ -229,6 +251,12 @@ class StorageNode:
             self.env.trace("option", node=self.address, key=propose.key,
                            txid=propose.txid, seq=record.seq,
                            decision=decision.value, conflict=conflict)
+        if self.env.metrics is not None:
+            self.env.metrics.inc("storage.options", label=decision.value)
+        option_span = self._option_spans.get((propose.txid, propose.key))
+        if option_span is not None:
+            option_span.attrs["decision"] = decision.value
+            option_span.attrs["seq"] = record.seq
         payload = OptionPayload(txid=propose.txid, key=propose.key,
                                 update=propose.update, decision=decision)
         ballot = self._ballots.get(propose.key, self._default_ballot)
@@ -237,7 +265,10 @@ class StorageNode:
         replicas = self._replicas_of(propose.key)
         quorum = len(replicas) // 2 + 1
         round_ = PaxosRound(self.env, self.endpoint, replicas, phase2a,
-                            quorum, timeout_ms=self.round_timeout_ms)
+                            quorum, timeout_ms=self.round_timeout_ms,
+                            parent_span=(option_span.ctx
+                                         if option_span is not None
+                                         else None))
         self.env.process(self._finish_round(round_, propose, decision))
 
     def _finish_round(self, round_: PaxosRound, propose: Propose,
@@ -252,12 +283,20 @@ class StorageNode:
             # timed out).  Release the conflict window and report the
             # option as rejected so the transaction aborts cleanly.
             self.rounds_lost += 1
+            if self.env.metrics is not None:
+                self.env.metrics.inc("storage.rounds_lost")
             if decision is Decision.ACCEPTED:
                 self.record(propose.key).clear_pending(propose.txid)
             decision = Decision.REJECTED
+        option_span = self._option_spans.pop(
+            (propose.txid, propose.key), None)
+        if option_span is not None:
+            option_span.finish(self.env.now, won=won)
         self.endpoint.cast(propose.tm_address, "learned",
                            Learned(txid=propose.txid, key=propose.key,
-                                   decision=decision))
+                                   decision=decision),
+                           span=(option_span.ctx
+                                 if option_span is not None else None))
         self._start_next_round(propose.key)
 
     # -- mastership takeover (Paxos phase 1) ------------------------------------------
@@ -357,6 +396,16 @@ class StorageNode:
         if (vote.accepted and option.decision is Decision.ACCEPTED
                 and option.txid not in self._finalized):
             self.record(message.key).add_pending(option.txid, option.update)
+        if (self.env.spans is not None
+                and self.endpoint.current_span is not None):
+            self.env.spans.point(
+                self.endpoint.current_span, "phase2b", self.address,
+                self.env.now, f"{message.key}/{message.seq}/{self.address}",
+                accepted=vote.accepted)
+        if self.env.metrics is not None:
+            self.env.metrics.inc(
+                "paxos.votes",
+                label="accepted" if vote.accepted else "rejected")
         return vote
 
     def _trace_acceptor(self, etype: str, fields: Dict[str, Any]) -> None:
@@ -392,6 +441,13 @@ class StorageNode:
             self.env.trace("visibility_applied", node=self.address,
                            txid=visibility.txid, commit=visibility.commit,
                            keys=tuple(visibility.keys))
+        if (self.env.spans is not None
+                and self.endpoint.current_span is not None):
+            self.env.spans.point(
+                self.endpoint.current_span, "visibility.apply",
+                self.address, self.env.now,
+                f"{visibility.txid}/{self.address}",
+                commit=visibility.commit)
         self._remember_finalized(visibility.txid)
         # Acknowledge so the TM's at-least-once delivery can stop
         # retrying; the operation is idempotent.

@@ -40,9 +40,9 @@ class _MajoritySkippingRound(PaxosRound):
     skipping the majority check entirely."""
 
     def __init__(self, env, endpoint, replicas, phase2a, quorum,
-                 timeout_ms=None):
+                 timeout_ms=None, **kwargs):
         super().__init__(env, endpoint, replicas, phase2a, 1,
-                         timeout_ms=timeout_ms)
+                         timeout_ms=timeout_ms, **kwargs)
 
 
 def test_seeded_majority_bug_is_caught_and_shrunk(monkeypatch):

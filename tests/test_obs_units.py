@@ -1,0 +1,237 @@
+"""Unit tests for the repro.obs building blocks: the metrics registry,
+span recorder, stage chain, and exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    STAGES,
+    MetricsRegistry,
+    SpanRecorder,
+    chrome_trace,
+    span_id_for,
+    stage_breakdown,
+    trace_id_for,
+)
+from repro.obs.export import breakdown_json, breakdown_table, stage_summary
+from repro.obs.record import ObsSession, artifact_digests, load_artifacts
+
+
+# -- metrics registry -------------------------------------------------------
+
+def test_counter_gauge_histogram_roundtrip():
+    registry = MetricsRegistry()
+    registry.inc("a.count")
+    registry.inc("a.count", 2.0)
+    registry.inc("a.count", label="x")
+    registry.set_gauge("a.gauge", 4.5)
+    registry.observe("a.hist", 3.0)
+    registry.observe("a.hist", 30.0, label="y")
+    assert registry.counter_value("a.count") == 3.0
+    assert registry.counter_value("a.count", label="x") == 1.0
+    assert registry.counter("a.count").total() == 4.0
+    assert registry.gauge_value("a.gauge") == 4.5
+    hist = registry.histogram("a.hist")
+    assert hist.count() == 1
+    assert hist.count("y") == 1
+    assert hist.labeled("y").mean == 30.0
+    assert registry.names() == ["a.count", "a.gauge", "a.hist"]
+    assert len(registry) == 3
+
+
+def test_histogram_quantiles_and_bounds():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", bounds=(1.0, 10.0, 100.0))
+    for value in (0.5, 0.7, 5.0, 50.0, 500.0):
+        hist.observe(value)
+    series = hist.labeled()
+    assert series.count == 5
+    assert series.min == 0.5
+    assert series.max == 500.0
+    assert series.quantile(0.0) == 0.0 if series.count == 0 else True
+    assert series.quantile(0.4) == 1.0      # two samples in [0, 1]
+    assert series.quantile(1.0) == 500.0    # overflow reports exact max
+    with pytest.raises(ValueError):
+        registry.histogram("h", bounds=(2.0, 3.0))  # conflicting bounds
+    with pytest.raises(ValueError):
+        registry.histogram("bad", bounds=(3.0, 2.0))
+
+
+def test_registry_dump_is_deterministic():
+    def build():
+        registry = MetricsRegistry()
+        registry.inc("z.last")
+        registry.inc("a.first", label="b")
+        registry.inc("a.first", label="a")
+        registry.observe("m.hist", 7.0)
+        return registry
+
+    first, second = build(), build()
+    assert first.dump_json() == second.dump_json()
+    assert first.digest() == second.digest()
+    dump = first.dump()
+    assert set(dump) == {"counters", "gauges", "histograms"}
+    assert list(dump["counters"]) == sorted(dump["counters"])
+    assert "a.first" in first.render()
+
+
+# -- spans ------------------------------------------------------------------
+
+def test_span_ids_are_deterministic_and_distinct():
+    trace = trace_id_for("tx-1")
+    assert trace == trace_id_for("tx-1")
+    assert trace != trace_id_for("tx-2")
+    span = span_id_for(trace, "round", "k/1")
+    assert span == span_id_for(trace, "round", "k/1")
+    assert span != span_id_for(trace, "round", "k/2")
+    assert span != span_id_for(trace, "other", "k/1")
+
+
+def test_span_recorder_tree_and_finish_open():
+    recorder = SpanRecorder()
+    root = recorder.start("t1", "tx", "client", 0.0, "tx-1")
+    child = recorder.child(root.ctx, "round", "leader", 1.0, "k/1")
+    point = recorder.point(child.ctx, "phase2b", "replica", 2.0, "k/1/r")
+    assert child.parent_id == root.span_id
+    assert point.parent_id == child.span_id
+    assert point.finished and point.duration_ms == 0.0
+    assert recorder.get(child.span_id) is child
+    assert len(recorder) == 3
+    closed = recorder.finish_open(5.0)
+    assert closed == 2  # root + child were open
+    assert root.end_ms == 5.0 and root.attrs["unfinished"] is True
+    by_trace = recorder.by_trace()
+    assert set(by_trace) == {"t1"} and len(by_trace["t1"]) == 3
+    assert recorder.digest() == recorder.digest()
+
+
+def test_tx_span_set_stage_sum_equals_e2e():
+    registry = MetricsRegistry()
+    recorder = SpanRecorder(metrics=registry)
+    chain = recorder.begin_tx("tx-1", "client", 10.0, keys=("k",))
+    chain.advance("propose", 12.0)
+    chain.advance("accept", 15.0)
+    chain.advance("learn", 40.0)
+    chain.decided(55.0, committed=True)
+    chain.expect_visibility(2)
+    chain.visibility_done(70.0)
+    chain.visibility_done(80.0)
+    assert chain.closed
+    assert chain.root.duration_ms == pytest.approx(70.0)
+    stage_sum = sum(span.duration_ms for span in chain.stage_spans)
+    assert stage_sum == pytest.approx(chain.root.duration_ms)
+    assert [span.name for span in chain.stage_spans] == list(STAGES)
+    assert registry.histogram("tx.e2e_ms").count() == 1
+    assert registry.histogram("tx.stage_ms").count("learn") == 1
+
+
+def test_tx_span_set_skipped_stages_and_cancel():
+    recorder = SpanRecorder()
+    # Straight to decided: propose/accept/learn become zero-length.
+    chain = recorder.begin_tx("tx-2", "client", 0.0)
+    chain.decided(9.0, committed=False)
+    chain.expect_visibility(1)
+    chain.visibility_done(12.0)
+    durations = {span.name: span.duration_ms for span in chain.stage_spans}
+    assert durations["admission"] == pytest.approx(9.0)
+    assert durations["propose"] == durations["accept"] == 0.0
+    assert durations["visibility"] == pytest.approx(3.0)
+    # Cancelled during admission: one stage, root closed immediately.
+    cancelled = recorder.begin_tx("tx-3", "client", 0.0)
+    cancelled.cancelled(4.0)
+    assert cancelled.closed
+    assert cancelled.root.attrs["cancelled"] is True
+    assert len(cancelled.stage_spans) == 1
+    # Out-of-order advance is a no-op, not a crash.
+    chain.advance("propose", 99.0)
+
+
+# -- exporters --------------------------------------------------------------
+
+def _sample_spans():
+    recorder = SpanRecorder()
+    chain = recorder.begin_tx("tx-9", "client", 0.0, keys=("k1", "k2"))
+    chain.advance("propose", 1.0)
+    chain.advance("accept", 2.0)
+    recorder.point(chain.ctx, "phase2b", "replica-1", 2.5, "k1/1/r1")
+    chain.advance("learn", 3.0)
+    chain.decided(4.0, committed=True)
+    chain.expect_visibility(1)
+    chain.visibility_done(6.0)
+    return recorder.dump()
+
+
+def test_chrome_trace_structure():
+    trace = chrome_trace(_sample_spans(), label="unit")
+    events = trace["traceEvents"]
+    assert trace["displayTimeUnit"] == "ms"
+    metadata = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert any(e["name"] == "process_name" for e in metadata)
+    assert {e["name"] for e in complete} >= {"tx", "admission", "phase2b"}
+    for event in complete:
+        assert event["ts"] >= 0 and event["dur"] >= 0
+        assert isinstance(event["tid"], int) and event["pid"] == 1
+        assert "span_id" in event["args"]
+    # One thread per node.
+    tids = {e["tid"] for e in complete}
+    assert len(tids) == 2  # client + replica-1
+    json.dumps(trace)  # must be JSON-serializable as-is
+
+
+def test_stage_breakdown_sums_and_table():
+    breakdowns = stage_breakdown(_sample_spans())
+    assert len(breakdowns) == 1
+    tx = breakdowns[0]
+    assert tx.txid == "tx-9"
+    assert tx.committed is True and tx.complete
+    assert set(tx.stage_ms) == set(STAGES)
+    assert tx.stage_sum_ms == pytest.approx(tx.e2e_ms, abs=1.0)
+    assert "client" in tx.nodes and "replica-1" in tx.nodes
+    table = breakdown_table(breakdowns)
+    assert "tx-9" in table and "commit" in table
+    parsed = json.loads(breakdown_json(breakdowns))
+    assert parsed[0]["txid"] == "tx-9"
+    means = stage_summary(breakdowns)
+    assert means["e2e"] == pytest.approx(tx.e2e_ms)
+
+
+# -- session & artifacts ----------------------------------------------------
+
+def test_obs_session_artifacts_roundtrip(tmp_path):
+    class FakeEnv:
+        metrics = None
+        spans = None
+        now = 0.0
+
+    env = FakeEnv()
+    session = ObsSession()
+    session.install(env)
+    env.metrics.inc("x")
+    env.spans.begin_tx("tx-1", "n", 0.0)
+    env.now = 5.0
+    session.detach(env)
+    assert env.metrics is None and env.spans is None
+    path = tmp_path / "run.obs.json"
+    session.save(str(path), meta={"seed": 7})
+    loaded = load_artifacts(str(path))
+    assert loaded["meta"]["seed"] == 7
+    assert loaded["version"] == 1
+    assert artifact_digests(loaded) == artifact_digests(
+        session.artifacts(meta={"seed": 7}))
+    with pytest.raises(ValueError):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        load_artifacts(str(bad))
+
+
+def test_obs_session_halves_can_be_disabled():
+    metrics_only = ObsSession(spans=False)
+    assert metrics_only.registry is not None
+    assert metrics_only.recorder is None
+    spans_only = ObsSession(metrics=False)
+    assert spans_only.registry is None
+    assert spans_only.recorder is not None
+    artifacts = spans_only.artifacts()
+    assert artifacts["metrics"] == {} and artifacts["spans"] == []
