@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence, Type
 from repro.analysis.base import Checker, all_checkers
 from repro.analysis.diagnostics import render_json, render_text
 from repro.analysis.runner import analyze_paths
+from repro.analysis.sarif import render_sarif
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -24,8 +25,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*", default=["src"],
         help="files or directories to analyze (default: src)")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for per-file analysis "
+             "(0 = one per CPU; default %(default)s)")
     parser.add_argument(
         "--checker", action="append", metavar="NAME",
         help="run only the named checker (repeatable); "
@@ -68,10 +73,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except SystemExit as exc:
         print(exc, file=sys.stderr)
         return 2
+    jobs = args.jobs
+    if jobs == 0:
+        from repro.harness.parallel import default_pool_size
+        jobs = default_pool_size()
     try:
         report = analyze_paths(
             args.paths, checkers=checkers,
-            respect_suppressions=not args.no_suppress)
+            respect_suppressions=not args.no_suppress, jobs=jobs)
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -79,6 +88,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_json(report.diagnostics,
                           files_analyzed=report.files_analyzed,
                           suppressed=report.suppressed))
+    elif args.format == "sarif":
+        print(render_sarif(report.diagnostics,
+                           files_analyzed=report.files_analyzed,
+                           suppressed=report.suppressed))
     else:
         if report.diagnostics:
             print(render_text(report.diagnostics))

@@ -1,0 +1,62 @@
+"""Whole-program dataflow engine for the repro static analysis.
+
+The per-file checkers of :mod:`repro.analysis.checkers` are syntactic:
+they judge one AST at a time.  This package adds the project-wide
+machinery an *interleaving-sensitive* analysis needs:
+
+* :mod:`~repro.analysis.flow.symbols` — a project-wide symbol table:
+  every class, function, and method, plus an index of which methods
+  mutate which ``self.*`` attribute (the interprocedural evidence the
+  race rules rest on);
+* :mod:`~repro.analysis.flow.callgraph` — the call graph, including
+  the two edge kinds a simulator grows that a vanilla resolver misses:
+  ``env.process(self._loop(...))`` process-spawn edges and
+  ``endpoint.on("kind", self._handler)`` RPC-registration edges
+  stitched to their ``call``/``cast`` send sites;
+* :mod:`~repro.analysis.flow.cfg` — per-function control-flow graphs
+  with every ``yield``/``await`` marked as an **interleaving
+  boundary**: the kernel may run arbitrary other handlers while a
+  process is suspended there;
+* :mod:`~repro.analysis.flow.dataflow` — a forward worklist framework
+  (reaching definitions, the stale-after-yield lattice, taint);
+* :mod:`~repro.analysis.flow.checkers` — the RACE001/RACE002/FLOW001
+  rules built on top (registered with the normal checker registry).
+
+See ``docs/analysis.md`` ("The flow engine") for the rule catalogue
+and the static-finding -> dynamic-witness workflow with
+:class:`repro.check.AtomicityGuard`.
+"""
+
+from repro.analysis.flow.callgraph import CallEdge, CallGraph, build_call_graph
+from repro.analysis.flow.cfg import CFG, CFGNode, build_cfg
+from repro.analysis.flow.dataflow import (
+    DataflowResult,
+    ForwardAnalysis,
+    ReachingDefinitions,
+    solve_forward,
+)
+from repro.analysis.flow.engine import FlowEngine
+from repro.analysis.flow.symbols import (
+    AttributeWrite,
+    ClassInfo,
+    FunctionInfo,
+    SymbolTable,
+)
+
+__all__ = [
+    "AttributeWrite",
+    "CFG",
+    "CFGNode",
+    "CallEdge",
+    "CallGraph",
+    "ClassInfo",
+    "DataflowResult",
+    "FlowEngine",
+    "ForwardAnalysis",
+    "FunctionInfo",
+    "ReachingDefinitions",
+    "SymbolTable",
+    "build_call_graph",
+    "build_cfg",
+    "solve_forward",
+]

@@ -1,0 +1,181 @@
+"""Project call graph, including simulator-specific edge kinds.
+
+Besides ordinary direct calls, two edge kinds matter for a discrete
+event simulator and would be missed by a vanilla resolver:
+
+* **process edges** — ``env.process(self._loop(...))`` (or
+  ``environment.process`` / ``self.env.process``) makes ``_loop`` a
+  concurrently scheduled coroutine; it is the root of an interleaving,
+  not a plain call;
+* **rpc edges** — ``endpoint.on("kind", self._handler)`` registers a
+  handler, and every ``endpoint.call("kind", ...)`` /
+  ``endpoint.cast("kind", ...)`` site becomes an edge to each handler
+  registered for that kind, project-wide.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.names import dotted_parts
+from repro.analysis.flow.symbols import (
+    FunctionInfo,
+    SymbolTable,
+    iter_own_nodes,
+)
+
+#: Receiver names that denote the simulation kernel handle.
+ENV_NAMES = frozenset({"env", "environment"})
+
+#: ``endpoint.<method>(dst, "kind", ...)`` send methods: the message
+#: kind is the second positional argument (after the destination).
+SEND_METHODS = {"call": 1, "cast": 1}
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved edge in the call graph."""
+
+    caller: str
+    callee: str
+    kind: str  # "call" | "process" | "rpc"
+    line: int
+
+
+@dataclass
+class CallGraph:
+    """All resolved edges plus the process-target and handler indexes."""
+
+    edges: List[CallEdge] = field(default_factory=list)
+    #: qualnames of functions spawned as kernel processes.
+    process_targets: Set[str] = field(default_factory=set)
+    #: message kind -> handler qualnames registered for it.
+    handlers: Dict[str, Set[str]] = field(default_factory=dict)
+    _out: Dict[str, List[CallEdge]] = field(default_factory=dict)
+    _in: Dict[str, List[CallEdge]] = field(default_factory=dict)
+
+    def add(self, edge: CallEdge) -> None:
+        self.edges.append(edge)
+        self._out.setdefault(edge.caller, []).append(edge)
+        self._in.setdefault(edge.callee, []).append(edge)
+        if edge.kind == "process":
+            self.process_targets.add(edge.callee)
+
+    def callees(self, qualname: str) -> List[CallEdge]:
+        return list(self._out.get(qualname, []))
+
+    def callers(self, qualname: str) -> List[CallEdge]:
+        return list(self._in.get(qualname, []))
+
+    def reachable_from(self, qualname: str) -> Set[str]:
+        """Transitive callee closure (including the root)."""
+        seen: Set[str] = set()
+        stack = [qualname]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for edge in self._out.get(current, []):
+                stack.append(edge.callee)
+        return seen
+
+    def is_process_root(self, qualname: str) -> bool:
+        return qualname in self.process_targets
+
+
+def _receiver_tail(call: ast.Call) -> Optional[str]:
+    """Last dotted component of the call receiver, if any."""
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    parts = dotted_parts(call.func.value)
+    return parts[-1] if parts else None
+
+
+def _callee_name(node: ast.expr) -> Optional[str]:
+    """Bare callee name of a Name or ``self.method`` expression."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def build_call_graph(table: SymbolTable) -> CallGraph:
+    """Resolve every call site of every indexed function."""
+    graph = CallGraph()
+    sends: List[CallEdge] = []  # provisional kind-keyed send sites
+
+    for qualname in sorted(table.by_qualname):
+        caller = table.by_qualname[qualname]
+        for node in iter_own_nodes(caller.node):
+            if not isinstance(node, ast.Call):
+                continue
+            _resolve_call_site(table, graph, sends, caller, node)
+
+    # Stitch rpc edges: each send site fans out to every handler
+    # registered for its kind anywhere in the project.
+    for send in sends:
+        for handler in sorted(graph.handlers.get(send.callee, ())):
+            graph.add(CallEdge(caller=send.caller, callee=handler,
+                               kind="rpc", line=send.line))
+    return graph
+
+
+def _resolve_call_site(table: SymbolTable, graph: CallGraph,
+                       sends: List[CallEdge], caller: FunctionInfo,
+                       node: ast.Call) -> None:
+    line = node.lineno
+    receiver = _receiver_tail(node)
+    attr = node.func.attr if isinstance(node.func, ast.Attribute) else None
+
+    # env.process(self._loop(...)) — process-spawn edge.
+    if receiver in ENV_NAMES and attr == "process" and node.args:
+        inner = node.args[0]
+        if isinstance(inner, ast.Call):
+            name = _callee_name(inner.func)
+            target = table.resolve_call(caller.module, name,
+                                        caller.class_name) if name else None
+            if target is not None:
+                graph.add(CallEdge(caller=caller.qualname,
+                                   callee=target.qualname,
+                                   kind="process", line=line))
+        return
+
+    # endpoint.on("kind", self._handler) — handler registration.
+    if (receiver is not None and receiver.endswith("endpoint")
+            and attr == "on" and len(node.args) >= 2
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)):
+        handler_name = _callee_name(node.args[1])
+        target = table.resolve_call(caller.module, handler_name,
+                                    caller.class_name) if handler_name else None
+        if target is not None:
+            graph.handlers.setdefault(
+                node.args[0].value, set()).add(target.qualname)
+        return
+
+    # endpoint.call/cast("kind", ...) — rpc send site (stitched later).
+    if (receiver is not None and receiver.endswith("endpoint")
+            and attr in SEND_METHODS):
+        kind_index = SEND_METHODS[attr]
+        if (len(node.args) > kind_index
+                and isinstance(node.args[kind_index], ast.Constant)):
+            kind = node.args[kind_index].value
+            if isinstance(kind, str):
+                sends.append(CallEdge(caller=caller.qualname, callee=kind,
+                                      kind="rpc", line=line))
+        return
+
+    # Plain direct call: bare name or self.method.
+    name = _callee_name(node.func)
+    if name is None:
+        return
+    target = table.resolve_call(caller.module, name, caller.class_name)
+    if target is not None:
+        graph.add(CallEdge(caller=caller.qualname, callee=target.qualname,
+                           kind="call", line=line))

@@ -1,0 +1,287 @@
+"""Per-function control-flow graphs with interleaving boundaries.
+
+Nodes are statements (plus synthetic entry/exit).  A node whose
+statement *evaluates* a ``yield``, ``yield from``, or ``await`` in the
+function's own frame is flagged ``is_yield`` — at that point the
+simulation kernel may run arbitrary other processes and handlers, so
+any shared state read earlier may be stale afterwards.
+
+Edges are conservative where Python's dynamic control flow makes
+precision expensive:
+
+* every statement inside a ``try`` body gets an edge to each handler
+  head (any statement may raise);
+* ``finally`` bodies are linked both on the normal path and from the
+  try/handler bodies;
+* ``break``/``continue`` resolve through an explicit loop-context
+  stack; loops carry a back-edge from the body tail to the header and
+  a fall-through edge to ``orelse``/exit.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+_YIELDING = (ast.Yield, ast.YieldFrom, ast.Await)
+_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _any_yield(roots: Sequence[ast.AST]) -> bool:
+    stack: List[ast.AST] = list(roots)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _YIELDING):
+            return True
+        if isinstance(node, _SCOPES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _stmt_yields(stmt: ast.stmt) -> bool:
+    """Does evaluating *this node itself* suspend the frame?
+
+    For compound statements only the header expressions count — body
+    statements get their own CFG nodes.  ``async for``/``async with``
+    headers always suspend (``__anext__``/``__aenter__`` are awaited).
+    """
+    if isinstance(stmt, (ast.AsyncFor, ast.AsyncWith)):
+        return True
+    if isinstance(stmt, (ast.While, ast.If)):
+        return _any_yield([stmt.test])
+    if isinstance(stmt, ast.For):
+        return _any_yield([stmt.iter])
+    if isinstance(stmt, ast.With):
+        return _any_yield([item.context_expr for item in stmt.items])
+    if isinstance(stmt, ast.Try):
+        return False
+    return _any_yield([stmt])
+
+
+@dataclass
+class CFGNode:
+    """One statement (or synthetic entry/exit) in a function's CFG."""
+
+    index: int
+    stmt: Optional[ast.stmt]
+    is_yield: bool = False
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+    @property
+    def label(self) -> str:
+        if self.stmt is None:
+            return "entry" if self.index == 0 else "exit"
+        name = type(self.stmt).__name__
+        return f"{name}@{self.line}" + ("!yield" if self.is_yield else "")
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function."""
+
+    function: FunctionNode
+    nodes: List[CFGNode]
+
+    ENTRY = 0
+    EXIT = 1
+
+    @property
+    def entry(self) -> CFGNode:
+        return self.nodes[self.ENTRY]
+
+    @property
+    def exit(self) -> CFGNode:
+        return self.nodes[self.EXIT]
+
+    def yield_nodes(self) -> List[CFGNode]:
+        return [node for node in self.nodes if node.is_yield]
+
+    def rpo(self) -> List[int]:
+        """Reverse postorder from the entry (deterministic)."""
+        seen: Set[int] = set()
+        order: List[int] = []
+        stack: List[Tuple[int, int]] = [(self.ENTRY, 0)]
+        while stack:
+            index, child = stack[-1]
+            if index not in seen:
+                seen.add(index)
+            succs = self.nodes[index].succs
+            if child < len(succs):
+                stack[-1] = (index, child + 1)
+                nxt = succs[child]
+                if nxt not in seen:
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                order.append(index)
+        order.reverse()
+        return order
+
+
+class _Builder:
+    def __init__(self, function: FunctionNode) -> None:
+        self.function = function
+        self.nodes: List[CFGNode] = [
+            CFGNode(index=CFG.ENTRY, stmt=None),
+            CFGNode(index=CFG.EXIT, stmt=None),
+        ]
+        # (header index, after-loop frontier) for break/continue.
+        self.loops: List[Tuple[int, List[int]]] = []
+        # Handler/finally heads active for the statements being built:
+        # any statement inside the try body may raise into them.
+        self.raise_targets: List[List[int]] = []
+
+    def add_node(self, stmt: ast.stmt) -> int:
+        node = CFGNode(index=len(self.nodes), stmt=stmt,
+                       is_yield=_stmt_yields(stmt))
+        self.nodes.append(node)
+        for targets in self.raise_targets:
+            for target in targets:
+                self.link(node.index, target)
+        return node.index
+
+    def link(self, src: int, dst: int) -> None:
+        if dst not in self.nodes[src].succs:
+            self.nodes[src].succs.append(dst)
+            self.nodes[dst].preds.append(src)
+
+    def link_all(self, srcs: Sequence[int], dst: int) -> None:
+        for src in srcs:
+            self.link(src, dst)
+
+    def build(self) -> CFG:
+        frontier = self.block(self.function.body, [CFG.ENTRY])
+        self.link_all(frontier, CFG.EXIT)
+        return CFG(function=self.function, nodes=self.nodes)
+
+    def block(self, stmts: Sequence[ast.stmt],
+              frontier: List[int]) -> List[int]:
+        """Wire a statement sequence; return the live out-frontier."""
+        for stmt in stmts:
+            if not frontier:
+                break
+            frontier = self.statement(stmt, frontier)
+        return frontier
+
+    def statement(self, stmt: ast.stmt,
+                  frontier: List[int]) -> List[int]:
+        if isinstance(stmt, (ast.If,)):
+            return self.if_stmt(stmt, frontier)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self.loop(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self.try_stmt(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            index = self.add_node(stmt)
+            self.link_all(frontier, index)
+            return self.block(stmt.body, [index])
+
+        index = self.add_node(stmt)
+        self.link_all(frontier, index)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self.link(index, CFG.EXIT)
+            return []
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                self.loops[-1][1].append(index)
+                return []
+            return [index]
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                self.link(index, self.loops[-1][0])
+                return []
+            return [index]
+        return [index]
+
+    def if_stmt(self, stmt: ast.If, frontier: List[int]) -> List[int]:
+        test = self.add_node(stmt)
+        self.link_all(frontier, test)
+        out = self.block(stmt.body, [test])
+        if stmt.orelse:
+            out += self.block(stmt.orelse, [test])
+        else:
+            out.append(test)
+        return out
+
+    def loop(self, stmt: Union[ast.While, ast.For, ast.AsyncFor],
+             frontier: List[int]) -> List[int]:
+        header = self.add_node(stmt)
+        self.link_all(frontier, header)
+        after: List[int] = []
+        self.loops.append((header, after))
+        body_out = self.block(stmt.body, [header])
+        self.loops.pop()
+        self.link_all(body_out, header)  # back-edge
+        out = list(after)
+        if stmt.orelse:
+            out += self.block(stmt.orelse, [header])
+        else:
+            out.append(header)
+        return out
+
+    def try_stmt(self, stmt: ast.Try, frontier: List[int]) -> List[int]:
+        handler_heads: List[int] = []
+        handler_outs: List[int] = []
+        # Pre-build handler head nodes so try-body statements can raise
+        # into them; bodies are wired after the try body.
+        pending: List[Tuple[ast.ExceptHandler, int]] = []
+        for handler in stmt.handlers:
+            head = CFGNode(index=len(self.nodes), stmt=handler_stmt(handler),
+                           is_yield=False)
+            self.nodes.append(head)
+            handler_heads.append(head.index)
+            pending.append((handler, head.index))
+
+        self.raise_targets.append(list(handler_heads))
+        body_out = self.block(stmt.body, list(frontier))
+        self.raise_targets.pop()
+
+        for handler, head in pending:
+            handler_outs += self.block(handler.body, [head])
+
+        body_out += self.block(stmt.orelse, body_out) if stmt.orelse else []
+        merged = body_out + handler_outs
+        if stmt.finalbody:
+            # The finally runs on every path out of the try: normal,
+            # handled, and (approximately) raising mid-body.  Link every
+            # try-body node to the finally head for the raising paths.
+            finally_head = len(self.nodes)
+            out = self.block(stmt.finalbody, merged or list(frontier))
+            if len(self.nodes) > finally_head:
+                head_index = finally_head
+                for node in self.nodes:
+                    if (node.stmt is not None
+                            and node.index < head_index
+                            and self._inside(stmt, node.stmt)):
+                        self.link(node.index, head_index)
+            return out
+        return merged
+
+    @staticmethod
+    def _inside(container: ast.Try, stmt: ast.stmt) -> bool:
+        for child in ast.walk(container):
+            if child is stmt:
+                return True
+        return False
+
+
+def handler_stmt(handler: ast.ExceptHandler) -> ast.stmt:
+    """A placeholder statement carrying the handler's location."""
+    placeholder = ast.Pass()
+    placeholder.lineno = handler.lineno
+    placeholder.col_offset = handler.col_offset
+    return placeholder
+
+
+def build_cfg(function: FunctionNode) -> CFG:
+    """Build the control-flow graph for one function definition."""
+    return _Builder(function).build()

@@ -1,0 +1,562 @@
+"""Interprocedural flow checkers: RACE001, RACE002, FLOW001.
+
+These are project checkers: they accumulate every in-scope file and
+run once over the whole program with a :class:`FlowEngine`, because
+the hazards they hunt are invisible per file — whether a ``self.*``
+attribute can change under a suspended coroutine depends on which
+*other* methods write it and whether the kernel can interleave them.
+
+All three report only with interprocedural evidence attached (the
+competing write site, the registered handler, the taint path), which
+keeps the project sweep quiet on single-owner state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.base import Checker, SourceFile, register
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.flow.cfg import CFGNode
+from repro.analysis.flow.dataflow import (
+    ForwardAnalysis,
+    assigned_names,
+    solve_forward,
+)
+from repro.analysis.flow.engine import FlowEngine
+from repro.analysis.flow.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    FunctionNode,
+    MUTATOR_METHODS,
+    iter_own_nodes,
+)
+
+_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _self_attr_read(expr: ast.AST) -> Optional[str]:
+    """``self.<attr>`` as a plain attribute load, else None."""
+    if (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and isinstance(expr.ctx, ast.Load)):
+        return expr.attr
+    return None
+
+
+def _attrs_read_in(expr: ast.AST) -> Set[str]:
+    """Every ``self.<attr>`` loaded anywhere inside ``expr``."""
+    attrs: Set[str] = set()
+    stack: List[ast.AST] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _SCOPES):
+            continue
+        attr = _self_attr_read(node)
+        if attr is not None:
+            attrs.add(attr)
+        stack.extend(ast.iter_child_nodes(node))
+    return attrs
+
+
+class _FlowChecker(Checker):
+    """Shared accumulate-then-analyze scaffolding."""
+
+    def __init__(self) -> None:
+        self._files: List[SourceFile] = []
+
+    def check_file(self, file: SourceFile) -> Iterable[Diagnostic]:
+        self._files.append(file)
+        return ()
+
+    def engine(self) -> FlowEngine:
+        return FlowEngine(self._files)
+
+
+# -- RACE001: stale-after-yield ------------------------------------------------
+
+#: Lattice element: (local name, source attribute, "fresh" | "stale").
+_Binding = Tuple[str, str, str]
+_RaceState = FrozenSet[_Binding]
+
+
+class _StaleAfterYield(ForwardAnalysis[_RaceState]):
+    """Tracks locals snapshotting ``self.*``; yields make them stale."""
+
+    def initial(self, cfg: object) -> _RaceState:
+        return frozenset()
+
+    def bottom(self, cfg: object) -> _RaceState:
+        return frozenset()
+
+    def join(self, left: _RaceState, right: _RaceState) -> _RaceState:
+        return left | right
+
+    def transfer(self, node: CFGNode, state: _RaceState) -> _RaceState:
+        if node.stmt is None:
+            return state
+        result = set(state)
+        if node.is_yield:
+            # Crossing the interleaving boundary: every cached
+            # snapshot may now disagree with the live attribute.
+            result = {(var, attr, "stale") for var, attr, _ in result}
+        snapshot = _snapshot_binding(node.stmt)
+        killed = set(assigned_names(node.stmt))
+        if killed:
+            result = {entry for entry in result if entry[0] not in killed}
+        if snapshot is not None:
+            var, attr = snapshot
+            result.add((var, attr, "fresh"))
+        return frozenset(result)
+
+
+def _snapshot_binding(stmt: ast.stmt) -> Optional[Tuple[str, str]]:
+    """``v = self.attr`` with a single plain Name target."""
+    if (isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)):
+        attr = _self_attr_read(stmt.value)
+        if attr is not None:
+            return stmt.targets[0].id, attr
+    return None
+
+
+def _name_loads(stmt: ast.stmt) -> List[ast.Name]:
+    """Plain Name loads evaluated by this statement's own expressions."""
+    loads: List[ast.Name] = []
+    stack: List[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _SCOPES):
+            continue
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            loads.append(node)
+        # Compound statements: only their header expressions evaluate
+        # at this CFG node; body statements have their own nodes.
+        if isinstance(node, (ast.If, ast.While)):
+            stack.append(node.test)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            stack.append(node.iter)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            stack.extend(item.context_expr for item in node.items)
+        elif isinstance(node, ast.Try):
+            continue
+        else:
+            stack.extend(ast.iter_child_nodes(node))
+    return loads
+
+
+@register
+class StaleReadChecker(_FlowChecker):
+    """RACE001: a ``self.*`` snapshot read before a yield, used after."""
+
+    name = "flow-stale-read"
+    codes = {
+        "RACE001": ("local caches shared self.* state across a yield "
+                    "point while another method can mutate it"),
+    }
+    scope = ("repro",)
+
+    def check_project(self) -> Iterable[Diagnostic]:
+        engine = self.engine()
+        findings: List[Diagnostic] = []
+        for cls, method in engine.symbols.generator_methods():
+            if not engine.is_interleaving_root(cls, method):
+                continue
+            findings.extend(self._check_method(engine, cls, method))
+        return findings
+
+    def _check_method(self, engine: FlowEngine, cls: ClassInfo,
+                      method: FunctionInfo) -> Iterable[Diagnostic]:
+        cfg = engine.cfg(method)
+        if not cfg.yield_nodes():
+            return
+        result = solve_forward(cfg, _StaleAfterYield())
+        reported: Set[Tuple[str, str, int]] = set()
+        for node in cfg.nodes:
+            if node.stmt is None:
+                continue
+            stale = {(var, attr) for var, attr, status in result.at(node)
+                     if status == "stale"}
+            if not stale:
+                continue
+            for load in _name_loads(node.stmt):
+                for var, attr in sorted(stale):
+                    if load.id != var:
+                        continue
+                    writers = cls.writes_outside(attr, method.name)
+                    if not writers:
+                        continue
+                    key = (var, attr, load.lineno)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    first = writers[0]
+                    yield self.at(
+                        method.path, load, "RACE001",
+                        f"'{var}' caches self.{attr} from before a yield "
+                        f"point; {cls.name}.{first.method}() (line "
+                        f"{first.line}) can mutate it while this process "
+                        f"is suspended — re-read self.{attr} after "
+                        f"resuming or take ownership before yielding")
+
+
+# -- RACE002: check-then-act across a yield ------------------------------------
+
+
+@register
+class CheckThenActChecker(_FlowChecker):
+    """RACE002: guard tested before a yield, mutation applied after."""
+
+    name = "flow-check-then-act"
+    codes = {
+        "RACE002": ("guard condition tested before a yield gates a "
+                    "mutation applied after it without re-checking"),
+    }
+    scope = ("repro",)
+
+    def check_project(self) -> Iterable[Diagnostic]:
+        engine = self.engine()
+        findings: List[Diagnostic] = []
+        for cls, method in engine.symbols.generator_methods():
+            if not engine.is_interleaving_root(cls, method):
+                continue
+            findings.extend(self._check_method(cls, method))
+        return findings
+
+    def _check_method(self, cls: ClassInfo,
+                      method: FunctionInfo) -> Iterable[Diagnostic]:
+        for node in iter_own_nodes(method.node):
+            if not isinstance(node, ast.If):
+                continue
+            guarded = {attr for attr in _attrs_read_in(node.test)
+                       if cls.writes_outside(attr, method.name)}
+            if not guarded:
+                continue
+            yield from self._check_branch(cls, method, node.body, guarded)
+
+    def _check_branch(self, cls: ClassInfo, method: FunctionInfo,
+                      body: List[ast.stmt],
+                      guarded: Set[str]) -> Iterable[Diagnostic]:
+        events = _branch_events(body, guarded)
+        first_yield: Optional[int] = None
+        rechecked: Set[str] = set()
+        reported: Set[Tuple[str, int]] = set()
+        for line, kind, attr, node in events:
+            if kind == "yield":
+                if first_yield is None:
+                    first_yield = line
+                # A later yield re-opens the window for attrs checked
+                # only before the earlier one.
+                rechecked.clear()
+                continue
+            if first_yield is None:
+                continue
+            if kind == "recheck" and attr is not None:
+                rechecked.add(attr)
+            elif (kind == "write" and attr in guarded
+                    and attr not in rechecked and attr is not None):
+                key = (attr, line)
+                if key in reported:
+                    continue
+                reported.add(key)
+                first = cls.writes_outside(attr, method.name)[0]
+                yield self.at(
+                    method.path, node, "RACE002",
+                    f"self.{attr} was checked before the yield at line "
+                    f"{first_yield} but is mutated here without "
+                    f"re-checking; {cls.name}.{first.method}() (line "
+                    f"{first.line}) can invalidate the guard while "
+                    f"this process is suspended")
+
+
+def _branch_events(
+    body: List[ast.stmt], guarded: Set[str],
+) -> List[Tuple[int, str, Optional[str], ast.AST]]:
+    """(line, kind, attr, node) events inside a guarded branch.
+
+    Kinds: ``yield`` (interleaving boundary), ``recheck`` (a test
+    reading the attr), ``write`` (a mutation of the attr).  Sorted by
+    source line so check-then-act ordering falls out of iteration.
+    """
+    events: List[Tuple[int, str, Optional[str], ast.AST]] = []
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _SCOPES):
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom, ast.Await)):
+            events.append((node.lineno, "yield", None, node))
+        elif isinstance(node, (ast.If, ast.While)):
+            for attr in _attrs_read_in(node.test):
+                events.append((node.lineno, "recheck", attr, node))
+        elif isinstance(node, ast.Assert):
+            for attr in _attrs_read_in(node.test):
+                events.append((node.lineno, "recheck", attr, node))
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                events.extend(_write_events(target, node))
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            events.extend(_write_events(node.target, node))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                events.extend(_write_events(target, node))
+        elif isinstance(node, ast.Call):
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in MUTATOR_METHODS):
+                attr = _self_attr_target(node.func.value)
+                if attr is not None:
+                    events.append((node.lineno, "write", attr, node))
+        stack.extend(ast.iter_child_nodes(node))
+    events.sort(key=lambda event: event[0])
+    return events
+
+
+def _self_attr_target(expr: ast.AST) -> Optional[str]:
+    if (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"):
+        return expr.attr
+    return None
+
+
+def _write_events(
+    target: ast.expr, node: ast.stmt,
+) -> List[Tuple[int, str, Optional[str], ast.AST]]:
+    attr = _self_attr_target(target)
+    if attr is None and isinstance(target, ast.Subscript):
+        attr = _self_attr_target(target.value)
+    if attr is None:
+        return []
+    return [(node.lineno, "write", attr, node)]
+
+
+# -- FLOW001: env/RNG handles escaping into global state -----------------------
+
+#: Parameter/attribute names that denote kernel or RNG handles.
+SOURCE_NAMES = frozenset({
+    "env", "environment", "rng", "streams", "random_streams",
+    "_env", "_rng", "_streams",
+})
+
+#: Constructor names whose instances are per-run handles.
+SOURCE_CONSTRUCTORS = frozenset({"Environment", "RandomStreams"})
+
+#: Methods on a tainted receiver that return another tainted handle.
+SOURCE_METHODS = frozenset({"get", "stream", "fork"})
+
+
+@register
+class GlobalHandleChecker(_FlowChecker):
+    """FLOW001: Environment/RNG handle stored in module-level state."""
+
+    name = "flow-global-handle"
+    codes = {
+        "FLOW001": ("Environment or RNG handle flows into module-level "
+                    "or global state, outliving its run"),
+    }
+    scope = ("repro",)
+
+    def check_project(self) -> Iterable[Diagnostic]:
+        engine = self.engine()
+        summaries = _tainted_returns(engine)
+        findings: List[Diagnostic] = []
+        for file in self._files:
+            findings.extend(self._check_module_scope(engine, file, summaries))
+            for qualname in sorted(engine.symbols.by_qualname):
+                info = engine.symbols.by_qualname[qualname]
+                if info.path != file.path:
+                    continue
+                findings.extend(
+                    self._check_function(engine, file, info, summaries))
+        return findings
+
+    def _check_module_scope(
+        self, engine: FlowEngine, file: SourceFile,
+        summaries: Set[str],
+    ) -> Iterable[Diagnostic]:
+        taint = _Taint(engine, file, summaries, params=frozenset())
+        for stmt in file.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None or not taint.tainted(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    yield self.at(
+                        file.path, stmt, "FLOW001",
+                        f"module-level '{target.id}' captures an "
+                        f"Environment/RNG handle; per-run handles must "
+                        f"stay inside the run that created them")
+
+    def _check_function(
+        self, engine: FlowEngine, file: SourceFile, info: FunctionInfo,
+        summaries: Set[str],
+    ) -> Iterable[Diagnostic]:
+        function = info.node
+        module_globals = engine.symbols.module_globals.get(file.module, set())
+        declared_global: Set[str] = set()
+        for node in iter_own_nodes(function):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        taint = _Taint(engine, file, summaries,
+                       params=_source_params(function))
+        statements = sorted(
+            (node for node in iter_own_nodes(function)
+             if isinstance(node, ast.stmt)),
+            key=lambda stmt: (stmt.lineno, stmt.col_offset))
+        for stmt in statements:
+            taint.propagate(stmt)
+            yield from self._check_sinks(
+                file, info, stmt, taint, declared_global, module_globals)
+
+    def _check_sinks(
+        self, file: SourceFile, info: FunctionInfo, stmt: ast.stmt,
+        taint: "_Taint", declared_global: Set[str],
+        module_globals: Set[str],
+    ) -> Iterable[Diagnostic]:
+        if isinstance(stmt, ast.Assign) and taint.tainted(stmt.value):
+            for target in stmt.targets:
+                if (isinstance(target, ast.Name)
+                        and target.id in declared_global):
+                    yield self.at(
+                        file.path, stmt, "FLOW001",
+                        f"'{target.id}' is declared global in "
+                        f"{info.name}() and receives an Environment/RNG "
+                        f"handle; the handle outlives its run")
+                elif (isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in module_globals):
+                    yield self.at(
+                        file.path, stmt, "FLOW001",
+                        f"module-level container "
+                        f"'{target.value.id}' receives an "
+                        f"Environment/RNG handle in {info.name}(); "
+                        f"the handle outlives its run")
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            if (isinstance(call.func, ast.Attribute)
+                    and call.func.attr in MUTATOR_METHODS
+                    and isinstance(call.func.value, ast.Name)
+                    and call.func.value.id in module_globals
+                    and any(taint.tainted(arg) for arg in call.args)):
+                yield self.at(
+                    file.path, stmt, "FLOW001",
+                    f"module-level container '{call.func.value.id}' "
+                    f"receives an Environment/RNG handle in "
+                    f"{info.name}(); the handle outlives its run")
+
+
+def _source_params(function: FunctionNode) -> FrozenSet[str]:
+    args = function.args
+    params = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    return frozenset(param.arg for param in params
+                     if param.arg in SOURCE_NAMES)
+
+
+class _Taint:
+    """Straight-line local taint inside one scope."""
+
+    def __init__(self, engine: FlowEngine, file: SourceFile,
+                 summaries: Set[str], params: FrozenSet[str]) -> None:
+        self.engine = engine
+        self.file = file
+        self.summaries = summaries
+        self.locals: Set[str] = set(params)
+
+    def propagate(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value_tainted = self.tainted(stmt.value)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if value_tainted:
+                        self.locals.add(target.id)
+                    else:
+                        self.locals.discard(target.id)
+        elif (isinstance(stmt, ast.AnnAssign)
+                and stmt.value is not None
+                and isinstance(stmt.target, ast.Name)):
+            if self.tainted(stmt.value):
+                self.locals.add(stmt.target.id)
+            else:
+                self.locals.discard(stmt.target.id)
+
+    def tainted(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in self.locals or expr.id in SOURCE_NAMES
+        if isinstance(expr, ast.Attribute):
+            base = expr.value
+            if (isinstance(base, ast.Name) and base.id == "self"
+                    and expr.attr in SOURCE_NAMES):
+                return True
+            return False
+        if isinstance(expr, ast.Call):
+            return self._tainted_call(expr)
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            return any(self.tainted(element) for element in expr.elts)
+        if isinstance(expr, ast.IfExp):
+            return self.tainted(expr.body) or self.tainted(expr.orelse)
+        return False
+
+    def _tainted_call(self, call: ast.Call) -> bool:
+        qualname = self.file.imports.qualname(call.func)
+        if qualname is not None:
+            tail = qualname.rsplit(".", 1)[-1]
+            if tail in SOURCE_CONSTRUCTORS:
+                return True
+        if isinstance(call.func, ast.Name):
+            if call.func.id in SOURCE_CONSTRUCTORS:
+                return True
+            target = self.engine.symbols.resolve_call(
+                self.file.module, call.func.id)
+            if target is not None and target.qualname in self.summaries:
+                return True
+        if isinstance(call.func, ast.Attribute):
+            if (call.func.attr in SOURCE_METHODS
+                    and self.tainted(call.func.value)):
+                return True
+        return False
+
+
+def _tainted_returns(engine: FlowEngine) -> Set[str]:
+    """Qualnames of functions whose return value is a tainted handle.
+
+    Iterated to fixpoint so ``make_env() -> wrap() -> Environment()``
+    chains resolve through any call depth.
+    """
+    summaries: Set[str] = set()
+    files = {file.path: file for file in engine.files}
+    changed = True
+    while changed:
+        changed = False
+        for qualname in sorted(engine.symbols.by_qualname):
+            if qualname in summaries:
+                continue
+            info = engine.symbols.by_qualname[qualname]
+            file = files.get(info.path)
+            if file is None:
+                continue
+            taint = _Taint(engine, file, summaries,
+                           params=_source_params(info.node))
+            for node in iter_own_nodes(info.node):
+                if (isinstance(node, ast.Return)
+                        and node.value is not None
+                        and taint.tainted(node.value)):
+                    summaries.add(qualname)
+                    changed = True
+                    break
+    return summaries

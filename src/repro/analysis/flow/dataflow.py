@@ -1,0 +1,159 @@
+"""Forward dataflow framework over :mod:`repro.analysis.flow.cfg`.
+
+A :class:`ForwardAnalysis` supplies the lattice (initial value, join,
+transfer); :func:`solve_forward` iterates a worklist in reverse
+postorder until fixpoint and reports the iteration count so tests can
+pin convergence behaviour on loops and recursion fixtures.
+
+Two analyses ship here:
+
+* :class:`ReachingDefinitions` — classic may-reach sets of
+  ``(name, line)`` definition sites;
+* the stale-after-yield lattice used by RACE001 lives in
+  :mod:`repro.analysis.flow.checkers`; it reuses this solver.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Generic, List, Tuple, TypeVar
+
+from repro.analysis.flow.cfg import CFG, CFGNode
+
+L = TypeVar("L")
+
+
+class ForwardAnalysis(Generic[L]):
+    """Lattice + transfer function for a forward may-analysis."""
+
+    def initial(self, cfg: CFG) -> L:
+        """Value entering the function (state at the entry node)."""
+        raise NotImplementedError
+
+    def bottom(self, cfg: CFG) -> L:
+        """Identity of ``join`` — the state of an unvisited node."""
+        raise NotImplementedError
+
+    def join(self, left: L, right: L) -> L:
+        raise NotImplementedError
+
+    def transfer(self, node: CFGNode, state: L) -> L:
+        raise NotImplementedError
+
+
+@dataclass
+class DataflowResult(Generic[L]):
+    """Per-node in/out states plus solver telemetry."""
+
+    cfg: CFG
+    in_states: Dict[int, L]
+    out_states: Dict[int, L]
+    iterations: int
+
+    def at(self, node: CFGNode) -> L:
+        return self.in_states[node.index]
+
+
+def solve_forward(cfg: CFG, analysis: ForwardAnalysis[L],
+                  max_iterations: int = 10_000) -> DataflowResult[L]:
+    """Iterate to fixpoint in deterministic reverse postorder."""
+    order = cfg.rpo()
+    position = {index: rank for rank, index in enumerate(order)}
+    in_states: Dict[int, L] = {
+        index: analysis.bottom(cfg) for index in range(len(cfg.nodes))}
+    out_states: Dict[int, L] = {
+        index: analysis.bottom(cfg) for index in range(len(cfg.nodes))}
+    in_states[CFG.ENTRY] = analysis.initial(cfg)
+
+    worklist = list(order)
+    queued = set(worklist)
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if iterations > max_iterations:
+            raise RuntimeError(
+                f"dataflow failed to converge after {max_iterations} steps")
+        index = worklist.pop(0)
+        queued.discard(index)
+        node = cfg.nodes[index]
+        state = in_states[index]
+        for pred in node.preds:
+            state = analysis.join(state, out_states[pred])
+        in_states[index] = state
+        new_out = analysis.transfer(node, state)
+        if new_out != out_states[index]:
+            out_states[index] = new_out
+            for succ in node.succs:
+                if succ not in queued:
+                    queued.add(succ)
+                    worklist.append(succ)
+            worklist.sort(key=lambda i: position.get(i, len(position)))
+    return DataflowResult(cfg=cfg, in_states=in_states,
+                          out_states=out_states, iterations=iterations)
+
+
+# -- reaching definitions ----------------------------------------------------
+
+Definition = Tuple[str, int]
+DefSet = FrozenSet[Definition]
+
+
+def assigned_names(stmt: ast.stmt) -> List[str]:
+    """Local names (re)bound by this statement."""
+    names: List[str] = []
+
+    def targets_of(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                targets_of(element)
+        elif isinstance(target, ast.Starred):
+            targets_of(target.value)
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            targets_of(target)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets_of(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets_of(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                targets_of(item.optional_vars)
+    return names
+
+
+class ReachingDefinitions(ForwardAnalysis[DefSet]):
+    """May-reach sets of ``(name, definition line)`` pairs.
+
+    Parameters count as definitions at the ``def`` line.
+    """
+
+    def initial(self, cfg: CFG) -> DefSet:
+        args = cfg.function.args
+        params = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        if args.vararg is not None:
+            params.append(args.vararg)
+        if args.kwarg is not None:
+            params.append(args.kwarg)
+        line = cfg.function.lineno
+        return frozenset((param.arg, line) for param in params)
+
+    def bottom(self, cfg: CFG) -> DefSet:
+        return frozenset()
+
+    def join(self, left: DefSet, right: DefSet) -> DefSet:
+        return left | right
+
+    def transfer(self, node: CFGNode, state: DefSet) -> DefSet:
+        if node.stmt is None:
+            return state
+        killed = set(assigned_names(node.stmt))
+        if not killed:
+            return state
+        survivors = {d for d in state if d[0] not in killed}
+        survivors.update((name, node.line) for name in killed)
+        return frozenset(survivors)

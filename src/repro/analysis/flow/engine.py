@@ -1,0 +1,61 @@
+"""The whole-program analysis engine.
+
+A :class:`FlowEngine` is built once per project sweep from the parsed
+:class:`~repro.analysis.base.SourceFile` set, and gives the flow
+checkers a shared symbol table, call graph, and CFG cache.  Building
+is cheap relative to parsing (one extra pass per file), so project
+checkers that need it construct it on demand in ``check_project``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.base import SourceFile
+from repro.analysis.flow.callgraph import CallGraph, build_call_graph
+from repro.analysis.flow.cfg import CFG, build_cfg
+from repro.analysis.flow.symbols import ClassInfo, FunctionInfo, SymbolTable
+
+
+class FlowEngine:
+    """Symbol table + call graph + CFG cache over one file set."""
+
+    def __init__(self, files: Iterable[SourceFile]) -> None:
+        self.files: List[SourceFile] = list(files)
+        self.symbols = SymbolTable()
+        for file in self.files:
+            self.symbols.add_file(file)
+        self.callgraph: CallGraph = build_call_graph(self.symbols)
+        self._cfgs: Dict[str, CFG] = {}
+
+    def cfg(self, function: FunctionInfo) -> CFG:
+        """The (cached) control-flow graph of one function."""
+        cached = self._cfgs.get(function.qualname)
+        if cached is None:
+            cached = build_cfg(function.node)
+            self._cfgs[function.qualname] = cached
+        return cached
+
+    def file_for(self, function: FunctionInfo) -> Optional[SourceFile]:
+        for file in self.files:
+            if file.path == function.path:
+                return file
+        return None
+
+    def is_interleaving_root(self, cls: ClassInfo,
+                             function: FunctionInfo) -> bool:
+        """May the kernel interleave other work while this runs?
+
+        True when the function is spawned as a kernel process
+        (directly, or transitively reachable from one) or belongs to a
+        class that registers RPC handlers — both mean other handlers
+        and processes can run at each of its yield points.
+        """
+        if self.callgraph.is_process_root(function.qualname):
+            return True
+        if cls.handler_kinds:
+            return True
+        for target in self.callgraph.process_targets:
+            if function.qualname in self.callgraph.reachable_from(target):
+                return True
+        return False

@@ -1,0 +1,296 @@
+"""Project-wide symbol table.
+
+One :class:`SymbolTable` accumulates every analyzed file and answers
+the questions the interprocedural rules ask: which functions exist
+(by qualified and bare name), which class does a method belong to,
+which methods *write* which ``self.*`` attribute, and which names a
+module binds at module scope.
+
+Qualified names follow the runtime convention:
+``repro.mdcc.coordinator.TransactionManager._run`` for a method,
+``repro.check.runner.run_check`` for a module-level function.  Nested
+functions are named through their parents
+(``module.outer.<locals>.inner``) but are not indexed by bare name —
+they are unreachable from other modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.analysis.base import SourceFile
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Method names on a ``self.attr`` receiver that mutate the attribute
+#: in place.  Used as interprocedural mutation evidence: a reader in
+#: one coroutine and any of these in another method is a potential
+#: interleaved write.
+MUTATOR_METHODS = frozenset({
+    "append", "add", "insert", "extend", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "sort", "reverse",
+})
+
+
+def iter_own_nodes(function: FunctionNode) -> Iterator[ast.AST]:
+    """Walk a function's body without entering nested defs/lambdas."""
+    stack: List[ast.AST] = list(function.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def is_generator(function: FunctionNode) -> bool:
+    """True if the function's own body contains a yield (or await)."""
+    return any(isinstance(node, (ast.Yield, ast.YieldFrom, ast.Await))
+               for node in iter_own_nodes(function))
+
+
+@dataclass(frozen=True)
+class AttributeWrite:
+    """One mutation of ``self.<attr>`` inside a method.
+
+    ``kind`` distinguishes rebinding (``assign``/``augassign``/
+    ``delete``), container stores (``setitem``), and in-place mutator
+    calls (``mutate``, e.g. ``self.queue.append(...)``).
+    """
+
+    attr: str
+    method: str
+    line: int
+    kind: str
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    name: str
+    module: str
+    path: str
+    node: FunctionNode
+    class_name: Optional[str] = None
+    is_generator: bool = False
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus its per-attribute write index."""
+
+    qualname: str
+    name: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: attribute name -> every method-side write site, in source order.
+    attr_writes: Dict[str, List[AttributeWrite]] = field(default_factory=dict)
+    #: message kinds this class registers RPC handlers for
+    #: (``endpoint.on("kind", self._handler)`` anywhere in a method).
+    handler_kinds: Set[str] = field(default_factory=set)
+
+    def writes_outside(self, attr: str,
+                       *methods: str) -> List[AttributeWrite]:
+        """Writes to ``attr`` in methods other than the named ones.
+
+        ``__init__``/``__post_init__`` are always excluded: they run
+        before any process of the instance is scheduled, so their
+        writes cannot interleave with a yield.
+        """
+        excluded = set(methods) | {"__init__", "__post_init__"}
+        return [write for write in self.attr_writes.get(attr, [])
+                if write.method not in excluded]
+
+
+def _self_attr_writes(method: FunctionNode) -> List[AttributeWrite]:
+    """All ``self.<attr>`` mutations in one method's own body."""
+    writes: List[AttributeWrite] = []
+
+    def note(attr: str, node: ast.AST, kind: str) -> None:
+        writes.append(AttributeWrite(attr=attr, method=method.name,
+                                     line=getattr(node, "lineno", 0),
+                                     kind=kind))
+
+    def self_attr(expr: ast.AST) -> Optional[str]:
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"):
+            return expr.attr
+        return None
+
+    for node in iter_own_nodes(method):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = self_attr(target)
+                if attr is not None:
+                    note(attr, node, "assign")
+                elif isinstance(target, ast.Subscript):
+                    attr = self_attr(target.value)
+                    if attr is not None:
+                        note(attr, node, "setitem")
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            target = node.target
+            attr = self_attr(target)
+            if attr is not None:
+                note(attr, node,
+                     "augassign" if isinstance(node, ast.AugAssign)
+                     else "assign")
+            elif isinstance(target, ast.Subscript):
+                attr = self_attr(target.value)
+                if attr is not None:
+                    note(attr, node, "setitem")
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = self_attr(target)
+                if attr is not None:
+                    note(attr, node, "delete")
+                elif isinstance(target, ast.Subscript):
+                    attr = self_attr(target.value)
+                    if attr is not None:
+                        note(attr, node, "setitem")
+        elif isinstance(node, ast.Call):
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in MUTATOR_METHODS):
+                attr = self_attr(node.func.value)
+                if attr is not None:
+                    note(attr, node, "mutate")
+    writes.sort(key=lambda write: (write.line, write.attr))
+    return writes
+
+
+def _handler_kinds(method: FunctionNode) -> Set[str]:
+    """Message kinds registered via ``*endpoint.on("kind", ...)``."""
+    kinds: Set[str] = set()
+    for node in iter_own_nodes(method):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "on"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            kinds.add(node.args[0].value)
+    return kinds
+
+
+class SymbolTable:
+    """Everything the project defines, indexed for the flow rules."""
+
+    def __init__(self) -> None:
+        #: bare function/method name -> all definitions with that name.
+        self.functions: Dict[str, List[FunctionInfo]] = {}
+        #: fully qualified name -> definition.
+        self.by_qualname: Dict[str, FunctionInfo] = {}
+        #: bare class name -> all definitions with that name.
+        self.classes: Dict[str, List[ClassInfo]] = {}
+        #: module -> names bound at module scope (assignments and
+        #: ``global``-declared rebinding targets; the FLOW sinks).
+        self.module_globals: Dict[str, Set[str]] = {}
+        #: modules already added (guards against double registration).
+        self._seen_modules: Set[str] = set()
+
+    # -- construction ------------------------------------------------------
+
+    def add_file(self, file: SourceFile) -> None:
+        """Index one parsed module."""
+        if file.module in self._seen_modules:
+            return
+        self._seen_modules.add(file.module)
+        bound = self.module_globals.setdefault(file.module, set())
+        for stmt in file.tree.body:
+            self._collect_module_binding(stmt, bound)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(file, stmt, class_info=None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._add_class(file, stmt)
+
+    @staticmethod
+    def _collect_module_binding(stmt: ast.stmt, bound: Set[str]) -> None:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(stmt.target, ast.Name):
+                bound.add(stmt.target.id)
+
+    def _add_class(self, file: SourceFile, node: ast.ClassDef) -> None:
+        info = ClassInfo(qualname=f"{file.module}.{node.name}",
+                         name=node.name, module=file.module,
+                         path=file.path, node=node)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = self._add_function(file, stmt, class_info=info)
+                info.methods[method.name] = method
+                for write in _self_attr_writes(stmt):
+                    info.attr_writes.setdefault(write.attr, []).append(write)
+                info.handler_kinds.update(_handler_kinds(stmt))
+        self.classes.setdefault(node.name, []).append(info)
+
+    def _add_function(self, file: SourceFile, node: FunctionNode,
+                      class_info: Optional[ClassInfo]) -> FunctionInfo:
+        if class_info is not None:
+            qualname = f"{class_info.qualname}.{node.name}"
+            class_name: Optional[str] = class_info.name
+        else:
+            qualname = f"{file.module}.{node.name}"
+            class_name = None
+        info = FunctionInfo(qualname=qualname, name=node.name,
+                            module=file.module, path=file.path, node=node,
+                            class_name=class_name,
+                            is_generator=is_generator(node))
+        self.functions.setdefault(node.name, []).append(info)
+        self.by_qualname[qualname] = info
+        return info
+
+    # -- queries ------------------------------------------------------------
+
+    def method(self, class_name: str, method_name: str) -> Optional[FunctionInfo]:
+        """The first definition of ``ClassName.method`` in the project."""
+        for info in self.classes.get(class_name, []):
+            method = info.methods.get(method_name)
+            if method is not None:
+                return method
+        return None
+
+    def resolve_call(self, module: str, callee: str,
+                     class_name: Optional[str] = None) -> Optional[FunctionInfo]:
+        """Best-effort resolution of a bare callee name at a call site.
+
+        Prefers a method of the caller's own class, then a function in
+        the caller's module, then a unique project-wide match.
+        """
+        if class_name is not None:
+            method = self.method(class_name, callee)
+            if method is not None:
+                return method
+        candidates = self.functions.get(callee, [])
+        same_module = [info for info in candidates if info.module == module
+                       and info.class_name is None]
+        if same_module:
+            return same_module[0]
+        free = [info for info in candidates if info.class_name is None]
+        if len(free) == 1:
+            return free[0]
+        return None
+
+    def generator_methods(self) -> List[Tuple[ClassInfo, FunctionInfo]]:
+        """Every generator method, in deterministic order."""
+        pairs: List[Tuple[ClassInfo, FunctionInfo]] = []
+        for name in sorted(self.classes):
+            for info in self.classes[name]:
+                for method_name in sorted(info.methods):
+                    method = info.methods[method_name]
+                    if method.is_generator:
+                        pairs.append((info, method))
+        return pairs

@@ -27,7 +27,7 @@ import ast
 import os
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Type
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
 from repro.analysis.base import Checker, SourceFile, all_checkers
 from repro.analysis.diagnostics import Diagnostic, Severity
@@ -127,6 +127,27 @@ class _Loaded:
 PARSE_CODE = "PARSE"
 
 
+def _load_path(path: str, respect_suppressions: bool) -> "_Loaded":
+    """Read and parse one file (raises on I/O or syntax errors)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    tree = ast.parse(source, filename=path)
+    module = module_name_for(path, source)
+    return _Loaded(
+        file=SourceFile(path=path, module=module, source=source,
+                        tree=tree, imports=ImportMap(tree, module)),
+        suppressions=(Suppressions.scan(source, tree)
+                      if respect_suppressions else None))
+
+
+def _parse_diagnostic(path: str, exc: Exception) -> Diagnostic:
+    line = getattr(exc, "lineno", None) or 1
+    return Diagnostic(
+        path=path, line=int(line), col=0, code=PARSE_CODE,
+        message=f"could not analyze file: {exc}",
+        severity=Severity.ERROR, checker="runner")
+
+
 def _run(loaded: Sequence[_Loaded],
          checker_types: Sequence[Type[Checker]],
          pre_diagnostics: Sequence[Diagnostic]) -> AnalysisReport:
@@ -158,32 +179,134 @@ def _run(loaded: Sequence[_Loaded],
     return report
 
 
+@dataclass
+class _FileOutcome:
+    """One file's worth of per-file analysis, as a worker returns it.
+
+    Everything here crosses the process boundary by pickle: the
+    ``_Loaded`` payload (source, AST, suppressions) so the parent can
+    feed project-level checkers, plus the already-filtered per-file
+    diagnostics and the suppression count they incurred.
+    """
+
+    loaded: Optional[_Loaded]
+    diagnostics: List[Diagnostic]
+    suppressed: int
+
+
+_ScanTask = Tuple[str, Tuple[Type[Checker], ...], bool]
+
+
+def _scan_one(task: _ScanTask) -> _FileOutcome:
+    """Pool-worker body: parse one file, run its per-file checks.
+
+    Project-level checks (``check_project``) are *not* run here — a
+    worker only ever sees its own shard, so whole-program checkers run
+    in the parent over the merged file set.  ``check_file`` calls on
+    project checkers still happen (their per-file diagnostics, if any,
+    belong to this file); the throwaway accumulation state dies with
+    the worker.
+    """
+    path, checker_types, respect_suppressions = task
+    try:
+        loaded = _load_path(path, respect_suppressions)
+    except (OSError, SyntaxError, ValueError) as exc:
+        return _FileOutcome(loaded=None,
+                            diagnostics=[_parse_diagnostic(path, exc)],
+                            suppressed=0)
+    diagnostics: List[Diagnostic] = []
+    suppressed = 0
+    for cls in checker_types:
+        checker = cls()
+        if not checker.applies_to(loaded.file.module):
+            continue
+        for diagnostic in checker.check_file(loaded.file):
+            if (loaded.suppressions is not None
+                    and loaded.suppressions.is_suppressed(diagnostic)):
+                suppressed += 1
+            else:
+                diagnostics.append(diagnostic)
+    return _FileOutcome(loaded=loaded, diagnostics=diagnostics,
+                        suppressed=suppressed)
+
+
+def _is_project_checker(cls: Type[Checker]) -> bool:
+    return cls.check_project is not Checker.check_project
+
+
+def _analyze_parallel(files: Sequence[str],
+                      checker_types: Sequence[Type[Checker]],
+                      respect_suppressions: bool,
+                      jobs: int) -> AnalysisReport:
+    """The sharded runner: per-file work in a pool, project checks here.
+
+    Output is byte-identical to the serial runner: results merge in
+    input order, project diagnostics pass through the same suppression
+    filter, and the final sort is the same ``sort_key`` sort.
+    """
+    from repro.harness.parallel import parallel_map
+
+    tasks: List[_ScanTask] = [
+        (path, tuple(checker_types), respect_suppressions)
+        for path in files]
+    outcomes = parallel_map(_scan_one, tasks, processes=jobs, chunksize=4)
+
+    report = AnalysisReport(files_analyzed=len(files))
+    loaded: List[_Loaded] = []
+    for outcome in outcomes:
+        report.diagnostics.extend(outcome.diagnostics)
+        report.suppressed += outcome.suppressed
+        if outcome.loaded is not None:
+            loaded.append(outcome.loaded)
+
+    by_path: Dict[str, Suppressions] = {
+        item.file.path: item.suppressions for item in loaded
+        if item.suppressions is not None}
+    for cls in checker_types:
+        if not _is_project_checker(cls):
+            continue
+        checker = cls()
+        for item in loaded:
+            if checker.applies_to(item.file.module):
+                # Re-feed for accumulation only; the per-file output of
+                # this checker was already emitted by the worker.
+                for _ in checker.check_file(item.file):
+                    pass
+        for diagnostic in checker.check_project():
+            suppressions = by_path.get(diagnostic.path)
+            if (suppressions is not None
+                    and suppressions.is_suppressed(diagnostic)):
+                report.suppressed += 1
+            else:
+                report.diagnostics.append(diagnostic)
+    report.diagnostics.sort(key=lambda d: d.sort_key)
+    return report
+
+
 def analyze_paths(paths: Sequence[str],
                   checkers: Optional[Sequence[Type[Checker]]] = None,
-                  respect_suppressions: bool = True) -> AnalysisReport:
-    """Analyze files and directories; the CLI's engine."""
+                  respect_suppressions: bool = True,
+                  jobs: int = 1) -> AnalysisReport:
+    """Analyze files and directories; the CLI's engine.
+
+    ``jobs > 1`` shards the parse + per-file checker work across a
+    worker pool (:mod:`repro.harness.parallel`); project-level checks
+    still run once, in this process, over the merged file set, so the
+    report is identical to the serial run.
+    """
     checker_types = (list(checkers) if checkers is not None
                      else list(all_checkers().values()))
+    files = list(iter_python_files(paths))
+    if jobs > 1 and len(files) > 1:
+        return _analyze_parallel(files, checker_types,
+                                 respect_suppressions, jobs)
     loaded: List[_Loaded] = []
     pre: List[Diagnostic] = []
-    for path in iter_python_files(paths):
+    for path in files:
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                source = handle.read()
-            tree = ast.parse(source, filename=path)
+            loaded.append(_load_path(path, respect_suppressions))
         except (OSError, SyntaxError, ValueError) as exc:
-            line = getattr(exc, "lineno", None) or 1
-            pre.append(Diagnostic(
-                path=path, line=int(line), col=0, code=PARSE_CODE,
-                message=f"could not analyze file: {exc}",
-                severity=Severity.ERROR, checker="runner"))
-            continue
-        module = module_name_for(path, source)
-        loaded.append(_Loaded(
-            file=SourceFile(path=path, module=module, source=source,
-                            tree=tree, imports=ImportMap(tree, module)),
-            suppressions=(Suppressions.scan(source)
-                          if respect_suppressions else None)))
+            pre.append(_parse_diagnostic(path, exc))
     report = _run(loaded, checker_types, pre)
     report.files_analyzed = len(loaded) + len(pre)
     return report
@@ -201,6 +324,6 @@ def analyze_source(source: str, path: str = "<memory>",
     loaded = _Loaded(
         file=SourceFile(path=path, module=resolved, source=source,
                         tree=tree, imports=ImportMap(tree, resolved)),
-        suppressions=(Suppressions.scan(source)
+        suppressions=(Suppressions.scan(source, tree)
                       if respect_suppressions else None))
     return _run([loaded], checker_types, []).diagnostics

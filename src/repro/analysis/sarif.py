@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 output (``--format sarif``).
+
+SARIF (Static Analysis Results Interchange Format) is the lingua
+franca of code-scanning UIs: GitHub's code-scanning upload, VS Code's
+SARIF viewer, and most CI annotators consume it directly.  One run of
+the analyzer becomes one ``run`` object whose ``tool.driver`` carries
+the full rule catalogue (so viewers can show rule help without a
+result present) and whose ``results`` list the surviving diagnostics.
+
+The output is deterministic: rules sort by id, results keep the
+runner's ``sort_key`` order, and the JSON serializes with sorted keys —
+two identical analyses produce byte-identical SARIF.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.analysis.base import all_checkers
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: ``Severity`` -> SARIF ``level``.
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_catalogue() -> List[Dict[str, Any]]:
+    """Every registered code as a SARIF ``reportingDescriptor``."""
+    rules: Dict[str, Dict[str, Any]] = {}
+    for checker_name, cls in all_checkers().items():
+        for code, description in cls.codes.items():
+            rules[code] = {
+                "id": code,
+                "shortDescription": {"text": description},
+                "properties": {"checker": checker_name},
+            }
+    # The runner's own parse-failure pseudo-rule.
+    rules["PARSE"] = {
+        "id": "PARSE",
+        "shortDescription": {"text": "file could not be parsed"},
+        "properties": {"checker": "runner"},
+    }
+    return [rules[code] for code in sorted(rules)]
+
+
+def _result(diagnostic: Diagnostic, rule_index: Dict[str, int]
+            ) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "ruleId": diagnostic.code,
+        "level": _LEVELS[diagnostic.severity],
+        "message": {"text": diagnostic.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": diagnostic.path.replace("\\", "/"),
+                },
+                "region": {
+                    "startLine": diagnostic.line,
+                    # SARIF columns are 1-based; ours are 0-based.
+                    "startColumn": diagnostic.col + 1,
+                },
+            },
+        }],
+    }
+    if diagnostic.code in rule_index:
+        entry["ruleIndex"] = rule_index[diagnostic.code]
+    return entry
+
+
+def render_sarif(diagnostics: Iterable[Diagnostic], *,
+                 files_analyzed: int = 0, suppressed: int = 0) -> str:
+    """The full SARIF log for one analysis run, as a JSON string."""
+    rules = _rule_catalogue()
+    rule_index = {rule["id"]: index for index, rule in enumerate(rules)}
+    log: Dict[str, Any] = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-analysis",
+                    "rules": rules,
+                },
+            },
+            "results": [_result(diag, rule_index) for diag in diagnostics],
+            "properties": {
+                "filesAnalyzed": files_analyzed,
+                "suppressed": suppressed,
+            },
+        }],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

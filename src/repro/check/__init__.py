@@ -15,6 +15,12 @@ Three pieces, composable separately or through the CLI
 See ``docs/testing.md`` for the event schema and workflow.
 """
 
+from repro.check.atomicity import (
+    AtomicityGuard,
+    AtomicityWitness,
+    GuardSpec,
+    default_guard,
+)
 from repro.check.events import History, HistoryEvent, Violation
 from repro.check.faults import FaultAction, FaultSchedule
 from repro.check.invariants import CHECKS, check_history
@@ -29,17 +35,21 @@ from repro.check.runner import (
 )
 
 __all__ = [
+    "AtomicityGuard",
+    "AtomicityWitness",
     "CHECKS",
     "CheckConfig",
     "CheckResult",
     "FaultAction",
     "FaultSchedule",
+    "GuardSpec",
     "History",
     "HistoryEvent",
     "HistoryRecorder",
     "ShrinkResult",
     "Violation",
     "check_history",
+    "default_guard",
     "fuzz_sweep",
     "run_check",
     "shrink",

@@ -105,11 +105,27 @@ def _cmd_fuzz(namespace: argparse.Namespace) -> int:
             print(f"... {checked}/{namespace.seeds} seeds clean",
                   flush=True)
 
+    witnesses = 0
+
+    def progress_with_witnesses(result: CheckResult) -> None:
+        nonlocal witnesses
+        witnesses += int(result.stats.get("atomicity_witnesses", 0.0))
+        progress(result)
+
     if namespace.jobs == 0:
         from repro.harness.parallel import default_pool_size
         namespace.jobs = default_pool_size()
-    failures = fuzz_sweep(seeds, base, on_result=progress,
-                          processes=namespace.jobs)
+    failures = fuzz_sweep(
+        seeds, base,
+        on_result=(progress_with_witnesses if namespace.atomicity
+                   else progress),
+        processes=namespace.jobs, atomicity=namespace.atomicity)
+    if namespace.atomicity:
+        # Witnesses are diagnostic, not failures: they show which
+        # guarded fields actually mutated across suspensions, the
+        # dynamic half of the static RACE workflow (docs/analysis.md).
+        print(f"atomicity: {witnesses} cross-yield mutation witness(es) "
+              f"on the guarded watchlist")
     if not failures:
         print(f"OK: {namespace.seeds} seeds, no invariant violations")
         return 0
@@ -181,6 +197,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     fuzz.add_argument("--jobs", type=int, default=1,
                       help="worker processes for the sweep "
                            "(0 = one per CPU; default %(default)s)")
+    fuzz.add_argument("--atomicity", action="store_true",
+                      help="install the yield-point atomicity sanitizer "
+                           "(repro.check.atomicity) in every run and "
+                           "report cross-yield mutation witnesses")
     _add_config_flags(fuzz)
     fuzz.set_defaults(handler=_cmd_fuzz)
 

@@ -18,6 +18,8 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.check.atomicity import AtomicityGuard, AtomicityWitness, \
+    default_guard
 from repro.check.events import History, Violation
 from repro.check.faults import KINDS, FaultSchedule
 from repro.check.invariants import check_history
@@ -76,6 +78,11 @@ class CheckResult:
     #: fuzz CLI saves these next to failing traces for Perfetto
     #: inspection.
     obs: Optional[Dict[str, object]] = None
+    #: Yield-point mutation witnesses when run with an
+    #: :class:`~repro.check.atomicity.AtomicityGuard` installed.
+    #: ``None`` means the guard was off; an empty list means it ran
+    #: and observed no cross-yield mutation of any guarded field.
+    atomicity: Optional[List[AtomicityWitness]] = None
 
     @property
     def ok(self) -> bool:
@@ -96,7 +103,8 @@ class CheckResult:
 
 def run_check(config: CheckConfig,
               schedule: Optional[FaultSchedule] = None,
-              observe: bool = False) -> CheckResult:
+              observe: bool = False,
+              atomicity: Optional[AtomicityGuard] = None) -> CheckResult:
     """One recorded, checked simulation run.
 
     Passing ``schedule`` replays/overrides the fault schedule (the
@@ -106,7 +114,10 @@ def run_check(config: CheckConfig,
     additionally installs a :class:`repro.obs.ObsSession` and returns
     its artifacts on ``CheckResult.obs`` — observability never
     perturbs the run (no rng draws, no trace events), so the history
-    digest is identical either way.
+    digest is identical either way.  Passing an ``atomicity`` guard
+    installs the yield-point sanitizer under the same contract
+    (observation-only, digest-identical) and returns its witnesses on
+    ``CheckResult.atomicity``.
     """
     env = Environment()
     obs_session = None
@@ -114,6 +125,8 @@ def run_check(config: CheckConfig,
         from repro.obs import ObsSession
         obs_session = ObsSession()
         obs_session.install(env)
+    if atomicity is not None:
+        atomicity.install(env)
     streams = RandomStreams(seed=config.seed)
     topology = uniform_topology(config.n_datacenters,
                                 one_way_ms=config.one_way_ms,
@@ -169,6 +182,10 @@ def run_check(config: CheckConfig,
         obs_session.detach(env)
         obs_artifacts = obs_session.artifacts(meta={
             "source": "check", "seed": config.seed})
+    witnesses = None
+    if atomicity is not None:
+        atomicity.detach(env)
+        witnesses = list(atomicity.witnesses)
 
     violations = check_history(history)
     stats = {
@@ -180,9 +197,11 @@ def run_check(config: CheckConfig,
         "msgs_sent": float(cluster.transport.sent),
         "msgs_dropped": float(cluster.transport.dropped),
     }
+    if witnesses is not None:
+        stats["atomicity_witnesses"] = float(len(witnesses))
     return CheckResult(config=config, schedule=schedule, history=history,
                        violations=violations, stats=stats,
-                       obs=obs_artifacts)
+                       obs=obs_artifacts, atomicity=witnesses)
 
 
 def _run_seed(config: CheckConfig) -> CheckResult:
@@ -190,9 +209,15 @@ def _run_seed(config: CheckConfig) -> CheckResult:
     return run_check(config)
 
 
+def _run_seed_guarded(config: CheckConfig) -> CheckResult:
+    """Like :func:`_run_seed` with the default atomicity watchlist."""
+    return run_check(config, atomicity=default_guard())
+
+
 def fuzz_sweep(seeds: Sequence[int], base: Optional[CheckConfig] = None,
                on_result: Optional[Callable[[CheckResult], None]] = None,
                processes: int = 1,
+               atomicity: bool = False,
                ) -> List[CheckResult]:
     """Run every seed; returns the failing results (empty = all clean).
 
@@ -200,12 +225,16 @@ def fuzz_sweep(seeds: Sequence[int], base: Optional[CheckConfig] = None,
     :mod:`repro.harness.parallel`); results — and ``on_result`` calls —
     still arrive in seed order, identical to the serial sweep, because
     each seed's run is a pure function of its config.
+    ``atomicity=True`` installs the default yield-point sanitizer
+    watchlist in every run (each worker gets a fresh guard); witness
+    counts land on ``CheckResult.stats['atomicity_witnesses']``.
     """
     from repro.harness.parallel import parallel_map
 
     base = base if base is not None else CheckConfig()
     configs = [dataclasses.replace(base, seed=seed) for seed in seeds]
-    results = parallel_map(_run_seed, configs, processes=processes,
+    worker = _run_seed_guarded if atomicity else _run_seed
+    results = parallel_map(worker, configs, processes=processes,
                            on_result=on_result)
     return [result for result in results if not result.ok]
 

@@ -339,7 +339,7 @@ class Environment:
     """
 
     __slots__ = ("_now", "_queue", "_eid", "_active_process", "tracer",
-                 "metrics", "spans")
+                 "metrics", "spans", "process_wrapper")
 
     PRIORITY_URGENT = 0
     PRIORITY_NORMAL = 1
@@ -364,6 +364,14 @@ class Environment:
         #: ``is not None`` check, verified by the ``obs`` perf bench.
         self.metrics: Optional[Any] = None
         self.spans: Optional[Any] = None
+        #: Optional generator wrapper applied once per
+        #: :meth:`process` call, same zero-cost contract as the hooks
+        #: above (one ``is not None`` check at process creation, never
+        #: in the event loop).  The atomicity sanitizer
+        #: (``repro.check.atomicity``) uses it to interpose yield-point
+        #: snapshots without the kernel importing that package.
+        self.process_wrapper: Optional[
+            Callable[[Generator], Generator]] = None
 
     @property
     def now(self) -> float:
@@ -397,6 +405,9 @@ class Environment:
 
     def process(self, generator: Generator) -> Process:
         """Start a new process driving ``generator``."""
+        wrapper = self.process_wrapper
+        if wrapper is not None:
+            generator = wrapper(generator)
         return Process(self, generator)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:

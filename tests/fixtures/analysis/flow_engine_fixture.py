@@ -1,0 +1,63 @@
+# repro: module=repro.mdcc.fixture_engine
+"""Engine-internals corpus: call-graph edges, CFG shapes, recursion.
+
+No ``expect[...]`` markers — this file feeds the symbol-table,
+call-graph, CFG, and dataflow unit tests in ``test_analysis_flow.py``,
+which assert on graph structure rather than diagnostics.
+"""
+
+
+class Service:
+    def __init__(self, env, endpoint):
+        self.env = env
+        self.endpoint = endpoint
+        self.jobs = []
+        endpoint.on("submit", self._on_submit)
+        endpoint.on("drain", self._on_drain)
+        env.process(self._serve())
+
+    def _on_submit(self, msg):
+        self.jobs.append(msg)
+
+    def _on_drain(self, msg):
+        self.jobs.clear()
+
+    def _serve(self):
+        while True:
+            yield self.env.timeout(1)
+            self._flush()
+
+    def _flush(self):
+        self.endpoint.cast("peer", "submit", None)
+        self.endpoint.call("peer", "drain", None)
+
+
+def loop_with_finally(env, items):
+    for item in items:
+        try:
+            yield env.timeout(item)
+        except ValueError:
+            item = 0
+        finally:
+            record(item)
+    while items:
+        items = items[1:]
+        yield env.timeout(1)
+
+
+def record(item):
+    return item
+
+
+def countdown(n):
+    if n <= 0:
+        return 0
+    return countdown(n - 1)
+
+
+def mutual_a(n):
+    return mutual_b(n - 1) if n else 0
+
+
+def mutual_b(n):
+    return mutual_a(n - 1) if n else 1

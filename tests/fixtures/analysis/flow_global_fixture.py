@@ -1,0 +1,54 @@
+# repro: module=repro.core.fixture_global
+"""FLOW001 corpus: Environment/RNG handles escaping into global state.
+
+True positives store a per-run handle (an ``Environment``, a
+``RandomStreams``, or a stream drawn from one) at module scope, via a
+``global`` rebind, or into a module-level container — including
+through a helper whose return value is tainted.  Near-miss negatives
+keep handles on instances or store run-scoped plain data.
+"""
+
+from repro.sim.kernel import Environment
+from repro.sim.rng import RandomStreams
+
+SHARED_ENV = Environment()  # expect[FLOW001]
+_CACHE = {}
+_RESULTS = []
+_LIMIT = 32
+
+
+def make_streams():
+    return RandomStreams(seed=7)
+
+
+def remember(env, name):
+    _CACHE[name] = env  # expect[FLOW001]
+
+
+def remember_stream(streams, name):
+    stream = streams.get(name)
+    _RESULTS.append(stream)  # expect[FLOW001]
+
+
+def promote(env):
+    global SHARED_ENV
+    SHARED_ENV = env  # expect[FLOW001]
+
+
+def remember_indirect(name):
+    handle = make_streams()
+    _CACHE[name] = handle  # expect[FLOW001]
+
+
+def remember_result(env, name):
+    _CACHE[name] = env.now  # negative: plain data, not the handle
+
+
+def local_use(env):
+    streams = RandomStreams(seed=1)  # negative: stays function-local
+    return streams.get("workload").random() + env.now
+
+
+class Holder:
+    def __init__(self, env):
+        self.env = env  # negative: instance state dies with the run

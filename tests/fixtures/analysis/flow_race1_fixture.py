@@ -1,0 +1,78 @@
+# repro: module=repro.mdcc.fixture_race1
+"""RACE001 corpus: stale ``self.*`` snapshots across yield points.
+
+True positives cache shared state in a local before a yield and use
+the local after it while another method (an RPC handler) mutates the
+same attribute.  Near-miss negatives document the escapes: re-reading
+after the yield, attributes nobody else writes, and methods the kernel
+never interleaves.
+"""
+
+
+class Coordinator:
+    def __init__(self, env, endpoint):
+        self.env = env
+        self.endpoint = endpoint
+        self.pending = {}
+        self.ballot = 0
+        self.quiet = 0
+        endpoint.on("vote", self._on_vote)
+        env.process(self._commit_loop())
+        env.process(self._fresh_loop())
+
+    def _on_vote(self, msg):
+        self.pending[msg.txn] = msg
+        self.ballot += 1
+
+    def _commit_loop(self):
+        while True:
+            batch = self.pending
+            ballot = self.ballot
+            yield self.env.timeout(1)
+            for txn in batch:  # expect[RACE001]
+                self._apply(txn)
+            self._seal(ballot)  # expect[RACE001]
+
+    def _apply(self, txn):
+        self.endpoint.cast("peer", "vote", txn)
+        return txn
+
+    def _seal(self, ballot):
+        return ballot
+
+    def _fresh_loop(self):
+        while True:
+            batch = self.pending
+            yield self.env.timeout(1)
+            batch = self.pending  # negative: re-read after the yield
+            for txn in batch:
+                self._apply(txn)
+
+    def _private_loop(self):
+        while True:
+            quiet = self.quiet  # negative: no other method writes quiet
+            yield self.env.timeout(1)
+            self._seal(quiet)
+
+    def _pre_yield_only(self):
+        batch = self.pending
+        for txn in batch:  # negative: use happens before the yield
+            self._apply(txn)
+        yield self.env.timeout(1)
+
+
+class OfflineReport:
+    """Negative: never spawned as a process, registers no handlers —
+    the kernel cannot interleave anything while it runs."""
+
+    def __init__(self, rows):
+        self.rows = rows
+
+    def _render(self):
+        rows = self.rows
+        yield "header"
+        for row in rows:
+            yield row
+
+    def _mutate(self, row):
+        self.rows.append(row)

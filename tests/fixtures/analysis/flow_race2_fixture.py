@@ -1,0 +1,54 @@
+# repro: module=repro.mdcc.fixture_race2
+"""RACE002 corpus: check-then-act across a yield.
+
+True positives test a guard on shared ``self.*`` state, suspend at a
+yield inside the guarded branch, then mutate the guarded attribute
+without re-checking.  Near-miss negatives re-check after resuming,
+mutate before yielding, or guard state nobody else writes.
+"""
+
+
+class Registrar:
+    def __init__(self, env, endpoint):
+        self.env = env
+        self.endpoint = endpoint
+        self.leases = {}
+        self.epoch = 0
+        self.local_only = 0
+        endpoint.on("expire", self._on_expire)
+        env.process(self._grant_loop())
+
+    def _on_expire(self, msg):
+        self.leases.pop(msg.key, None)
+        self.epoch += 1
+
+    def _evict(self, key):
+        self.endpoint.cast("peer", "expire", key)
+
+    def _grant_loop(self):
+        while True:
+            if self.leases:
+                yield self.env.timeout(1)
+                self.leases.clear()  # expect[RACE002]
+            yield self.env.timeout(1)
+
+    def _bump_epoch(self):
+        if self.epoch == 0:
+            yield self.env.timeout(1)
+            self.epoch = 1  # expect[RACE002]
+
+    def _rechecked(self):
+        if self.leases:
+            yield self.env.timeout(1)
+            if self.leases:  # negative: guard re-checked after resume
+                self.leases.clear()
+
+    def _act_before_yield(self):
+        if self.leases:
+            self.leases.clear()  # negative: mutation precedes the yield
+            yield self.env.timeout(1)
+
+    def _unshared_guard(self):
+        if self.local_only == 0:
+            yield self.env.timeout(1)
+            self.local_only = 1  # negative: nobody else writes local_only

@@ -1,0 +1,64 @@
+# repro: module=repro.sim.fixture_suppress_scope
+"""Suppression scoping: decorator/def aliasing and function scope.
+
+Three mechanisms under test, each paired with a near-miss that must
+still fire:
+
+- an ``allow[...]`` on a decorator line covers a diagnostic anchored
+  at the ``def`` line (RNG004 anchors its finding inside the default
+  argument, i.e. on the ``def`` line itself);
+- an ``allow[...]`` on the ``def`` line covers a diagnostic anchored
+  at a decorator line (DET001 inside a decorator argument);
+- ``allow-fn[...]`` covers every line of the function body, but only
+  for the listed code and only inside that function's span.
+"""
+
+import random
+import time
+
+
+def tagged(label):
+    def wrap(fn):
+        return fn
+    return wrap
+
+
+# -- decorator-line marker, def-line diagnostic ------------------------------
+
+
+@tagged("rng")  # repro: allow[RNG004]
+def seeded_default(rng=random.Random(7)):
+    return rng.getstate()
+
+
+# -- def-line marker, decorator-line diagnostic ------------------------------
+
+
+@tagged(time.time())
+def stamped():  # repro: allow[DET001]
+    return 0
+
+
+# -- function-scope suppression ----------------------------------------------
+
+
+def bulk_scope():  # repro: allow-fn[DET001]
+    first = time.time()
+    second = time.time()
+    return first - second
+
+
+# -- near-misses: these must still fire --------------------------------------
+
+
+@tagged("miss")
+def unsuppressed_default(rng=random.Random(9)):  # expect[RNG004]
+    return rng.getstate()
+
+
+def wrong_code():  # repro: allow-fn[RNG002]
+    return time.time()  # expect[DET001]
+
+
+def outside_span():
+    return time.time()  # expect[DET001]

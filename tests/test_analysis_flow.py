@@ -1,0 +1,193 @@
+"""Flow-engine internals: symbols, call graph, CFG, dataflow solver.
+
+These tests assert on graph *structure* over the engine fixture —
+edge kinds the simulator needs (process spawns, RPC registration
+stitched to send sites), yield-boundary placement in CFGs under
+``try/finally`` and loops, and worklist convergence on recursive and
+cyclic inputs.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.base import SourceFile
+from repro.analysis.names import ImportMap
+from repro.analysis.flow import (
+    FlowEngine,
+    ReachingDefinitions,
+    build_cfg,
+    solve_forward,
+)
+
+FIXTURE = (Path(__file__).resolve().parent / "fixtures" / "analysis"
+           / "flow_engine_fixture.py")
+MODULE = "repro.mdcc.fixture_engine"
+
+
+@pytest.fixture(scope="module")
+def engine():
+    source = FIXTURE.read_text(encoding="utf-8")
+    tree = ast.parse(source)
+    file = SourceFile(path=str(FIXTURE), module=MODULE, source=source,
+                      tree=tree, imports=ImportMap(tree, MODULE))
+    return FlowEngine([file])
+
+
+# -- symbol table -----------------------------------------------------------
+
+
+def test_symbol_table_indexes_methods_and_functions(engine):
+    table = engine.symbols
+    assert f"{MODULE}.Service._serve" in table.by_qualname
+    assert f"{MODULE}.countdown" in table.by_qualname
+    serve = table.by_qualname[f"{MODULE}.Service._serve"]
+    assert serve.is_method and serve.is_generator
+    assert table.by_qualname[f"{MODULE}.record"].class_name is None
+
+
+def test_attribute_write_index_excludes_init(engine):
+    (service,) = engine.symbols.classes["Service"]
+    writers = service.writes_outside("jobs", "_serve")
+    assert {w.method for w in writers} == {"_on_submit", "_on_drain"}
+    assert {w.kind for w in writers} == {"mutate"}
+    # __init__'s `self.jobs = []` runs before any process is scheduled.
+    assert all(w.method != "__init__" for w in writers)
+
+
+def test_handler_kinds_collected(engine):
+    (service,) = engine.symbols.classes["Service"]
+    assert service.handler_kinds == {"submit", "drain"}
+
+
+# -- call graph -------------------------------------------------------------
+
+
+def test_env_process_edge(engine):
+    graph = engine.callgraph
+    assert graph.is_process_root(f"{MODULE}.Service._serve")
+    edges = [e for e in graph.callers(f"{MODULE}.Service._serve")
+             if e.kind == "process"]
+    assert edges and edges[0].caller == f"{MODULE}.Service.__init__"
+
+
+def test_rpc_registration_stitched_to_send_sites(engine):
+    graph = engine.callgraph
+    assert graph.handlers["submit"] == {f"{MODULE}.Service._on_submit"}
+    assert graph.handlers["drain"] == {f"{MODULE}.Service._on_drain"}
+    rpc = {(e.caller, e.callee) for e in graph.edges if e.kind == "rpc"}
+    # _flush sends both kinds; each send fans out to its handler.
+    assert (f"{MODULE}.Service._flush",
+            f"{MODULE}.Service._on_submit") in rpc
+    assert (f"{MODULE}.Service._flush",
+            f"{MODULE}.Service._on_drain") in rpc
+
+
+def test_transitive_reachability_through_process(engine):
+    graph = engine.callgraph
+    reachable = graph.reachable_from(f"{MODULE}.Service._serve")
+    # _serve -> _flush -> (rpc) -> handlers
+    assert f"{MODULE}.Service._flush" in reachable
+    assert f"{MODULE}.Service._on_submit" in reachable
+
+
+# -- CFG --------------------------------------------------------------------
+
+
+def _cfg_for(engine, qualname):
+    return engine.cfg(engine.symbols.by_qualname[qualname])
+
+
+def test_cfg_marks_yields_in_try_and_loops(engine):
+    cfg = _cfg_for(engine, f"{MODULE}.loop_with_finally")
+    yield_lines = sorted(node.line for node in cfg.yield_nodes())
+    source_lines = FIXTURE.read_text().splitlines()
+    for line in yield_lines:
+        assert "yield" in source_lines[line - 1]
+    assert len(yield_lines) == 2
+    # The for/while headers are NOT yield points: only the yield
+    # statements inside their bodies suspend the frame.
+    headers = [n for n in cfg.nodes
+               if isinstance(n.stmt, (ast.For, ast.While))]
+    assert headers and all(not n.is_yield for n in headers)
+
+
+def test_cfg_try_finally_edges(engine):
+    cfg = _cfg_for(engine, f"{MODULE}.loop_with_finally")
+    (try_yield,) = [n for n in cfg.yield_nodes()
+                    if any(isinstance(p.stmt, ast.For)
+                           for p in (cfg.nodes[i] for i in n.preds))]
+    succ_stmts = [cfg.nodes[i].stmt for i in try_yield.succs]
+    # The yield inside try must reach both the except handler (raise
+    # path) and, conservatively, the finally body.
+    lines = {getattr(s, "lineno", None) for s in succ_stmts}
+    assert len(try_yield.succs) >= 2
+    source_lines = FIXTURE.read_text().splitlines()
+    reached = {source_lines[line - 1].strip()
+               for line in lines if line is not None}
+    assert any("item = 0" in text or "record" in text for text in reached)
+
+
+def test_cfg_loop_back_edges(engine):
+    cfg = _cfg_for(engine, f"{MODULE}.loop_with_finally")
+    loop_headers = [n for n in cfg.nodes
+                    if isinstance(n.stmt, (ast.For, ast.While))]
+    for header in loop_headers:
+        # Some body node flows back to the header.
+        assert any(header.index in cfg.nodes[p].succs
+                   for p in header.preds
+                   if cfg.nodes[p].line > header.line), (
+            f"no back-edge into {header.label}")
+
+
+def test_cfg_rpo_starts_at_entry(engine):
+    cfg = _cfg_for(engine, f"{MODULE}.Service._serve")
+    order = cfg.rpo()
+    assert order[0] == cfg.ENTRY
+    assert set(order) >= {n.index for n in cfg.nodes if n.preds or n.succs}
+
+
+# -- dataflow ----------------------------------------------------------------
+
+
+def test_reaching_definitions_on_straight_line():
+    source = ("def f(a):\n"
+              "    b = a\n"
+              "    b = 2\n"
+              "    return b\n")
+    fn = ast.parse(source).body[0]
+    cfg = build_cfg(fn)
+    result = solve_forward(cfg, ReachingDefinitions())
+    exit_in = result.in_states[cfg.EXIT]
+    # The second binding of b kills the first.
+    assert ("b", 3) in exit_in and ("b", 2) not in exit_in
+    assert ("a", 1) in exit_in
+
+
+def test_dataflow_converges_on_loops(engine):
+    cfg = _cfg_for(engine, f"{MODULE}.loop_with_finally")
+    result = solve_forward(cfg, ReachingDefinitions())
+    # Fixpoint must terminate well below the safety valve, and the
+    # loop-carried rebinding of `items` must merge both definitions
+    # at the while header.
+    assert result.iterations < 200
+    while_header = next(n for n in cfg.nodes
+                        if isinstance(n.stmt, ast.While))
+    items_defs = {d for d in result.at(while_header) if d[0] == "items"}
+    assert len(items_defs) >= 2
+
+
+def test_dataflow_converges_on_recursive_functions(engine):
+    # Recursion cycles live in the call graph, not any single CFG; the
+    # per-function solve must still converge for every function in the
+    # recursive clique.
+    for name in ("countdown", "mutual_a", "mutual_b"):
+        cfg = _cfg_for(engine, f"{MODULE}.{name}")
+        result = solve_forward(cfg, ReachingDefinitions())
+        assert result.iterations <= 3 * len(cfg.nodes) + 3
+    graph = engine.callgraph
+    assert f"{MODULE}.countdown" in graph.reachable_from(
+        f"{MODULE}.countdown")
+    assert f"{MODULE}.mutual_a" in graph.reachable_from(
+        f"{MODULE}.mutual_b")

@@ -41,6 +41,42 @@ def test_file_level_suppression_filters_one_code():
     assert report.suppressed == 1
 
 
+def test_suppression_scope_decorator_def_alias_and_fn():
+    # The fixture's expect markers pin the three findings that must
+    # survive; the suppressed count pins the four that must not:
+    # RNG004 via a decorator-line allow, DET001 via a def-line allow,
+    # and two DET001s under one allow-fn.
+    path = str(FIXTURES / "suppress_scope_fixture.py")
+    report = analyze_paths([path])
+    assert [d.code for d in report.diagnostics] == [
+        "RNG004", "DET001", "DET001"]
+    assert report.suppressed == 4
+
+
+def test_suppression_scope_no_suppress_reveals_all():
+    path = str(FIXTURES / "suppress_scope_fixture.py")
+    report = analyze_paths([path], respect_suppressions=False)
+    assert sorted(d.code for d in report.diagnostics) == (
+        ["DET001"] * 5 + ["RNG004"] * 2)
+    assert report.suppressed == 0
+
+
+def test_allow_fn_degrades_to_line_scope_without_a_tree():
+    from repro.analysis.diagnostics import Diagnostic
+    from repro.analysis.suppressions import Suppressions
+
+    # Unparseable source: the marker still covers its own line, but
+    # cannot grow to a function span.
+    source = "def broken(:\n    x = 1  # repro: allow-fn[DET001]\n"
+    scanned = Suppressions.scan(source)
+    on_line = Diagnostic(path="f.py", line=2, col=0, code="DET001",
+                         message="m")
+    off_line = Diagnostic(path="f.py", line=1, col=0, code="DET001",
+                          message="m")
+    assert scanned.is_suppressed(on_line)
+    assert not scanned.is_suppressed(off_line)
+
+
 # -- module naming and scoping -----------------------------------------------
 
 
@@ -73,6 +109,35 @@ def test_syntax_errors_reported_not_raised():
     report = analyze_paths([str(FIXTURES / "syntax_error_fixture.py")])
     (diag,) = report.diagnostics
     assert diag.code == "PARSE"
+
+
+# -- parallel runner ----------------------------------------------------------
+
+
+def test_parallel_analysis_identical_to_serial():
+    # The fixture corpus has findings from most checkers plus a parse
+    # failure, so this pins diagnostics, ordering, suppressed count,
+    # and file count across the sharded path.
+    paths = [str(FIXTURES)]
+    serial = analyze_paths(paths, jobs=1)
+    parallel = analyze_paths(paths, jobs=2)
+    assert ([d.to_dict() for d in parallel.diagnostics]
+            == [d.to_dict() for d in serial.diagnostics])
+    assert parallel.files_analyzed == serial.files_analyzed
+    assert parallel.suppressed == serial.suppressed
+    assert serial.diagnostics  # the comparison is not vacuous
+
+
+def test_parallel_full_sweep_clean_within_time_bound():
+    import time as _time
+
+    start = _time.monotonic()
+    report = analyze_paths([str(ROOT / "src")], jobs=2)
+    elapsed = _time.monotonic() - start
+    assert report.ok
+    # Generous smoke bound: the sharded sweep of src/ must stay well
+    # under interactive-CI scale even on a loaded single-core runner.
+    assert elapsed < 120.0
 
 
 # -- CLI ------------------------------------------------------------------------
@@ -115,6 +180,35 @@ def test_cli_json_format(capsys):
     finding = payload["findings"][0]
     assert {"path", "line", "col", "code", "severity",
             "message", "checker"} <= set(finding)
+
+
+def test_cli_sarif_format(capsys):
+    assert main(["--format", "sarif",
+                 str(FIXTURES / "det_wall_clock.py")]) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-analysis"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    for code in ("DET001", "RNG004", "RACE001", "RACE002", "FLOW001",
+                 "PARSE"):
+        assert code in rule_ids
+    assert run["results"], "wall-clock fixture must produce results"
+    result = run["results"][0]
+    assert result["ruleId"].startswith("DET")
+    assert result["level"] == "error"
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] >= 1 and region["startColumn"] >= 1
+    assert driver["rules"][result["ruleIndex"]]["id"] == result["ruleId"]
+
+
+def test_cli_jobs_flag(capsys):
+    assert main(["--jobs", "2", str(FIXTURES / "det_wall_clock.py"),
+                 str(FIXTURES / "suppress_fixture.py")]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out
 
 
 def test_cli_module_entry_point():
