@@ -45,16 +45,29 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
                         help="fault actions per run (default %(default)s)")
     parser.add_argument("--fault-kinds", type=str, default=None,
                         help="comma-separated subset of fault kinds "
-                             "(default: all)")
+                             "(default: all classic kinds; fast mode "
+                             "adds 'collide')")
+    parser.add_argument("--mode", choices=("classic", "fast"),
+                        default=defaults.mode,
+                        help="protocol mode for every run "
+                             "(default %(default)s)")
 
 
 def _config_from(namespace: argparse.Namespace, seed: int) -> CheckConfig:
-    kinds = (tuple(namespace.fault_kinds.split(","))
-             if namespace.fault_kinds else CheckConfig().fault_kinds)
+    if namespace.fault_kinds:
+        kinds = tuple(namespace.fault_kinds.split(","))
+    elif namespace.mode == "fast":
+        # Fast-mode sweeps get the concurrent-proposer generator so
+        # collisions and classic fallbacks are actually exercised.
+        from repro.check.faults import FAST_KINDS
+        kinds = FAST_KINDS
+    else:
+        kinds = CheckConfig().fault_kinds
     return CheckConfig(seed=seed, n_datacenters=namespace.dcs,
                        partitions_per_dc=namespace.partitions,
                        n_items=namespace.items, n_txns=namespace.txns,
-                       n_faults=namespace.faults, fault_kinds=kinds)
+                       n_faults=namespace.faults, fault_kinds=kinds,
+                       mode=namespace.mode)
 
 
 def _save_trace(directory: str, result: CheckResult) -> str:
@@ -161,6 +174,10 @@ def _cmd_replay(namespace: argparse.Namespace) -> int:
           f"{int(result.stats['aborted'])} aborted), "
           f"{int(result.stats['events'])} events over "
           f"{result.stats['virtual_ms']:.0f} virtual ms")
+    if "fast_chosen" in result.stats:
+        print(f"fast path: {int(result.stats['fast_chosen'])} fast-learned, "
+              f"{int(result.stats['fallbacks'])} fallback(s) "
+              f"({int(result.stats['collisions'])} collision(s))")
     print(f"history digest: {result.history.digest()}")
     print("fault schedule:")
     print(result.schedule.describe())

@@ -14,17 +14,30 @@ Supported kinds and their ``args``:
 ``partition``  ``dc_a, dc_b`` — full bidirectional cut window
 ``crash``      ``address`` — fail-stop node outage window (state kept)
 ``transfer``   ``key, new_dc`` — instant mastership takeover attempt
+``collide``    ``key, n_proposers`` — concurrent one-shot proposers
+               racing the same record from distinct data centers (the
+               fast-ballot collision generator; harmless noise under
+               classic mode)
 """
 
 from __future__ import annotations
+
+import itertools
 
 from dataclasses import dataclass, field
 from random import Random
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.mdcc.cluster import Cluster
+from repro.storage.record import Update, WriteOp
 
 KINDS = ("drop", "spike", "partition", "crash", "transfer")
+
+#: The extended palette for fast-mode fuzzing.  ``collide`` is *not* in
+#: the default KINDS: schedule sampling draws ``rng.randrange(len(kinds))``,
+#: so growing the default palette would shift every classic golden
+#: digest.  Fast-mode runs opt in explicitly.
+FAST_KINDS = KINDS + ("collide",)
 
 
 @dataclass(frozen=True)
@@ -50,8 +63,10 @@ class FaultSchedule:
     def __init__(self, actions: Sequence[FaultAction] = ()):
         self.actions = list(actions)
         for action in self.actions:
-            if action.kind not in KINDS:
+            if action.kind not in FAST_KINDS:
                 raise ValueError(f"unknown fault kind {action.kind!r}")
+        # Distinguishes the colliders of repeated apply() calls.
+        self._collider_ids = itertools.count(1)
 
     def __len__(self) -> int:
         return len(self.actions)
@@ -113,6 +128,12 @@ class FaultSchedule:
                 key = keys[rng.randrange(len(keys))]
                 actions.append(FaultAction(at_ms, "transfer", None, {
                     "key": key, "new_dc": rng.randrange(n_datacenters)}))
+            elif kind == "collide":
+                key = keys[rng.randrange(len(keys))]
+                n_proposers = 2 + rng.randrange(
+                    min(2, max(1, n_datacenters - 1)))
+                actions.append(FaultAction(at_ms, "collide", None, {
+                    "key": key, "n_proposers": n_proposers}))
             else:
                 raise ValueError(f"unknown fault kind {kind!r}")
         actions.sort(key=lambda action: (action.at_ms, action.kind))
@@ -152,3 +173,17 @@ class FaultSchedule:
             # Fire-and-forget: a contested takeover may legitimately
             # fail; the invariants must hold either way.
             cluster.transfer_mastership(args["key"], args["new_dc"])
+        elif action.kind == "collide":
+            # Simultaneous proposers on one record from distinct DCs.
+            # Under fast mode their fast rounds race each other (and
+            # the workload) at the acceptors, scattering the value
+            # across instances — the collision the record master must
+            # recover from.  Under classic mode they serialize at the
+            # leader and are just extra load.
+            batch = next(self._collider_ids)
+            n_dcs = len(cluster.topology)
+            for i in range(args["n_proposers"]):
+                tm = cluster.create_client(
+                    f"collider-{batch}-{i}", datacenter=i % n_dcs)
+                tm.begin([WriteOp(args["key"],
+                                  Update.delta(-1, floor=0))])

@@ -25,6 +25,17 @@ run against.  The catalogue:
     transfers the fuzzer injects).
 ``CHK006`` version monotonicity — the visible version sequence of a
     record at one replica only moves forward.
+``CHK007`` fast-quorum soundness — every fast-learned verdict is backed
+    by at least ⌈3N/4⌉ acceptors fast-voting the same value and verdict
+    at the same instance.
+``CHK008`` collision-recovery safety — at most one value is chosen per
+    (key, instance) across fast and classic ballots: a classic recovery
+    never chooses a value different from one a fast quorum already
+    chose at that instance.
+``CHK009`` mode-transition monotonicity — per (transaction, key) the
+    fast round moves one way: proposed, then at most one of
+    fast-chosen or fallback-to-classic, and never fast again after
+    either terminal.
 """
 
 from __future__ import annotations
@@ -32,8 +43,13 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.check.events import History, Violation
+from repro.paxos.ballot import FAST_PROPOSER
 
 BallotKey = Tuple[int, str]
+
+
+def _is_fast(ballot: Optional[BallotKey]) -> bool:
+    return ballot is not None and ballot[1] == FAST_PROPOSER
 
 
 def _fmt_ballot(ballot: Optional[BallotKey]) -> str:
@@ -111,6 +127,12 @@ def check_unique_chosen(history: History) -> List[Violation]:
     chosen: Dict[Tuple[str, int, BallotKey], Tuple[str, int]] = {}
     for index, event in enumerate(history):
         if event.etype != "phase2b" or not event.get("accepted"):
+            continue
+        if _is_fast(event.get("ballot")):
+            # Concurrent fast proposers may legitimately place different
+            # values at the same instance on different acceptors (that
+            # is precisely a collision); uniqueness of fast-*chosen*
+            # values is CHK008's job.
             continue
         instance = (event.get("key"), event.get("seq"), event.get("ballot"))
         txid = event.get("txid")
@@ -302,6 +324,129 @@ def check_version_monotonic(history: History) -> List[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# CHK007: fast-quorum soundness
+# ---------------------------------------------------------------------------
+
+def check_fast_quorum(history: History) -> List[Violation]:
+    violations: List[Violation] = []
+    fast_quorum = history.meta().get("fast_quorum")
+    if fast_quorum is None:
+        return violations  # classic run or hand-built history
+    # (key, seq, txid, decision) -> {acceptor node: first vote index}
+    votes: Dict[Tuple[str, int, str, str], Dict[str, int]] = {}
+    for index, event in enumerate(history):
+        if event.etype == "phase2b":
+            if event.get("accepted") and _is_fast(event.get("ballot")):
+                slot = (event.get("key"), event.get("seq"),
+                        event.get("txid"), event.get("decision"))
+                votes.setdefault(slot, {}).setdefault(event.node, index)
+        elif event.etype == "fast_chosen":
+            slot = (event.get("key"), event.get("seq"),
+                    event.get("txid"), event.get("decision"))
+            voters = votes.get(slot, {})
+            if len(voters) < fast_quorum:
+                evidence = tuple([index] + sorted(voters.values()))
+                violations.append(Violation(
+                    "CHK007", event.get("txid"),
+                    f"fast-learned {event.get('decision')!r} for "
+                    f"{event.get('key')!r}@{event.get('seq')} backed by "
+                    f"{len(voters)} fast vote(s) — fast quorum is "
+                    f"{fast_quorum}", evidence=evidence))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# CHK008: one value chosen per (key, seq) across fast and classic ballots
+# ---------------------------------------------------------------------------
+
+def check_collision_safety(history: History) -> List[Violation]:
+    violations: List[Violation] = []
+    meta = history.meta()
+    quorum = meta.get("quorum")
+    fast_quorum = meta.get("fast_quorum")
+    # (key, seq) -> (txid, index where chosen, "fast" | "classic")
+    chosen: Dict[Tuple[str, int], Tuple[str, int, str]] = {}
+    # (key, seq, ballot, txid) -> {acceptor node: first accept index}
+    accepts: Dict[Tuple[str, int, BallotKey, str], Dict[str, int]] = {}
+
+    def record_chosen(key: str, seq: int, txid: str, index: int,
+                      how: str) -> None:
+        current = chosen.get((key, seq))
+        if current is None:
+            chosen[(key, seq)] = (txid, index, how)
+        elif current[0] != txid and "fast" in (current[2], how):
+            # Classic re-proposal over a *classic* instance after a
+            # mastership transfer is CHK002's (permitted) territory;
+            # here we guard the fast/classic boundary.
+            violations.append(Violation(
+                "CHK008", f"{key}@{seq}",
+                f"two values chosen at instance {seq} of {key!r}: "
+                f"{current[0]!r} ({current[2]}) then {txid!r} ({how}) — "
+                "classic recovery overwrote a fast-chosen value",
+                evidence=(current[1], index)))
+
+    for index, event in enumerate(history):
+        if event.etype != "phase2b" or not event.get("accepted"):
+            continue
+        ballot = event.get("ballot")
+        slot = (event.get("key"), event.get("seq"), ballot,
+                event.get("txid"))
+        needed = fast_quorum if _is_fast(ballot) else quorum
+        if needed is None:
+            continue
+        voters = accepts.setdefault(slot, {})
+        voters.setdefault(event.node, index)
+        if len(voters) == needed:
+            record_chosen(slot[0], slot[1], slot[3], index,
+                          "fast" if _is_fast(ballot) else "classic")
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# CHK009: the fast -> classic transition is one-way per (txid, key)
+# ---------------------------------------------------------------------------
+
+def check_mode_monotonic(history: History) -> List[Violation]:
+    violations: List[Violation] = []
+    _FAST_EVENTS = ("fast_propose", "fast_chosen", "fast_fallback")
+    # (txid, key) -> (state, index): "proposed" | "chosen" | "fallback"
+    state: Dict[Tuple[str, str], Tuple[str, int]] = {}
+    for index, event in enumerate(history):
+        if event.etype not in _FAST_EVENTS:
+            continue
+        slot = (event.get("txid"), event.get("key"))
+        where = f"{slot[0]}/{slot[1]}"
+        current = state.get(slot)
+        if event.etype == "fast_propose":
+            if current is not None:
+                violations.append(Violation(
+                    "CHK009", where,
+                    f"fast proposal issued again while already "
+                    f"{current[0]} — the fast round must run at most once",
+                    evidence=(current[1], index)))
+            else:
+                state[slot] = ("proposed", index)
+        else:
+            terminal = ("chosen" if event.etype == "fast_chosen"
+                        else "fallback")
+            if current is None:
+                violations.append(Violation(
+                    "CHK009", where,
+                    f"fast round reported {terminal} without a fast "
+                    "proposal", evidence=(index,)))
+            elif current[0] != "proposed":
+                violations.append(Violation(
+                    "CHK009", where,
+                    f"fast round reported {terminal} after it already "
+                    f"ended as {current[0]} — the fast→classic "
+                    "transition must be one-way",
+                    evidence=(current[1], index)))
+            else:
+                state[slot] = (terminal, index)
+    return violations
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -321,6 +466,12 @@ CHECKS: Dict[str, Tuple[str, Checker]] = {
                check_quorum_durability),
     "CHK006": ("visible versions only move forward",
                check_version_monotonic),
+    "CHK007": ("fast-learned verdicts are backed by a full fast quorum",
+               check_fast_quorum),
+    "CHK008": ("one value chosen per instance across fast/classic ballots",
+               check_collision_safety),
+    "CHK009": ("the fast→classic transition is one-way per (txid, key)",
+               check_mode_monotonic),
 }
 
 

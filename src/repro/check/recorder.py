@@ -42,13 +42,19 @@ class HistoryRecorder:
         self.history = history
         self._cluster = cluster
         n_datacenters = len(cluster.topology)
-        history.record(cluster.env.now, "cluster_meta", "", {
+        meta = {
             "n_datacenters": n_datacenters,
             "partitions_per_dc": cluster.partitions,
             # One replica per DC per record, so the phase-2 quorum is a
             # majority of data centers.
             "quorum": n_datacenters // 2 + 1,
-        })
+        }
+        if getattr(cluster, "mode", "classic") == "fast":
+            # Only fast-mode runs carry the key so classic histories
+            # (and their golden digests) are unchanged.
+            from repro.paxos.ballot import fast_quorum_size
+            meta["fast_quorum"] = fast_quorum_size(n_datacenters)
+        history.record(cluster.env.now, "cluster_meta", "", meta)
         # Baseline visibility: records bulk-loaded before attach never
         # traced their version 1, so snapshot them here — the
         # read-committed checker needs a complete visible-version set.

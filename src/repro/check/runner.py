@@ -59,6 +59,10 @@ class CheckConfig:
     # faults
     n_faults: int = 6
     fault_kinds: Tuple[str, ...] = KINDS
+    #: Protocol mode for the whole cluster: ``"classic"`` (default,
+    #: leader-routed options) or ``"fast"`` (MDCC fast ballots with
+    #: classic fallback).  Classic configs are bit-for-bit unchanged.
+    mode: str = "classic"
 
     def horizon_ms(self) -> float:
         """Nominal workload window faults are scheduled within."""
@@ -133,7 +137,8 @@ def run_check(config: CheckConfig,
                                 sigma=config.sigma, spike_prob=0.0)
     cluster = Cluster(env, topology, streams,
                       partitions_per_dc=config.partitions_per_dc,
-                      round_timeout_ms=config.round_timeout_ms)
+                      round_timeout_ms=config.round_timeout_ms,
+                      mode=config.mode)
     keys = [item_key(i) for i in range(config.n_items)]
     cluster.load(generate_items(config.n_items, config.initial_stock))
 
@@ -197,6 +202,10 @@ def run_check(config: CheckConfig,
         "msgs_sent": float(cluster.transport.sent),
         "msgs_dropped": float(cluster.transport.dropped),
     }
+    if config.mode == "fast":
+        stats["fast_chosen"] = float(sum(tm.fast_chosen for tm in tms))
+        stats["fallbacks"] = float(sum(tm.fallbacks for tm in tms))
+        stats["collisions"] = float(sum(tm.collisions for tm in tms))
     if witnesses is not None:
         stats["atomicity_witnesses"] = float(len(witnesses))
     return CheckResult(config=config, schedule=schedule, history=history,

@@ -158,6 +158,21 @@ class CommitLikelihoodModel:
         Tail mass the *incremental* refresh may fold into the last
         kept bin of each intermediate PMF.  ``0.0`` (default) is
         exact; the reference :meth:`precompute` never truncates.
+    mode:
+        ``"classic"`` (default) evaluates the paper's chain verbatim.
+        ``"fast"`` models MDCC fast ballots: the phase-2 order
+        statistic runs at the ⌈3N/4⌉ fast-quorum size and — when
+        ``collision_probability`` is positive — every conflict-window
+        cell becomes a mixture of the direct fast round and the
+        collision branch that additionally pays a classic recovery
+        (propose to the record master plus a classic-majority round).
+    fast_quorum:
+        Override for the fast phase-2 quorum; defaults to ⌈3N/4⌉.
+        Ignored under classic mode.
+    collision_probability:
+        P(the fast round collides and recovers classically), mixed
+        into the conflict window under fast mode.  ``0.0`` drops the
+        recovery branch entirely.
     """
 
     def __init__(self, latency: LatencyMatrix,
@@ -168,9 +183,18 @@ class CommitLikelihoodModel:
                  memo_capacity: int = 4096,
                  rate_quantum: Optional[float] = None,
                  w_quantum: Optional[float] = None,
-                 truncate_epsilon: float = 0.0):
+                 truncate_epsilon: float = 0.0,
+                 mode: str = "classic",
+                 fast_quorum: Optional[int] = None,
+                 collision_probability: float = 0.0):
+        if mode not in ("classic", "fast"):
+            raise ValueError(f"unknown protocol mode {mode!r}")
+        if not 0.0 <= collision_probability <= 1.0:
+            raise ValueError("collision probability must be in [0, 1]")
         self.latency = latency
         n = latency.n
+        self.mode = mode
+        self.collision_probability = float(collision_probability)
         self.leader_dist = self._normalize_weights(
             leader_distribution, n, "leader")
         if client_distribution is None:
@@ -184,6 +208,22 @@ class CommitLikelihoodModel:
         self.quorum = quorum if quorum is not None else n // 2 + 1
         if not 1 <= self.quorum <= n:
             raise ValueError(f"quorum {self.quorum} impossible with {n} DCs")
+        if mode == "fast":
+            self.fast_quorum = (fast_quorum if fast_quorum is not None
+                                else -(-3 * n // 4))
+            if not 1 <= self.fast_quorum <= n:
+                raise ValueError(
+                    f"fast quorum {self.fast_quorum} impossible with {n} DCs")
+        else:
+            if fast_quorum is not None:
+                raise ValueError(
+                    "fast_quorum is only meaningful with mode='fast'")
+            self.fast_quorum = None
+        #: Responses the phase-2 order statistic (eq. 2) waits for —
+        #: the fast-quorum size under fast mode, the classic majority
+        #: otherwise.  Classic numerics are untouched.
+        self._phase2_quorum = (self.fast_quorum if mode == "fast"
+                               else self.quorum)
         if truncate_epsilon < 0:
             raise ValueError("truncate_epsilon must be >= 0")
         self.truncate_epsilon = float(truncate_epsilon)
@@ -237,10 +277,11 @@ class CommitLikelihoodModel:
         every cell may have moved.
         """
         n = self.latency.n
-        # eq. 2: quorum wait at each possible leader location.
+        # eq. 2: quorum wait at each possible leader location (the
+        # ⌈3N/4⌉ fast quorum under fast ballots).
         self._q_leader = {
             l: Pmf.quorum_of([self.latency.rtt(l, b) for b in range(n)],
-                             self.quorum)
+                             self._phase2_quorum)
             for l in range(n)
         }
         # eq. 3: + learned message back to the previous client.
@@ -271,6 +312,22 @@ class CommitLikelihoodModel:
             (cc, l): self._visible[cc].convolve(self.latency.one_way(cc, l))
             for cc in range(n) for l in range(n)
         }
+        # Fast-ballot extension: with probability p the round collides
+        # and additionally pays the classic recovery — a fallback
+        # propose to the record master plus a classic-majority round
+        # there — so each cell's window becomes the (1-p, p) mixture
+        # of the direct chain and the recovery-extended chain.
+        if self.mode == "fast" and self.collision_probability > 0.0:
+            p = self.collision_probability
+            q_classic = {
+                l: Pmf.quorum_of(
+                    [self.latency.rtt(l, b) for b in range(n)], self.quorum)
+                for l in range(n)
+            }
+            for (cc, l), phi in list(self._phi.items()):
+                recovery = self.latency.one_way(cc, l).convolve(q_classic[l])
+                self._phi[(cc, l)] = Pmf.mixture(
+                    [phi, phi.convolve(recovery)], [1.0 - p, p])
         if self.memo is not None:
             self.memo.clear()
 
@@ -331,6 +388,12 @@ class CommitLikelihoodModel:
         if (not dirty_pairs and not leaders_changed and not clients_changed
                 and not sizes_changed):
             return set()
+        if self.mode == "fast" and self.collision_probability > 0.0:
+            # The collision-recovery mixture couples every cell to the
+            # classic quorum chain, so an incremental patch would touch
+            # nearly the whole matrix anyway — take the exact rebuild.
+            self.precompute()
+            return set(self._phi)
 
         eps = self.truncate_epsilon
         latency = self.latency
@@ -339,7 +402,7 @@ class CommitLikelihoodModel:
         dirty_leaders = {a for (a, b) in dirty_pairs}
         for l in sorted(dirty_leaders):
             self._q_leader[l] = Pmf.quorum_of(
-                [latency.rtt(l, b) for b in range(n)], self.quorum,
+                [latency.rtt(l, b) for b in range(n)], self._phase2_quorum,
                 renormalize=False).truncate(eps)
         # eq. 3: a (l, cp) node moves with its quorum wait or its link.
         dirty_qtc: Set[Tuple[int, int]] = set()

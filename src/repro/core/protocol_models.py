@@ -6,16 +6,21 @@ The paper notes that the likelihood machinery is not MDCC-specific:
   eventually consistent quorum store (Dynamo, Cassandra);
 * restricting conflicts to whole partitions (entity groups) models
   Megastore, which runs one transaction at a time per partition;
-* adding extra lock-hold delays models classical two-phase commit.
+* adding extra lock-hold delays models classical two-phase commit;
+* MDCC *fast ballots* are the same chain at the ⌈3N/4⌉ quorum plus a
+  collision-recovery latency branch (see
+  :class:`~repro.core.likelihood.CommitLikelihoodModel` with
+  ``mode="fast"``); :func:`protocol_comparison` lines all of these up
+  on one topology.
 
-All three reuse the discrete-PMF toolbox: build the distribution of
+All of them reuse the discrete-PMF toolbox: build the distribution of
 the protocol's *vulnerability window*, then integrate the Poisson
 no-arrival probability against it (the eq. 8b pattern).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.histograms import Pmf
 from repro.core.likelihood import CommitLikelihoodModel, LatencyMatrix
@@ -172,3 +177,47 @@ class TwoPhaseCommitModel:
             likelihood *= self.record_likelihood(coordinator_dc,
                                                  participant_dcs, rate, w_ms)
         return likelihood
+
+
+def protocol_comparison(latency: LatencyMatrix,
+                        leader_distribution: Sequence[float],
+                        client_dc: int, leader_dc: int,
+                        arrival_rate_per_ms: float,
+                        w_ms: float = 0.0,
+                        collision_probability: float = 0.0,
+                        size_distribution: Optional[Dict[int, float]] = None,
+                        ) -> Dict[str, float]:
+    """Commit/success likelihoods of every modelled protocol, side by
+    side, for one record on one topology.
+
+    Returns a dict with keys ``mdcc_classic``, ``mdcc_fast``,
+    ``quorum_store``, ``megastore``, and ``two_phase_commit`` — the
+    cross-protocol view §5.1.3 sketches, extended with the fast-ballot
+    variant (⌈3N/4⌉ quorum, recovery branch weighted by
+    ``collision_probability``).  Megastore shares MDCC's window and is
+    evaluated at the same rate, so any difference in a real comparison
+    comes from feeding it partition-level rates instead.
+    """
+    results: Dict[str, float] = {}
+    models: List[Tuple[str, CommitLikelihoodModel]] = []
+    for name, mode in (("mdcc_classic", "classic"), ("mdcc_fast", "fast")):
+        model = CommitLikelihoodModel(
+            latency, leader_distribution,
+            size_distribution=size_distribution, memo_capacity=0,
+            mode=mode, collision_probability=(collision_probability
+                                              if mode == "fast" else 0.0))
+        model.precompute()
+        models.append((name, model))
+        results[name] = model.record_likelihood(
+            client_dc, leader_dc, arrival_rate_per_ms, w_ms)
+    n = latency.n
+    store = QuorumStoreModel(latency, read_quorum=1,
+                             write_quorum=n // 2 + 1)
+    results["quorum_store"] = store.update_success_likelihood(
+        client_dc, arrival_rate_per_ms, w_ms)
+    results["megastore"] = MegastoreModel(models[0][1]).partition_likelihood(
+        client_dc, leader_dc, arrival_rate_per_ms, w_ms)
+    results["two_phase_commit"] = TwoPhaseCommitModel(
+        latency).record_likelihood(
+            client_dc, list(range(n)), arrival_rate_per_ms, w_ms)
+    return results

@@ -41,6 +41,16 @@ class ExperimentConfig:
     name: str = "experiment"
     seed: int = 0
     system: str = "planet"
+    #: Protocol mode for the whole cluster: ``"classic"`` (default) or
+    #: ``"fast"`` (MDCC fast ballots — clients propose straight to the
+    #: acceptors under ⌈3N/4⌉ quorums, collisions recover classically).
+    mode: str = "classic"
+    #: Collision probability fed to the fast-mode likelihood model's
+    #: recovery branch (ignored under classic mode).
+    fast_collision_probability: float = 0.0
+    #: Bound on one fast round before it falls back to classic; also
+    #: the storage nodes' classic round timeout when set.
+    round_timeout_ms: Optional[float] = None
     # topology
     topology: str = "ec2"          # "ec2" | "uniform"
     n_datacenters: int = 5         # for the uniform topology
@@ -255,7 +265,9 @@ class Experiment:
             partitions_per_dc=config.partitions_per_dc,
             mastership=config.mastership,
             storage_service_ms=config.storage_service_ms,
-            storage_service_overrides=config.storage_service_overrides)
+            storage_service_overrides=config.storage_service_overrides,
+            round_timeout_ms=config.round_timeout_ms,
+            mode=config.mode)
         # The Items table is uniform, so rows materialize lazily on
         # first touch — 200 000-item tables cost nothing up front.
         self.cluster.set_default_stock(config.initial_stock)
@@ -331,7 +343,10 @@ class Experiment:
         sizes = range(config.min_items, config.max_items + 1)
         self.model = CommitLikelihoodModel(
             matrix, self.cluster.mastership.leader_distribution(),
-            size_distribution={size: 1.0 for size in sizes})
+            size_distribution={size: 1.0 for size in sizes},
+            mode=config.mode,
+            collision_probability=(config.fast_collision_probability
+                                   if config.mode == "fast" else 0.0))
         self.model.precompute()
         for session in self.sessions:
             session.model = self.model

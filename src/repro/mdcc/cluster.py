@@ -80,13 +80,18 @@ class Cluster:
                  round_timeout_ms: Optional[float] = None,
                  bucket_ms: float = 10_000.0, keep_buckets: int = 6,
                  storage_service_ms: float = 0.0,
-                 storage_service_overrides: Optional[Dict[str, float]] = None):
+                 storage_service_overrides: Optional[Dict[str, float]] = None,
+                 mode: str = "classic"):
         if partitions_per_dc < 1:
             raise ValueError("need at least one partition per data center")
+        if mode not in ("classic", "fast"):
+            raise ValueError(f"unknown protocol mode {mode!r}")
         self.env = env
         self.topology = topology
         self.streams = streams
         self.partitions = partitions_per_dc
+        self.mode = mode
+        self.round_timeout_ms = round_timeout_ms
         self.transport = Transport(env, topology, streams)
         self.mastership = Mastership(len(topology), mastership)
         self.nodes: Dict[int, List[StorageNode]] = {}
@@ -102,7 +107,8 @@ class Cluster:
                     bucket_ms=bucket_ms, keep_buckets=keep_buckets,
                     round_timeout_ms=round_timeout_ms,
                     service_time_ms=storage_service_ms,
-                    service_overrides=storage_service_overrides)
+                    service_overrides=storage_service_overrides,
+                    mode=mode)
                 for partition in range(partitions_per_dc)
             ]
 
@@ -172,7 +178,9 @@ class Cluster:
         if address in self._clients:
             raise ValueError(f"client {name!r} already exists")
         tm = TransactionManager(self.env, self.transport, address,
-                                datacenter, cluster_view=self)
+                                datacenter, cluster_view=self,
+                                mode=self.mode,
+                                round_timeout_ms=self.round_timeout_ms)
         self._clients[address] = tm
         return tm
 

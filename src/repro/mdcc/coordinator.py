@@ -23,10 +23,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.net.rpc import RpcEndpoint, RpcTimeout
+from repro.paxos import Ballot, FastPhase2a, FastRound, ballot_key
+from repro.paxos.fast import FastRoundOutcome
 from repro.sim import AllOf, Environment, Event
 from repro.storage.option import (
     Decision,
     Learned,
+    OptionPayload,
     ProposalAck,
     Propose,
     ReadReply,
@@ -118,7 +121,10 @@ class TransactionManager:
     """Runs MDCC transactions on behalf of one application client."""
 
     def __init__(self, env: Environment, transport, address: str,
-                 datacenter: int, cluster_view):
+                 datacenter: int, cluster_view, mode: str = "classic",
+                 round_timeout_ms: Optional[float] = None):
+        if mode not in ("classic", "fast"):
+            raise ValueError(f"unknown protocol mode {mode!r}")
         # Per-instance so txids are reproducible across runs in one
         # process; the address prefix keeps them globally unique.
         self._ids = itertools.count(1)
@@ -126,14 +132,24 @@ class TransactionManager:
         self.address = address
         self.datacenter = datacenter
         self.cluster = cluster_view
+        self.mode = mode
+        self.round_timeout_ms = round_timeout_ms
         self.endpoint = RpcEndpoint(env, transport, address, datacenter)
         self.endpoint.on("proposal_ack", self._on_proposal_ack)
         self.endpoint.on("learned", self._on_learned)
         self._active: Dict[str, TransactionHandle] = {}
+        # Open classic-recovery spans keyed by (txid, key), started at
+        # fast-round fallback and finished when the classic verdict is
+        # learned.  Empty whenever span tracing is off.
+        self._recovery_spans: Dict[tuple, Any] = {}
         #: Observability counters.
         self.started = 0
         self.committed = 0
         self.aborted = 0
+        #: Fast-ballot counters (stay zero in classic mode).
+        self.fast_chosen = 0
+        self.fallbacks = 0
+        self.collisions = 0
 
     # -- public API ----------------------------------------------------------
 
@@ -248,55 +264,142 @@ class TransactionManager:
         if think_time_ms > 0:
             yield self.env.timeout(think_time_ms)
 
-        # 3. Propose one option per write to each record's leader.  The
-        #    measured w of §5.1.2 is read-request to commit start.
+        # 3. Propose one option per write.  Classic mode routes through
+        #    each record's leader; fast mode proposes straight to every
+        #    acceptor under a fast quorum (one fewer message delay).
+        #    The measured w of §5.1.2 is read-request to commit start.
         handle.proposed_ms = self.env.now
         handle.w_ms = self.env.now - read_start
         propose_span = handle.obs.ctx if handle.obs is not None else None
-        for op in handle.writes:
-            leader = self.cluster.leader_address(op.key)
-            if self.env.tracer is not None:
-                self.env.trace("propose", node=self.address,
-                               txid=handle.txid, key=op.key, leader=leader)
-            self.endpoint.cast(leader, "propose", Propose(
-                txid=handle.txid, key=op.key, update=op.update,
-                tm_address=self.address), span=propose_span)
+        if self.mode == "fast":
+            for op in handle.writes:
+                self._start_fast_round(handle, op, propose_span)
+        else:
+            for op in handle.writes:
+                leader = self.cluster.leader_address(op.key)
+                if self.env.tracer is not None:
+                    self.env.trace("propose", node=self.address,
+                                   txid=handle.txid, key=op.key,
+                                   leader=leader)
+                self.endpoint.cast(leader, "propose", Propose(
+                    txid=handle.txid, key=op.key, update=op.update,
+                    tm_address=self.address), span=propose_span)
         # Options are in flight: the accept stage runs until the first
-        # proposal_ack comes back.
+        # proposal_ack (classic) or fast vote comes back.
         if handle.obs is not None:
             handle.obs.advance("accept", self.env.now)
         handle._notify("proposed")
+
+    # -- fast-ballot path -------------------------------------------------------
+
+    def _start_fast_round(self, handle: TransactionHandle, op: WriteOp,
+                          propose_span) -> None:
+        ballot = Ballot.fast(0)
+        replicas = self.cluster.replica_addresses(op.key)
+        if self.env.tracer is not None:
+            self.env.trace("fast_propose", node=self.address,
+                           txid=handle.txid, key=op.key,
+                           ballot=ballot_key(ballot),
+                           n_replicas=len(replicas))
+        payload = OptionPayload(txid=handle.txid, key=op.key,
+                                update=op.update, decision=None)
+        fast2a = FastPhase2a(key=op.key, ballot=ballot, payload=payload)
+        round_ = FastRound(
+            self.env, self.endpoint, replicas, fast2a,
+            timeout_ms=self.round_timeout_ms, parent_span=propose_span,
+            on_first_vote=lambda: self._mark_accepted(handle, op.key))
+        self.env.process(self._finish_fast_round(round_, handle, op))
+
+    def _finish_fast_round(self, round_: FastRound,
+                           handle: TransactionHandle, op: WriteOp):
+        outcome: FastRoundOutcome = yield round_.result
+        if handle.txid not in self._active or op.key in handle.learned:
+            return  # decided meanwhile (e.g. another key's reject)
+        if outcome.status in ("chosen", "rejected"):
+            decision = (Decision.ACCEPTED if outcome.status == "chosen"
+                        else Decision.REJECTED)
+            self.fast_chosen += 1
+            if self.env.tracer is not None:
+                self.env.trace("fast_chosen", node=self.address,
+                               txid=handle.txid, key=op.key,
+                               seq=outcome.seq, decision=decision.value,
+                               votes=outcome.votes)
+            if self.env.metrics is not None:
+                self.env.metrics.inc("paxos.fast_chosen",
+                                     label=decision.value)
+            self._record_learned(handle, op.key, decision)
+            return
+        # Fallback: recover through the record master's classic path.
+        self.fallbacks += 1
+        if outcome.reason == "collision":
+            self.collisions += 1
+        if self.env.tracer is not None:
+            self.env.trace("fast_fallback", node=self.address,
+                           txid=handle.txid, key=op.key,
+                           reason=outcome.reason, votes=outcome.votes,
+                           fenced=outcome.fenced)
+        if self.env.metrics is not None:
+            self.env.metrics.inc("paxos.fallbacks", label=outcome.reason)
+            if outcome.reason == "collision":
+                self.env.metrics.inc("paxos.collisions")
+        span_ctx = None
+        if self.env.spans is not None and handle.obs is not None:
+            span = self.env.spans.child(
+                handle.obs.ctx, "paxos.recovery", self.address,
+                self.env.now, f"{handle.txid}/{op.key}",
+                txid=handle.txid, key=op.key, reason=outcome.reason)
+            self._recovery_spans[(handle.txid, op.key)] = span
+            span_ctx = span.ctx
+        leader = self.cluster.leader_address(op.key)
+        if self.env.tracer is not None:
+            self.env.trace("propose", node=self.address,
+                           txid=handle.txid, key=op.key, leader=leader)
+        self.endpoint.cast(leader, "propose", Propose(
+            txid=handle.txid, key=op.key, update=op.update,
+            tm_address=self.address, fallback=True), span=span_ctx)
+
+    def _mark_accepted(self, handle: TransactionHandle, key: str) -> None:
+        """First storage-node confirmation (ack or fast vote) arrived."""
+        if handle.txid not in self._active or handle.accepted_ms is not None:
+            return
+        handle.accepted_ms = self.env.now
+        if self.env.tracer is not None:
+            self.env.trace("tx_accepted", node=self.address,
+                           txid=handle.txid, key=key)
+        if handle.obs is not None:
+            handle.obs.advance("learn", self.env.now)
+        if not handle.accepted_event.triggered:
+            handle.accepted_event.succeed(handle)
+        handle._notify("accepted")
+
+    def _record_learned(self, handle: TransactionHandle, key: str,
+                        decision: Decision) -> None:
+        """Record one key's verdict and decide once all are in."""
+        handle.learned[key] = decision
+        span = self._recovery_spans.pop((handle.txid, key), None)
+        if span is not None:
+            span.finish(self.env.now, decision=decision.value)
+        if self.env.tracer is not None:
+            self.env.trace("tx_learned", node=self.address,
+                           txid=handle.txid, key=key,
+                           decision=decision.value)
+        handle._notify("learned")
+        if not handle.unlearned_keys:
+            self._decide(handle)
 
     # -- message handlers ------------------------------------------------------------
 
     def _on_proposal_ack(self, ack: ProposalAck, src: str):
         handle = self._active.get(ack.txid)
-        if handle is None:
-            return RpcEndpoint.NO_REPLY
-        if handle.accepted_ms is None:
-            handle.accepted_ms = self.env.now
-            if self.env.tracer is not None:
-                self.env.trace("tx_accepted", node=self.address,
-                               txid=ack.txid, key=ack.key)
-            if handle.obs is not None:
-                handle.obs.advance("learn", self.env.now)
-            if not handle.accepted_event.triggered:
-                handle.accepted_event.succeed(handle)
-            handle._notify("accepted")
+        if handle is not None:
+            self._mark_accepted(handle, ack.key)
         return RpcEndpoint.NO_REPLY
 
     def _on_learned(self, learned: Learned, src: str):
         handle = self._active.get(learned.txid)
         if handle is None or learned.key in handle.learned:
             return RpcEndpoint.NO_REPLY
-        handle.learned[learned.key] = learned.decision
-        if self.env.tracer is not None:
-            self.env.trace("tx_learned", node=self.address,
-                           txid=learned.txid, key=learned.key,
-                           decision=learned.decision.value)
-        handle._notify("learned")
-        if not handle.unlearned_keys:
-            self._decide(handle)
+        self._record_learned(handle, learned.key, learned.decision)
         return RpcEndpoint.NO_REPLY
 
     def _decide(self, handle: TransactionHandle) -> None:

@@ -1,4 +1,5 @@
-"""Per-record Multi-Paxos used by the MDCC classic protocol.
+"""Per-record Multi-Paxos used by the MDCC classic protocol, plus the
+fast-ballot extension.
 
 MDCC learns one *option* per record update through a Paxos round: the
 record leader sends ``phase2a`` to all storage replicas and waits for a
@@ -6,20 +7,38 @@ majority of ``phase2b`` acknowledgements (the stable-leader Multi-Paxos
 fast path — phase 1 is implicit in mastership).  Ballot monotonicity is
 still enforced by the acceptors so that a mastership change cannot
 split a round.
+
+Under *fast ballots* the transaction manager skips the leader hop and
+proposes straight to every acceptor (:class:`FastRound`) under a
+⌈3N/4⌉ quorum; colliding proposals are recovered through the record
+master's classic path.
 """
 
-from repro.paxos.ballot import Ballot
-from repro.paxos.messages import Phase2a, Phase2b
-from repro.paxos.acceptor import AcceptorState, ballot_key, handle_phase2a
+from repro.paxos.ballot import Ballot, FAST_PROPOSER, fast_quorum_size
+from repro.paxos.messages import FastPhase2a, FastPhase2b, Phase2a, Phase2b
+from repro.paxos.acceptor import (
+    AcceptorState,
+    ballot_key,
+    handle_fast2a,
+    handle_phase2a,
+)
 from repro.paxos.round import PaxosRound, PaxosRoundTimeout
+from repro.paxos.fast import FastRound, FastRoundOutcome
 
 __all__ = [
     "AcceptorState",
     "Ballot",
+    "FAST_PROPOSER",
+    "FastPhase2a",
+    "FastPhase2b",
+    "FastRound",
+    "FastRoundOutcome",
     "PaxosRound",
     "PaxosRoundTimeout",
     "Phase2a",
     "Phase2b",
     "ballot_key",
+    "fast_quorum_size",
+    "handle_fast2a",
     "handle_phase2a",
 ]

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.paxos.ballot import Ballot
-from repro.paxos.messages import Phase2a, Phase2b
+from repro.paxos.messages import FastPhase2a, FastPhase2b, Phase2a, Phase2b
 
 #: Observer signature for acceptor instrumentation: ``(etype, fields)``.
 AcceptorObserver = Callable[[str, Dict[str, Any]], None]
@@ -77,7 +77,21 @@ def handle_phase2a(state: AcceptorState, message: Phase2a,
     ``observer`` (when given) receives one ``("phase2b", fields)``
     call per vote — the history recorder's acceptor-side hook.
     """
+    existing = state.accepted.get(message.seq)
     if state.promised is not None and message.ballot < state.promised:
+        vote = Phase2b(key=message.key, seq=message.seq,
+                       ballot=message.ballot, accepted=False,
+                       promised=state.promised)
+    elif (existing is not None and existing[0].is_fast
+            and not message.ballot.is_fast
+            and getattr(existing[1], "txid", None)
+            != getattr(message.payload, "txid", None)):
+        # A fast value already occupies this instance.  A classic
+        # proposal of a *different* value must not overwrite it: the
+        # fast value may be chosen (⌈3N/4⌉ fast quorums leave at most
+        # ⌊N/4⌋ acceptors free of it, short of any classic majority),
+        # so refusing here is what keeps at most one value chosen per
+        # instance across fast/classic transitions (CHK008).
         vote = Phase2b(key=message.key, seq=message.seq,
                        ballot=message.ballot, accepted=False,
                        promised=state.promised)
@@ -98,5 +112,48 @@ def handle_phase2a(state: AcceptorState, message: Phase2a,
             "txid": getattr(payload, "txid", ""),
             "decision": getattr(getattr(payload, "decision", None),
                                 "value", ""),
+        })
+    return vote
+
+
+def handle_fast2a(state: AcceptorState, message: FastPhase2a,
+                  decision: Any,
+                  observer: Optional[AcceptorObserver] = None
+                  ) -> FastPhase2b:
+    """Run the acceptor's *fast* vote and mutate ``state``.
+
+    A fast ballot is votable while the acceptor has not promised
+    anything above it — any classic promise or accept fences all later
+    fast proposals of that round (the fast→classic transition is
+    monotone per key, CHK009).  The acceptor assigns the value to the
+    next free instance of its own log; ``decision`` is the caller's
+    local option verdict (the storage node evaluates conflict windows
+    and floors exactly like a classic leader would).
+
+    The vote is traced as an ordinary ``phase2b`` event so the offline
+    invariant catalogue sees fast and classic votes uniformly.
+    """
+    txid = getattr(message.payload, "txid", "")
+    if state.promised is not None and message.ballot < state.promised:
+        vote = FastPhase2b(key=message.key, seq=-1, ballot=message.ballot,
+                           txid=txid, accepted=False,
+                           promised=state.promised)
+    else:
+        state.promised = message.ballot
+        seq = state.highest_accepted_seq() + 1
+        state.accepted[seq] = (message.ballot, message.payload)
+        state.truncate()
+        vote = FastPhase2b(key=message.key, seq=seq, ballot=message.ballot,
+                           txid=txid, accepted=True, decision=decision,
+                           promised=state.promised)
+    if observer is not None:
+        observer("phase2b", {
+            "key": message.key, "seq": vote.seq,
+            "ballot": ballot_key(message.ballot),
+            "accepted": vote.accepted,
+            "promised": ballot_key(vote.promised),
+            "txid": txid,
+            "decision": getattr(decision, "value", "") if vote.accepted
+            else "",
         })
     return vote

@@ -1,9 +1,17 @@
-"""Totally ordered Paxos ballot numbers."""
+"""Totally ordered Paxos ballot numbers, with fast/classic ranks."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import total_ordering
+
+#: Sentinel proposer id of *fast* ballots (MDCC fast ballots: any
+#: client may propose directly to the acceptors).  ``"*"`` sorts below
+#: every real node address, so a classic ballot at the same round
+#: number always outranks the fast ballot of that round — the record
+#: master's classic-mode recovery fences in-flight fast proposals
+#: without needing a higher round number.
+FAST_PROPOSER = "*"
 
 
 @total_ordering
@@ -13,6 +21,8 @@ class Ballot:
 
     The proposer id breaks ties between distinct leaders proposing in
     the same numbered round, as in the classic Paxos formulation.
+    Fast ballots carry the :data:`FAST_PROPOSER` sentinel instead of a
+    node address; they are owned by no single proposer.
     """
 
     number: int
@@ -30,3 +40,25 @@ class Ballot:
     def as_int(self) -> int:
         """A coarse integer key (round number) for compact storage."""
         return self.number
+
+    @property
+    def is_fast(self) -> bool:
+        """True for fast ballots (clients propose straight to acceptors)."""
+        return self.proposer == FAST_PROPOSER
+
+    @classmethod
+    def fast(cls, number: int = 0) -> "Ballot":
+        """The fast ballot of round ``number``."""
+        return cls(number, FAST_PROPOSER)
+
+
+def fast_quorum_size(n_replicas: int) -> int:
+    """The fast-quorum size ⌈3N/4⌉ of MDCC fast ballots.
+
+    Any two fast quorums intersect in more than N/2 acceptors, which
+    is what lets a classic recovery round learn a possibly fast-chosen
+    value from any majority.
+    """
+    if n_replicas < 1:
+        raise ValueError("need at least one replica")
+    return -(-3 * n_replicas // 4)

@@ -37,3 +37,39 @@ class Phase2b:
     ballot: Ballot
     accepted: bool
     promised: Ballot = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class FastPhase2a:
+    """Client -> every acceptor: fast-ballot proposal for one record.
+
+    Unlike :class:`Phase2a` there is no instance number and no leader
+    decision — each acceptor assigns the next free instance of its own
+    log and evaluates the option against its local record state.  The
+    clients of one record agreeing on the instance is exactly what a
+    fast quorum certifies; disagreement is a collision.
+    """
+
+    key: str
+    ballot: Ballot
+    payload: Any  # OptionPayload with decision unset by the proposer
+
+
+@dataclass(frozen=True)
+class FastPhase2b:
+    """Acceptor -> client: vote on a fast proposal.
+
+    ``accepted`` is False when the acceptor is fenced by a classic
+    promise (``promised`` then carries it and ``seq`` is -1); otherwise
+    ``seq`` is the instance this acceptor placed the value at and
+    ``decision`` its local option verdict (accepted/rejected option —
+    both are valid fast votes, mirroring the classic leader's rule).
+    """
+
+    key: str
+    seq: int
+    ballot: Ballot
+    txid: str
+    accepted: bool
+    decision: Any = None  # storage.option.Decision when accepted
+    promised: Ballot = None  # type: ignore[assignment]

@@ -20,9 +20,11 @@ from repro.core.likelihood import CommitLikelihoodModel
 from repro.core.statistics import OracleLatencySource
 from repro.harness.experiment import Experiment, ExperimentConfig
 from repro.harness.parallel import run_experiments
+from repro.mdcc.cluster import Cluster
 from repro.net import Message, Transport, ec2_five_dc, uniform_topology
 from repro.perf.harness import best_of, peak_rss_mb, timed
 from repro.sim import Environment, RandomStreams
+from repro.storage.record import Update, WriteOp
 
 #: Event/message counts at scale 1.0.
 KERNEL_EVENTS = 200_000
@@ -31,6 +33,8 @@ SWEEP_RUNS = 4
 #: Likelihood-bench workload sizes at scale 1.0.
 LIKELIHOOD_SAMPLES = 2_000
 DECISION_EVALUATIONS = 20_000
+#: Fast-ballot micro-bench transaction count at scale 1.0.
+FAST_PAXOS_TXNS = 2_000
 
 
 def bench_kernel(scale: float, pool: int,
@@ -330,6 +334,91 @@ def bench_sweep(scale: float, pool: int,
     }
 
 
+def bench_fast_paxos(scale: float, pool: int,
+                     repeats: int = 3) -> Dict[str, float]:
+    """Fast-ballot hot path: one fast round per transaction on the
+    EC2-2014 topology — propose, five ``fast2a`` votes, quorum
+    resolution, learn, visibility — with enough cross-DC key sharing
+    that some rounds collide and exercise the classic fallback too.
+    Deterministic given ``scale``; the score is simulated transactions
+    per wall second.
+    """
+    n_txns = max(100, int(FAST_PAXOS_TXNS * scale))
+    counts = [0, 0]
+
+    def run() -> float:
+        env = Environment()
+        topology = ec2_five_dc(spike_prob=0.0)
+        cluster = Cluster(env, topology, RandomStreams(seed=11),
+                          mode="fast", round_timeout_ms=2_000.0)
+        cluster.set_default_stock(1_000_000)
+        tms = [cluster.create_client(f"bench-{dc}", dc) for dc in range(5)]
+
+        def driver(env):
+            for index in range(n_txns):
+                tm = tms[index % len(tms)]
+                tm.begin([WriteOp(f"item:{index % 64}", Update.delta(-1))])
+                yield env.timeout(5.0)
+
+        env.process(driver(env))
+        seconds = timed(env.run)
+        counts[0] = sum(tm.fast_chosen for tm in tms)
+        counts[1] = sum(tm.fallbacks for tm in tms)
+        return seconds
+
+    seconds = best_of(run, repeats)
+    return {
+        "txns": float(n_txns),
+        "seconds": seconds,
+        "txns_per_sec": n_txns / seconds,
+        "fast_chosen": float(counts[0]),
+        "fallbacks": float(counts[1]),
+    }
+
+
+def bench_mode_sweep(scale: float, pool: int,
+                     repeats: int = 1) -> Dict[str, float]:
+    """Classic vs fast ballots, same seed and EC2 topology.
+
+    Runs one shrunken §6-style experiment in each protocol mode and
+    reports both wall times plus the commit-latency comparison — the
+    fast path saves one message delay per option, so its p50 should
+    sit below classic's on any WAN topology.
+    """
+    outcomes: Dict[str, object] = {}
+
+    def config_for(mode: str) -> ExperimentConfig:
+        return ExperimentConfig(
+            name=f"perf-mode-{mode}", seed=2718, system="planet",
+            topology="ec2", n_items=2_000, rate_tps=60.0,
+            mode=mode, round_timeout_ms=2_000.0,
+            warmup_ms=max(500.0, 2_500.0 * scale),
+            duration_ms=max(1_000.0, 5_000.0 * scale),
+            drain_ms=max(500.0, 2_500.0 * scale))
+
+    def run() -> float:
+        total = 0.0
+        for mode in ("classic", "fast"):
+            experiment = Experiment(config_for(mode))
+            total += timed(
+                lambda exp=experiment, m=mode: outcomes.__setitem__(
+                    m, exp.run().metrics))
+        return total
+
+    seconds = best_of(run, repeats)
+    classic, fast = outcomes["classic"], outcomes["fast"]
+    classic_p50 = classic.percentile_response_ms(0.50)
+    fast_p50 = fast.percentile_response_ms(0.50)
+    return {
+        "seconds": seconds,
+        "classic_committed": float(classic.n_committed),
+        "fast_committed": float(fast.n_committed),
+        "classic_p50_ms": classic_p50,
+        "fast_p50_ms": fast_p50,
+        "p50_speedup": classic_p50 / fast_p50 if fast_p50 > 0 else 0.0,
+    }
+
+
 @dataclass(frozen=True)
 class BenchSpec:
     """One registered benchmark and how to judge it in compare mode."""
@@ -358,6 +447,10 @@ BENCHES: List[BenchSpec] = [
               "x", "record_likelihood throughput, memoized vs unmemoized"),
     BenchSpec("figure_admission", bench_figure_admission, "seconds", False,
               "s", "figure-scale run with admission + model refresh"),
+    BenchSpec("fast_paxos", bench_fast_paxos, "txns_per_sec", True,
+              "txns/s", "fast-ballot round hot path on the EC2 topology"),
+    BenchSpec("mode_sweep", bench_mode_sweep, "p50_speedup", True,
+              "x", "classic vs fast ballots: commit-latency comparison"),
     BenchSpec("sweep", bench_sweep, "parallel_seconds", False,
               "s", "independent-config sweep, serial vs pooled"),
 ]

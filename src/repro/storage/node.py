@@ -15,9 +15,11 @@ from repro.net.transport import Transport
 from repro.paxos import (
     AcceptorState,
     Ballot,
+    FastPhase2a,
     PaxosRound,
     Phase2a,
     ballot_key,
+    handle_fast2a,
     handle_phase2a,
 )
 from repro.paxos.round import PaxosRoundTimeout
@@ -56,10 +58,14 @@ class StorageNode:
                  bucket_ms: float = 10_000.0, keep_buckets: int = 6,
                  round_timeout_ms: Optional[float] = None,
                  service_time_ms: float = 0.0,
-                 service_overrides: Optional[Dict[str, float]] = None):
+                 service_overrides: Optional[Dict[str, float]] = None,
+                 mode: str = "classic"):
+        if mode not in ("classic", "fast"):
+            raise ValueError(f"unknown protocol mode {mode!r}")
         self.env = env
         self.address = address
         self.datacenter = datacenter
+        self.mode = mode
         self.endpoint = RpcEndpoint(env, transport, address, datacenter,
                                     service_time_ms=service_time_ms,
                                     service_overrides=service_overrides)
@@ -91,9 +97,11 @@ class StorageNode:
         #: Observability counters.
         self.proposals = 0
         self.stale_proposals = 0
+        self.fallback_proposals = 0
         self.options_accepted = 0
         self.options_rejected = 0
         self.rounds_lost = 0
+        self.fast_votes = 0
         # Open option spans keyed by (txid, key): started when the
         # proposal arrives (under the coordinator's propose-stage span
         # riding on the message), finished when the learned verdict is
@@ -103,6 +111,7 @@ class StorageNode:
         self.endpoint.on("read", self._on_read)
         self.endpoint.on("propose", self._on_propose)
         self.endpoint.on("phase2a", self._on_phase2a)
+        self.endpoint.on("fast2a", self._on_fast2a)
         self.endpoint.on("visibility", self._on_visibility)
         self.endpoint.on("phase1a", self._on_phase1a)
         self.endpoint.on("ping", self._on_ping)
@@ -211,6 +220,11 @@ class StorageNode:
                                        decision=Decision.REJECTED))
             return RpcEndpoint.NO_REPLY
         self.proposals += 1
+        if propose.fallback:
+            # Classic-mode recovery of a collided/fenced fast round.
+            self.fallback_proposals += 1
+            if self.env.metrics is not None:
+                self.env.metrics.inc("storage.fallback_proposals")
         if (self.env.spans is not None
                 and self.endpoint.current_span is not None):
             span = self.env.spans.child(
@@ -236,7 +250,11 @@ class StorageNode:
         propose = queue.pop(0)
 
         record = self.record(key)
-        conflict = record.has_pending_option
+        # A transaction's own fast-voted option is not a conflict with
+        # itself — a fallback re-proposal must be able to recover its
+        # own value (in classic mode the proposing txid is never
+        # pending here, so the exclusion is a no-op).
+        conflict = any(txid != propose.txid for txid in record.pending)
         admissible = propose.update.admissible_on(record.value)
         if conflict or not admissible:
             decision = Decision.REJECTED
@@ -246,6 +264,13 @@ class StorageNode:
             record.add_pending(propose.txid, propose.update)
             self.options_accepted += 1
 
+        if self.mode == "fast":
+            # Classic recovery must open a *fresh* instance: lower
+            # instances may hold fast-chosen values this leader knows
+            # only through its own acceptor log (CHK008).
+            state = self.acceptors.get(key)
+            if state is not None:
+                record.seq = max(record.seq, state.highest_accepted_seq())
         record.seq += 1
         if self.env.tracer is not None:
             self.env.trace("option", node=self.address, key=propose.key,
@@ -406,6 +431,46 @@ class StorageNode:
             self.env.metrics.inc(
                 "paxos.votes",
                 label="accepted" if vote.accepted else "rejected")
+        return vote
+
+    def _on_fast2a(self, message: FastPhase2a, src: str):
+        """Vote on a fast-ballot proposal sent directly by a client.
+
+        The acceptor plays the record leader's role locally: it
+        evaluates the option against its own record state (conflict
+        window, floor) and assigns the value to the next instance of
+        its own log.  Clients agreeing on the instance across a fast
+        quorum is what makes the value chosen; disagreement is a
+        collision the client recovers from via the classic path.
+        """
+        self.access_stats.record_access(message.key, self.env.now)
+        state = self.acceptors.get(message.key)
+        if state is None:
+            state = AcceptorState()
+            self.acceptors[message.key] = state
+        option: OptionPayload = message.payload
+        record = self.record(message.key)
+        conflict = any(txid != option.txid for txid in record.pending)
+        admissible = option.update.admissible_on(record.value)
+        decision = (Decision.REJECTED if conflict or not admissible
+                    else Decision.ACCEPTED)
+        observer = (self._trace_acceptor if self.env.tracer is not None
+                    else None)
+        vote = handle_fast2a(state, message, decision, observer=observer)
+        if (vote.accepted and decision is Decision.ACCEPTED
+                and option.txid not in self._finalized):
+            record.add_pending(option.txid, option.update)
+        self.fast_votes += 1
+        if (self.env.spans is not None
+                and self.endpoint.current_span is not None):
+            self.env.spans.point(
+                self.endpoint.current_span, "fast2b", self.address,
+                self.env.now, f"{message.key}/{vote.seq}/{self.address}",
+                accepted=vote.accepted)
+        if self.env.metrics is not None:
+            self.env.metrics.inc(
+                "paxos.fast_votes",
+                label="accepted" if vote.accepted else "fenced")
         return vote
 
     def _trace_acceptor(self, etype: str, fields: Dict[str, Any]) -> None:

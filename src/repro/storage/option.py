@@ -24,22 +24,33 @@ class Decision(enum.Enum):
 
 @dataclass(frozen=True)
 class OptionPayload:
-    """The value replicated by a per-record Paxos round."""
+    """The value replicated by a per-record Paxos round.
+
+    In the classic protocol the record leader stamps its verdict on the
+    payload before phase2a.  Under fast ballots the proposer has no
+    leader to ask, so ``decision`` is ``None`` on the wire and each
+    acceptor evaluates the option against its own record state.
+    """
 
     txid: str
     key: str
     update: Update
-    decision: Decision
+    decision: Optional[Decision]
 
 
 @dataclass(frozen=True)
 class Propose:
-    """Transaction manager -> record leader: acquire an option."""
+    """Transaction manager -> record leader: acquire an option.
+
+    ``fallback`` marks the classic-mode recovery of a fast-ballot
+    round that collided, was fenced, or timed out.
+    """
 
     txid: str
     key: str
     update: Update
     tm_address: str
+    fallback: bool = False
 
 
 @dataclass(frozen=True)

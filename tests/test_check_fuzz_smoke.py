@@ -9,10 +9,13 @@ the full-width sweep.
 import pytest
 
 from repro.check import fuzz_sweep, run_check, shrink
+from repro.check.faults import FAST_KINDS
 from repro.check.runner import CheckConfig
 from repro.paxos import PaxosRound
 
 SMOKE = CheckConfig(n_txns=20, n_faults=4, fault_kinds=("drop", "crash"))
+FAST_SMOKE = CheckConfig(n_txns=20, n_faults=4, fault_kinds=FAST_KINDS,
+                         mode="fast")
 
 
 def test_smoke_sweep_is_clean():
@@ -109,3 +112,47 @@ def test_each_fault_kind_runs_clean(kind):
     result = run_check(CheckConfig(seed=3, n_txns=15, n_faults=3,
                                    fault_kinds=(kind,)))
     assert result.ok, result.report()
+
+
+# -- fast-ballot mode ---------------------------------------------------------
+
+
+def test_fast_mode_smoke_sweep_is_clean():
+    failures = fuzz_sweep(range(20), FAST_SMOKE)
+    reports = "\n\n".join(failure.report() for failure in failures)
+    assert not failures, \
+        f"invariant violations in fast-mode smoke sweep:\n{reports}"
+
+
+def test_fast_mode_exercises_fallbacks_across_the_sweep():
+    # Over a handful of seeds with the collide fault in the palette,
+    # the sweep must hit both fast-path learns and classic recovery.
+    chosen = fallbacks = 0
+    for seed in range(6):
+        result = run_check(CheckConfig(seed=seed, n_txns=15, n_faults=3,
+                                       fault_kinds=FAST_KINDS, mode="fast"))
+        assert result.ok, result.report()
+        chosen += result.stats["fast_chosen"]
+        fallbacks += result.stats["fallbacks"]
+    assert chosen > 0
+    assert fallbacks > 0
+
+
+@pytest.mark.parametrize("kind", ["drop", "spike", "partition", "crash",
+                                  "transfer", "collide"])
+def test_each_fault_kind_runs_clean_under_fast_mode(kind):
+    result = run_check(CheckConfig(seed=3, n_txns=15, n_faults=3,
+                                   fault_kinds=(kind,), mode="fast"))
+    assert result.ok, result.report()
+
+
+def test_cli_fast_mode_fuzz(capsys):
+    from repro.check.__main__ import main
+
+    assert main(["fuzz", "--seeds", "2", "--txns", "10",
+                 "--faults", "2", "--mode", "fast"]) == 0
+    assert "no invariant violations" in capsys.readouterr().out
+    assert main(["replay", "--seed", "0", "--txns", "10",
+                 "--faults", "2", "--mode", "fast"]) == 0
+    out = capsys.readouterr().out
+    assert "fast path:" in out and "OK" in out

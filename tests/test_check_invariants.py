@@ -11,7 +11,10 @@ from repro.check import History, check_history
 from repro.check.invariants import (
     CHECKS,
     check_ballot_monotonic,
+    check_collision_safety,
     check_decision_agreement,
+    check_fast_quorum,
+    check_mode_monotonic,
     check_quorum_durability,
     check_read_committed,
     check_unique_chosen,
@@ -21,11 +24,19 @@ from repro.check.invariants import (
 B1 = (1, "storage/0/0")
 B2 = (2, "storage/1/0")
 B3 = (3, "storage/2/0")
+#: The fast ballot of round 0, as histories carry it.
+FB = (0, "*")
 
 
 def with_meta(quorum: int = 2) -> History:
     return History().append(0.0, "cluster_meta", n_datacenters=3,
                             partitions_per_dc=1, quorum=quorum)
+
+
+def with_fast_meta(quorum: int = 2, fast_quorum: int = 3) -> History:
+    return History().append(0.0, "cluster_meta", n_datacenters=3,
+                            partitions_per_dc=1, quorum=quorum,
+                            fast_quorum=fast_quorum)
 
 
 def codes(violations) -> list:
@@ -369,6 +380,146 @@ def test_repeated_version_is_flagged():
     assert codes(check_version_monotonic(history)) == ["CHK006"]
 
 
+# -- CHK007: fast-quorum soundness --------------------------------------------
+
+
+def _fast_vote(history: History, ts: float, node: str, seq: int = 0,
+               txid: str = "t1", decision: str = "accepted",
+               ballot=FB) -> History:
+    return history.append(ts, "phase2b", node, key="k", seq=seq,
+                          ballot=ballot, accepted=True, promised=ballot,
+                          txid=txid, decision=decision)
+
+
+def test_fast_chosen_with_full_fast_quorum_is_legal():
+    history = with_fast_meta(fast_quorum=3)
+    for ts, node in enumerate(("storage/0/0", "storage/1/0",
+                               "storage/2/0"), start=1):
+        _fast_vote(history, float(ts), node)
+    history.append(4.0, "fast_chosen", "client/c", key="k", seq=0,
+                   txid="t1", decision="accepted", votes=3)
+    assert check_fast_quorum(history) == []
+
+
+def test_fast_chosen_below_fast_quorum_is_flagged():
+    history = with_fast_meta(fast_quorum=3)
+    _fast_vote(history, 1.0, "storage/0/0")
+    _fast_vote(history, 2.0, "storage/1/0")
+    history.append(3.0, "fast_chosen", "client/c", key="k", seq=0,
+                   txid="t1", decision="accepted", votes=2)
+    assert codes(check_fast_quorum(history)) == ["CHK007"]
+
+
+def test_votes_at_other_instances_do_not_count_toward_the_quorum():
+    # Three votes, but scattered across instances: a collision, not a
+    # quorum — claiming a fast-learned verdict anyway is the bug.
+    history = with_fast_meta(fast_quorum=3)
+    _fast_vote(history, 1.0, "storage/0/0", seq=0)
+    _fast_vote(history, 2.0, "storage/1/0", seq=1)
+    _fast_vote(history, 3.0, "storage/2/0", seq=0)
+    history.append(4.0, "fast_chosen", "client/c", key="k", seq=0,
+                   txid="t1", decision="accepted", votes=3)
+    assert codes(check_fast_quorum(history)) == ["CHK007"]
+
+
+def test_chk007_skips_classic_histories():
+    # No fast_quorum in the meta: a classic run (or a pre-fast
+    # history) is never judged against fast rules.
+    history = with_meta()
+    history.append(1.0, "fast_chosen", "client/c", key="k", seq=0,
+                   txid="t1", decision="accepted", votes=0)
+    assert check_fast_quorum(history) == []
+
+
+# -- CHK008: collision-recovery safety ----------------------------------------
+
+
+def test_classic_recovery_of_the_same_value_is_legal():
+    # Fast quorum chooses t1 at (k, 0); the recovery re-proposes the
+    # *same* transaction classically — allowed (idempotent learn).
+    history = with_fast_meta(quorum=2, fast_quorum=3)
+    for ts, node in enumerate(("storage/0/0", "storage/1/0",
+                               "storage/2/0"), start=1):
+        _fast_vote(history, float(ts), node)
+    for ts, node in enumerate(("storage/0/0", "storage/1/0"), start=4):
+        _fast_vote(history, float(ts), node, ballot=B1, txid="t1")
+    assert check_collision_safety(history) == []
+
+
+def test_classic_recovery_overwriting_a_fast_choice_is_flagged():
+    history = with_fast_meta(quorum=2, fast_quorum=3)
+    for ts, node in enumerate(("storage/0/0", "storage/1/0",
+                               "storage/2/0"), start=1):
+        _fast_vote(history, float(ts), node, txid="t1")
+    for ts, node in enumerate(("storage/0/0", "storage/1/0"), start=4):
+        _fast_vote(history, float(ts), node, ballot=B1, txid="t2")
+    assert codes(check_collision_safety(history)) == ["CHK008"]
+
+
+def test_classic_over_classic_reproposal_is_chk002_territory():
+    # Two classic quorums on different txids at one instance can be a
+    # legitimate higher-ballot re-proposal after a mastership
+    # transfer; CHK008 only polices the fast/classic boundary.
+    history = with_fast_meta(quorum=2, fast_quorum=3)
+    for ts, node in enumerate(("storage/0/0", "storage/1/0"), start=1):
+        _fast_vote(history, float(ts), node, ballot=B1, txid="t1")
+    for ts, node in enumerate(("storage/0/0", "storage/1/0"), start=3):
+        _fast_vote(history, float(ts), node, ballot=B2, txid="t2")
+    assert check_collision_safety(history) == []
+
+
+def test_partial_fast_votes_do_not_pin_the_instance():
+    # Two fast votes (below the quorum of 3) never constitute a
+    # choice, so a classic round winning the instance is fine.
+    history = with_fast_meta(quorum=2, fast_quorum=3)
+    _fast_vote(history, 1.0, "storage/0/0", txid="t1")
+    _fast_vote(history, 2.0, "storage/1/0", txid="t1")
+    for ts, node in enumerate(("storage/0/0", "storage/1/0"), start=3):
+        _fast_vote(history, float(ts), node, ballot=B1, txid="t2")
+    assert check_collision_safety(history) == []
+
+
+# -- CHK009: fast→classic monotonicity ----------------------------------------
+
+
+def _fast_lifecycle(*etypes) -> History:
+    history = with_fast_meta()
+    for ts, etype in enumerate(etypes, start=1):
+        history.append(float(ts), etype, "client/c", txid="t1", key="k")
+    return history
+
+
+def test_fast_round_lifecycles_are_legal():
+    assert check_mode_monotonic(
+        _fast_lifecycle("fast_propose", "fast_chosen")) == []
+    assert check_mode_monotonic(
+        _fast_lifecycle("fast_propose", "fast_fallback")) == []
+    # Distinct keys of one transaction run independent fast rounds.
+    history = (with_fast_meta()
+               .append(1.0, "fast_propose", "client/c", txid="t1", key="a")
+               .append(2.0, "fast_propose", "client/c", txid="t1", key="b")
+               .append(3.0, "fast_chosen", "client/c", txid="t1", key="a")
+               .append(4.0, "fast_fallback", "client/c", txid="t1", key="b"))
+    assert check_mode_monotonic(history) == []
+
+
+def test_fast_round_resurrection_is_flagged():
+    # Once fallen back, the (txid, key) pair must stay classic.
+    violations = check_mode_monotonic(
+        _fast_lifecycle("fast_propose", "fast_fallback", "fast_chosen"))
+    assert codes(violations) == ["CHK009"]
+
+
+def test_terminal_without_a_proposal_is_flagged():
+    assert codes(check_mode_monotonic(
+        _fast_lifecycle("fast_chosen"))) == ["CHK009"]
+
+
+def test_repeated_fast_proposal_is_flagged():
+    assert codes(check_mode_monotonic(
+        _fast_lifecycle("fast_propose", "fast_propose"))) == ["CHK009"]
+
+
 # -- the catalogue ------------------------------------------------------------
 
 
@@ -389,4 +540,4 @@ def test_check_history_rejects_unknown_codes():
 
 
 def test_catalogue_is_complete():
-    assert list(CHECKS) == [f"CHK00{i}" for i in range(1, 7)]
+    assert list(CHECKS) == [f"CHK00{i}" for i in range(1, 10)]

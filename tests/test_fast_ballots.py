@@ -1,0 +1,307 @@
+"""MDCC fast ballots: unit, end-to-end, and span-level acceptance.
+
+Three layers, mirroring the implementation:
+
+* ballot/acceptor units — fast ballots sort below classic ballots of
+  the same round, acceptors self-assign instances and are fenced by
+  classic promises, and a classic proposal cannot overwrite a
+  possibly-chosen fast value;
+* :class:`FastRound` resolution — quorum, collision, and
+  impossibility fallbacks on hand-driven vote sequences;
+* whole-cluster runs on the EC2-2014 topology — a fast-mode commit
+  travels one fewer WAN delay than the same commit under classic
+  mode (span-verified), and forced collisions fall back to the
+  classic path with the full invariant catalogue staying clean.
+"""
+
+import pytest
+
+from repro.check import CheckConfig, FaultAction, FaultSchedule, run_check
+from repro.mdcc.cluster import Cluster
+from repro.net.topology import ec2_five_dc, uniform_topology
+from repro.obs import ObsSession
+from repro.paxos import (
+    AcceptorState,
+    Ballot,
+    FAST_PROPOSER,
+    FastPhase2a,
+    FastRound,
+    Phase2a,
+    fast_quorum_size,
+    handle_fast2a,
+    handle_phase2a,
+)
+from repro.sim import Environment, RandomStreams
+from repro.storage.option import Decision, OptionPayload
+from repro.storage.record import Update, WriteOp
+from repro.workload.items import item_key
+
+
+# -- ballots ----------------------------------------------------------------
+
+
+def test_fast_quorum_sizes():
+    # ⌈3N/4⌉: any two fast quorums intersect in > N/2 acceptors.
+    assert [fast_quorum_size(n) for n in range(1, 8)] \
+        == [1, 2, 3, 3, 4, 5, 6]
+    with pytest.raises(ValueError):
+        fast_quorum_size(0)
+
+
+def test_fast_ballot_sorts_below_every_classic_ballot_of_its_round():
+    fast = Ballot.fast(0)
+    assert fast.is_fast and fast.proposer == FAST_PROPOSER
+    # Any record master's classic ballot at the same round fences the
+    # fast ballot without needing a higher round number...
+    assert fast < Ballot(0, "storage/0/0")
+    assert fast < Ballot(0, "storage/2/1")
+    # ...while a later fast round still outranks earlier classic ones.
+    assert Ballot.fast(1) > Ballot(0, "storage/2/1")
+    assert not Ballot(0, "storage/0/0").is_fast
+
+
+# -- acceptor fast votes ----------------------------------------------------
+
+
+def _payload(txid: str) -> OptionPayload:
+    return OptionPayload(txid=txid, key="k",
+                         update=Update.delta(-1), decision=None)
+
+
+def test_fast_votes_self_assign_consecutive_instances():
+    state = AcceptorState()
+    first = handle_fast2a(state, FastPhase2a("k", Ballot.fast(0),
+                                             _payload("t1")),
+                          Decision.ACCEPTED)
+    second = handle_fast2a(state, FastPhase2a("k", Ballot.fast(0),
+                                              _payload("t2")),
+                           Decision.REJECTED)
+    assert first.accepted and first.seq == 0
+    assert first.decision is Decision.ACCEPTED
+    assert second.accepted and second.seq == 1
+    assert second.decision is Decision.REJECTED
+    assert state.accepted[0][1].txid == "t1"
+    assert state.accepted[1][1].txid == "t2"
+
+
+def test_classic_promise_fences_fast_votes():
+    state = AcceptorState()
+    handle_phase2a(state, Phase2a("k", 0, Ballot(0, "storage/1/0"),
+                                  _payload("t1")))
+    vote = handle_fast2a(state, FastPhase2a("k", Ballot.fast(0),
+                                            _payload("t2")),
+                         Decision.ACCEPTED)
+    assert not vote.accepted
+    assert vote.seq == -1
+    assert vote.promised == Ballot(0, "storage/1/0")
+    # A later fast round outranks the old classic promise again.
+    vote = handle_fast2a(state, FastPhase2a("k", Ballot.fast(1),
+                                            _payload("t2")),
+                         Decision.ACCEPTED)
+    assert vote.accepted
+
+
+def test_classic_proposal_cannot_overwrite_fast_value():
+    # ⌈3N/4⌉ fast quorums leave at most ⌊N/4⌋ acceptors free of a
+    # possibly-chosen fast value, so a classic different-txid proposal
+    # at an occupied instance must be refused (CHK008).
+    state = AcceptorState()
+    handle_fast2a(state, FastPhase2a("k", Ballot.fast(0), _payload("t1")),
+                  Decision.ACCEPTED)
+    refused = handle_phase2a(state, Phase2a("k", 0, Ballot(0, "storage/0/0"),
+                                            _payload("t2")))
+    assert not refused.accepted
+    assert state.accepted[0][1].txid == "t1"
+    # The recovery of the *same* transaction is allowed through.
+    accepted = handle_phase2a(state, Phase2a("k", 0, Ballot(0, "storage/0/0"),
+                                             _payload("t1")))
+    assert accepted.accepted
+
+
+# -- FastRound resolution ---------------------------------------------------
+
+
+class _Endpoint:
+    """A hand-driven RPC stub: calls are collected, votes are injected."""
+
+    def __init__(self, env):
+        self.env = env
+        self.address = "client/test"
+        self.calls = []
+
+    def call(self, replica, method, message, span=None):
+        event = self.env.event()
+        self.calls.append((replica, event))
+        return event
+
+
+class _Vote:
+    def __init__(self, value):
+        self.ok = True
+        self.value = value
+
+
+def _run_round(n_replicas, votes, quorum=None):
+    """Drive one FastRound through an injected vote sequence."""
+    env = Environment()
+    endpoint = _Endpoint(env)
+    fast2a = FastPhase2a("k", Ballot.fast(0), _payload("t1"))
+    round_ = FastRound(env, endpoint, [f"storage/{i}/0"
+                                       for i in range(n_replicas)],
+                       fast2a, quorum=quorum)
+    state = AcceptorState()
+    for (_, event), vote in zip(endpoint.calls, votes):
+        for callback in event.callbacks:
+            callback(_Vote(vote))
+        if round_.result.triggered:
+            break
+    assert round_.result.triggered, "round did not resolve"
+    return round_.result.value
+
+
+def _fast_vote(state_or_none, txid, decision, seq):
+    """A FastPhase2b as an acceptor voting ``decision`` at ``seq``."""
+    state = AcceptorState()
+    state.accepted = {i: (Ballot.fast(0), _payload("x"))
+                      for i in range(seq)}
+    return handle_fast2a(state, FastPhase2a("k", Ballot.fast(0),
+                                            _payload(txid)), decision)
+
+
+def test_fast_round_quorum_is_chosen():
+    votes = [_fast_vote(None, "t1", Decision.ACCEPTED, 0)
+             for _ in range(4)]
+    outcome = _run_round(5, votes)
+    assert outcome.status == "chosen"
+    assert outcome.reason == "quorum"
+    assert outcome.seq == 0
+    assert outcome.votes == 4  # resolved on the 4th of 5 votes
+
+
+def test_fast_round_rejection_quorum_is_equally_fast():
+    votes = [_fast_vote(None, "t1", Decision.REJECTED, 0)
+             for _ in range(4)]
+    outcome = _run_round(5, votes)
+    assert outcome.status == "rejected"
+    assert outcome.seq == 0
+
+
+def test_scattered_instances_fall_back_as_a_collision():
+    # Acceptors placed the value at four different instances: no
+    # instance can reach the ⌈15/4⌉ = 4 quorum even with the last
+    # unheard acceptor — impossibility detected one vote early.
+    votes = [_fast_vote(None, "t1", Decision.ACCEPTED, seq)
+             for seq in (0, 1, 2, 3)]
+    outcome = _run_round(5, votes)
+    assert outcome.status == "fallback"
+    assert outcome.reason == "collision"
+
+
+def test_fenced_round_falls_back_with_the_fenced_reason():
+    fenced_state = AcceptorState()
+    fenced_state.promised = Ballot(0, "storage/0/0")
+    votes = [handle_fast2a(fenced_state,
+                           FastPhase2a("k", Ballot.fast(0), _payload("t1")),
+                           Decision.ACCEPTED)
+             for _ in range(2)]
+    outcome = _run_round(3, votes, quorum=2)
+    assert outcome.status == "fallback"
+    assert outcome.reason == "fenced"
+    assert outcome.fenced == 2
+
+
+def test_impossible_quorum_is_rejected_up_front():
+    env = Environment()
+    with pytest.raises(ValueError):
+        FastRound(env, _Endpoint(env), ["a", "b", "c"],
+                  FastPhase2a("k", Ballot.fast(0), _payload("t1")),
+                  quorum=4)
+
+
+def test_mode_is_validated():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Cluster(env, uniform_topology(3, one_way_ms=20.0),
+                RandomStreams(seed=1),
+                mode="turbo")
+
+
+# -- end-to-end on the EC2 topology -----------------------------------------
+
+
+def _single_commit(mode):
+    """One buy transaction from Virginia under ``mode``; returns
+    ``(result, tm, cluster, obs artifacts)``."""
+    env = Environment()
+    session = ObsSession()
+    session.install(env)
+    cluster = Cluster(env, ec2_five_dc(spike_prob=0.0),
+                      RandomStreams(seed=42), mode=mode,
+                      round_timeout_ms=2_000.0)
+    cluster.load({"item:1": 10})
+    tm = cluster.create_client("web-0", datacenter=0)
+    handle = tm.begin([WriteOp("item:1", Update.delta(-1))])
+    env.run()
+    session.detach(env)
+    assert handle.result is not None and handle.result.committed
+    return handle.result, tm, cluster, session.artifacts()
+
+
+def test_fast_commit_saves_one_message_delay_on_ec2():
+    classic, _, _, classic_obs = _single_commit("classic")
+    fast, tm, cluster, fast_obs = _single_commit("fast")
+
+    # The fast path was actually taken, and the learned value
+    # replicated everywhere.
+    assert tm.fast_chosen >= 1 and tm.fallbacks == 0
+    for dc in range(5):
+        assert cluster.read_value("item:1", dc=dc) == 9
+
+    # Classic: client -> leader -> phase2a -> phase2b -> client is
+    # four one-way WAN delays; fast: fast2a out, fast2b back is two.
+    # With an uncontended record the saved delays must show up
+    # directly in the client-perceived commit latency.
+    assert fast.response_time_ms < classic.response_time_ms
+
+    # Span-verified: the fast run resolved through a fast round (no
+    # classic recovery span), the classic run never started one.
+    fast_spans = {span["name"] for span in fast_obs["spans"]}
+    classic_spans = {span["name"] for span in classic_obs["spans"]}
+    assert "paxos.fast_round" in fast_spans
+    assert "paxos.recovery" not in fast_spans
+    assert "paxos.fast_round" not in classic_spans
+    fast_rounds = [span for span in fast_obs["spans"]
+                   if span["name"] == "paxos.fast_round"]
+    assert any(span["attrs"].get("status") == "chosen"
+               for span in fast_rounds)
+
+
+def test_forced_collision_falls_back_and_stays_safe():
+    # Three simultaneous proposers race the workload on one record;
+    # the scattered instances force classic recovery, and the full
+    # catalogue CHK001-CHK009 must stay clean across it.
+    config = CheckConfig(seed=5, n_txns=15, n_faults=0, mode="fast",
+                         n_items=2)
+    horizon = config.horizon_ms()
+    schedule = FaultSchedule([
+        FaultAction(0.30 * horizon, "collide", None,
+                    {"key": item_key(0), "n_proposers": 3}),
+        FaultAction(0.55 * horizon, "collide", None,
+                    {"key": item_key(1), "n_proposers": 3}),
+    ])
+    result = run_check(config, schedule=schedule)
+    assert result.ok, result.report()
+    assert result.stats["fallbacks"] >= 1, result.stats
+    assert result.stats["committed"] > 0
+
+
+def test_fast_mode_reports_fast_path_stats():
+    result = run_check(CheckConfig(seed=1, n_txns=10, n_faults=0,
+                                   mode="fast"))
+    assert result.ok, result.report()
+    for key in ("fast_chosen", "fallbacks", "collisions"):
+        assert key in result.stats
+    assert result.stats["fast_chosen"] + result.stats["fallbacks"] > 0
+    # Classic runs don't grow the new keys (digest discipline).
+    classic = run_check(CheckConfig(seed=1, n_txns=10, n_faults=0))
+    assert "fast_chosen" not in classic.stats
