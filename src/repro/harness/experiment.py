@@ -19,6 +19,7 @@ from repro.net import Topology, ec2_five_dc, uniform_topology
 from repro.sim import Environment, RandomStreams
 from repro.storage.record import WriteOp
 from repro.workload import (
+    AggregateLoad,
     BuyTransactionFactory,
     HotspotAccess,
     OpenSystemLoad,
@@ -80,6 +81,20 @@ class ExperimentConfig:
     think_time_ms: float = 0.0
     #: Fraction of arrivals that are read-only browse transactions.
     read_fraction: float = 0.0
+    #: Load engine: ``"per-client"`` (the default per-arrival generator
+    #: process), ``"aggregate"`` (batch-scheduled, exact replay of the
+    #: per-client draw sequence — byte-identical histories), or
+    #: ``"aggregate-vectorized"`` (batch-scheduled with vectorized
+    #: numpy draws — same distributions, the million-client scale path).
+    load_engine: str = "per-client"
+    #: Arrivals drawn and scheduled per batch by the aggregate engines.
+    load_batch_size: int = 1024
+    #: Schedule aggregate batches on an array-backed kernel timer lane
+    #: instead of per-arrival heap events.
+    load_timer_lane: bool = True
+    #: Simulated user population for client attribution in the
+    #: aggregate engines (0 = untracked).
+    load_population: int = 0
     # programming model
     timeout_ms: float = 5_000.0
     use_on_accept: bool = False
@@ -377,6 +392,27 @@ class Experiment:
             rebuild()
             self.model_refreshes += 1
 
+    def _build_load(self):
+        """The configured load engine (see ``load_engine``)."""
+        config = self.config
+        if config.load_engine == "per-client":
+            return OpenSystemLoad(self.env, self.factory, self._issuer,
+                                  config.rate_tps, self.streams,
+                                  name=config.name,
+                                  read_fraction=config.read_fraction)
+        if config.load_engine in ("aggregate", "aggregate-vectorized"):
+            mode = ("exact" if config.load_engine == "aggregate"
+                    else "vectorized")
+            return AggregateLoad(self.env, self.factory, self._issuer,
+                                 config.rate_tps, self.streams,
+                                 name=config.name,
+                                 read_fraction=config.read_fraction,
+                                 mode=mode,
+                                 batch_size=config.load_batch_size,
+                                 use_timer_lane=config.load_timer_lane,
+                                 population=config.load_population)
+        raise ValueError(f"unknown load engine {config.load_engine!r}")
+
     # -- execution -----------------------------------------------------------------
 
     def run(self) -> ExperimentResult:
@@ -404,10 +440,7 @@ class Experiment:
         elif wants_model:
             raise ValueError(f"unknown stats_mode {config.stats_mode!r}")
 
-        load = OpenSystemLoad(self.env, self.factory, self._issuer,
-                              config.rate_tps, self.streams,
-                              name=config.name,
-                              read_fraction=config.read_fraction)
+        load = self._build_load()
         total = config.warmup_ms + config.duration_ms
         load.start(duration_ms=total)
 

@@ -26,6 +26,7 @@ values), which the determinism tests pin.
 
 from __future__ import annotations
 
+import bisect
 import hashlib
 import json
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -100,10 +101,8 @@ class HistogramSeries:
         self.max = float("-inf")
 
     def observe(self, value: float) -> None:
-        index = 0
-        bounds = self.bounds
-        while index < len(bounds) and value > bounds[index]:
-            index += 1
+        # First bucket whose bound is >= value; len(bounds) = overflow.
+        index = bisect.bisect_left(self.bounds, value)
         self.buckets[index] += 1
         self.count += 1
         self.total += value

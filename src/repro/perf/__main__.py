@@ -24,6 +24,7 @@ import pstats
 import sys
 from typing import Dict, List, Optional
 
+from repro.harness.parallel import default_pool_size, effective_cpu_count
 from repro.perf.benches import BENCHES
 from repro.perf.harness import (
     build_report,
@@ -77,9 +78,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--repeats", type=int, default=None,
                         help="timed repetitions, best-of (default 3; "
                              "--smoke: 1)")
-    parser.add_argument("--pool", type=int, default=4,
-                        help="worker pool for the sweep bench "
-                             "(default %(default)s)")
+    parser.add_argument("--pool", type=int, default=None,
+                        help="worker pool for the sweep bench (default: "
+                             "the CPU-affinity mask, i.e. the CPUs this "
+                             "process may actually use)")
     parser.add_argument("--only", action="append", default=[],
                         choices=[spec.name for spec in BENCHES],
                         help="run only this bench (repeatable)")
@@ -98,13 +100,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         0.2 if namespace.smoke else 1.0)
     repeats = namespace.repeats if namespace.repeats is not None else (
         1 if namespace.smoke else 3)
+    pool = (namespace.pool if namespace.pool is not None
+            else default_pool_size())
+    effective_pool = min(pool, effective_cpu_count())
 
-    results = _run_benches(namespace.only, scale, namespace.pool, repeats,
+    results = _run_benches(namespace.only, scale, pool, repeats,
                            namespace.profile)
     scores = {spec.name: (spec.score_metric, spec.higher_is_better,
                           spec.unit)
               for spec in BENCHES if spec.name in results}
-    report = build_report(results, scores, scale, namespace.pool,
+    report = build_report(results, scores, scale, pool,
+                          effective_pool=effective_pool,
                           reference=UNOPTIMIZED_REFERENCE)
     print()
     print(format_report(report))
@@ -116,13 +122,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         if baseline.get("scale") != report.get("scale"):
             print(f"note: baseline scale {baseline.get('scale')} != "
                   f"current scale {report.get('scale')}; comparing anyway")
+        failures: List[str] = []
         regressions = compare_reports(report, baseline,
                                       threshold_pct=namespace.threshold)
-        if regressions:
-            print(f"\nFAIL: {len(regressions)} regression(s) beyond "
-                  f"{namespace.threshold:.0f}% vs {namespace.compare}")
-            for regression in regressions:
-                print("  " + regression.format())
+        for regression in regressions:
+            failures.append(regression.format())
+        # Absolute gates, independent of the baseline file: whenever
+        # a real pool ran, parallel must not lose to serial; and the
+        # scale bench must stay inside its wall/RSS budgets.
+        sweep = results.get("sweep")
+        if (sweep is not None and sweep.get("effective_pool", 1.0) >= 2
+                and sweep.get("speedup", 1.0) < 1.0):
+            failures.append(
+                f"sweep: parallel lost to serial at effective pool "
+                f"{sweep['effective_pool']:.0f} "
+                f"(speedup {sweep['speedup']:.3f} < 1.0)")
+        scale_bench = results.get("scale")
+        if (scale_bench is not None
+                and scale_bench.get("within_budget", 1.0) < 1.0):
+            failures.append(
+                f"scale: outside budget (wall {scale_bench['seconds']:.2f}s"
+                f" vs {scale_bench['wall_budget_s']:.0f}s, rss "
+                f"{scale_bench['peak_rss_mb']:.0f}MB vs "
+                f"{scale_bench['rss_budget_mb']:.0f}MB)")
+        if failures:
+            print(f"\nFAIL: {len(failures)} gate failure(s) vs "
+                  f"{namespace.compare} (threshold "
+                  f"{namespace.threshold:.0f}%)")
+            for failure in failures:
+                print("  " + failure)
             return 1
         print(f"\nOK: no regression beyond {namespace.threshold:.0f}% "
               f"vs {namespace.compare}")

@@ -19,12 +19,21 @@ from repro.core.admission import DynamicPolicy
 from repro.core.likelihood import CommitLikelihoodModel
 from repro.core.statistics import OracleLatencySource
 from repro.harness.experiment import Experiment, ExperimentConfig
-from repro.harness.parallel import run_experiments
+from repro.harness.parallel import (
+    WorkerPool,
+    effective_cpu_count,
+    run_experiments,
+)
 from repro.mdcc.cluster import Cluster
 from repro.net import Message, Transport, ec2_five_dc, uniform_topology
 from repro.perf.harness import best_of, peak_rss_mb, timed
 from repro.sim import Environment, RandomStreams
 from repro.storage.record import Update, WriteOp
+from repro.workload import (
+    AggregateLoad,
+    BuyTransactionFactory,
+    ZipfianAccess,
+)
 
 #: Event/message counts at scale 1.0.
 KERNEL_EVENTS = 200_000
@@ -35,6 +44,14 @@ LIKELIHOOD_SAMPLES = 2_000
 DECISION_EVALUATIONS = 20_000
 #: Fast-ballot micro-bench transaction count at scale 1.0.
 FAST_PAXOS_TXNS = 2_000
+#: Scale-bench shape: the ISSUE's million-client target — 10⁶
+#: simulated users issuing 10⁴ tx/s — over this simulated window
+#: (multiplied by ``scale``), within the wall/RSS budgets below.
+SCALE_USERS = 1_000_000
+SCALE_RATE_TPS = 10_000.0
+SCALE_WINDOW_MS = 10_000.0
+SCALE_WALL_BUDGET_S = 30.0
+SCALE_RSS_BUDGET_MB = 1_024.0
 
 
 def bench_kernel(scale: float, pool: int,
@@ -308,12 +325,18 @@ def bench_figure_admission(scale: float, pool: int,
 
 def bench_sweep(scale: float, pool: int,
                 repeats: int = 1) -> Dict[str, float]:
-    """Figure-scale sweep, serial vs. a pool of ``pool`` workers.
+    """Figure-scale sweep, serial vs. a persistent worker pool.
 
     The sweep is ``SWEEP_RUNS`` independent seeds of the figure
-    config; ``speedup`` is serial over parallel wall time on *this*
-    machine — on a single-CPU host expect ~1.0 or slightly below
-    (pool overhead), which is exactly what the number is for.
+    config.  The pool is forked once (its startup is reported
+    separately, since a real sweep amortizes it over every point) and
+    the parallel arm reuses it across repeats; results cross the
+    process boundary in columnar form.  ``effective_pool`` is the
+    worker count after capping at the affinity mask — on a single-CPU
+    host it is 1, the parallel arm degrades to the serial loop, and
+    ``speedup`` ~1.0 is the expected (and correct) outcome; the
+    ``--compare`` gate only requires speedup >= 1 when the effective
+    pool is >= 2.
     """
     configs = [
         _figure_config(scale, seed=1000 + index, name=f"perf-sweep-{index}")
@@ -323,14 +346,97 @@ def bench_sweep(scale: float, pool: int,
     serial_s = best_of(
         lambda: timed(lambda: run_experiments(configs, processes=1)),
         repeats)
-    parallel_s = best_of(
-        lambda: timed(lambda: run_experiments(configs, processes=pool)),
-        repeats)
+    box: List[WorkerPool] = []
+    startup_s = timed(lambda: box.append(WorkerPool(pool)))
+    worker_pool = box[0]
+    try:
+        parallel_s = best_of(
+            lambda: timed(
+                lambda: run_experiments(configs, pool=worker_pool)),
+            repeats)
+        effective = worker_pool.effective
+    finally:
+        worker_pool.close()
     return {
         "runs": float(len(configs)),
         "serial_seconds": serial_s,
         "parallel_seconds": parallel_s,
+        "pool_startup_seconds": startup_s,
+        "effective_pool": float(effective),
         "speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+    }
+
+
+class _CountingIssuer:
+    """Scale-bench issuer: counts arrivals, keeps nothing per txn."""
+
+    __slots__ = ("issued", "keys_touched")
+
+    def __init__(self):
+        self.issued = 0
+        self.keys_touched = 0
+
+    def issue(self, writes, touches_hotspot) -> None:
+        self.issued += 1
+        self.keys_touched += len(writes)
+
+
+def bench_scale(scale: float, pool: int,
+                repeats: int = 1) -> Dict[str, float]:
+    """Million-client load generation through the batched engine.
+
+    One :class:`AggregateLoad` in vectorized mode drives 10⁴ tx/s from
+    a 10⁶-user population (Zipf access over a 100k-item catalogue) for
+    ``SCALE_WINDOW_MS * scale`` simulated ms — once on the kernel's
+    array-backed timer lane and once on per-arrival heap events
+    (``lane_speedup`` is the ratio).  ``within_budget`` is 1.0 when
+    the lane arm finishes under the wall-clock budget and the process
+    high-water RSS stays under the memory budget; ``--compare`` fails
+    on 0.0.  The per-client engine at this rate would be ~10⁶ heap
+    events plus one generator resume each — the number this bench
+    exists to make unnecessary.
+    """
+    window_ms = max(1_000.0, SCALE_WINDOW_MS * scale)
+    observed: Dict[str, float] = {}
+
+    def run(use_lane: bool) -> float:
+        env = Environment()
+        streams = RandomStreams(seed=97)
+        pattern = ZipfianAccess(100_000, s=0.99)
+        factory = BuyTransactionFactory(pattern)
+        issuer = _CountingIssuer()
+        load = AggregateLoad(
+            env, factory, issuer, SCALE_RATE_TPS, streams, name="scale",
+            mode="vectorized", batch_size=4_096, use_timer_lane=use_lane,
+            population=SCALE_USERS)
+        load.start(duration_ms=window_ms)
+        seconds = timed(lambda: env.run(until=window_ms))
+        if use_lane:
+            observed["arrivals"] = float(issuer.issued)
+            observed["clients"] = float(load.distinct_clients())
+        return seconds
+
+    lane_s = best_of(lambda: run(True), repeats)
+    heap_s = best_of(lambda: run(False), repeats)
+    rss = peak_rss_mb()
+    wall_budget = max(5.0, SCALE_WALL_BUDGET_S * scale)
+    within = 1.0 if (lane_s <= wall_budget
+                     and rss <= SCALE_RSS_BUDGET_MB) else 0.0
+    arrivals = observed["arrivals"]
+    return {
+        "users": float(SCALE_USERS),
+        "rate_tps": SCALE_RATE_TPS,
+        "window_ms": window_ms,
+        "arrivals": arrivals,
+        "seconds": lane_s,
+        "arrivals_per_sec": arrivals / lane_s if lane_s > 0 else 0.0,
+        "heap_seconds": heap_s,
+        "lane_speedup": heap_s / lane_s if lane_s > 0 else 0.0,
+        "distinct_clients": observed["clients"],
+        "peak_rss_mb": rss,
+        "wall_budget_s": wall_budget,
+        "rss_budget_mb": SCALE_RSS_BUDGET_MB,
+        "within_budget": within,
     }
 
 
@@ -452,5 +558,8 @@ BENCHES: List[BenchSpec] = [
     BenchSpec("mode_sweep", bench_mode_sweep, "p50_speedup", True,
               "x", "classic vs fast ballots: commit-latency comparison"),
     BenchSpec("sweep", bench_sweep, "parallel_seconds", False,
-              "s", "independent-config sweep, serial vs pooled"),
+              "s", "independent-config sweep, serial vs persistent pool"),
+    BenchSpec("scale", bench_scale, "arrivals_per_sec", True,
+              "arrivals/s", "1M-user aggregate load at 10k tx/s, "
+              "lane vs heap scheduling"),
 ]

@@ -62,11 +62,15 @@ class Regression:
 def build_report(results: Dict[str, Dict[str, float]],
                  scores: Dict[str, Tuple[str, bool, str]],
                  scale: float, pool: int,
+                 effective_pool: Optional[int] = None,
                  reference: Optional[Dict[str, object]] = None) -> dict:
     """Assemble the JSON document ``BENCH_kernel.json`` holds.
 
     ``scores`` maps bench name to ``(metric_key, higher_is_better,
     unit)`` — the compare mode judges exactly that metric per bench.
+    ``effective_pool`` is the worker count after capping the requested
+    pool at the CPU-affinity mask — recorded so a report can never
+    again silently claim a 4-wide pool on a 1-CPU container.
     """
     report = {
         "schema": SCHEMA_VERSION,
@@ -74,8 +78,11 @@ def build_report(results: Dict[str, Dict[str, float]],
         "implementation": platform.python_implementation(),
         "machine": platform.machine(),
         "cpus": _cpu_count(),
+        "affinity_cpus": _affinity_cpus(),
         "scale": scale,
         "pool": pool,
+        "effective_pool": (effective_pool if effective_pool is not None
+                           else pool),
         "benchmarks": {
             name: {
                 "metrics": metrics,
@@ -95,6 +102,12 @@ def _cpu_count() -> int:
     import os
 
     return os.cpu_count() or 1
+
+
+def _affinity_cpus() -> int:
+    from repro.harness.parallel import effective_cpu_count
+
+    return effective_cpu_count()
 
 
 def write_report(path: str, report: dict) -> None:
@@ -145,8 +158,11 @@ def format_report(report: dict) -> str:
     """Human-readable rendering of one report (the CLI's output)."""
     lines = [
         f"repro.perf  python {report.get('python')}  "
-        f"cpus={report.get('cpus')}  scale={report.get('scale')}  "
+        f"cpus={report.get('cpus')}  "
+        f"affinity={report.get('affinity_cpus', report.get('cpus'))}  "
+        f"scale={report.get('scale')}  "
         f"pool={report.get('pool')}"
+        f" (effective {report.get('effective_pool', report.get('pool'))})"
     ]
     for name, entry in report.get("benchmarks", {}).items():
         metric = entry.get("score_metric")

@@ -20,6 +20,7 @@ from repro.sim.kernel import (
     Process,
     SimulationError,
     Timeout,
+    TimerLane,
 )
 from repro.sim.rng import RandomStreams
 
@@ -33,4 +34,5 @@ __all__ = [
     "RandomStreams",
     "SimulationError",
     "Timeout",
+    "TimerLane",
 ]

@@ -30,10 +30,21 @@ choices keep them small:
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import (
+    Any,
+    Callable,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+
+_INF = float("inf")
 
 #: Sentinel for an event that has not yet been given a value.
 _PENDING = object()
@@ -322,6 +333,75 @@ class AnyOf(ConditionEvent):
         self.succeed(self._collect())
 
 
+class TimerLane:
+    """A batch of pre-sorted deadlines drained ahead of the event heap.
+
+    Homogeneous timer floods — the aggregate workload engine's arrival
+    batches, mass retry timers — do not need one heap entry (plus one
+    :class:`Timeout` object and one generator resume) per deadline.  A
+    lane holds the whole batch as a flat, already-sorted array of
+    virtual timestamps; the event loop fires ``callback(index)`` for
+    each entry when the clock reaches it, interleaved correctly with
+    ordinary heap events.
+
+    Ordering contract: a lane entry at time *t* fires after every heap
+    event scheduled strictly before *t* and before every heap event
+    scheduled strictly after *t*.  At exactly equal timestamps the
+    heap wins — a lane entry ranks behind every already-queued event
+    at its own timestamp (in particular behind the urgent stop event
+    ``run(until=t)`` plants, matching :class:`Timeout` semantics at a
+    window boundary).  Within one lane, entries fire in array order.
+
+    Lanes are registered via :meth:`Environment.add_timer_lane` and
+    remove themselves once drained.  A lane whose entries are no
+    longer wanted is :meth:`cancel`\\ led; pending entries are simply
+    never fired.  The kernel pays nothing for the feature while no
+    lane is registered (one truthiness check per processed event,
+    bounded by the kernel bench), and a registered lane survives
+    across successive :meth:`Environment.run` windows exactly like
+    queued timeouts do.
+    """
+
+    __slots__ = ("_deadlines", "_index", "_n", "_callback")
+
+    def __init__(self, deadlines: Sequence[float],
+                 callback: Callable[[int], None]):
+        # A plain list of floats: scalar reads off a numpy array box a
+        # np.float64 per access, which the drain loop would pay per
+        # entry.  ``tolist()`` converts once at C speed.
+        values: List[float] = (
+            deadlines.tolist() if hasattr(deadlines, "tolist")
+            else [float(value) for value in deadlines])
+        for earlier, later in zip(values, values[1:]):
+            if later < earlier:
+                raise ValueError("lane deadlines must be sorted")
+        self._deadlines = values
+        self._index = 0
+        self._n = len(values)
+        self._callback = callback
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every entry has fired (or the lane was cancelled)."""
+        return self._index >= self._n
+
+    @property
+    def remaining(self) -> int:
+        return self._n - self._index if self._index < self._n else 0
+
+    def head(self) -> float:
+        """Deadline of the next entry, or ``inf`` when exhausted."""
+        return self._deadlines[self._index] if self._index < self._n else _INF
+
+    def cancel(self) -> None:
+        """Drop all unfired entries; the loop reaps the lane lazily."""
+        self._index = self._n
+
+    def __repr__(self) -> str:
+        return (f"<TimerLane {self.remaining}/{self._n} pending "
+                f"at {id(self):#x}>")
+
+
 class Environment:
     """The simulation environment: virtual clock plus event queue.
 
@@ -338,8 +418,8 @@ class Environment:
         assert env.now == 10.0
     """
 
-    __slots__ = ("_now", "_queue", "_eid", "_active_process", "tracer",
-                 "metrics", "spans", "process_wrapper")
+    __slots__ = ("_now", "_queue", "_eid", "_active_process", "_lanes",
+                 "tracer", "metrics", "spans", "process_wrapper")
 
     PRIORITY_URGENT = 0
     PRIORITY_NORMAL = 1
@@ -349,6 +429,10 @@ class Environment:
         self._queue: List[tuple] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Registered :class:`TimerLane` batches (usually zero or one).
+        #: The event loop drains due lane entries ahead of the heap;
+        #: an empty list keeps the feature free.
+        self._lanes: List[TimerLane] = []
         #: Optional structured-event sink: a callable
         #: ``(ts_ms, etype, node, fields)`` installed by the history
         #: recorder (``repro.check``).  ``None`` keeps tracing free:
@@ -416,6 +500,42 @@ class Environment:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    def add_timer_lane(self, deadlines: Sequence[float],
+                       callback: Callable[[int], None]) -> TimerLane:
+        """Register a sorted batch of deadlines fired as ``callback(i)``.
+
+        ``deadlines`` (a numpy array or any float sequence, sorted
+        non-decreasing, all >= ``now``) is drained ahead of the event
+        heap under the ordering contract documented on
+        :class:`TimerLane`.  An empty batch returns an already
+        exhausted lane without registering anything.
+        """
+        lane = TimerLane(deadlines, callback)
+        if not lane.exhausted:
+            if lane.head() < self._now:
+                raise ValueError(
+                    f"lane deadline {lane.head()} lies in the past "
+                    f"(now={self._now})")
+            self._lanes.append(lane)
+        return lane
+
+    def _peek_lane(self) -> Optional[Tuple[float, TimerLane]]:
+        """Earliest live lane head, reaping exhausted lanes en route."""
+        lanes = self._lanes
+        best: Optional[TimerLane] = None
+        best_when = _INF
+        index = 0
+        while index < len(lanes):
+            lane = lanes[index]
+            if lane._index >= lane._n:
+                lanes.pop(index)
+                continue
+            when = lane._deadlines[lane._index]
+            if when < best_when:
+                best, best_when = lane, when
+            index += 1
+        return (best_when, best) if best is not None else None
+
     # -- scheduling & execution -------------------------------------------
 
     def schedule(self, event: Event, delay: float = 0.0,
@@ -426,15 +546,33 @@ class Environment:
         _heappush(self._queue, (self._now + delay, priority, eid, event))
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled occurrence (heap event or lane
+        entry), or ``inf`` if none."""
+        when = self._queue[0][0] if self._queue else _INF
+        if self._lanes:
+            head = self._peek_lane()
+            if head is not None and head[0] < when:
+                return head[0]
+        return when
 
     def step(self) -> None:
-        """Process the single next event on the queue.
+        """Process the single next occurrence: the earliest lane entry
+        if it beats the heap head (ties go to the heap), else the next
+        queued event.
 
         :meth:`run` inlines this body (with heap/queue bound to locals)
         — keep the two in sync when changing event-loop semantics.
         """
+        if self._lanes:
+            head = self._peek_lane()
+            if head is not None and (
+                    not self._queue or head[0] < self._queue[0][0]):
+                when, lane = head
+                self._now = when
+                index = lane._index
+                lane._index = index + 1
+                lane._callback(index)
+                return
         if not self._queue:
             raise SimulationError("no more events to process")
         when, _priority, _eid, event = _heappop(self._queue)
@@ -458,9 +596,14 @@ class Environment:
         # Both branches inline step() with `queue`/`pop` as locals: the
         # loop runs once per simulated event, and dropping the extra
         # method call per event is a measurable share of figure-scale
-        # wall time (see docs/performance.md).
+        # wall time (see docs/performance.md).  Timer lanes cost one
+        # truthiness check per event while none are registered; when
+        # one is, due lane entries drain ahead of the heap (heap wins
+        # exact-timestamp ties — see TimerLane's ordering contract).
         queue = self._queue
         pop = _heappop
+        lanes = self._lanes
+        peek_lane = self._peek_lane
         if until is not None:
             if until < self._now:
                 raise ValueError(
@@ -470,7 +613,19 @@ class Environment:
             stop._value = None
             self.schedule(stop, delay=until - self._now,
                           priority=self.PRIORITY_URGENT)
-            while queue:
+            while queue or lanes:
+                if lanes:
+                    head = peek_lane()
+                    if head is not None and (
+                            not queue or head[0] < queue[0][0]):
+                        when, lane = head
+                        self._now = when
+                        index = lane._index
+                        lane._index = index + 1
+                        lane._callback(index)
+                        continue
+                if not queue:
+                    break
                 if queue[0][3] is stop:
                     self._now = pop(queue)[0]
                     return
@@ -482,7 +637,19 @@ class Environment:
                 if not event._ok and not event._defused:
                     raise event._value
         else:
-            while queue:
+            while queue or lanes:
+                if lanes:
+                    head = peek_lane()
+                    if head is not None and (
+                            not queue or head[0] < queue[0][0]):
+                        when, lane = head
+                        self._now = when
+                        index = lane._index
+                        lane._index = index + 1
+                        lane._callback(index)
+                        continue
+                if not queue:
+                    break
                 when, _priority, _eid, event = pop(queue)
                 self._now = when
                 callbacks, event.callbacks = event.callbacks, None
@@ -509,14 +676,21 @@ class Environment:
                 self.schedule(stop, delay=until - self._now,
                               priority=self.PRIORITY_URGENT)
                 queue = self._queue
-                while queue:
-                    if queue[0][3] is stop:
-                        self._now = _heappop(queue)[0]
-                        return
+                while queue or self._lanes:
+                    if queue and queue[0][3] is stop:
+                        # The stop event wins exact-timestamp ties with
+                        # lane entries; only a strictly earlier lane
+                        # head may still fire (via step()).
+                        head = self._peek_lane() if self._lanes else None
+                        if head is None or head[0] >= queue[0][0]:
+                            self._now = _heappop(queue)[0]
+                            return
                     self.step()
                     processed += 1
             else:
-                while self._queue:
+                while self._queue or self._lanes:
+                    if not self._queue and self._peek_lane() is None:
+                        break
                     self.step()
                     processed += 1
         finally:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import Dict
+from typing import Any, Dict
 
 
 class RandomStreams:
@@ -24,11 +24,12 @@ class RandomStreams:
     True
     """
 
-    __slots__ = ("seed", "_streams")
+    __slots__ = ("seed", "_streams", "_numpy_streams")
 
     def __init__(self, seed: int = 0):
         self.seed = int(seed)
         self._streams: Dict[str, random.Random] = {}
+        self._numpy_streams: Dict[str, Any] = {}
 
     def get(self, name: str) -> random.Random:
         """Return the stream for ``name``, creating it on first use."""
@@ -39,6 +40,32 @@ class RandomStreams:
             # in the tree must be derived from this factory.
             stream = random.Random(derived)  # repro: allow[RNG002]
             self._streams[name] = stream
+        return stream
+
+    def numpy_generator(self, name: str) -> Any:
+        """The seeded ``numpy.random.Generator`` for ``name``.
+
+        The vectorized workload paths (``repro.workload.aggregate``)
+        draw whole arrival batches in single numpy calls; those draws
+        must obey the same discipline as the scalar streams — derived
+        deterministically from the master seed, one independent stream
+        per named consumer.  This factory is the single sanctioned
+        construction site for numpy generators, mirroring :meth:`get`
+        for ``random.Random``.  Names are namespaced separately from
+        the scalar streams (the two kinds never alias).
+
+        numpy is imported lazily so the bare kernel keeps its import
+        cost; every workload already depends on it.
+        """
+        stream = self._numpy_streams.get(name)
+        if stream is None:
+            import numpy as np
+
+            derived = (self.seed << 32) ^ zlib.crc32(name.encode("utf-8"))
+            # The sanctioned numpy construction site, the vectorized
+            # twin of the random.Random factory above.
+            stream = np.random.default_rng(derived)  # repro: allow[RNG002]
+            self._numpy_streams[name] = stream
         return stream
 
     def spawn(self, name: str) -> "RandomStreams":

@@ -13,15 +13,18 @@ from repro.workload.access import (
     ZipfianAccess,
 )
 from repro.workload.buying import BuyTransactionFactory
-from repro.workload.load import OpenSystemLoad, PoissonArrivals
+from repro.workload.load import OpenSystemLoad, PoissonArrivals, UniformArrivals
+from repro.workload.aggregate import AggregateLoad
 
 __all__ = [
     "AccessPattern",
+    "AggregateLoad",
     "BuyTransactionFactory",
     "HotspotAccess",
     "OpenSystemLoad",
     "PoissonArrivals",
     "UniformAccess",
+    "UniformArrivals",
     "ZipfianAccess",
     "generate_items",
 ]

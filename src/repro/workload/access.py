@@ -30,6 +30,79 @@ class AccessPattern(ABC):
     def is_hot(self, key: str) -> bool:
         """Whether a key lies in the hotspot (always False if none)."""
 
+    @abstractmethod
+    def sample_batch(self, np_rng, counts):
+        """Vectorized :meth:`sample_keys` for a whole arrival batch.
+
+        ``counts`` is an integer array (one transaction size per
+        arrival); returns ``(keys_per_txn, hot_flags)`` where
+        ``keys_per_txn`` is a list of per-transaction key lists
+        (distinct within each transaction, like the scalar path) and
+        ``hot_flags`` a boolean numpy array marking transactions that
+        touch the hotspot.  All randomness comes from ``np_rng`` — a
+        generator obtained via
+        :meth:`repro.sim.RandomStreams.numpy_generator` — in a fixed
+        draw order, so batch sampling is deterministic per seed.  The
+        per-index key strings are cached across batches: at aggregate
+        scale the string formatting, not the drawing, is the hot cost.
+        """
+
+    def _cached_keys(self):
+        cache = getattr(self, "_key_cache", None)
+        if cache is None:
+            cache = {}
+            self._key_cache = cache
+        return cache
+
+    def _keys_for(self, indices) -> List[str]:
+        """Indices -> cached key strings (one dict probe per key)."""
+        cache = self._cached_keys()
+        prefix = self.prefix
+        keys = []
+        append = keys.append
+        for index in indices:
+            key = cache.get(index)
+            if key is None:
+                key = item_key(index, prefix)
+                cache[index] = key
+            append(key)
+        return keys
+
+
+def _dedup_rows(indices, counts, redraw):
+    """Make each row's used prefix distinct, matching the scalar
+    rejection semantics.
+
+    ``indices`` is the (batch, max_count) draw matrix; row ``j`` uses
+    its first ``counts[j]`` entries.  Rows whose prefix already holds
+    distinct values — the overwhelming majority when the pool dwarfs
+    the transaction size — are untouched; colliding rows re-draw the
+    duplicate slots through ``redraw(row)`` until distinct.  Redraws
+    happen in ascending row order, so the generator consumption order
+    (and therefore the whole batch) stays deterministic.
+    """
+    batch, max_count = indices.shape
+    if max_count <= 1:
+        return indices
+    # Mask unused slots with unique negatives so they never collide.
+    cols = np.arange(max_count)
+    masked = np.where(cols[None, :] < counts[:, None], indices,
+                      -(cols[None, :] + 1))
+    ordered = np.sort(masked, axis=1)
+    dup_rows = np.nonzero((ordered[:, 1:] == ordered[:, :-1]).any(axis=1))[0]
+    for row in dup_rows:
+        need = int(counts[row])
+        seen = []
+        used = set()
+        for value in indices[row, :need]:
+            value = int(value)
+            while value in used:
+                value = int(redraw(row))
+            used.add(value)
+            seen.append(value)
+        indices[row, :need] = seen
+    return indices
+
 
 class UniformAccess(AccessPattern):
     """Every item equally likely."""
@@ -46,6 +119,22 @@ class UniformAccess(AccessPattern):
                 f"cannot pick {count} distinct items out of {self.n_items}")
         indices = rng.sample(range(self.n_items), count)
         return [item_key(i, self.prefix) for i in indices]
+
+    def sample_batch(self, np_rng, counts):
+        counts = np.asarray(counts, dtype=np.int64)
+        batch = counts.shape[0]
+        if batch == 0:
+            return [], np.zeros(0, dtype=bool)
+        max_count = int(counts.max())
+        if max_count > self.n_items:
+            raise ValueError(
+                f"cannot pick {max_count} distinct items out of "
+                f"{self.n_items}")
+        indices = np_rng.integers(0, self.n_items, size=(batch, max_count))
+        _dedup_rows(indices, counts,
+                    lambda row: np_rng.integers(0, self.n_items))
+        keys = [self._keys_for(indices[j, :counts[j]]) for j in range(batch)]
+        return keys, np.zeros(batch, dtype=bool)
 
     def is_hot(self, key: str) -> bool:
         return False
@@ -87,6 +176,31 @@ class HotspotAccess(AccessPattern):
         indices = rng.sample(range(pool_size), count)
         return [item_key(offset + i, self.prefix) for i in indices]
 
+    def sample_batch(self, np_rng, counts):
+        counts = np.asarray(counts, dtype=np.int64)
+        batch = counts.shape[0]
+        if batch == 0:
+            return [], np.zeros(0, dtype=bool)
+        hot = np_rng.random(batch) < self.hot_prob
+        cold_size = self.n_items - self.hotspot_size
+        if cold_size == 0:
+            # Degenerate: the hotspot covers everything, so "cold"
+            # transactions shop in the hot region too (scalar parity).
+            hot = np.ones(batch, dtype=bool)
+        pools = np.where(hot, self.hotspot_size, cold_size)
+        offsets = np.where(hot, 0, self.hotspot_size)
+        counts = np.minimum(counts, pools)
+        max_count = int(counts.max())
+        # Per-row pool sizes: scale a uniform [0,1) draw by each row's
+        # pool (random() < 1.0, so the floor never reaches the pool).
+        indices = (np_rng.random((batch, max_count))
+                   * pools[:, None]).astype(np.int64)
+        _dedup_rows(indices, counts,
+                    lambda row: int(np_rng.random() * pools[row]))
+        indices += offsets[:, None]
+        keys = [self._keys_for(indices[j, :counts[j]]) for j in range(batch)]
+        return keys, hot
+
     def is_hot(self, key: str) -> bool:
         return key in self._hot_keys
 
@@ -113,7 +227,8 @@ class ZipfianAccess(AccessPattern):
         self.prefix = prefix
         ranks = np.arange(1, n_items + 1, dtype=float)
         weights = ranks ** -self.s
-        self._cdf = np.cumsum(weights / weights.sum()).tolist()
+        self._cdf_np = np.cumsum(weights / weights.sum())
+        self._cdf = self._cdf_np.tolist()
 
     def sample_keys(self, rng: random.Random, count: int) -> List[str]:
         count = min(count, self.n_items)
@@ -128,6 +243,29 @@ class ZipfianAccess(AccessPattern):
                 seen.add(index)
                 chosen.append(index)
         return [item_key(i, self.prefix) for i in chosen]
+
+    def sample_batch(self, np_rng, counts):
+        counts = np.asarray(counts, dtype=np.int64)
+        batch = counts.shape[0]
+        if batch == 0:
+            return [], np.zeros(0, dtype=bool)
+        counts = np.minimum(counts, self.n_items)
+        max_count = int(counts.max())
+        last = self.n_items - 1
+        indices = np.searchsorted(
+            self._cdf_np, np_rng.random((batch, max_count)), side="left")
+        np.minimum(indices, last, out=indices)
+
+        def redraw(row):
+            return min(int(np.searchsorted(
+                self._cdf_np, np_rng.random(), side="left")), last)
+
+        _dedup_rows(indices, counts, redraw)
+        cols = np.arange(max_count)
+        used = cols[None, :] < counts[:, None]
+        hot = ((indices < self.hot_top) & used).any(axis=1)
+        keys = [self._keys_for(indices[j, :counts[j]]) for j in range(batch)]
+        return keys, hot
 
     def is_hot(self, key: str) -> bool:
         try:

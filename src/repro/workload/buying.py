@@ -40,3 +40,20 @@ class BuyTransactionFactory:
         ]
         touches_hotspot = any(self.pattern.is_hot(key) for key in keys)
         return writes, touches_hotspot
+
+    def build_batch(self, np_rng, size: int):
+        """Write sets + hotspot flags for ``size`` transactions at once.
+
+        The vectorized twin of :meth:`build`, used by the aggregate
+        load engine: item counts and key indices come from single numpy
+        draws, and every write shares one frozen :class:`Update`
+        instance (the delta is identical across the whole workload, so
+        per-op construction is pure overhead at scale).
+        """
+        counts = np_rng.integers(self.min_items, self.max_items + 1,
+                                 size=size)
+        keys_per_txn, hot = self.pattern.sample_batch(np_rng, counts)
+        update = Update.delta(-self.quantity, floor=self.floor)
+        writes = [[WriteOp(key, update) for key in keys]
+                  for keys in keys_per_txn]
+        return writes, hot

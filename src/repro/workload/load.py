@@ -40,6 +40,10 @@ class PoissonArrivals:
     def next_interarrival_ms(self, rng: random.Random) -> float:
         return rng.expovariate(self.rate_per_ms)
 
+    def batch_interarrivals(self, np_rng, size: int):
+        """``size`` gaps in one vectorized draw (same distribution)."""
+        return np_rng.exponential(1.0 / self.rate_per_ms, size)
+
 
 class UniformArrivals:
     """Evenly paced arrivals (a metronome at the aggregate rate)."""
@@ -51,6 +55,11 @@ class UniformArrivals:
 
     def next_interarrival_ms(self, rng: random.Random) -> float:
         return self.interval_ms
+
+    def batch_interarrivals(self, np_rng, size: int):
+        import numpy as np
+
+        return np.full(size, self.interval_ms)
 
 
 class OpenSystemLoad:

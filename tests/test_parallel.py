@@ -1,15 +1,24 @@
 """repro.harness.parallel: order, determinism, and serial fallback."""
 
+import dataclasses
 import os
 
 import pytest
 
 from repro.harness.parallel import (
+    WorkerPool,
+    decode_records,
+    decode_result,
     default_pool_size,
+    encode_records,
+    encode_result,
+    experiment_cost_hint,
     parallel_map,
     run_experiments,
+    worker_context,
 )
-from repro.harness.experiment import ExperimentConfig
+from repro.harness.experiment import Experiment, ExperimentConfig
+from repro.obs.txmetrics import TxRecord
 
 
 def _square(value):
@@ -51,7 +60,7 @@ def test_single_cpu_host_falls_back_to_serial(monkeypatch):
     def _no_pool(*args, **kwargs):  # pragma: no cover - must not run
         raise AssertionError("Pool constructed on a single-CPU host")
 
-    monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 1)
+    monkeypatch.setattr(parallel_module, "effective_cpu_count", lambda: 1)
     monkeypatch.setattr(
         parallel_module.multiprocessing, "Pool", _no_pool)
     seen = []
@@ -74,10 +83,30 @@ def test_pool_capped_at_item_count(monkeypatch):
 
 
 def test_default_pool_size_env_override(monkeypatch):
+    from repro.harness.parallel import effective_cpu_count
+
     monkeypatch.setenv("PLANET_POOL", "3")
     assert default_pool_size() == 3
     monkeypatch.delenv("PLANET_POOL")
-    assert default_pool_size() == (os.cpu_count() or 1)
+    # Unset, the default is the *affinity* mask (what this process may
+    # actually run on), not the machine-wide cpu_count.
+    assert default_pool_size() == effective_cpu_count()
+
+
+def test_effective_cpu_count_uses_affinity(monkeypatch):
+    """A container pinned to one core must size pools at 1, no matter
+    how many CPUs the host advertises via cpu_count."""
+    import repro.harness.parallel as parallel_module
+
+    monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 64)
+    if hasattr(os, "sched_getaffinity"):
+        monkeypatch.setattr(parallel_module.os, "sched_getaffinity",
+                            lambda pid: {0})
+        from repro.harness.parallel import effective_cpu_count
+        assert effective_cpu_count() == 1
+    else:  # pragma: no cover - non-Linux fallback
+        from repro.harness.parallel import effective_cpu_count
+        assert effective_cpu_count() == 64
 
 
 def test_run_experiments_returns_configs_in_order():
@@ -93,3 +122,158 @@ def test_run_experiments_returns_configs_in_order():
     assert [result.config.name for result in results] == ["tiny-1", "tiny-2"]
     for result in results:
         assert result.metrics.n_issued >= 0
+
+
+# -- persistent pool: serial equivalence ---------------------------------
+
+def _probe_configs(seeds=(3, 4, 5)):
+    return [
+        ExperimentConfig(
+            name=f"pool-probe-{seed}", seed=seed, system="traditional",
+            topology="uniform", n_datacenters=3, uniform_one_way_ms=20.0,
+            partitions_per_dc=1, n_items=100, rate_tps=100.0,
+            warmup_ms=500.0, duration_ms=1_000.0, drain_ms=1_000.0)
+        for seed in seeds
+    ]
+
+
+def _fingerprint(result):
+    return (result.summary(),
+            [dataclasses.astuple(rec) for rec in result.metrics.records])
+
+
+def test_persistent_pool_matches_serial_across_reuse():
+    """The ISSUE's headline guarantee: a persistent pool (forked once,
+    reused across map calls, columnar transfer) yields byte-identical
+    results to the serial loop — on every reuse, for every seed."""
+    configs = _probe_configs()
+    serial = [_fingerprint(r) for r in run_experiments(
+        configs, processes=1)]
+    with WorkerPool(processes=2, oversubscribe=True) as pool:
+        for _ in range(2):  # reuse the same workers across sweep points
+            pooled = [_fingerprint(r) for r in run_experiments(
+                configs, pool=pool)]
+            assert pooled == serial
+
+
+def test_persistent_pool_streams_in_input_order():
+    configs = _probe_configs(seeds=(3, 4))
+    seen = []
+    with WorkerPool(processes=2, oversubscribe=True) as pool:
+        results = run_experiments(configs, pool=pool,
+                                  on_result=seen.append)
+    assert [r.config.name for r in results] == ["pool-probe-3",
+                                                "pool-probe-4"]
+    assert seen == results  # same objects, streamed, in input order
+
+
+# -- columnar codec ------------------------------------------------------
+
+def test_record_codec_roundtrips_all_field_shapes():
+    records = [
+        TxRecord(system="planet", issued_ms=1.5, timeout_ms=200.0,
+                 hot=True, size=3, admitted=True, accepted_ms=10.25,
+                 decided_ms=90.0, committed=True, spec_ms=12.0,
+                 spec_incorrect=False, app_outcome="committed",
+                 stage_fired="a1", stage_fired_ms=12.0),
+        # every optional None, tri-state committed unknown
+        TxRecord(system="traditional", issued_ms=2.0, timeout_ms=150.0,
+                 hot=False, size=1),
+        # committed=False (distinct from None on the wire)
+        TxRecord(system="planet", issued_ms=3.0, timeout_ms=150.0,
+                 hot=False, size=2, admitted=False, committed=False,
+                 app_outcome="aborted"),
+    ]
+    rebuilt = decode_records(encode_records(records))
+    assert [dataclasses.astuple(r) for r in rebuilt] == \
+        [dataclasses.astuple(r) for r in records]
+    assert rebuilt[1].committed is None
+    assert rebuilt[2].committed is False
+    assert decode_records(encode_records([])) == []
+
+
+def test_result_codec_roundtrips_whole_experiment():
+    result = Experiment(_probe_configs(seeds=(3,))[0]).run()
+    rebuilt = decode_result(encode_result(result))
+    assert _fingerprint(rebuilt) == _fingerprint(result)
+    assert rebuilt.config == result.config
+    assert rebuilt.initial_likelihoods == result.initial_likelihoods
+    assert rebuilt.read_latencies_ms == result.read_latencies_ms
+
+
+# -- work distribution ---------------------------------------------------
+
+class _FakePool:
+    """Stands in for multiprocessing.Pool: records submission order and
+    completes tasks in deliberately scrambled (reverse) order."""
+
+    def __init__(self):
+        self.submitted = []
+
+    def imap_unordered(self, fn, tasks, chunksize=1):
+        tasks = list(tasks)
+        assert chunksize == 1  # per-item dispatch IS the work stealing
+        self.submitted = [task[1] for task in tasks]
+        for task in reversed(tasks):
+            yield fn(task)
+
+    def close(self):
+        pass
+
+    def join(self):
+        pass
+
+
+def _fake_pooled():
+    pool = WorkerPool(processes=1)
+    fake = _FakePool()
+    pool._pool = fake
+    pool.processes = 2
+    return pool, fake
+
+
+def test_lpt_submission_order_with_skewed_costs():
+    """With a cost hint, predicted-longest items are submitted first
+    (ties keep input order) so stragglers never start last."""
+    pool, fake = _fake_pooled()
+    costs = [1.0, 9.0, 3.0, 9.0, 0.5]
+    results = pool.map(_square, [0, 1, 2, 3, 4],
+                       cost_hint=lambda i: costs[i])
+    assert fake.submitted == [1, 3, 2, 0, 4]
+    assert results == [0, 1, 4, 9, 16]  # reassembled by input position
+
+
+def test_scrambled_completion_still_streams_in_input_order():
+    pool, fake = _fake_pooled()
+    seen = []
+    results = pool.map(_square, [3, 1, 2], on_result=seen.append)
+    assert fake.submitted == [0, 1, 2]  # no hint: input order
+    assert results == [9, 1, 4]
+    assert seen == [9, 1, 4]  # despite reverse completion order
+
+
+def test_experiment_cost_hint_ranks_by_event_volume():
+    small, large = _probe_configs(seeds=(3, 4))
+    large = dataclasses.replace(large, duration_ms=10_000.0,
+                                rate_tps=500.0)
+    assert experiment_cost_hint(large) > experiment_cost_hint(small)
+
+
+# -- worker context broadcast --------------------------------------------
+
+def _read_context(item):
+    return item, worker_context()
+
+
+def test_worker_context_broadcast_to_forked_workers():
+    with WorkerPool(processes=2, context={"tag": 7},
+                    oversubscribe=True) as pool:
+        results = pool.map(_read_context, [1, 2, 3])
+    assert results == [(1, {"tag": 7}), (2, {"tag": 7}), (3, {"tag": 7})]
+
+
+def test_worker_context_installed_on_serial_fallback():
+    with WorkerPool(processes=1, context={"tag": 9}) as pool:
+        assert pool.effective == 1
+        results = pool.map(_read_context, [1])
+    assert results == [(1, {"tag": 9})]

@@ -1,0 +1,177 @@
+"""Kernel timer lanes: ordering vs the heap, windows, cancellation.
+
+The contract under test (see :class:`repro.sim.TimerLane`): lane
+entries fire interleaved with heap events in timestamp order, the heap
+wins exact-timestamp ties, a ``run(until=t)`` boundary stops before a
+lane entry at exactly ``t``, and lanes survive across successive run
+windows like queued timeouts do.
+"""
+
+import pytest
+
+from repro.sim import Environment, TimerLane
+
+
+def test_lane_interleaves_with_heap_events():
+    env = Environment()
+    order = []
+
+    def proc(env):
+        yield env.timeout(1.0)
+        order.append(("heap", env.now))
+        yield env.timeout(2.0)
+        order.append(("heap", env.now))
+
+    env.process(proc(env))
+    env.add_timer_lane([0.5, 1.5, 2.5],
+                       lambda i: order.append(("lane", env.now, i)))
+    env.run()
+    assert order == [("lane", 0.5, 0), ("heap", 1.0), ("lane", 1.5, 1),
+                     ("lane", 2.5, 2), ("heap", 3.0)]
+
+
+def test_heap_wins_exact_timestamp_ties():
+    env = Environment()
+    order = []
+
+    def proc(env):
+        yield env.timeout(5.0)
+        order.append("heap")
+
+    env.process(proc(env))
+    env.add_timer_lane([5.0], lambda i: order.append("lane"))
+    env.run()
+    assert order == ["heap", "lane"]
+
+
+def test_lane_entries_fire_in_array_order():
+    env = Environment()
+    fired = []
+    env.add_timer_lane([1.0, 1.0, 1.0], fired.append)
+    env.run()
+    assert fired == [0, 1, 2]
+
+
+def test_until_boundary_stops_before_lane_entry():
+    """An entry at exactly ``until`` must NOT fire — the urgent stop
+    event wins the tie, matching Timeout semantics at a boundary."""
+    env = Environment()
+    fired = []
+    env.add_timer_lane([1.0, 2.0, 3.0], fired.append)
+    env.run(until=2.0)
+    assert fired == [0]
+    assert env.now == 2.0
+    env.run()  # lane survives the window boundary
+    assert fired == [0, 1, 2]
+
+
+def test_lane_advances_clock_when_heap_empty():
+    env = Environment()
+    at = []
+    env.add_timer_lane([4.0, 9.0], lambda i: at.append(env.now))
+    env.run()
+    assert at == [4.0, 9.0]
+    assert env.now == 9.0
+
+
+def test_peek_sees_lane_head():
+    env = Environment()
+    env.add_timer_lane([3.0], lambda i: None)
+
+    def proc(env):
+        yield env.timeout(7.0)
+
+    env.process(proc(env))
+    assert env.peek() == 0.0  # the process-initialize event
+    env.step()
+    assert env.peek() == 3.0  # lane head beats the 7.0 timeout
+    env.run()
+    assert env.now == 7.0
+
+
+def test_cancel_drops_unfired_entries():
+    env = Environment()
+    fired = []
+    lane = env.add_timer_lane([1.0, 2.0, 3.0], fired.append)
+
+    def canceller(env):
+        yield env.timeout(1.5)
+        lane.cancel()
+
+    env.process(canceller(env))
+    env.run()
+    assert fired == [0]
+    assert lane.exhausted
+    assert lane.remaining == 0
+
+
+def test_callback_may_register_next_lane():
+    """Chaining batches from the last entry's callback — the aggregate
+    load engine's steady state — must keep the clock monotonic."""
+    env = Environment()
+    fired = []
+
+    def fire(index):
+        fired.append(env.now)
+        if index == 1 and len(fired) == 2:
+            env.add_timer_lane([env.now + 1.0, env.now + 2.0], fire)
+
+    env.add_timer_lane([1.0, 2.0], fire)
+    env.run()
+    assert fired == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_unsorted_deadlines_rejected():
+    with pytest.raises(ValueError):
+        TimerLane([2.0, 1.0], lambda i: None)
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.add_timer_lane([3.0, 1.0], lambda i: None)
+
+
+def test_past_deadlines_rejected():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5.0)
+
+    env.process(proc(env))
+    env.run()
+    with pytest.raises(ValueError):
+        env.add_timer_lane([4.0], lambda i: None)
+
+
+def test_numpy_deadline_array_accepted():
+    np = pytest.importorskip("numpy")
+    env = Environment()
+    fired = []
+    env.add_timer_lane(np.array([1.0, 2.5]), fired.append)
+    env.run()
+    assert fired == [0, 1]
+    assert env.now == 2.5
+
+
+def test_empty_lane_is_noop():
+    env = Environment()
+    lane = env.add_timer_lane([], lambda i: None)
+    assert lane.exhausted
+    env.run()
+    assert env.now == 0.0
+
+
+def test_instrumented_run_counts_lane_firings():
+    """The tracing/metrics slow path drains lanes identically."""
+    env = Environment()
+    order = []
+    env.tracer = lambda *args, **kwargs: None
+
+    def proc(env):
+        yield env.timeout(1.0)
+        order.append(("heap", env.now))
+
+    env.process(proc(env))
+    env.add_timer_lane([0.5, 1.5], lambda i: order.append(("lane", env.now)))
+    env.run(until=1.2)
+    assert order == [("lane", 0.5), ("heap", 1.0)]
+    env.run()
+    assert order == [("lane", 0.5), ("heap", 1.0), ("lane", 1.5)]
