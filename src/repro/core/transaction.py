@@ -31,7 +31,7 @@ from repro.core.callbacks import RemoteCallbackService
 from repro.core.likelihood import CommitLikelihoodModel
 from repro.core.states import FINISH_TX, TxInfo, TxState
 from repro.mdcc.coordinator import TransactionHandle, TransactionManager
-from repro.sim import Environment, Event
+from repro.sim import Environment, Event, WheelTimer
 from repro.storage.option import Decision
 from repro.storage.record import WriteOp
 
@@ -261,6 +261,10 @@ class PlanetTransaction:
         self.committed: Optional[bool] = None
         self._factors: Dict[str, float] = {}
         self._finished = False
+        #: Wheel timer guarding the client deadline; cancelled once the
+        #: transaction has both finished and fired its user stage, so a
+        #: fast commit never leaves a dead timeout on the kernel.
+        self._deadline_timer: Optional[WheelTimer] = None
 
     # -- public accounting ------------------------------------------------------
 
@@ -308,10 +312,19 @@ class PlanetTransaction:
             think_time_ms=tx.think_time_ms, gate_after_reads=True)
         self.handle.progress_hooks.append(self._on_tm_event)
         if math.isfinite(tx.timeout_ms):
-            self.env.process(self._timeout_watch())
+            self._deadline_timer = self.env.arm_timer(
+                self.env.now + tx.timeout_ms, self._on_deadline)
 
-    def _timeout_watch(self):
-        yield self.env.timeout(self.tx.timeout_ms)
+    def _maybe_cancel_deadline(self) -> None:
+        """Drop the deadline timer once it can no longer matter."""
+        timer = self._deadline_timer
+        if timer is not None and self._finished and self.returned:
+            timer.cancel()
+            self._deadline_timer = None
+
+    def _on_deadline(self) -> None:
+        """Wheel callback: the client deadline passed."""
+        self._deadline_timer = None
         if self._finished and self.returned:
             return
         self.timeout_expired = True
@@ -457,6 +470,7 @@ class PlanetTransaction:
         self.stage_fired_ms = self.env.now
         if self.env.metrics is not None:
             self.env.metrics.inc("planet.stage_fired", label=stage)
+        self._maybe_cancel_deadline()
         info = self.info(stage=stage)
         if not self.closed_event.triggered:
             self.closed_event.succeed(info)
@@ -472,6 +486,7 @@ class PlanetTransaction:
             self.returned = True
             self.stage_fired = "progress"
             self.stage_fired_ms = self.env.now
+            self._maybe_cancel_deadline()
             if not self.closed_event.triggered:
                 self.closed_event.succeed(self.info(stage="progress"))
 
@@ -479,6 +494,7 @@ class PlanetTransaction:
         if self._finished:
             return
         self._finished = True
+        self._maybe_cancel_deadline()
         if self.env.metrics is not None and self.spec_incorrect:
             self.env.metrics.inc("planet.spec_incorrect")
         # Feedback for adaptive admission policies (probing baselines).

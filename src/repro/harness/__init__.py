@@ -25,6 +25,11 @@ from repro.harness.parallel import (
     parallel_map,
     run_experiments,
 )
+from repro.harness.sharding import (
+    merge_results,
+    run_sharded,
+    shard_configs,
+)
 from repro.harness.tracing import TransactionTrace, TransactionTracer
 
 __all__ = [
@@ -39,10 +44,13 @@ __all__ = [
     "TxRecord",
     "default_pool_size",
     "format_table",
+    "merge_results",
     "parallel_map",
     "print_table",
     "render_bars",
     "render_curves",
     "run_experiments",
+    "run_sharded",
+    "shard_configs",
     "snapshot",
 ]

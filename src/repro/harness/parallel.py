@@ -68,17 +68,54 @@ _Item = TypeVar("_Item")
 _Result = TypeVar("_Result")
 
 
+#: cgroup-v2 CPU controller file; ``_cgroup_cpu_quota`` parses it.
+_CPU_MAX_PATH = "/sys/fs/cgroup/cpu.max"
+
+
+def _cgroup_cpu_quota(path: str = _CPU_MAX_PATH) -> Optional[float]:
+    """CPU quota in cores from the cgroup-v2 ``cpu.max`` file.
+
+    The file holds ``"$QUOTA $PERIOD"`` in microseconds, or ``"max"``
+    for unlimited.  Returns ``quota / period`` (e.g. ``2.0`` for a
+    container capped at two CPUs of time), or ``None`` when there is
+    no limit, no file (cgroup v1, non-Linux), or unparsable content.
+    """
+    try:
+        with open(path, "r", encoding="ascii") as stream:
+            fields = stream.read().split()
+    except (OSError, UnicodeDecodeError):
+        return None
+    if not fields or fields[0] == "max":
+        return None
+    try:
+        quota = int(fields[0])
+        period = int(fields[1]) if len(fields) > 1 else 100_000
+    except (ValueError, IndexError):
+        return None
+    if quota <= 0 or period <= 0:
+        return None
+    return quota / period
+
+
 def effective_cpu_count() -> int:
-    """CPUs this process may run on (affinity mask, not machine size).
+    """CPUs this process may actually burn (affinity ∧ cgroup quota).
 
     In a container pinned to one core, ``os.cpu_count()`` happily
     reports the host's core count — sizing a pool from it is how the
-    old baseline ended up benchmarking a 4-worker pool on 1 CPU.
+    old baseline ended up benchmarking a 4-worker pool on 1 CPU.  The
+    affinity mask catches cpuset-style pinning; the cgroup-v2
+    ``cpu.max`` quota catches time-share limits (``--cpus=2`` on a
+    64-core host leaves the mask at 64 but the quota at 2.0).  The
+    quota floors to whole workers, never below one.
     """
     try:
-        return len(os.sched_getaffinity(0)) or 1
+        usable = len(os.sched_getaffinity(0)) or 1
     except (AttributeError, OSError):  # non-Linux or restricted
-        return os.cpu_count() or 1
+        usable = os.cpu_count() or 1
+    quota = _cgroup_cpu_quota()
+    if quota is not None:
+        usable = min(usable, max(1, int(quota)))
+    return usable
 
 
 def default_pool_size() -> int:

@@ -13,7 +13,7 @@ from collections import deque
 from typing import Any, Callable, Deque, Dict, Optional, Tuple
 
 from repro.net.transport import Message, Transport
-from repro.sim import Environment, Event
+from repro.sim import Environment, Event, WheelTimer
 
 
 class RpcError(RuntimeError):
@@ -39,8 +39,8 @@ class RpcEndpoint:
 
     __slots__ = ("env", "transport", "address", "datacenter",
                  "service_time_ms", "service_overrides", "_handlers",
-                 "_pending", "_queue", "_serving", "max_queue_depth",
-                 "current_span")
+                 "_pending", "_timers", "_queue", "_serving",
+                 "max_queue_depth", "current_span")
 
     def __init__(self, env: Environment, transport: Transport,
                  address: str, datacenter: int,
@@ -66,6 +66,10 @@ class RpcEndpoint:
         self.service_overrides = dict(service_overrides or {})
         self._handlers: Dict[str, Callable[[Any, str], Any]] = {}
         self._pending: Dict[int, Event] = {}
+        #: Wheel timers guarding in-flight calls, keyed by msg_id; the
+        #: reply path cancels them, so a call that gets its response
+        #: before the deadline never touches the event heap at all.
+        self._timers: Dict[int, WheelTimer] = {}
         self._queue: Deque[Message] = deque()
         self._serving = False
         #: High-water mark of the service queue (observability).
@@ -109,6 +113,11 @@ class RpcEndpoint:
         callers combine it with their own deadline events.  ``span``
         is the caller's span context; it rides on the message so the
         receiver can stitch its spans under the caller's trace.
+
+        Deadlines are armed on the kernel's cancelable timer wheel:
+        the common case (reply before deadline) cancels the timer in
+        O(1) and never schedules a heap event or spawns an expiry
+        process.  The ``rpc_timeout`` perf bench pins that.
         """
         message = Message(src=self.address, dst=dst, kind=kind,
                           payload=payload,
@@ -117,7 +126,10 @@ class RpcEndpoint:
         self._pending[message.msg_id] = result
         self.transport.send(self.datacenter, message)
         if timeout_ms is not None:
-            self.env.process(self._expire(message.msg_id, timeout_ms))
+            msg_id = message.msg_id
+            self._timers[msg_id] = self.env.arm_timer(
+                self.env.now + timeout_ms,
+                lambda: self._expire(msg_id, timeout_ms))
         return result
 
     def cast(self, dst: str, kind: str, payload: Any,
@@ -129,8 +141,9 @@ class RpcEndpoint:
 
     # -- internals ------------------------------------------------------------
 
-    def _expire(self, msg_id: int, timeout_ms: float):
-        yield self.env.timeout(timeout_ms)
+    def _expire(self, msg_id: int, timeout_ms: float) -> None:
+        """Wheel callback: the deadline passed with no reply."""
+        self._timers.pop(msg_id, None)
         event = self._pending.pop(msg_id, None)
         if event is not None and not event.triggered:
             event.fail(RpcTimeout(f"no response within {timeout_ms} ms"))
@@ -163,6 +176,9 @@ class RpcEndpoint:
 
     def _dispatch(self, message: Message) -> None:
         if message.reply_to is not None:
+            timer = self._timers.pop(message.reply_to, None)
+            if timer is not None:
+                timer.cancel()
             event = self._pending.pop(message.reply_to, None)
             if event is not None and not event.triggered:
                 event.succeed(message.payload)

@@ -96,11 +96,17 @@ class FastRound:
         for replica in self.replicas:
             call = endpoint.call(replica, "fast2a", fast2a, span=span_ctx)
             call.callbacks.append(self._on_vote)
-        if timeout_ms is not None:
-            env.process(self._expire(timeout_ms))
+        # Deadline on the cancelable wheel; a decided round cancels it
+        # (see PaxosRound — same idiom, same reason).
+        self._timer = (env.arm_timer(env.now + timeout_ms,
+                                     lambda: self._expire(timeout_ms))
+                       if timeout_ms is not None else None)
 
     def _finish(self, outcome: FastRoundOutcome) -> None:
         env = self.env
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
         if env.tracer is not None:
             env.trace("fast_round_decided", node=self.endpoint.address,
                       key=self.fast2a.key, seq=outcome.seq,
@@ -156,8 +162,8 @@ class FastRound:
             return "collision"
         return "conflict"
 
-    def _expire(self, timeout_ms: float):
-        yield self.env.timeout(timeout_ms)
+    def _expire(self, timeout_ms: float) -> None:
+        """Wheel callback: the fast round hit its deadline undecided."""
         if not self.result.triggered:
             self._finish(FastRoundOutcome(
                 "fallback", "timeout",

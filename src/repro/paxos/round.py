@@ -70,11 +70,18 @@ class PaxosRound:
             call = endpoint.call(replica, "phase2a", phase2a,
                                  span=span_ctx)
             call.callbacks.append(self._on_vote)
-        if timeout_ms is not None:
-            env.process(self._expire(timeout_ms))
+        # The round deadline lives on the cancelable timer wheel: a
+        # decided round cancels it, so the common case never schedules
+        # a heap event for a timeout that will not fire.
+        self._timer = (env.arm_timer(env.now + timeout_ms,
+                                     lambda: self._expire(timeout_ms))
+                       if timeout_ms is not None else None)
 
     def _trace_outcome(self, won: bool, reason: str) -> None:
         env = self.env
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
         if env.tracer is not None:
             env.trace("round_decided", node=self.endpoint.address,
                       key=self.phase2a.key, seq=self.phase2a.seq,
@@ -104,8 +111,8 @@ class PaxosRound:
             self._trace_outcome(False, "blocked")
             self.result.succeed(False)
 
-    def _expire(self, timeout_ms: float):
-        yield self.env.timeout(timeout_ms)
+    def _expire(self, timeout_ms: float) -> None:
+        """Wheel callback: the round deadline passed undecided."""
         if not self.result.triggered:
             self._trace_outcome(False, "timeout")
             self.result.fail(PaxosRoundTimeout(

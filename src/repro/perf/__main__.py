@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import cProfile
 import io
+import json
 import pstats
 import sys
 from typing import Dict, List, Optional
@@ -94,6 +95,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(default %(default)s)")
     parser.add_argument("--profile", action="store_true",
                         help="cProfile each bench and print hot functions")
+    parser.add_argument("--speedup-curve", type=str, default=None,
+                        metavar="FILE",
+                        help="instead of the bench suite, sweep the "
+                             "figure-config fan-out at 1..pool workers "
+                             "and write the speedup curve to FILE")
     namespace = parser.parse_args(argv)
 
     scale = namespace.scale if namespace.scale is not None else (
@@ -103,6 +109,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     pool = (namespace.pool if namespace.pool is not None
             else default_pool_size())
     effective_pool = min(pool, effective_cpu_count())
+
+    if namespace.speedup_curve is not None:
+        from repro.perf.benches import speedup_curve
+
+        points = speedup_curve(scale, max_workers=max(1, pool),
+                               repeats=repeats)
+        artifact = {
+            "scale": scale,
+            "effective_cpus": effective_cpu_count(),
+            "points": points,
+        }
+        with open(namespace.speedup_curve, "w") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        for point in points:
+            print(f"workers {point['workers']:.0f} "
+                  f"(effective {point['effective']:.0f}): "
+                  f"{point['parallel_seconds']:.3f}s, "
+                  f"speedup {point['speedup']:.3f}x")
+        print(f"speedup curve written to {namespace.speedup_curve}")
+        return 0
 
     results = _run_benches(namespace.only, scale, pool, repeats,
                            namespace.profile)

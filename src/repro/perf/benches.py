@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from repro.core.admission import DynamicPolicy
 from repro.core.likelihood import CommitLikelihoodModel
@@ -24,8 +24,15 @@ from repro.harness.parallel import (
     effective_cpu_count,
     run_experiments,
 )
+from repro.harness.sharding import derive_shard_seed, split_evenly
 from repro.mdcc.cluster import Cluster
-from repro.net import Message, Transport, ec2_five_dc, uniform_topology
+from repro.net import (
+    Message,
+    RpcEndpoint,
+    Transport,
+    ec2_five_dc,
+    uniform_topology,
+)
 from repro.perf.harness import best_of, peak_rss_mb, timed
 from repro.sim import Environment, RandomStreams
 from repro.storage.record import Update, WriteOp
@@ -44,11 +51,14 @@ LIKELIHOOD_SAMPLES = 2_000
 DECISION_EVALUATIONS = 20_000
 #: Fast-ballot micro-bench transaction count at scale 1.0.
 FAST_PAXOS_TXNS = 2_000
-#: Scale-bench shape: the ISSUE's million-client target — 10⁶
-#: simulated users issuing 10⁴ tx/s — over this simulated window
-#: (multiplied by ``scale``), within the wall/RSS budgets below.
+#: Timed-call count of the rpc_timeout micro-bench at scale 1.0.
+RPC_TIMEOUT_CALLS = 20_000
+#: Scale-bench shape: the million-client target — 10⁶ simulated users
+#: issuing 10⁵ tx/s — over this simulated window (multiplied by
+#: ``scale``), within the wall/RSS budgets below.  The rate was 10⁴
+#: until the sharded engine landed; the budget gate holds at 10⁵.
 SCALE_USERS = 1_000_000
-SCALE_RATE_TPS = 10_000.0
+SCALE_RATE_TPS = 100_000.0
 SCALE_WINDOW_MS = 10_000.0
 SCALE_WALL_BUDGET_S = 30.0
 SCALE_RSS_BUDGET_MB = 1_024.0
@@ -381,11 +391,29 @@ class _CountingIssuer:
         self.keys_touched += len(writes)
 
 
+def _scale_shard(args: Tuple[float, int, int, float]) -> Tuple[int, int]:
+    """Pool worker: one population shard of the scale bench, its own
+    kernel on a derived seed.  Module-level so it pickles."""
+    rate_tps, population, seed, window_ms = args
+    env = Environment()
+    streams = RandomStreams(seed=seed)
+    pattern = ZipfianAccess(100_000, s=0.99)
+    factory = BuyTransactionFactory(pattern)
+    issuer = _CountingIssuer()
+    load = AggregateLoad(
+        env, factory, issuer, rate_tps, streams, name="scale-shard",
+        mode="vectorized", batch_size=4_096, use_timer_lane=True,
+        population=population)
+    load.start(duration_ms=window_ms)
+    env.run(until=window_ms)
+    return issuer.issued, load.distinct_clients()
+
+
 def bench_scale(scale: float, pool: int,
                 repeats: int = 1) -> Dict[str, float]:
     """Million-client load generation through the batched engine.
 
-    One :class:`AggregateLoad` in vectorized mode drives 10⁴ tx/s from
+    One :class:`AggregateLoad` in vectorized mode drives 10⁵ tx/s from
     a 10⁶-user population (Zipf access over a 100k-item catalogue) for
     ``SCALE_WINDOW_MS * scale`` simulated ms — once on the kernel's
     array-backed timer lane and once on per-arrival heap events
@@ -395,6 +423,13 @@ def bench_scale(scale: float, pool: int,
     on 0.0.  The per-client engine at this rate would be ~10⁶ heap
     events plus one generator resume each — the number this bench
     exists to make unnecessary.
+
+    When >= 2 CPUs are usable, a third arm runs the same workload
+    through the sharding layer: the population split into one shard
+    per worker (same decomposition :func:`repro.harness.sharding.
+    shard_configs` uses), each shard its own kernel in a pool process.
+    ``shard_speedup`` is single-kernel wall over sharded wall; on a
+    single-CPU host the arm is skipped (``shards`` reports 1).
     """
     window_ms = max(1_000.0, SCALE_WINDOW_MS * scale)
     observed: Dict[str, float] = {}
@@ -418,6 +453,33 @@ def bench_scale(scale: float, pool: int,
 
     lane_s = best_of(lambda: run(True), repeats)
     heap_s = best_of(lambda: run(False), repeats)
+
+    shards = max(1, min(pool, effective_cpu_count()))
+    sharded_s = 0.0
+    sharded_arrivals = 0.0
+    if shards >= 2:
+        populations = split_evenly(SCALE_USERS, shards)
+        tasks = [
+            (SCALE_RATE_TPS / shards, populations[index],
+             derive_shard_seed(97, index, shards), window_ms)
+            for index in range(shards)
+        ]
+        worker_pool = WorkerPool(shards)
+        try:
+            def sharded_run() -> float:
+                box: List[List[Tuple[int, int]]] = []
+                seconds = timed(lambda: box.append(
+                    worker_pool.map(_scale_shard, tasks)))
+                sharded_arrivals_now = float(
+                    sum(issued for issued, _clients in box[0]))
+                observed["sharded_arrivals"] = sharded_arrivals_now
+                return seconds
+
+            sharded_s = best_of(sharded_run, repeats)
+            sharded_arrivals = observed["sharded_arrivals"]
+        finally:
+            worker_pool.close()
+
     rss = peak_rss_mb()
     wall_budget = max(5.0, SCALE_WALL_BUDGET_S * scale)
     within = 1.0 if (lane_s <= wall_budget
@@ -432,6 +494,10 @@ def bench_scale(scale: float, pool: int,
         "arrivals_per_sec": arrivals / lane_s if lane_s > 0 else 0.0,
         "heap_seconds": heap_s,
         "lane_speedup": heap_s / lane_s if lane_s > 0 else 0.0,
+        "shards": float(shards),
+        "sharded_seconds": sharded_s,
+        "sharded_arrivals": sharded_arrivals,
+        "shard_speedup": lane_s / sharded_s if sharded_s > 0 else 0.0,
         "distinct_clients": observed["clients"],
         "peak_rss_mb": rss,
         "wall_budget_s": wall_budget,
@@ -480,6 +546,102 @@ def bench_fast_paxos(scale: float, pool: int,
         "fast_chosen": float(counts[0]),
         "fallbacks": float(counts[1]),
     }
+
+
+def bench_rpc_timeout(scale: float, pool: int,
+                      repeats: int = 3) -> Dict[str, float]:
+    """Timed RPC calls whose replies beat the deadline.
+
+    A client endpoint issues echo calls across a 2-DC uniform topology
+    with ``timeout_ms=1000`` — every reply lands in ~20 simulated ms,
+    so every deadline is armed and then cancelled.  Before the wheel,
+    each call scheduled a heap event at ``now + 1000`` and resumed a
+    dead ``_expire`` generator when it fired; now the reply path
+    cancels the wheel timer in O(1) and the heap never hears about the
+    deadline at all.  The bench reports timers armed/cancelled/fired
+    next to the heap events actually scheduled, and asserts the
+    acceptance contract: zero timers fire on this path.
+    """
+    n_calls = max(1_000, int(RPC_TIMEOUT_CALLS * scale))
+    counters: Dict[str, float] = {}
+
+    def run() -> float:
+        env = Environment()
+        topology = uniform_topology(2, one_way_ms=10.0, sigma=0.05)
+        transport = Transport(env, topology, RandomStreams(seed=5))
+        client = RpcEndpoint(env, transport, "client", 0)
+        server = RpcEndpoint(env, transport, "server", 1)
+        server.on("echo", lambda payload, src: payload)
+        replies = [0]
+
+        def driver(env):
+            for index in range(n_calls):
+                response = yield client.call(
+                    "server", "echo", index, timeout_ms=1_000.0)
+                assert response == index
+                replies[0] += 1
+
+        env.process(driver(env))
+        seconds = timed(env.run)
+        assert replies[0] == n_calls
+        wheel = env.timer_wheel
+        assert wheel.fired_total == 0, "a reply lost to its deadline"
+        assert wheel.cancelled_total == wheel.armed_total == n_calls
+        counters["timers_armed"] = float(wheel.armed_total)
+        counters["timers_cancelled"] = float(wheel.cancelled_total)
+        counters["timers_fired"] = float(wheel.fired_total)
+        counters["heap_events"] = float(env._eid)
+        return seconds
+
+    seconds = best_of(run, repeats)
+    return {
+        "calls": float(n_calls),
+        "seconds": seconds,
+        "calls_per_sec": n_calls / seconds,
+        "timers_armed": counters["timers_armed"],
+        "timers_cancelled": counters["timers_cancelled"],
+        "timers_fired": counters["timers_fired"],
+        "heap_events": counters["heap_events"],
+        "heap_events_per_call": counters["heap_events"] / n_calls,
+    }
+
+
+def speedup_curve(scale: float, max_workers: int,
+                  repeats: int = 1) -> List[Dict[str, float]]:
+    """Sweep wall time vs. worker count: the CI artifact's data.
+
+    Times the figure-config sweep serially once, then through a
+    ``WorkerPool(w)`` for each ``w`` in ``1..max_workers``
+    (oversubscribed, so the curve honestly shows the plateau past the
+    machine's usable CPUs).  Each point reports the pool's effective
+    size and the speedup over the serial arm.
+    """
+    configs = [
+        _figure_config(scale, seed=1000 + index, name=f"perf-curve-{index}")
+        for index in range(SWEEP_RUNS)
+    ]
+    serial_s = best_of(
+        lambda: timed(lambda: run_experiments(configs, processes=1)),
+        repeats)
+    points: List[Dict[str, float]] = []
+    for workers in range(1, max_workers + 1):
+        worker_pool = WorkerPool(workers, oversubscribe=True)
+        try:
+            parallel_s = best_of(
+                lambda: timed(
+                    lambda: run_experiments(configs, pool=worker_pool)),
+                repeats)
+            effective = worker_pool.effective
+        finally:
+            worker_pool.close()
+        points.append({
+            "workers": float(workers),
+            "effective": float(effective),
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+        })
+    return points
 
 
 def bench_mode_sweep(scale: float, pool: int,
@@ -555,11 +717,14 @@ BENCHES: List[BenchSpec] = [
               "s", "figure-scale run with admission + model refresh"),
     BenchSpec("fast_paxos", bench_fast_paxos, "txns_per_sec", True,
               "txns/s", "fast-ballot round hot path on the EC2 topology"),
+    BenchSpec("rpc_timeout", bench_rpc_timeout, "calls_per_sec", True,
+              "calls/s", "timed RPC calls, replies beating the deadline "
+              "(wheel-cancelled, zero heap timers)"),
     BenchSpec("mode_sweep", bench_mode_sweep, "p50_speedup", True,
               "x", "classic vs fast ballots: commit-latency comparison"),
     BenchSpec("sweep", bench_sweep, "parallel_seconds", False,
               "s", "independent-config sweep, serial vs persistent pool"),
     BenchSpec("scale", bench_scale, "arrivals_per_sec", True,
-              "arrivals/s", "1M-user aggregate load at 10k tx/s, "
-              "lane vs heap scheduling"),
+              "arrivals/s", "1M-user aggregate load at 100k tx/s, "
+              "lane vs heap vs sharded kernels"),
 ]

@@ -21,6 +21,8 @@ from repro.sim.kernel import (
     SimulationError,
     Timeout,
     TimerLane,
+    TimerWheel,
+    WheelTimer,
 )
 from repro.sim.rng import RandomStreams
 
@@ -35,4 +37,6 @@ __all__ = [
     "SimulationError",
     "Timeout",
     "TimerLane",
+    "TimerWheel",
+    "WheelTimer",
 ]

@@ -30,6 +30,7 @@ choices keep them small:
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_right as _bisect_right
 from typing import (
     Any,
     Callable,
@@ -402,6 +403,348 @@ class TimerLane:
                 f"at {id(self):#x}>")
 
 
+#: WheelTimer lifecycle states (plain ints: compared in the fire loop).
+_TIMER_PENDING = 0
+_TIMER_FIRED = 1
+_TIMER_CANCELLED = 2
+
+_WHEEL_SLOTS = 256
+_WHEEL_MASK = _WHEEL_SLOTS - 1
+#: Ticks spanned by the three bucket levels together (256**3); beyond
+#: this a timer waits in the overflow list until the clock gets close.
+_WHEEL_SPAN = _WHEEL_SLOTS ** 3
+
+
+class WheelTimer:
+    """Handle for one deadline armed on a :class:`TimerWheel`.
+
+    The handle is what makes the wheel *cancelable*: holders call
+    :meth:`cancel` when the thing they were guarding (an RPC reply, a
+    Paxos decision, a transaction outcome) arrives first, and the
+    wheel simply never runs the callback — no heap event was ever
+    scheduled and no dead generator is ever resumed.  Cancelling an
+    already-fired or already-cancelled timer is a no-op.
+    """
+
+    __slots__ = ("when", "callback", "_seq", "_tick", "_state", "_wheel")
+
+    def __init__(self, when: float, callback: Callable[[], None],
+                 seq: int, tick: int, wheel: "TimerWheel"):
+        self.when = when
+        self.callback = callback
+        self._seq = seq
+        self._tick = tick
+        self._state = _TIMER_PENDING
+        self._wheel = wheel
+
+    def __lt__(self, other: "WheelTimer") -> bool:
+        # Total order (when, arm sequence): same-deadline timers fire
+        # in arm order, matching the heap's eid tie-break discipline.
+        if self.when != other.when:
+            return self.when < other.when
+        return self._seq < other._seq
+
+    @property
+    def active(self) -> bool:
+        """True while the timer may still fire."""
+        return self._state == _TIMER_PENDING
+
+    @property
+    def fired(self) -> bool:
+        return self._state == _TIMER_FIRED
+
+    @property
+    def cancelled(self) -> bool:
+        return self._state == _TIMER_CANCELLED
+
+    def cancel(self) -> None:
+        """Drop the timer; O(1), the wheel reaps the entry lazily."""
+        if self._state == _TIMER_PENDING:
+            self._state = _TIMER_CANCELLED
+            wheel = self._wheel
+            wheel._live -= 1
+            wheel.cancelled_total += 1
+
+    def __repr__(self) -> str:
+        state = ("pending", "fired", "cancelled")[self._state]
+        return f"<WheelTimer {state} when={self.when} at {id(self):#x}>"
+
+
+class TimerWheel:
+    """Hierarchical timer wheel for cancelable one-shot deadlines.
+
+    :class:`TimerLane` serves *homogeneous, pre-sorted* batches; the
+    wheel serves the other timeout flood a commit protocol produces:
+    heterogeneous deadlines armed one at a time (RPC expiries, round
+    timeouts, transaction deadlines) of which the overwhelming
+    majority are cancelled before they fire.  Three levels of 256
+    buckets hold timers hashed by their deadline tick (1 tick =
+    ``granularity_ms`` of virtual time, 1 ms by default); arming and
+    cancelling are O(1) amortized, and a cancelled timer costs nothing
+    beyond its bucket slot until the cursor sweeps past it.
+
+    Ordering contract (mirrors :class:`TimerLane`): a live timer at
+    time *t* fires after every heap event scheduled strictly before
+    *t* and before every heap event strictly after *t*; at exactly
+    equal timestamps the heap wins, then lanes, then the wheel, and a
+    ``run(until=t)`` boundary stops *before* a wheel timer at exactly
+    ``t`` (the timer survives into the next run window).  Same-tick
+    timers fire in exact ``when`` order, ties broken by arm order.
+
+    The wheel keeps a *stale-allowed* head (``_head`` is a lower
+    bound on the earliest live deadline, repaired lazily when the
+    event loop visits it), so cancellation never pays to re-scan
+    buckets.  While nothing is armed the event loop pays one slotted
+    attribute read per processed event — bounded by the kernel bench.
+    """
+
+    __slots__ = ("granularity_ms", "_levels", "_counts", "_overflow",
+                 "_cursor", "_due", "_due_i", "_head", "_live", "_seq",
+                 "armed_total", "cancelled_total", "fired_total")
+
+    def __init__(self, granularity_ms: float = 1.0,
+                 start_ms: float = 0.0):
+        if granularity_ms <= 0:
+            raise ValueError(f"granularity {granularity_ms} must be > 0")
+        self.granularity_ms = float(granularity_ms)
+        self._levels: List[List[List[WheelTimer]]] = [
+            [[] for _ in range(_WHEEL_SLOTS)] for _ in range(3)]
+        #: Entries per level (cancelled included until reaped): lets
+        #: the cursor skip whole windows without touching 256 slots.
+        self._counts = [0, 0, 0]
+        self._overflow: List[WheelTimer] = []
+        self._cursor = int(start_ms / self.granularity_ms)
+        #: Sorted timers whose tick the cursor has reached, consumed
+        #: from ``_due_i``; the prefix before it is spent (fired,
+        #: cancelled, or skipped-cancelled) and never re-inspected.
+        self._due: List[WheelTimer] = []
+        self._due_i = 0
+        self._head = _INF
+        self._live = 0
+        self._seq = 0
+        self.armed_total = 0
+        self.cancelled_total = 0
+        self.fired_total = 0
+
+    @property
+    def live(self) -> int:
+        """Number of armed timers that may still fire."""
+        return self._live
+
+    def arm(self, when: float, callback: Callable[[], None]) -> WheelTimer:
+        """Arm ``callback`` to run at virtual time ``when``; O(1)."""
+        tick = int(when / self.granularity_ms)
+        timer = WheelTimer(when, callback, self._seq, tick, self)
+        self._seq += 1
+        if tick <= self._cursor:
+            # Already inside the due window (arms from a firing
+            # callback land here).  Insert after the consumed prefix —
+            # an earlier cancelled-and-skipped entry may carry a later
+            # deadline, and bisecting the whole list could then bury
+            # the new timer behind the consume pointer.
+            due = self._due
+            due.insert(_bisect_right(due, timer, self._due_i), timer)
+        else:
+            self._place(timer, self._cursor)
+        live = self._live
+        self._live = live + 1
+        self.armed_total += 1
+        if not live or when < self._head:
+            # First live timer after a fully-cancelled era: the stale
+            # head may lie in the past, so reset it, never min() it.
+            self._head = when
+        return timer
+
+    def next_deadline(self) -> float:
+        """Exact earliest live deadline (``inf`` when none).
+
+        Repairs the stale head, reaping spent due entries en route;
+        used by ``peek``/``step`` and at run-window boundaries, while
+        the inlined fast loops consult the cheap stale bound.
+        """
+        if not self._live:
+            return _INF
+        due = self._due
+        i = self._due_i
+        n = len(due)
+        while i < n:
+            timer = due[i]
+            if timer._state == _TIMER_PENDING:
+                self._due_i = i
+                self._head = timer.when
+                return timer.when
+            i += 1
+        self._due_i = n
+        self._refill()
+        return self._head
+
+    def _fire_head(self) -> None:
+        """Run the callback of the timer at the cached head.
+
+        The event loop calls this with the clock already advanced to
+        ``_head``.  If the head is stale (its timer was cancelled),
+        this repairs the cache and fires nothing — the loop simply
+        comes around again.  At most one timer fires per call, and the
+        head is exact again before the callback runs (callbacks may
+        arm or cancel freely).
+        """
+        due = self._due
+        i = self._due_i
+        n = len(due)
+        target = self._head
+        while i < n:
+            timer = due[i]
+            if timer._state != _TIMER_PENDING:
+                i += 1
+                continue
+            if timer.when > target:
+                # Stale head: the timer it pointed at was cancelled.
+                self._due_i = i
+                self._head = timer.when
+                return
+            i += 1
+            self._due_i = i
+            timer._state = _TIMER_FIRED
+            self._live -= 1
+            self.fired_total += 1
+            j = i
+            while j < n and due[j]._state != _TIMER_PENDING:
+                j += 1
+            if j < n:
+                self._due_i = j
+                self._head = due[j].when
+            else:
+                self._due_i = j
+                self._refill()
+            timer.callback()
+            return
+        self._due_i = i
+        self._refill()
+
+    # -- bucket machinery ---------------------------------------------
+
+    def _place(self, timer: WheelTimer, cursor: int) -> None:
+        """File a future timer into the level its distance selects."""
+        tick = timer._tick
+        delta = tick - cursor
+        if delta < _WHEEL_SLOTS:
+            self._levels[0][tick & _WHEEL_MASK].append(timer)
+            self._counts[0] += 1
+        elif delta < _WHEEL_SLOTS ** 2:
+            self._levels[1][(tick >> 8) & _WHEEL_MASK].append(timer)
+            self._counts[1] += 1
+        elif delta < _WHEEL_SPAN:
+            self._levels[2][(tick >> 16) & _WHEEL_MASK].append(timer)
+            self._counts[2] += 1
+        else:
+            self._overflow.append(timer)
+
+    def _cascade(self, level: int, cursor: int) -> None:
+        """Re-file the slot the cursor just reached one level down.
+
+        Timers whose tick equals the new cursor join the due list;
+        cancelled entries are dropped here, which is the lazy-cancel
+        reap point for bucketed timers.
+        """
+        slot_index = (cursor >> (8 * level)) & _WHEEL_MASK
+        entries = self._levels[level][slot_index]
+        if not entries:
+            return
+        self._levels[level][slot_index] = []
+        self._counts[level] -= len(entries)
+        due = self._due
+        for timer in entries:
+            if timer._state != _TIMER_PENDING:
+                continue
+            if timer._tick <= cursor:
+                due.append(timer)
+            else:
+                self._place(timer, cursor)
+
+    def _sift_overflow(self, cursor: int) -> None:
+        """Re-file overflow timers now that the clock moved 256³ ticks."""
+        pending = self._overflow
+        if not pending:
+            return
+        self._overflow = []
+        due = self._due
+        for timer in pending:
+            if timer._state != _TIMER_PENDING:
+                continue
+            if timer._tick <= cursor:
+                due.append(timer)
+            else:
+                self._place(timer, cursor)
+
+    def _refill(self) -> None:
+        """Advance the cursor to the next live deadline, rebuilding the
+        due list.  Only called once the previous due list is fully
+        consumed.  Amortized O(1) per timer plus O(windows crossed)."""
+        self._due = []
+        self._due_i = 0
+        if not self._live:
+            self._head = _INF
+            if (self._counts[0] or self._counts[1] or self._counts[2]
+                    or self._overflow):
+                # Only cancelled husks remain: drop them all at once
+                # rather than letting the cursor chase them.
+                self._levels = [
+                    [[] for _ in range(_WHEEL_SLOTS)] for _ in range(3)]
+                self._counts = [0, 0, 0]
+                self._overflow = []
+            return
+        levels = self._levels
+        counts = self._counts
+        l0 = levels[0]
+        while True:
+            cursor = self._cursor
+            window_end = cursor | _WHEEL_MASK
+            if counts[0]:
+                for tick in range(cursor + 1, window_end + 1):
+                    slot = l0[tick & _WHEEL_MASK]
+                    self._cursor = tick
+                    if slot:
+                        l0[tick & _WHEEL_MASK] = []
+                        counts[0] -= len(slot)
+                        live = [timer for timer in slot
+                                if timer._state == _TIMER_PENDING]
+                        if live:
+                            live.sort()
+                            self._due = live
+                            self._head = live[0].when
+                            return
+            boundary = window_end + 1
+            self._cursor = boundary
+            if not (counts[0] or counts[1] or counts[2] or self._overflow):
+                raise SimulationError("timer wheel lost a live timer")
+            if (boundary >> 8) & _WHEEL_MASK == 0:
+                if (boundary >> 16) & _WHEEL_MASK == 0:
+                    self._sift_overflow(boundary)
+                self._cascade(2, boundary)
+            self._cascade(1, boundary)
+            # Level-0 entries at exactly the new boundary tick were
+            # placed before the cursor reached it; the window scan
+            # above starts one past the boundary, so collect them now.
+            slot = l0[boundary & _WHEEL_MASK]
+            if slot:
+                l0[boundary & _WHEEL_MASK] = []
+                counts[0] -= len(slot)
+                due = self._due
+                for timer in slot:
+                    if timer._state == _TIMER_PENDING:
+                        due.append(timer)
+            due = self._due
+            if due:
+                due.sort()
+                self._head = due[0].when
+                return
+
+    def __repr__(self) -> str:
+        return (f"<TimerWheel live={self._live} armed={self.armed_total} "
+                f"cancelled={self.cancelled_total} "
+                f"fired={self.fired_total} at {id(self):#x}>")
+
+
 class Environment:
     """The simulation environment: virtual clock plus event queue.
 
@@ -419,7 +762,7 @@ class Environment:
     """
 
     __slots__ = ("_now", "_queue", "_eid", "_active_process", "_lanes",
-                 "tracer", "metrics", "spans", "process_wrapper")
+                 "_wheel", "tracer", "metrics", "spans", "process_wrapper")
 
     PRIORITY_URGENT = 0
     PRIORITY_NORMAL = 1
@@ -433,6 +776,10 @@ class Environment:
         #: The event loop drains due lane entries ahead of the heap;
         #: an empty list keeps the feature free.
         self._lanes: List[TimerLane] = []
+        #: Cancelable one-shot deadlines (RPC expiries, round and
+        #: transaction timeouts) live here instead of the heap; while
+        #: nothing is armed the loop pays one attribute read per event.
+        self._wheel = TimerWheel(start_ms=self._now)
         #: Optional structured-event sink: a callable
         #: ``(ts_ms, etype, node, fields)`` installed by the history
         #: recorder (``repro.check``).  ``None`` keeps tracing free:
@@ -519,6 +866,27 @@ class Environment:
             self._lanes.append(lane)
         return lane
 
+    @property
+    def timer_wheel(self) -> TimerWheel:
+        """The environment's cancelable-deadline wheel (always present)."""
+        return self._wheel
+
+    def arm_timer(self, deadline_ms: float,
+                  callback: Callable[[], None]) -> WheelTimer:
+        """Arm ``callback`` to run at virtual time ``deadline_ms``.
+
+        Returns a :class:`WheelTimer` handle whose :meth:`~WheelTimer.
+        cancel` drops the deadline in O(1) — the idiom for protocol
+        timeouts that are almost always won by the event they guard.
+        Unlike a heap :class:`Timeout`, a cancelled wheel timer never
+        schedules anything and never keeps :meth:`run` alive.
+        """
+        if deadline_ms < self._now:
+            raise ValueError(
+                f"deadline {deadline_ms} lies in the past "
+                f"(now={self._now})")
+        return self._wheel.arm(deadline_ms, callback)
+
     def _peek_lane(self) -> Optional[Tuple[float, TimerLane]]:
         """Earliest live lane head, reaping exhausted lanes en route."""
         lanes = self._lanes
@@ -546,32 +914,44 @@ class Environment:
         _heappush(self._queue, (self._now + delay, priority, eid, event))
 
     def peek(self) -> float:
-        """Time of the next scheduled occurrence (heap event or lane
-        entry), or ``inf`` if none."""
+        """Time of the next scheduled occurrence (heap event, lane
+        entry, or wheel timer), or ``inf`` if none."""
         when = self._queue[0][0] if self._queue else _INF
         if self._lanes:
             head = self._peek_lane()
             if head is not None and head[0] < when:
-                return head[0]
+                when = head[0]
+        if self._wheel._live:
+            wheel_when = self._wheel.next_deadline()
+            if wheel_when < when:
+                return wheel_when
         return when
 
     def step(self) -> None:
         """Process the single next occurrence: the earliest lane entry
-        if it beats the heap head (ties go to the heap), else the next
-        queued event.
+        or wheel timer if it beats the heap head (ties go to the heap,
+        then to lanes), else the next queued event.
 
         :meth:`run` inlines this body (with heap/queue bound to locals)
         — keep the two in sync when changing event-loop semantics.
         """
+        wheel = self._wheel
         if self._lanes:
             head = self._peek_lane()
             if head is not None and (
-                    not self._queue or head[0] < self._queue[0][0]):
+                    not self._queue or head[0] < self._queue[0][0]) and (
+                    not wheel._live or head[0] <= wheel.next_deadline()):
                 when, lane = head
                 self._now = when
                 index = lane._index
                 lane._index = index + 1
                 lane._callback(index)
+                return
+        if wheel._live:
+            when = wheel.next_deadline()
+            if not self._queue or when < self._queue[0][0]:
+                self._now = when
+                wheel._fire_head()
                 return
         if not self._queue:
             raise SimulationError("no more events to process")
@@ -604,6 +984,7 @@ class Environment:
         pop = _heappop
         lanes = self._lanes
         peek_lane = self._peek_lane
+        wheel = self._wheel
         if until is not None:
             if until < self._now:
                 raise ValueError(
@@ -613,16 +994,26 @@ class Environment:
             stop._value = None
             self.schedule(stop, delay=until - self._now,
                           priority=self.PRIORITY_URGENT)
-            while queue or lanes:
+            while queue or lanes or wheel._live:
                 if lanes:
                     head = peek_lane()
                     if head is not None and (
-                            not queue or head[0] < queue[0][0]):
+                            not queue or head[0] < queue[0][0]) and (
+                            not wheel._live or head[0] <= wheel._head):
                         when, lane = head
                         self._now = when
                         index = lane._index
                         lane._index = index + 1
                         lane._callback(index)
+                        continue
+                if wheel._live:
+                    # The cached head is a lower bound; a stale visit
+                    # advances the clock to it and fires nothing, so
+                    # the strict < below still stops before `until`.
+                    when = wheel._head
+                    if queue and when < queue[0][0]:
+                        self._now = when
+                        wheel._fire_head()
                         continue
                 if not queue:
                     break
@@ -637,16 +1028,23 @@ class Environment:
                 if not event._ok and not event._defused:
                     raise event._value
         else:
-            while queue or lanes:
+            while queue or lanes or wheel._live:
                 if lanes:
                     head = peek_lane()
                     if head is not None and (
-                            not queue or head[0] < queue[0][0]):
+                            not queue or head[0] < queue[0][0]) and (
+                            not wheel._live or head[0] <= wheel._head):
                         when, lane = head
                         self._now = when
                         index = lane._index
                         lane._index = index + 1
                         lane._callback(index)
+                        continue
+                if wheel._live:
+                    when = wheel._head
+                    if not queue or when < queue[0][0]:
+                        self._now = when
+                        wheel._fire_head()
                         continue
                 if not queue:
                     break
@@ -676,20 +1074,25 @@ class Environment:
                 self.schedule(stop, delay=until - self._now,
                               priority=self.PRIORITY_URGENT)
                 queue = self._queue
-                while queue or self._lanes:
+                wheel = self._wheel
+                while queue or self._lanes or wheel._live:
                     if queue and queue[0][3] is stop:
                         # The stop event wins exact-timestamp ties with
-                        # lane entries; only a strictly earlier lane
-                        # head may still fire (via step()).
+                        # lane entries and wheel timers; only a strictly
+                        # earlier occurrence may still fire (via step()).
                         head = self._peek_lane() if self._lanes else None
-                        if head is None or head[0] >= queue[0][0]:
+                        if (head is None or head[0] >= queue[0][0]) and (
+                                not wheel._live
+                                or wheel.next_deadline() >= queue[0][0]):
                             self._now = _heappop(queue)[0]
                             return
                     self.step()
                     processed += 1
             else:
-                while self._queue or self._lanes:
-                    if not self._queue and self._peek_lane() is None:
+                wheel = self._wheel
+                while self._queue or self._lanes or wheel._live:
+                    if (not self._queue and not wheel._live
+                            and self._peek_lane() is None):
                         break
                     self.step()
                     processed += 1

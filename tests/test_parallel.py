@@ -109,6 +109,49 @@ def test_effective_cpu_count_uses_affinity(monkeypatch):
         assert effective_cpu_count() == 64
 
 
+def test_cgroup_cpu_quota_parses_cpu_max(tmp_path):
+    from repro.harness.parallel import _cgroup_cpu_quota
+
+    def write(content):
+        path = tmp_path / "cpu.max"
+        path.write_text(content)
+        return str(path)
+
+    assert _cgroup_cpu_quota(write("200000 100000\n")) == 2.0
+    assert _cgroup_cpu_quota(write("150000 100000\n")) == 1.5
+    # "max" means unlimited; the period field defaults to 100ms.
+    assert _cgroup_cpu_quota(write("max 100000\n")) is None
+    assert _cgroup_cpu_quota(write("100000\n")) == 1.0
+    # Missing, garbage, or nonsensical content never raises.
+    assert _cgroup_cpu_quota(str(tmp_path / "absent")) is None
+    assert _cgroup_cpu_quota(write("")) is None
+    assert _cgroup_cpu_quota(write("banana split\n")) is None
+    assert _cgroup_cpu_quota(write("-100000 100000\n")) is None
+    assert _cgroup_cpu_quota(write("100000 0\n")) is None
+
+
+def test_effective_cpu_count_caps_at_cgroup_quota(monkeypatch):
+    """A time-share limit (docker --cpus=2 on a wide host) must cap the
+    pool even though the affinity mask still shows every core."""
+    import repro.harness.parallel as parallel_module
+    from repro.harness.parallel import effective_cpu_count
+
+    if hasattr(os, "sched_getaffinity"):
+        monkeypatch.setattr(parallel_module.os, "sched_getaffinity",
+                            lambda pid: set(range(64)))
+    monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 64)
+    monkeypatch.setattr(parallel_module, "_cgroup_cpu_quota", lambda: 2.0)
+    assert effective_cpu_count() == 2
+    # The quota floors to whole workers, never below one.
+    monkeypatch.setattr(parallel_module, "_cgroup_cpu_quota", lambda: 2.9)
+    assert effective_cpu_count() == 2
+    monkeypatch.setattr(parallel_module, "_cgroup_cpu_quota", lambda: 0.5)
+    assert effective_cpu_count() == 1
+    # No quota file: affinity alone decides.
+    monkeypatch.setattr(parallel_module, "_cgroup_cpu_quota", lambda: None)
+    assert effective_cpu_count() == 64
+
+
 def test_run_experiments_returns_configs_in_order():
     configs = [
         ExperimentConfig(

@@ -1,0 +1,208 @@
+"""Sharded experiment execution: decomposition, merge, determinism.
+
+The load-bearing contract (see :mod:`repro.harness.sharding`): one
+shard decomposition has one exact answer — running the shards serially
+in-process or through a real worker pool produces byte-identical
+merged results, and a 1-shard run is exactly the plain experiment.
+"""
+
+import dataclasses
+import hashlib
+import json
+
+import pytest
+
+from repro.harness.experiment import Experiment, ExperimentConfig
+from repro.harness.parallel import WorkerPool
+from repro.harness.sharding import (
+    _merge_metric_dumps,
+    derive_shard_seed,
+    merge_results,
+    run_sharded,
+    shard_configs,
+    split_evenly,
+)
+
+SEEDS = [11, 29, 101]
+
+
+def _config(seed: int, observe: bool = False) -> ExperimentConfig:
+    return ExperimentConfig(
+        name="shard-test", seed=seed, system="planet",
+        topology="uniform", n_datacenters=3, n_items=500,
+        rate_tps=90.0, oracle_samples=100,
+        warmup_ms=200.0, duration_ms=900.0, drain_ms=600.0,
+        load_engine="aggregate-vectorized", load_population=6_000,
+        observe=observe)
+
+
+def _digest(result) -> str:
+    payload = json.dumps({
+        "records": [dataclasses.asdict(record)
+                    for record in result.metrics.all_records],
+        "summary": result.summary(),
+        "likelihoods": result.initial_likelihoods,
+        "reads": result.read_latencies_ms,
+        "obs": result.obs,
+    }, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def pool():
+    # Oversubscribed so the pooled arm really forks even on a 1-CPU
+    # CI host — this is a correctness test, not a performance one.
+    worker_pool = WorkerPool(2, oversubscribe=True)
+    yield worker_pool
+    worker_pool.close()
+
+
+# -- decomposition ----------------------------------------------------------
+
+def test_split_evenly_covers_total():
+    assert split_evenly(10, 4) == [3, 3, 2, 2]
+    assert split_evenly(9, 3) == [3, 3, 3]
+    assert split_evenly(1, 2) == [1, 0]
+    assert sum(split_evenly(1_000_003, 7)) == 1_000_003
+    with pytest.raises(ValueError):
+        split_evenly(4, 0)
+
+
+def test_derive_shard_seed_is_deterministic_and_distinct():
+    seeds = [derive_shard_seed(42, shard, 8) for shard in range(8)]
+    assert seeds == [derive_shard_seed(42, shard, 8) for shard in range(8)]
+    assert len(set(seeds)) == 8
+    # A different decomposition of the same parent seed gets different
+    # streams too: shard 0 of 2 is not shard 0 of 4.
+    assert derive_shard_seed(42, 0, 2) != derive_shard_seed(42, 0, 4)
+    assert all(0 <= seed <= 0x7FFFFFFF for seed in seeds)
+
+
+def test_shard_configs_split_rate_and_population():
+    config = _config(seed=7)
+    shards = shard_configs(config, 4)
+    assert len(shards) == 4
+    assert sum(shard.load_population for shard in shards) == \
+        config.load_population
+    assert sum(shard.rate_tps for shard in shards) == \
+        pytest.approx(config.rate_tps)
+    assert len({shard.seed for shard in shards}) == 4
+    assert [shard.name for shard in shards] == [
+        f"shard-test#s{index}of4" for index in range(4)]
+    # One shard passes through verbatim — same object, not a copy.
+    assert shard_configs(config, 1)[0] is config
+    with pytest.raises(ValueError):
+        shard_configs(config, 0)
+
+
+# -- determinism: serial vs pooled, sharded vs plain ------------------------
+
+def test_one_shard_is_exactly_the_plain_run():
+    config = _config(seed=SEEDS[0])
+    assert _digest(run_sharded(config, 1)) == \
+        _digest(Experiment(config).run())
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_sharded_digest_identical_serial_vs_pooled(seed, shards, pool):
+    config = _config(seed=seed)
+    serial = run_sharded(config, shards, processes=1)
+    pooled = run_sharded(config, shards, pool=pool)
+    assert _digest(serial) == _digest(pooled), (
+        f"seed {seed} x {shards} shards: pooled result drifted")
+
+
+def test_sharded_obs_artifacts_merge_deterministically(pool):
+    config = _config(seed=SEEDS[1], observe=True)
+    serial = run_sharded(config, 2, processes=1)
+    pooled = run_sharded(config, 2, pool=pool)
+    assert serial.obs is not None and pooled.obs is not None
+    assert _digest(serial) == _digest(pooled)
+    assert serial.obs["meta"]["shards"] == 2
+    assert serial.obs["meta"]["name"] == config.name
+    assert serial.obs["meta"]["seed"] == config.seed
+
+
+def test_merged_records_interleave_by_issue_time():
+    config = _config(seed=SEEDS[2])
+    merged = run_sharded(config, 4, processes=1)
+    issued = [record.issued_ms for record in merged.metrics.all_records]
+    assert issued == sorted(issued)
+    assert merged.metrics.all_records, "merged run produced no records"
+
+
+# -- merge edge cases -------------------------------------------------------
+
+def test_merge_rejects_disagreeing_windows():
+    config = _config(seed=5)
+    shards = shard_configs(config, 2)
+    first = Experiment(shards[0]).run()
+    second = Experiment(shards[1]).run()
+    second.metrics.window_end_ms += 1.0
+    with pytest.raises(ValueError):
+        merge_results(config, [first, second])
+    with pytest.raises(ValueError):
+        merge_results(config, [])
+
+
+def test_merge_metric_dumps_combines_series():
+    dumps = [
+        {
+            "counters": {"tx": {"": 3.0, "hot": 1.0}},
+            "gauges": {"depth": {"": 5.0}},
+            "histograms": {"lat": {
+                "bounds": [1.0, 2.0],
+                "series": {"": {"count": 2, "sum": 3.0, "min": 1.0,
+                                "max": 2.0, "buckets": [1, 1, 0]}},
+            }},
+        },
+        {
+            "counters": {"tx": {"": 4.0}},
+            "gauges": {"depth": {"": 2.0}},
+            "histograms": {"lat": {
+                "bounds": [1.0, 2.0],
+                "series": {"": {"count": 1, "sum": 0.5, "min": 0.5,
+                                "max": 0.5, "buckets": [1, 0, 0]}},
+            }},
+        },
+    ]
+    merged = _merge_metric_dumps(dumps)
+    assert merged["counters"]["tx"] == {"": 7.0, "hot": 1.0}
+    assert merged["gauges"]["depth"] == {"": 5.0}  # max, not sum
+    series = merged["histograms"]["lat"]["series"][""]
+    assert series["count"] == 3
+    assert series["sum"] == 3.5
+    assert series["min"] == 0.5
+    assert series["max"] == 2.0
+    assert series["buckets"] == [2, 1, 0]
+
+
+def test_merge_metric_dumps_rejects_mismatched_bounds():
+    dumps = [
+        {"counters": {}, "gauges": {}, "histograms": {"lat": {
+            "bounds": [1.0], "series": {}}}},
+        {"counters": {}, "gauges": {}, "histograms": {"lat": {
+            "bounds": [2.0], "series": {}}}},
+    ]
+    with pytest.raises(ValueError):
+        _merge_metric_dumps(dumps)
+
+
+def test_merge_metric_dumps_empty_series_min_max():
+    """An empty histogram series on one shard must not poison the
+    min/max of the populated one."""
+    empty = {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+             "buckets": [0, 0]}
+    full = {"count": 2, "sum": 9.0, "min": 4.0, "max": 5.0,
+            "buckets": [2, 0]}
+    merged = _merge_metric_dumps([
+        {"counters": {}, "gauges": {}, "histograms": {"lat": {
+            "bounds": [10.0], "series": {"": dict(empty)}}}},
+        {"counters": {}, "gauges": {}, "histograms": {"lat": {
+            "bounds": [10.0], "series": {"": dict(full)}}}},
+    ])
+    series = merged["histograms"]["lat"]["series"][""]
+    assert series["count"] == 2
+    assert series["min"] == 4.0
+    assert series["max"] == 5.0
