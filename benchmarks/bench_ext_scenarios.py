@@ -1,0 +1,67 @@
+"""Extension: chaos-scenario catalogue degradation/recovery figure.
+
+Runs every named scenario of :mod:`repro.scenarios` — whole-DC outage
+with failover, correlated WAN brownout, diurnal flash crowd, Zipfian
+hot-key storm, mixed tenants — under both admission arms and emits
+the paper-style recovery table: commit throughput, commit-rate dip
+depth during the disturbance, time-to-recover to 95 % of the
+pre-fault baseline, and p99 latency inflation.  This is the figure
+behind the scenario CI gate (docs/scenarios.md): the same metrics the
+``scenarios`` job enforces, swept at benchmark scale.
+"""
+
+from dataclasses import replace
+
+from _common import SCALE, emit
+from repro.scenarios import SMOKE, SCENARIOS, run_scenario
+
+
+def _profile():
+    """The smoke profile with ``PLANET_BENCH_SCALE``-scaled windows."""
+    return replace(
+        SMOKE, label="bench",
+        warmup_ms=max(SMOKE.warmup_ms * SCALE, 2_000.0),
+        duration_ms=max(SMOKE.duration_ms * SCALE, 6_000.0),
+        drain_ms=max(SMOKE.drain_ms * SCALE, 2_000.0),
+    )
+
+
+def run_sweep():
+    profile = _profile()
+    return [run_scenario(scenario, profile, seed=0)
+            for scenario in SCENARIOS]
+
+
+def test_ext_scenarios(benchmark):
+    reports = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = []
+    for report in reports:
+        for arm in report.arms:
+            rows.append([
+                report.scenario,
+                str(arm.arm),
+                round(arm.commit_tps, 1),
+                round(arm.baseline_rate, 1),
+                round(arm.dip_depth, 2),
+                ("never" if arm.recovery_ms is None
+                 else round(arm.recovery_ms)),
+                round(arm.p99_inflation, 2),
+            ])
+    emit("ext_scenarios",
+         ["scenario", "arm", "commit tps", "baseline/s", "dip depth",
+          "recover ms", "p99 inflation"],
+         rows,
+         title=("Extension: named chaos scenarios — degradation and "
+                "recovery (95 % of pre-fault commit rate)"),
+         notes=("dip depth = 1 - (lowest windowed commit rate / "
+                "baseline); recover ms = virtual time from disturbance "
+                "end until the rate sustains 95 % of baseline."))
+
+    # Every scenario must degrade measurably *and* recover: a scenario
+    # that never recovers would also fail the scenarios CI gate.
+    for report in reports:
+        assert report.arms, report.scenario
+        for arm in report.arms:
+            assert arm.recovered, f"{report.scenario} {arm.arm}"
+        assert any(arm.dip_depth > 0.0 for arm in report.arms) or all(
+            arm.recovery_ms == 0.0 for arm in report.arms)

@@ -51,6 +51,10 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
                         default=defaults.mode,
                         help="protocol mode for every run "
                              "(default %(default)s)")
+    parser.add_argument("--scenario", type=str, default=None,
+                        help="catalogue scenario (repro.scenarios) whose "
+                             "fault program anchors every run; seeds "
+                             "perturb its timings and intensities")
 
 
 def _config_from(namespace: argparse.Namespace, seed: int) -> CheckConfig:
@@ -63,11 +67,14 @@ def _config_from(namespace: argparse.Namespace, seed: int) -> CheckConfig:
         kinds = FAST_KINDS
     else:
         kinds = CheckConfig().fault_kinds
+    if namespace.scenario is not None:
+        from repro.scenarios import get_scenario
+        get_scenario(namespace.scenario)  # fail fast on unknown names
     return CheckConfig(seed=seed, n_datacenters=namespace.dcs,
                        partitions_per_dc=namespace.partitions,
                        n_items=namespace.items, n_txns=namespace.txns,
                        n_faults=namespace.faults, fault_kinds=kinds,
-                       mode=namespace.mode)
+                       mode=namespace.mode, scenario=namespace.scenario)
 
 
 def _save_trace(directory: str, result: CheckResult) -> str:

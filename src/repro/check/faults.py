@@ -18,6 +18,25 @@ Supported kinds and their ``args``:
                racing the same record from distinct data centers (the
                fast-ballot collision generator; harmless noise under
                classic mode)
+
+The *correlated* kinds below model whole-environment disturbances for
+the scenario catalogue (``repro.scenarios``) — several links or nodes
+move together, the way real WAN incidents behave, instead of the
+i.i.d. single-link faults above:
+
+``outage``       ``dc [, failover_keys, failover_dc, failover_after_ms,
+                 stagger_ms]`` — full data-center crash: every storage
+                 partition in ``dc`` goes down at once; after
+                 ``failover_after_ms`` the listed keys' mastership is
+                 transferred to ``failover_dc``; at ``until_ms`` the
+                 partitions come back one by one, ``stagger_ms`` apart
+                 (staggered recovery).
+``brownout``     ``dcs, extra_ms`` — correlated RTT inflation: every
+                 directed link between the listed data centers gains
+                 ``extra_ms`` of one-way latency for the window.
+``flappy_link``  ``src_dc, dst_dc, period_ms [, duty]`` — the link pair
+                 is periodically cut and restored for the window:
+                 down for ``duty`` of each period, up for the rest.
 """
 
 from __future__ import annotations
@@ -38,6 +57,14 @@ KINDS = ("drop", "spike", "partition", "crash", "transfer")
 #: so growing the default palette would shift every classic golden
 #: digest.  Fast-mode runs opt in explicitly.
 FAST_KINDS = KINDS + ("collide",)
+
+#: The correlated/windowed kinds of the scenario catalogue.  Like
+#: ``collide`` they stay out of the default palette (golden digests);
+#: scenario runs and ``--scenario`` fuzz legs opt in explicitly.
+SCENARIO_KINDS = KINDS + ("outage", "brownout", "flappy_link")
+
+#: Every kind any schedule may carry.
+ALL_KINDS = FAST_KINDS + ("outage", "brownout", "flappy_link")
 
 
 @dataclass(frozen=True)
@@ -63,7 +90,7 @@ class FaultSchedule:
     def __init__(self, actions: Sequence[FaultAction] = ()):
         self.actions = list(actions)
         for action in self.actions:
-            if action.kind not in FAST_KINDS:
+            if action.kind not in ALL_KINDS:
                 raise ValueError(f"unknown fault kind {action.kind!r}")
         # Distinguishes the colliders of repeated apply() calls.
         self._collider_ids = itertools.count(1)
@@ -134,8 +161,86 @@ class FaultSchedule:
                     min(2, max(1, n_datacenters - 1)))
                 actions.append(FaultAction(at_ms, "collide", None, {
                     "key": key, "n_proposers": n_proposers}))
+            elif kind == "outage":
+                dc = rng.randrange(n_datacenters)
+                failover_dc = (dc + 1 + rng.randrange(n_datacenters - 1)) \
+                    % n_datacenters
+                count = 1 + rng.randrange(min(2, len(keys)))
+                failover_keys = tuple(
+                    keys[rng.randrange(len(keys))] for _ in range(count))
+                actions.append(FaultAction(at_ms, "outage", until_ms, {
+                    "dc": dc, "failover_dc": failover_dc,
+                    "failover_keys": failover_keys,
+                    "failover_after_ms": round(
+                        rng.uniform(0.0, 0.05) * horizon_ms, 1),
+                    "stagger_ms": round(rng.uniform(0.0, 30.0), 1)}))
+            elif kind == "brownout":
+                count = 2 + rng.randrange(max(n_datacenters - 1, 1))
+                dcs = tuple(sorted(rng.sample(range(n_datacenters),
+                                              min(count, n_datacenters))))
+                actions.append(FaultAction(at_ms, "brownout", until_ms, {
+                    "dcs": dcs,
+                    "extra_ms": round(rng.uniform(100.0, 500.0), 1)}))
+            elif kind == "flappy_link":
+                src = rng.randrange(n_datacenters)
+                dst = (src + 1 + rng.randrange(n_datacenters - 1)) \
+                    % n_datacenters
+                actions.append(FaultAction(at_ms, "flappy_link", until_ms, {
+                    "src_dc": src, "dst_dc": dst,
+                    "period_ms": round(rng.uniform(60.0, 240.0), 1),
+                    "duty": round(rng.uniform(0.3, 0.7), 2)}))
             else:
                 raise ValueError(f"unknown fault kind {kind!r}")
+        actions.sort(key=lambda action: (action.at_ms, action.kind))
+        return cls(actions)
+
+    #: Numeric window arguments :meth:`sample` jitters alongside the
+    #: timings.  Structural arguments (addresses, key tuples, DC sets)
+    #: are anchors — perturbing them would change *which* scenario is
+    #: being fuzzed, not when it bites.
+    _JITTERED_ARGS = ("prob", "extra_ms", "period_ms", "duty",
+                      "failover_after_ms", "stagger_ms")
+
+    @classmethod
+    def sample(cls, rng: Random, horizon_ms: float,
+               anchor: Optional["FaultSchedule"] = None,
+               n_datacenters: int = 0,
+               addresses: Sequence[str] = (),
+               keys: Sequence[str] = (),
+               kinds: Sequence[str] = KINDS,
+               n_faults: int = 0,
+               jitter: float = 0.25) -> "FaultSchedule":
+        """Sample a schedule *around* an anchor (the scenario fuzzer).
+
+        Every action of ``anchor`` is kept but has its timings, window,
+        and numeric intensity arguments perturbed by up to ``jitter``
+        (relative), clamped so windows stay inside 90 % of the horizon
+        and keep positive width.  ``n_faults`` extra actions are then
+        drawn from ``kinds`` via :meth:`random` and merged in.  With no
+        anchor this degenerates to :meth:`random`.
+        """
+        actions: List[FaultAction] = []
+        for action in (anchor.actions if anchor is not None else []):
+            at_ms = action.at_ms * rng.uniform(1.0 - jitter, 1.0 + jitter)
+            at_ms = min(max(at_ms, 0.0), 0.70 * horizon_ms)
+            until_ms = action.until_ms
+            if until_ms is not None:
+                width = (until_ms - action.at_ms) \
+                    * rng.uniform(1.0 - jitter, 1.0 + jitter)
+                until_ms = min(at_ms + max(width, 1.0), 0.90 * horizon_ms)
+            args = dict(action.args)
+            for name in cls._JITTERED_ARGS:
+                value = args.get(name)
+                if isinstance(value, (int, float)):
+                    scaled = value * rng.uniform(1.0 - jitter, 1.0 + jitter)
+                    if name == "prob" or name == "duty":
+                        scaled = min(max(scaled, 0.0), 1.0)
+                    args[name] = round(scaled, 3)
+            actions.append(FaultAction(at_ms, action.kind, until_ms, args))
+        if n_faults > 0:
+            extra = cls.random(rng, n_faults, horizon_ms, n_datacenters,
+                               addresses, keys, kinds=kinds)
+            actions.extend(extra.actions)
         actions.sort(key=lambda action: (action.at_ms, action.kind))
         return cls(actions)
 
@@ -169,6 +274,81 @@ class FaultSchedule:
             transport.take_down(args["address"])
             yield env.timeout(max(action.until_ms - env.now, 0.0))
             transport.bring_up(args["address"])
+        elif action.kind == "outage":
+            # Whole-DC crash: every storage partition fails at once.
+            # Mastership of the listed keys fails over to another DC
+            # while the site is dark; recovery is staggered, one
+            # partition at a time, the way real sites come back.
+            dc = args["dc"]
+            addresses = [Cluster.node_address(dc, partition)
+                         for partition in range(cluster.partitions)]
+            for address in addresses:
+                transport.take_down(address)
+            failover_keys = args.get("failover_keys", ())
+            if failover_keys:
+                delay = min(args.get("failover_after_ms", 0.0),
+                            max(action.until_ms - env.now, 0.0))
+                if delay > 0:
+                    yield env.timeout(delay)
+                new_dc = args.get(
+                    "failover_dc", (dc + 1) % len(cluster.topology))
+                for key in failover_keys:
+                    # Only keys the dark DC actually leads fail over —
+                    # callers may pass the whole key space.  The
+                    # takeover's phase 1 doubles as state refresh, so
+                    # the fenced leader's replica can't resurface
+                    # stale versions after the site returns.
+                    if cluster.mastership.leader_dc(key) != dc:
+                        continue
+                    # Fire-and-forget like ``transfer``: a contested
+                    # takeover may fail; invariants must hold anyway.
+                    # quorum_fast: the dark DC's replica cannot reply,
+                    # so an all-replies phase 1 would sit on the RPC
+                    # timeout with the key fenced but still routed to
+                    # the dead leader — aborting every write meanwhile.
+                    cluster.transfer_mastership(key, new_dc,
+                                                quorum_fast=True)
+            yield env.timeout(max(action.until_ms - env.now, 0.0))
+            stagger = args.get("stagger_ms", 0.0)
+            # Recovered partitions state-transfer from the next live
+            # DC before serving (see StorageNode.catch_up_from) —
+            # without it their replicas resurface pre-outage versions
+            # and poison optimistic validation for seconds.
+            source_dc = args.get(
+                "failover_dc", (dc + 1) % len(cluster.topology))
+            for index, address in enumerate(addresses):
+                if index and stagger > 0:
+                    yield env.timeout(stagger)
+                transport.bring_up(address)
+                cluster.nodes[dc][index].catch_up_from(
+                    cluster.nodes[source_dc][index])
+        elif action.kind == "brownout":
+            # Correlated RTT inflation: every directed link between
+            # the listed DCs degrades together for the window.
+            pairs = [(a, b) for a in args["dcs"] for b in args["dcs"]
+                     if a != b]
+            for src, dst in pairs:
+                transport.set_extra_delay(src, dst, args["extra_ms"])
+            yield env.timeout(max(action.until_ms - env.now, 0.0))
+            for src, dst in pairs:
+                transport.set_extra_delay(src, dst, 0.0)
+        elif action.kind == "flappy_link":
+            src, dst = args["src_dc"], args["dst_dc"]
+            period = args["period_ms"]
+            duty = args.get("duty", 0.5)
+            while True:
+                transport.partition(src, dst)
+                down = min(max(period * duty, 0.0),
+                           max(action.until_ms - env.now, 0.0))
+                yield env.timeout(down)
+                transport.heal(src, dst)
+                up = min(max(period * (1.0 - duty), 0.0),
+                         action.until_ms - env.now)
+                if up <= 0.0:
+                    break
+                yield env.timeout(up)
+                if env.now >= action.until_ms:
+                    break
         elif action.kind == "transfer":
             # Fire-and-forget: a contested takeover may legitimately
             # fail; the invariants must hold either way.

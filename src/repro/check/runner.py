@@ -59,6 +59,13 @@ class CheckConfig:
     # faults
     n_faults: int = 6
     fault_kinds: Tuple[str, ...] = KINDS
+    #: Name of a catalogue scenario (:mod:`repro.scenarios`) to fuzz
+    #: around: its environment script becomes the *anchor* schedule and
+    #: every seed perturbs the fault timings/intensities via
+    #: :meth:`FaultSchedule.sample` (plus extra actions drawn from the
+    #: scenario palette).  ``None`` keeps the classic random sampler —
+    #: and the golden digests — untouched.
+    scenario: Optional[str] = None
     #: Protocol mode for the whole cluster: ``"classic"`` (default,
     #: leader-routed options) or ``"fast"`` (MDCC fast ballots with
     #: classic fallback).  Classic configs are bit-for-bit unchanged.
@@ -149,10 +156,27 @@ def run_check(config: CheckConfig,
         addresses = [Cluster.node_address(dc, partition)
                      for dc in range(config.n_datacenters)
                      for partition in range(config.partitions_per_dc)]
-        schedule = FaultSchedule.random(
-            streams.get("check-faults"), config.n_faults,
-            config.horizon_ms(), config.n_datacenters, addresses, keys,
-            kinds=config.fault_kinds)
+        if config.scenario is not None:
+            # Scenario axis: anchor on the catalogue entry's fault
+            # program (scaled to this run's horizon) and jitter it
+            # per seed.  Lazy import — the catalogue imports this
+            # package's fault vocabulary.
+            from repro.check.faults import SCENARIO_KINDS
+            from repro.scenarios import get_scenario
+            anchor = get_scenario(config.scenario).fault_schedule(
+                0.0, config.horizon_ms(), keys=keys)
+            extra = (config.n_faults if anchor is None or not anchor.actions
+                     else max(config.n_faults - len(anchor.actions), 0))
+            schedule = FaultSchedule.sample(
+                streams.get("check-faults"), config.horizon_ms(),
+                anchor=anchor, n_datacenters=config.n_datacenters,
+                addresses=addresses, keys=keys,
+                kinds=SCENARIO_KINDS, n_faults=extra)
+        else:
+            schedule = FaultSchedule.random(
+                streams.get("check-faults"), config.n_faults,
+                config.horizon_ms(), config.n_datacenters, addresses, keys,
+                kinds=config.fault_kinds)
     schedule.apply(cluster)
 
     tms = [cluster.create_client(f"check-{dc}", dc)

@@ -12,6 +12,7 @@ from repro.harness.experiment import (
     Experiment,
     ExperimentConfig,
     ExperimentResult,
+    TenantSpec,
 )
 from repro.harness.report import (
     format_table,
@@ -39,6 +40,7 @@ __all__ = [
     "ExperimentResult",
     "HealthMonitor",
     "MetricsCollector",
+    "TenantSpec",
     "TransactionTrace",
     "TransactionTracer",
     "TxRecord",

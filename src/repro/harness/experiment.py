@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.baseline import TraditionalClient
+from repro.check.faults import FaultSchedule
 from repro.core import (
     AdmissionPolicy,
     CommitLikelihoodModel,
@@ -22,10 +23,55 @@ from repro.workload import (
     AggregateLoad,
     BuyTransactionFactory,
     HotspotAccess,
+    ModulatedArrivals,
     OpenSystemLoad,
+    PoissonArrivals,
+    RateModulation,
     UniformAccess,
     ZipfianAccess,
 )
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of a mixed workload: its own rate, mix, and shape.
+
+    Each tenant gets its own open-system load generator on a dedicated
+    random stream (``load-<experiment>-<tenant>``), so adding or
+    re-rating one tenant never perturbs another's draw sequence.
+    """
+
+    name: str
+    rate_tps: float
+    read_fraction: float = 0.0
+    modulation: Optional[RateModulation] = None
+
+    def __post_init__(self) -> None:
+        if self.rate_tps <= 0:
+            raise ValueError(f"tenant {self.name!r} rate must be positive")
+
+
+class _MultiLoad:
+    """Fans one load lifecycle out to per-tenant generators."""
+
+    def __init__(self, loads: Sequence[OpenSystemLoad]):
+        self.loads = list(loads)
+
+    def start(self, duration_ms: Optional[float] = None) -> None:
+        for load in self.loads:
+            load.start(duration_ms=duration_ms)
+
+    def stop(self) -> None:
+        for load in self.loads:
+            load.stop()
+
+    @property
+    def issued(self) -> int:
+        return sum(load.issued for load in self.loads)
+
+    @property
+    def reads_issued(self) -> int:
+        return sum(load.reads_issued for load in self.loads)
 
 
 @dataclass
@@ -95,6 +141,19 @@ class ExperimentConfig:
     #: Simulated user population for client attribution in the
     #: aggregate engines (0 = untracked).
     load_population: int = 0
+    #: Time-varying rate shape applied to the arrival process (see
+    #: :mod:`repro.workload.modulation`); None keeps the constant-rate
+    #: paper workload bit-for-bit.
+    modulation: Optional[RateModulation] = None
+    #: Mixed-tenant workload: one open-system generator per tenant on
+    #: its own stream, replacing the single ``rate_tps`` load.
+    #: Requires the per-client engine.
+    tenants: Optional[Sequence[TenantSpec]] = None
+    # environment script
+    #: Declarative fault schedule (:class:`repro.check.FaultSchedule`)
+    #: applied to the cluster when the run starts — the scenario
+    #: catalogue's degraded-environment arm.
+    faults: Optional[FaultSchedule] = None
     # programming model
     timeout_ms: float = 5_000.0
     use_on_accept: bool = False
@@ -392,13 +451,40 @@ class Experiment:
             rebuild()
             self.model_refreshes += 1
 
+    def _arrivals(self, rate_tps: float,
+                  modulation: Optional[RateModulation]):
+        """Poisson arrivals, wrapped when a rate shape is configured."""
+        arrivals = PoissonArrivals(rate_tps)
+        if modulation is None:
+            return arrivals
+        return ModulatedArrivals(arrivals, modulation)
+
     def _build_load(self):
         """The configured load engine (see ``load_engine``)."""
         config = self.config
+        if config.tenants is not None:
+            if config.load_engine != "per-client":
+                raise ValueError(
+                    "tenant workloads require the per-client engine")
+            names = [tenant.name for tenant in config.tenants]
+            if len(set(names)) != len(names):
+                raise ValueError(f"duplicate tenant names in {names}")
+            return _MultiLoad([
+                OpenSystemLoad(
+                    self.env, self.factory, self._issuer,
+                    tenant.rate_tps, self.streams,
+                    name=f"{config.name}-{tenant.name}",
+                    arrivals=self._arrivals(tenant.rate_tps,
+                                            tenant.modulation),
+                    read_fraction=tenant.read_fraction)
+                for tenant in config.tenants
+            ])
+        arrivals = self._arrivals(config.rate_tps, config.modulation)
         if config.load_engine == "per-client":
             return OpenSystemLoad(self.env, self.factory, self._issuer,
                                   config.rate_tps, self.streams,
                                   name=config.name,
+                                  arrivals=arrivals,
                                   read_fraction=config.read_fraction)
         if config.load_engine in ("aggregate", "aggregate-vectorized"):
             mode = ("exact" if config.load_engine == "aggregate"
@@ -406,6 +492,7 @@ class Experiment:
             return AggregateLoad(self.env, self.factory, self._issuer,
                                  config.rate_tps, self.streams,
                                  name=config.name,
+                                 arrivals=arrivals,
                                  read_fraction=config.read_fraction,
                                  mode=mode,
                                  batch_size=config.load_batch_size,
@@ -440,6 +527,10 @@ class Experiment:
         elif wants_model:
             raise ValueError(f"unknown stats_mode {config.stats_mode!r}")
 
+        if config.faults is not None:
+            # Environment script: injection processes ride the same
+            # kernel, firing at their scheduled virtual times.
+            config.faults.apply(self.cluster)
         load = self._build_load()
         total = config.warmup_ms + config.duration_ms
         load.start(duration_ms=total)

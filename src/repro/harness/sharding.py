@@ -93,6 +93,11 @@ def shard_configs(config: ExperimentConfig,
             seed=derive_shard_seed(config.seed, index, shards),
             rate_tps=rate,
             load_population=populations[index],
+            # Tenants are open systems too: each shard carries every
+            # tenant at 1/shards of its rate (mix and shape intact).
+            tenants=(None if config.tenants is None else tuple(
+                replace(tenant, rate_tps=tenant.rate_tps / shards)
+                for tenant in config.tenants)),
         )
         for index in range(shards)
     ]

@@ -184,7 +184,8 @@ class Cluster:
         self._clients[address] = tm
         return tm
 
-    def transfer_mastership(self, key: str, new_dc: int):
+    def transfer_mastership(self, key: str, new_dc: int,
+                            quorum_fast: bool = False):
         """Move a record's leadership to another data center.
 
         Runs Paxos phase 1 from the new leader (fencing the old one),
@@ -193,16 +194,23 @@ class Cluster:
         In-flight rounds of the fenced leader lose their quorum and are
         reported as rejected — transactions abort cleanly rather than
         split-brain.
+
+        ``quorum_fast`` settles phase 1 on a majority of promises
+        instead of all replies — required for failovers away from a
+        dark DC, where waiting on the dead replica's RPC timeout
+        leaves the key fenced but still routed to the old leader.
         """
         if not 0 <= new_dc < len(self.topology):
             raise ValueError(f"data center {new_dc} out of range")
         node = self.node_for(new_dc, key)
         result = self.env.event()
-        self.env.process(self._transfer(key, new_dc, node, result))
+        self.env.process(
+            self._transfer(key, new_dc, node, result, quorum_fast))
         return result
 
-    def _transfer(self, key: str, new_dc: int, node, result):
-        won = yield node.take_mastership(key)
+    def _transfer(self, key: str, new_dc: int, node, result,
+                  quorum_fast: bool = False):
+        won = yield node.take_mastership(key, quorum_fast=quorum_fast)
         if won:
             self.mastership.set_override(key, new_dc)
         if not result.triggered:

@@ -48,6 +48,13 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.record import ObsSession, load_artifacts
+from repro.obs.timeseries import (
+    BinnedSeries,
+    RecoveryMetrics,
+    binned_rate,
+    extract_recovery,
+    quantile,
+)
 from repro.obs.spans import (
     STAGES,
     Span,
@@ -59,21 +66,26 @@ from repro.obs.spans import (
 from repro.obs.txmetrics import MetricsCollector, TxRecord
 
 __all__ = [
+    "BinnedSeries",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsCollector",
     "MetricsRegistry",
     "ObsSession",
+    "RecoveryMetrics",
     "STAGES",
     "Span",
     "SpanRecorder",
     "TxRecord",
     "TxSpanSet",
+    "binned_rate",
     "breakdown_json",
     "breakdown_table",
     "chrome_trace",
+    "extract_recovery",
     "load_artifacts",
+    "quantile",
     "span_id_for",
     "stage_breakdown",
     "trace_id_for",

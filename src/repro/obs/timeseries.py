@@ -1,0 +1,201 @@
+"""Windowed virtual-time series and degradation/recovery extraction.
+
+The scenario catalogue (:mod:`repro.scenarios`) judges a run not by
+its aggregate commit rate but by its *shape*: how deep throughput
+dipped when the environment degraded, and how long the system took to
+climb back once it healed.  This module provides the two pieces:
+
+* :func:`binned_rate` turns a list of event timestamps (commit
+  decisions, usually) into a fixed-bin per-second rate series —
+  the windowed commit-rate series the recovery gates run on;
+* :func:`extract_recovery` walks such a series around a disturbance
+  window and reports the paper-style recovery metrics: pre-fault
+  baseline, dip depth, and time-to-recover to a fraction of the
+  baseline (95 % by default), sustained for a few bins so a single
+  lucky bin does not count as recovery.
+
+Everything here is pure data-plumbing over virtual-time floats — no
+randomness, no wall clock — so two runs with the same seed produce
+byte-identical series and metrics (the scenario determinism tests pin
+that).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class BinnedSeries:
+    """A fixed-bin series over virtual time (values are per-second)."""
+
+    start_ms: float
+    bin_ms: float
+    values: Tuple[float, ...]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def end_ms(self) -> float:
+        return self.start_ms + self.bin_ms * len(self.values)
+
+    def bin_start_ms(self, index: int) -> float:
+        """Left edge of bin ``index``."""
+        return self.start_ms + index * self.bin_ms
+
+    def index_of(self, t_ms: float) -> int:
+        """Index of the bin containing ``t_ms`` (clamped to range)."""
+        index = int((t_ms - self.start_ms) // self.bin_ms)
+        return max(0, min(index, len(self.values) - 1))
+
+    def mean_over(self, t0_ms: float, t1_ms: float) -> float:
+        """Mean value of the bins whose *start* lies in [t0, t1)."""
+        chosen = [value for index, value in enumerate(self.values)
+                  if t0_ms <= self.bin_start_ms(index) < t1_ms]
+        if not chosen:
+            return 0.0
+        return sum(chosen) / len(chosen)
+
+
+def binned_rate(events_ms: Sequence[float], start_ms: float,
+                end_ms: float, bin_ms: float) -> BinnedSeries:
+    """Events-per-second in fixed bins over ``[start_ms, end_ms)``.
+
+    Events outside the range are ignored; the bin grid is anchored at
+    ``start_ms`` so two runs over the same window share bin edges.
+    """
+    if bin_ms <= 0:
+        raise ValueError("bin width must be positive")
+    if end_ms <= start_ms:
+        raise ValueError("empty series window")
+    n_bins = max(int((end_ms - start_ms) // bin_ms), 1)
+    counts = [0] * n_bins
+    for event in events_ms:
+        if start_ms <= event < start_ms + n_bins * bin_ms:
+            counts[int((event - start_ms) // bin_ms)] += 1
+    scale = 1000.0 / bin_ms
+    return BinnedSeries(start_ms=start_ms, bin_ms=bin_ms,
+                        values=tuple(count * scale for count in counts))
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """The ``q`` quantile of ``values`` (nearest-rank, 0 when empty)."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q {q} outside [0, 1]")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(int(q * len(ordered)), len(ordered) - 1)
+    return ordered[index]
+
+
+@dataclass(frozen=True)
+class RecoveryMetrics:
+    """How one arm degraded and recovered around a disturbance window.
+
+    ``baseline_rate``
+        Mean windowed rate over the pre-disturbance span (events/s).
+    ``dip_rate`` / ``dip_depth``
+        The lowest bin between the disturbance start and the recovery
+        point (or the series end), and its depth as a fraction of the
+        baseline (0 = no dip, 1 = throughput hit zero).
+    ``recovery_ms`` / ``recovered``
+        Virtual ms from the *end* of the disturbance window until the
+        first window of ``sustain_bins`` consecutive bins whose
+        *mean* reaches ``threshold`` × baseline; 0 if the rate was
+        already back when the disturbance ended.  The rolling mean —
+        rather than every bin individually — keeps Poisson bin noise
+        from deferring recovery forever at CI rates.  ``recovery_ms``
+        is ``None`` when the series ends without such a window — the
+        scenario never recovered, which the CI gate fails.
+    """
+
+    baseline_rate: float
+    dip_rate: float
+    dip_depth: float
+    recovery_ms: Optional[float]
+    recovered: bool
+    threshold: float
+
+    def row(self) -> Tuple[float, float, float, str]:
+        """(baseline, dip rate, dip depth, recovery) display tuple."""
+        recovery = (f"{self.recovery_ms:.0f}" if self.recovery_ms is not None
+                    else "never")
+        return (self.baseline_rate, self.dip_rate, self.dip_depth, recovery)
+
+
+def extract_recovery(series: BinnedSeries, fault_start_ms: float,
+                     fault_end_ms: float,
+                     baseline_start_ms: Optional[float] = None,
+                     threshold: float = 0.95,
+                     sustain_bins: int = 2,
+                     baseline_cap: Optional[float] = None,
+                     ) -> RecoveryMetrics:
+    """Degradation/recovery metrics for one disturbance window.
+
+    The baseline is the mean rate over
+    ``[baseline_start_ms, fault_start_ms)`` (the whole pre-fault
+    series by default).  Recovery is the first window of
+    ``sustain_bins`` consecutive bins, starting at or after
+    ``fault_end_ms``, whose mean reaches ``threshold * baseline``;
+    the dip is the lowest bin from the disturbance start up to that
+    recovery point.
+
+    ``baseline_cap`` clamps the baseline estimate — pass the offered
+    rate when it is known, so a lucky pre-fault stretch of the
+    arrival process cannot set a bar above what the system can
+    sustain long-run (which would misreport a healthy run as
+    never-recovering).
+    """
+    if fault_end_ms < fault_start_ms:
+        raise ValueError("disturbance window ends before it starts")
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold {threshold} outside (0, 1]")
+    if sustain_bins < 1:
+        raise ValueError("sustain_bins must be >= 1")
+    baseline_start = (series.start_ms if baseline_start_ms is None
+                      else baseline_start_ms)
+    baseline = series.mean_over(baseline_start, fault_start_ms)
+    if baseline_cap is not None:
+        baseline = min(baseline, baseline_cap)
+    if baseline <= 0.0:
+        # Degenerate: nothing committed before the disturbance, so
+        # there is no level to recover to.  Report a full-depth dip
+        # and no recovery — the gate treats this as a failure, which
+        # is the honest reading of a scenario that never got going.
+        return RecoveryMetrics(baseline_rate=0.0, dip_rate=0.0,
+                               dip_depth=1.0, recovery_ms=None,
+                               recovered=False, threshold=threshold)
+    bar = threshold * baseline
+    first_fault_bin = series.index_of(fault_start_ms)
+    # First bin that starts at or after the window closes — a bin
+    # edge exactly at fault_end counts as post-fault.
+    offset = (fault_end_ms - series.start_ms) / series.bin_ms
+    first_after_bin = min(max(int(math.ceil(offset)), 0),
+                          len(series.values))
+    # First post-disturbance window whose rolling mean clears the bar.
+    recovery_index: Optional[int] = None
+    for index in range(first_after_bin,
+                       len(series.values) - sustain_bins + 1):
+        window = series.values[index:index + sustain_bins]
+        if sum(window) / sustain_bins >= bar:
+            recovery_index = index
+            break
+    dip_span_end = (recovery_index if recovery_index is not None
+                    else len(series.values))
+    dip_values: List[float] = list(
+        series.values[first_fault_bin:dip_span_end])
+    dip_rate = min(dip_values) if dip_values else baseline
+    dip_depth = max(0.0, min(1.0, 1.0 - dip_rate / baseline))
+    if recovery_index is None:
+        return RecoveryMetrics(baseline_rate=baseline, dip_rate=dip_rate,
+                               dip_depth=dip_depth, recovery_ms=None,
+                               recovered=False, threshold=threshold)
+    recovery_ms = max(series.bin_start_ms(recovery_index) - fault_end_ms,
+                      0.0)
+    return RecoveryMetrics(baseline_rate=baseline, dip_rate=dip_rate,
+                           dip_depth=dip_depth, recovery_ms=recovery_ms,
+                           recovered=True, threshold=threshold)

@@ -1,0 +1,69 @@
+"""repro.scenarios — the named chaos-scenario catalogue.
+
+Each :class:`Scenario` pairs an environment script (correlated and
+windowed faults from :mod:`repro.check.faults`: whole-DC ``outage``
+with mastership failover, correlated ``brownout``, ``flappy_link``)
+with a time-varying workload shape (:mod:`repro.workload.modulation`:
+diurnal sinusoid, flash crowd, Zipf hot-key storm, mixed tenants).
+Running a scenario (:mod:`repro.scenarios.runner`) crosses it with
+the admission arms the paper compares — Fixed vs Dynamic, classic vs
+fast ballots — and reports per-arm *degradation/recovery* metrics
+from the commit-rate time series: dip depth, time-to-recover to 95 %
+of the pre-fault rate, and p99 latency inflation.
+
+``python -m repro.scenarios {list,run,report}`` is the CLI; the
+``scenarios`` CI job runs the whole catalogue in ``--smoke`` and
+gates on invariants + recovery.  See ``docs/scenarios.md``.
+"""
+
+from repro.scenarios.catalogue import (
+    SCENARIOS,
+    FaultSpec,
+    Scenario,
+    ShapeSpec,
+    TenantShape,
+    get_scenario,
+    scenario_names,
+)
+from repro.scenarios.runner import (
+    FULL,
+    SMOKE,
+    Arm,
+    ArmResult,
+    RunProfile,
+    ScenarioReport,
+    arms_for,
+    build_config,
+    render_csv,
+    render_markdown,
+    render_text,
+    reports_digest,
+    reports_json,
+    run_arm,
+    run_scenario,
+)
+
+__all__ = [
+    "Arm",
+    "ArmResult",
+    "FULL",
+    "FaultSpec",
+    "RunProfile",
+    "SCENARIOS",
+    "SMOKE",
+    "Scenario",
+    "ScenarioReport",
+    "ShapeSpec",
+    "TenantShape",
+    "arms_for",
+    "build_config",
+    "get_scenario",
+    "render_csv",
+    "render_markdown",
+    "render_text",
+    "reports_digest",
+    "reports_json",
+    "run_arm",
+    "run_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,199 @@
+"""CLI for the chaos-scenario catalogue.
+
+::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios run --all --smoke --check
+    python -m repro.scenarios run dc_outage_failover --seed 3 --out DIR
+    python -m repro.scenarios report --out DIR
+
+``run`` exits non-zero when any arm breaks an invariant (with
+``--check``) or never recovers to the 95 % bar — the same gate the
+scenarios CI job enforces.  With ``--out`` it writes the recovery
+table (text/markdown/CSV), the canonical JSON report, its sha256
+digest, and (with ``--observe``) per-arm obs artifacts; ``--summary``
+appends the markdown table to a file (``$GITHUB_STEP_SUMMARY`` in CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.scenarios.catalogue import SCENARIOS, get_scenario, scenario_names
+from repro.scenarios.runner import (
+    FULL,
+    SMOKE,
+    ScenarioReport,
+    arms_for,
+    render_csv,
+    render_markdown,
+    render_text,
+    reports_digest,
+    reports_json,
+    run_scenario,
+)
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print(f"{'name':<22}{'ver':<5}{'faults':<28}title")
+    print("-" * 78)
+    for scenario in SCENARIOS:
+        faults = (", ".join(spec.kind for spec in scenario.faults)
+                  or "(workload only)")
+        print(f"{scenario.name:<22}{scenario.version:<5}{faults:<28}"
+              f"{scenario.title}")
+    profile = SMOKE
+    arms = ", ".join(arm.label for arm in arms_for(profile))
+    print(f"\n{len(SCENARIOS)} scenarios; smoke arms: {arms}")
+    return 0
+
+
+def _write_artifacts(reports: Sequence[ScenarioReport], out: Path,
+                     observe: bool) -> None:
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "report.json").write_text(reports_json(reports) + "\n")
+    (out / "recovery_table.txt").write_text(render_text(reports) + "\n")
+    (out / "recovery_table.md").write_text(render_markdown(reports) + "\n")
+    (out / "recovery_table.csv").write_text(render_csv(reports) + "\n")
+    (out / "digest.txt").write_text(reports_digest(reports) + "\n")
+    if observe:
+        obs_dir = out / "obs"
+        obs_dir.mkdir(exist_ok=True)
+        for report in reports:
+            for arm in report.arms:
+                if arm.obs is None:
+                    continue
+                slug = arm.arm.replace("/", "-")
+                path = obs_dir / f"{report.scenario}-{slug}.json"
+                path.write_text(json.dumps(arm.obs, sort_keys=True))
+
+
+def _append_summary(reports: Sequence[ScenarioReport], path: Path,
+                    profile_label: str, seed: int) -> None:
+    status = "PASS" if all(report.passed() for report in reports) else "FAIL"
+    with path.open("a") as handle:
+        handle.write(f"## Scenario recovery table ({profile_label}, "
+                     f"seed {seed}) — {status}\n\n")
+        handle.write(render_markdown(reports) + "\n\n")
+        handle.write(f"digest: `{reports_digest(reports)}`\n")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.all:
+        names: List[str] = list(scenario_names())
+    elif args.names:
+        names = list(args.names)
+    else:
+        print("error: name one or more scenarios or pass --all",
+              file=sys.stderr)
+        return 2
+    profile = FULL if args.full else SMOKE
+    reports: List[ScenarioReport] = []
+    for name in names:
+        scenario = get_scenario(name)
+        print(f"running {name} (v{scenario.version}, {profile.label}, "
+              f"seed {args.seed})...", flush=True)
+        reports.append(run_scenario(scenario, profile, args.seed,
+                                    check=args.check, observe=args.observe))
+    print()
+    print(render_text(reports))
+    print(f"\ndigest: {reports_digest(reports)}")
+    if args.out is not None:
+        _write_artifacts(reports, Path(args.out), args.observe)
+        print(f"artifacts written to {args.out}")
+    if args.summary is not None:
+        _append_summary(reports, Path(args.summary), profile.label,
+                        args.seed)
+    failed = [report for report in reports if not report.passed()]
+    for report in failed:
+        for arm in report.arms:
+            if not arm.recovered:
+                print(f"FAIL {report.scenario} [{arm.arm}]: never "
+                      f"recovered to 95% of baseline", file=sys.stderr)
+            for violation in arm.violations:
+                print(f"FAIL {report.scenario} [{arm.arm}]: {violation}",
+                      file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    path = Path(args.out) / "report.json"
+    if not path.exists():
+        print(f"error: {path} not found (run with --out first)",
+              file=sys.stderr)
+        return 2
+    raw = json.loads(path.read_text())
+    reports = [_report_from_dict(entry) for entry in raw]
+    print(render_text(reports))
+    print(f"\ndigest: {reports_digest(reports)}")
+    return 0 if all(report.passed() for report in reports) else 1
+
+
+def _report_from_dict(entry: dict) -> ScenarioReport:
+    from repro.scenarios.runner import ArmResult
+
+    arms = [
+        ArmResult(
+            arm=arm["arm"],
+            commit_tps=arm["commit_tps"],
+            baseline_rate=arm["baseline_rate"],
+            dip_depth=arm["dip_depth"],
+            recovery_ms=arm["recovery_ms"],
+            recovered=arm["recovered"],
+            p99_before_ms=arm["p99_before_ms"],
+            p99_during_ms=arm["p99_during_ms"],
+            violations=list(arm["violations"]),
+        )
+        for arm in entry["arms"]
+    ]
+    return ScenarioReport(scenario=entry["scenario"],
+                          version=entry["version"], seed=entry["seed"],
+                          profile=entry["profile"], arms=arms)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Named chaos scenarios with degradation/recovery gates")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="print the scenario catalogue")
+
+    run_parser = commands.add_parser(
+        "run", help="run scenarios and gate on recovery + invariants")
+    run_parser.add_argument("names", nargs="*",
+                            help="scenario names (see `list`)")
+    run_parser.add_argument("--all", action="store_true",
+                            help="run the whole catalogue")
+    run_parser.add_argument("--seed", type=int, default=0)
+    scale = run_parser.add_mutually_exclusive_group()
+    scale.add_argument("--smoke", action="store_true", default=True,
+                       help="CI-sized windows, classic arms (default)")
+    scale.add_argument("--full", action="store_true",
+                       help="evaluation-sized windows, fast arms too")
+    run_parser.add_argument("--check", action="store_true",
+                            help="record histories and run CHK001-009")
+    run_parser.add_argument("--observe", action="store_true",
+                            help="collect obs artifacts per arm")
+    run_parser.add_argument("--out", help="artifact directory")
+    run_parser.add_argument("--summary",
+                            help="append the markdown table to this file")
+
+    report_parser = commands.add_parser(
+        "report", help="re-render the table from a --out directory")
+    report_parser.add_argument("--out", required=True)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_report(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,254 @@
+"""The named chaos-scenario catalogue.
+
+A :class:`Scenario` bundles an *environment script* (a declarative
+fault program over :mod:`repro.check.faults`) with a *workload shape*
+(time-varying rate modulation, access skew, tenant mix from
+:mod:`repro.workload`), both expressed as **fractions of the
+measurement window** so the same scenario scales from a CI smoke run
+to a full evaluation run without editing the catalogue.  Scenarios
+are versioned: bump ``version`` whenever a change alters the sample
+path, so pinned recovery metrics fail loudly instead of drifting.
+
+The catalogue itself is pure data — building a scenario into an
+:class:`~repro.harness.ExperimentConfig` happens in
+:mod:`repro.scenarios.runner`, at which point fractions become
+absolute virtual-time windows.  ``python -m repro.scenarios list``
+prints this table; ``docs/scenarios.md`` documents each entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.check.faults import ALL_KINDS, FaultAction, FaultSchedule
+from repro.workload.modulation import (
+    ComposedModulation,
+    DiurnalModulation,
+    FlashCrowdModulation,
+    RateModulation,
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault of a scenario, windowed in measurement-window fractions.
+
+    ``start_frac``/``end_frac`` are fractions of the measurement
+    window (0 = measurement start, 1 = measurement end); ``args`` are
+    passed through to :class:`repro.check.FaultAction` unchanged.
+    """
+
+    kind: str
+    start_frac: float
+    end_frac: float
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if not 0.0 <= self.start_frac < self.end_frac <= 1.0:
+            raise ValueError(
+                f"bad fault window [{self.start_frac}, {self.end_frac}]")
+
+    def action(self, warmup_ms: float, duration_ms: float,
+               keys: Sequence[str] = ()) -> FaultAction:
+        """Resolve the fractional window against absolute run windows.
+
+        ``"auto"`` as ``failover_keys`` resolves to ``keys`` (the
+        run's whole key space); the injector then fails over exactly
+        the keys the dark DC leads.
+        """
+        args = dict(self.args)
+        if args.get("failover_keys") == "auto":
+            args["failover_keys"] = tuple(keys)
+        return FaultAction(
+            at_ms=warmup_ms + self.start_frac * duration_ms,
+            kind=self.kind,
+            until_ms=warmup_ms + self.end_frac * duration_ms,
+            args=args)
+
+
+@dataclass(frozen=True)
+class ShapeSpec:
+    """Declarative workload shape, windowed like :class:`FaultSpec`.
+
+    ``diurnal`` is ``(period_frac, amplitude)``; ``flash`` is
+    ``(start_frac, end_frac, magnitude)``.  Both resolve against the
+    measurement window and compose multiplicatively.
+    """
+
+    diurnal: Optional[Tuple[float, float]] = None
+    flash: Optional[Tuple[float, float, float]] = None
+
+    def modulation(self, warmup_ms: float,
+                   duration_ms: float) -> Optional[RateModulation]:
+        parts = []
+        if self.diurnal is not None:
+            period_frac, amplitude = self.diurnal
+            parts.append(DiurnalModulation(
+                period_ms=period_frac * duration_ms, amplitude=amplitude,
+                phase_ms=warmup_ms))
+        if self.flash is not None:
+            start_frac, end_frac, magnitude = self.flash
+            parts.append(FlashCrowdModulation(
+                start_ms=warmup_ms + start_frac * duration_ms,
+                end_ms=warmup_ms + end_frac * duration_ms,
+                magnitude=magnitude))
+        if not parts:
+            return None
+        if len(parts) == 1:
+            return parts[0]
+        return ComposedModulation(tuple(parts))
+
+
+@dataclass(frozen=True)
+class TenantShape:
+    """One tenant of a mixed-tenant scenario.
+
+    ``share`` is the tenant's fraction of the scenario's aggregate
+    rate; the shape resolves like :class:`ShapeSpec`.
+    """
+
+    name: str
+    share: float
+    read_fraction: float = 0.0
+    shape: ShapeSpec = field(default_factory=ShapeSpec)
+
+    def __post_init__(self) -> None:
+        if self.share <= 0:
+            raise ValueError(f"tenant {self.name!r} share must be positive")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, versioned chaos scenario.
+
+    ``disturbance`` is the fractional window the recovery gates judge
+    against — for fault scenarios it matches the fault window, for
+    pure-workload scenarios the surge window.
+    """
+
+    name: str
+    title: str
+    description: str
+    version: int
+    disturbance: Tuple[float, float]
+    faults: Tuple[FaultSpec, ...] = ()
+    shape: ShapeSpec = field(default_factory=ShapeSpec)
+    tenants: Tuple[TenantShape, ...] = ()
+    #: Zipf exponent for power-law key access (None = uniform).
+    zipf_s: Optional[float] = None
+    #: Scenario rate relative to the profile's base rate.
+    rate_scale: float = 1.0
+
+    def fault_schedule(self, warmup_ms: float, duration_ms: float,
+                       keys: Sequence[str] = (),
+                       ) -> Optional[FaultSchedule]:
+        """The environment script at absolute virtual times."""
+        if not self.faults:
+            return None
+        return FaultSchedule([spec.action(warmup_ms, duration_ms, keys)
+                              for spec in self.faults])
+
+    def disturbance_window(self, warmup_ms: float,
+                           duration_ms: float) -> Tuple[float, float]:
+        start_frac, end_frac = self.disturbance
+        return (warmup_ms + start_frac * duration_ms,
+                warmup_ms + end_frac * duration_ms)
+
+
+#: The catalogue.  Order is the display/run order.
+SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario(
+        name="dc_outage_failover",
+        title="Whole-DC outage with mastership failover",
+        description=(
+            "One data center goes dark mid-run: every storage "
+            "partition crashes at once, mastership of a few hot keys "
+            "fails over to the next DC, and the partitions come back "
+            "staggered.  Measures how commit processing rides out the "
+            "paper's headline failure."),
+        version=1,
+        disturbance=(0.25, 0.45),
+        faults=(FaultSpec("outage", 0.25, 0.45, {
+            "dc": 1, "failover_keys": "auto",
+            "failover_dc": 2, "failover_after_ms": 120.0,
+            "stagger_ms": 25.0}),),
+    ),
+    Scenario(
+        name="wan_brownout",
+        title="Correlated WAN brownout",
+        description=(
+            "Every link between three data centers inflates by a "
+            "constant extra RTT for a sustained window — the "
+            "correlated cross-DC congestion of §2, not a single "
+            "flaky link.  Latency-sensitive admission should shed "
+            "load instead of thrashing."),
+        version=1,
+        disturbance=(0.30, 0.60),
+        faults=(FaultSpec("brownout", 0.30, 0.60, {
+            "dcs": (0, 1, 2), "extra_ms": 220.0}),),
+    ),
+    Scenario(
+        name="diurnal_flash_crowd",
+        title="Diurnal cycle with a flash crowd",
+        description=(
+            "No network faults: the disturbance is the workload "
+            "itself.  A day/night sinusoid modulates the base rate "
+            "and a flash crowd multiplies it mid-run — the unpredictable "
+            "load spikes PLANET's admission control is built for."),
+        version=1,
+        disturbance=(0.40, 0.60),
+        shape=ShapeSpec(diurnal=(1.0 / 3.0, 0.25),
+                        flash=(0.40, 0.60, 2.5)),
+    ),
+    Scenario(
+        name="hotkey_storm",
+        title="Zipfian hot-key storm",
+        description=(
+            "Power-law access (Zipf s=1.1) concentrates writes on a "
+            "few keys, then a surge doubles the rate: contention on "
+            "the head of the distribution, the §6.4 hotspot regime "
+            "at its worst."),
+        version=1,
+        disturbance=(0.35, 0.60),
+        shape=ShapeSpec(flash=(0.35, 0.60, 2.0)),
+        zipf_s=1.1,
+    ),
+    Scenario(
+        name="mixed_tenants",
+        title="Mixed read-/write-heavy tenants under brownout",
+        description=(
+            "Two tenants share the cluster — one write-heavy and "
+            "flat, one read-heavy with a diurnal swing — while a "
+            "two-DC brownout degrades the WAN.  Checks that "
+            "degradation and recovery hold under a heterogeneous "
+            "mix, not just the single-knob workloads."),
+        version=1,
+        disturbance=(0.35, 0.55),
+        faults=(FaultSpec("brownout", 0.35, 0.55, {
+            "dcs": (0, 1), "extra_ms": 260.0}),),
+        tenants=(
+            TenantShape("writer", share=0.55),
+            TenantShape("browser", share=0.45, read_fraction=0.6,
+                        shape=ShapeSpec(diurnal=(1.0, 0.3))),
+        ),
+    ),
+)
+
+
+_BY_NAME = {scenario.name: scenario for scenario in SCENARIOS}
+
+
+def scenario_names() -> Tuple[str, ...]:
+    return tuple(scenario.name for scenario in SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise ValueError(
+            f"unknown scenario {name!r} (catalogue: {known})") from None

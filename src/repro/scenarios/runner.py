@@ -1,0 +1,350 @@
+"""Runs catalogue scenarios and extracts degradation/recovery metrics.
+
+One scenario run is a small experiment matrix: the scenario's
+environment script and workload shape, crossed with the *arms* the
+paper's admission story needs — Fixed(40 ms, 20 %) vs Dynamic(50 %)
+admission, under classic and (in the full profile) fast ballots.
+Every arm runs in its own kernel on the same seed; the arm label goes
+into the experiment name, so arm streams are independent but each arm
+is individually reproducible.
+
+Per arm the runner reports, from the offline transaction records (the
+pinned obs digests stay untouched — no new live instrumentation):
+
+* the windowed commit-rate series (committed transactions bucketed by
+  decision time, :func:`repro.obs.binned_rate`);
+* degradation/recovery against the scenario's disturbance window
+  (:func:`repro.obs.extract_recovery`): baseline rate, dip depth, and
+  time-to-recover to 95 % of baseline;
+* p99 response-time inflation (during-disturbance vs pre-disturbance
+  p99 over committed transactions);
+* optionally, protocol-invariant violations (CHK001–009) from a
+  :class:`repro.check.HistoryRecorder` riding the run.
+
+A scenario *passes* when every arm recovers and no arm violates an
+invariant — the gate the scenarios CI tier enforces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.check import HistoryRecorder, check_history
+from repro.core.admission import AdmissionPolicy, DynamicPolicy, FixedPolicy
+from repro.harness import Experiment, ExperimentConfig, TenantSpec
+from repro.obs import binned_rate, extract_recovery, quantile
+from repro.scenarios.catalogue import Scenario
+from repro.workload.items import item_key
+
+#: Recovery bar: an arm has recovered once its commit rate sustains
+#: this fraction of the pre-disturbance baseline.
+RECOVERY_THRESHOLD = 0.95
+
+
+@dataclass(frozen=True)
+class RunProfile:
+    """How big one scenario run is (windows, cluster, rate)."""
+
+    label: str
+    topology: str
+    n_datacenters: int
+    rate_tps: float
+    n_items: int
+    warmup_ms: float
+    duration_ms: float
+    drain_ms: float
+    timeout_ms: float
+    oracle_samples: int
+    bin_ms: float
+    fast_arms: bool
+
+
+#: CI-sized: seconds of virtual time per arm, classic arms only.
+SMOKE = RunProfile(
+    label="smoke", topology="uniform", n_datacenters=3, rate_tps=60.0,
+    n_items=800, warmup_ms=3_000.0, duration_ms=12_000.0, drain_ms=5_000.0,
+    timeout_ms=1_500.0, oracle_samples=300, bin_ms=300.0, fast_arms=False)
+
+#: Evaluation-sized: the paper's EC2 topology, fast arms included.
+FULL = RunProfile(
+    label="full", topology="ec2", n_datacenters=5, rate_tps=150.0,
+    n_items=5_000, warmup_ms=10_000.0, duration_ms=30_000.0,
+    drain_ms=10_000.0, timeout_ms=3_000.0, oracle_samples=1_000,
+    bin_ms=500.0, fast_arms=True)
+
+
+@dataclass(frozen=True)
+class Arm:
+    """One cell of the scenario matrix: admission policy × mode."""
+
+    admission: str   # "fixed" | "dynamic"
+    mode: str        # "classic" | "fast"
+
+    @property
+    def label(self) -> str:
+        return f"{self.admission}/{self.mode}"
+
+    def policy(self) -> AdmissionPolicy:
+        if self.admission == "fixed":
+            return FixedPolicy(40.0, 20.0)
+        if self.admission == "dynamic":
+            return DynamicPolicy(50.0)
+        raise ValueError(f"unknown admission arm {self.admission!r}")
+
+
+def arms_for(profile: RunProfile) -> Tuple[Arm, ...]:
+    modes = ("classic", "fast") if profile.fast_arms else ("classic",)
+    return tuple(Arm(admission, mode)
+                 for mode in modes
+                 for admission in ("fixed", "dynamic"))
+
+
+@dataclass
+class ArmResult:
+    """Degradation/recovery readout for one arm of one scenario."""
+
+    arm: str
+    commit_tps: float
+    baseline_rate: float
+    dip_depth: float
+    recovery_ms: Optional[float]
+    recovered: bool
+    p99_before_ms: float
+    p99_during_ms: float
+    violations: List[str] = field(default_factory=list)
+    obs: Optional[Dict[str, object]] = None
+
+    @property
+    def p99_inflation(self) -> float:
+        if self.p99_before_ms <= 0.0:
+            return 1.0
+        return self.p99_during_ms / self.p99_before_ms
+
+    def passed(self) -> bool:
+        return self.recovered and not self.violations
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "arm": self.arm,
+            "commit_tps": round(self.commit_tps, 6),
+            "baseline_rate": round(self.baseline_rate, 6),
+            "dip_depth": round(self.dip_depth, 6),
+            "recovery_ms": (None if self.recovery_ms is None
+                            else round(self.recovery_ms, 6)),
+            "recovered": self.recovered,
+            "p99_before_ms": round(self.p99_before_ms, 6),
+            "p99_during_ms": round(self.p99_during_ms, 6),
+            "p99_inflation": round(self.p99_inflation, 6),
+            "violations": list(self.violations),
+        }
+
+
+@dataclass
+class ScenarioReport:
+    """All arms of one scenario on one seed."""
+
+    scenario: str
+    version: int
+    seed: int
+    profile: str
+    arms: List[ArmResult]
+
+    def passed(self) -> bool:
+        return all(arm.passed() for arm in self.arms)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "version": self.version,
+            "seed": self.seed,
+            "profile": self.profile,
+            "passed": self.passed(),
+            "arms": [arm.to_dict() for arm in self.arms],
+        }
+
+
+def build_config(scenario: Scenario, arm: Arm, profile: RunProfile,
+                 seed: int, observe: bool = False) -> ExperimentConfig:
+    """Resolve one (scenario, arm) cell into an experiment config."""
+    warmup, duration = profile.warmup_ms, profile.duration_ms
+    rate = profile.rate_tps * scenario.rate_scale
+    tenants: Optional[Tuple[TenantSpec, ...]] = None
+    if scenario.tenants:
+        tenants = tuple(
+            TenantSpec(
+                name=shape.name,
+                rate_tps=rate * shape.share,
+                read_fraction=shape.read_fraction,
+                modulation=shape.shape.modulation(warmup, duration))
+            for shape in scenario.tenants)
+    return ExperimentConfig(
+        name=f"{scenario.name}-{arm.admission}-{arm.mode}",
+        seed=seed,
+        mode=arm.mode,
+        topology=profile.topology,
+        n_datacenters=profile.n_datacenters,
+        n_items=profile.n_items,
+        zipf_s=scenario.zipf_s,
+        rate_tps=rate,
+        timeout_ms=profile.timeout_ms,
+        admission=arm.policy(),
+        stats_mode="oracle",
+        oracle_samples=profile.oracle_samples,
+        warmup_ms=warmup,
+        duration_ms=duration,
+        drain_ms=profile.drain_ms,
+        modulation=scenario.shape.modulation(warmup, duration),
+        tenants=tenants,
+        faults=scenario.fault_schedule(
+            warmup, duration,
+            keys=[item_key(index) for index in range(profile.n_items)]),
+        observe=observe,
+    )
+
+
+def run_arm(scenario: Scenario, arm: Arm, profile: RunProfile, seed: int,
+            check: bool = False, observe: bool = False) -> ArmResult:
+    """Run one arm and extract its degradation/recovery readout."""
+    config = build_config(scenario, arm, profile, seed, observe=observe)
+    experiment = Experiment(config)
+    recorder: Optional[HistoryRecorder] = None
+    if check:
+        recorder = HistoryRecorder()
+        recorder.attach(experiment.cluster)
+    result = experiment.run()
+    violations: List[str] = []
+    if recorder is not None:
+        history = recorder.detach()
+        violations = [f"{violation.code}: {violation.message}"
+                      for violation in check_history(history)]
+
+    total = profile.warmup_ms + profile.duration_ms
+    fault_start, fault_end = scenario.disturbance_window(
+        profile.warmup_ms, profile.duration_ms)
+    records = result.metrics.all_records
+    # Commit-rate series over the whole run (decision times); the
+    # baseline skips the first half of warmup while the open system
+    # ramps to equilibrium.
+    commits = [record.decided_ms for record in records
+               if record.committed and record.decided_ms is not None]
+    series = binned_rate(commits, 0.0, total, profile.bin_ms)
+    # Cap the baseline at the *sustainable* commit rate — offered rate
+    # times the pre-fault commit fraction.  The fraction is a ratio,
+    # so a lucky arrival stretch in the baseline window cannot set a
+    # recovery bar above what the system can hold long-run.
+    pre = [record for record in records
+           if profile.warmup_ms / 2.0 <= record.issued_ms < fault_start]
+    commit_fraction = (sum(record.committed is True for record in pre)
+                       / len(pre)) if pre else 1.0
+    offered = profile.rate_tps * scenario.rate_scale
+    recovery = extract_recovery(
+        series, fault_start, fault_end,
+        baseline_start_ms=profile.warmup_ms / 2.0,
+        threshold=RECOVERY_THRESHOLD, sustain_bins=3,
+        baseline_cap=offered * commit_fraction)
+    before = [record.response_ms for record in records
+              if record.committed
+              and profile.warmup_ms / 2.0 <= record.issued_ms < fault_start
+              and record.response_ms is not None]
+    during = [record.response_ms for record in records
+              if record.committed
+              and fault_start <= record.issued_ms < fault_end
+              and record.response_ms is not None]
+    return ArmResult(
+        arm=arm.label,
+        commit_tps=result.metrics.commit_tps(),
+        baseline_rate=recovery.baseline_rate,
+        dip_depth=recovery.dip_depth,
+        recovery_ms=recovery.recovery_ms,
+        recovered=recovery.recovered,
+        p99_before_ms=quantile(before, 0.99),
+        p99_during_ms=quantile(during, 0.99),
+        violations=violations,
+        obs=result.obs,
+    )
+
+
+def run_scenario(scenario: Scenario, profile: RunProfile, seed: int,
+                 check: bool = False,
+                 observe: bool = False) -> ScenarioReport:
+    """Run every arm of one scenario on one seed."""
+    return ScenarioReport(
+        scenario=scenario.name,
+        version=scenario.version,
+        seed=seed,
+        profile=profile.label,
+        arms=[run_arm(scenario, arm, profile, seed,
+                      check=check, observe=observe)
+              for arm in arms_for(profile)])
+
+
+# -- the recovery table -------------------------------------------------------
+
+TABLE_HEADERS = ("scenario", "arm", "commit tps", "baseline/s",
+                 "dip depth", "recover ms", "p99 before", "p99 during",
+                 "p99 infl", "checks")
+
+
+def table_rows(reports: Sequence[ScenarioReport]) -> List[Tuple[str, ...]]:
+    rows: List[Tuple[str, ...]] = []
+    for report in reports:
+        for arm in report.arms:
+            recover = (f"{arm.recovery_ms:.0f}" if arm.recovery_ms is not None
+                       else "never")
+            checks = ("-" if not arm.violations else
+                      f"{len(arm.violations)} violation(s)")
+            rows.append((
+                report.scenario, arm.arm,
+                f"{arm.commit_tps:.1f}", f"{arm.baseline_rate:.1f}",
+                f"{arm.dip_depth:.2f}", recover,
+                f"{arm.p99_before_ms:.0f}", f"{arm.p99_during_ms:.0f}",
+                f"{arm.p99_inflation:.2f}", checks))
+    return rows
+
+
+def render_text(reports: Sequence[ScenarioReport]) -> str:
+    rows = table_rows(reports)
+    widths = [max(len(header), *(len(row[index]) for row in rows))
+              if rows else len(header)
+              for index, header in enumerate(TABLE_HEADERS)]
+    lines = [
+        "  ".join(header.ljust(widths[index])
+                  for index, header in enumerate(TABLE_HEADERS)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[index])
+                               for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_markdown(reports: Sequence[ScenarioReport]) -> str:
+    lines = [
+        "| " + " | ".join(TABLE_HEADERS) + " |",
+        "| " + " | ".join("---" for _ in TABLE_HEADERS) + " |",
+    ]
+    for row in table_rows(reports):
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def render_csv(reports: Sequence[ScenarioReport]) -> str:
+    lines = [",".join(header.replace(" ", "_")
+                      for header in TABLE_HEADERS)]
+    for row in table_rows(reports):
+        lines.append(",".join(row))
+    return "\n".join(lines)
+
+
+def reports_json(reports: Sequence[ScenarioReport]) -> str:
+    return json.dumps([report.to_dict() for report in reports],
+                      indent=2, sort_keys=True)
+
+
+def reports_digest(reports: Sequence[ScenarioReport]) -> str:
+    """sha256 over the canonical JSON — the determinism pin."""
+    return hashlib.sha256(
+        reports_json(reports).encode("utf-8")).hexdigest()

@@ -133,6 +133,37 @@ class StorageNode:
                 self.env.trace("version_visible", node=self.address,
                                key=key, version=1, value=value, txid="")
 
+    def catch_up_from(self, peer: "StorageNode") -> int:
+        """State-transfer from a healthy replica after a crash.
+
+        A node that was dark missed every visibility message sent
+        while it was down; until it catches up, its replica serves
+        stale reads (and, if it leads keys, proposes against stale
+        versions).  This copies every visible version the peer is
+        ahead on — pending options are left alone, they belong to
+        live rounds — and traces each repair as a ``version_visible``
+        event, so recorded histories stay checkable.  Returns the
+        number of records repaired.  The transfer is instantaneous
+        (fail-stop with stable storage; shipping cost is not
+        modelled), matching the simulator's process model.
+        """
+        repaired = 0
+        for key, theirs in peer.records.items():
+            ours = self.record(key)
+            if theirs.version <= ours.version:
+                continue
+            ours.value = theirs.value
+            ours.version = theirs.version
+            ours.history.append((self.env.now, theirs.value))
+            if len(ours.history) > ours.HISTORY_KEEP:
+                del ours.history[:-ours.HISTORY_KEEP]
+            repaired += 1
+            if self.env.tracer is not None:
+                self.env.trace("version_visible", node=self.address,
+                               key=key, version=ours.version,
+                               value=ours.value, txid="")
+        return repaired
+
     def record(self, key: str) -> Record:
         """The local record for ``key``, created on first touch.
 
@@ -331,7 +362,8 @@ class StorageNode:
 
     # -- mastership takeover (Paxos phase 1) ------------------------------------------
 
-    def take_mastership(self, key: str, max_attempts: int = 5):
+    def take_mastership(self, key: str, max_attempts: int = 5,
+                        quorum_fast: bool = False):
         """Acquire leadership of ``key`` via phase-1 promises.
 
         Returns an event that succeeds with True once a majority of
@@ -341,12 +373,21 @@ class StorageNode:
         must then update the routing (``Mastership.set_override``) so
         new proposals arrive here — :meth:`Cluster.transfer_mastership`
         does both.
+
+        With ``quorum_fast`` each attempt settles as soon as a quorum
+        of promises arrives instead of waiting for every replica —
+        essential when a replica is dark (its phase-1 call only
+        returns at the RPC timeout, stalling an already-won takeover
+        for seconds).  The conservative default keeps the historical
+        all-replies timing that the golden digests pin.
         """
         result = self.env.event()
-        self.env.process(self._take_mastership(key, max_attempts, result))
+        self.env.process(
+            self._take_mastership(key, max_attempts, result, quorum_fast))
         return result
 
-    def _take_mastership(self, key: str, max_attempts: int, result):
+    def _take_mastership(self, key: str, max_attempts: int, result,
+                         quorum_fast: bool = False):
         from repro.sim import AllOf  # local import: avoid heavy top-level
 
         replicas = self._replicas_of(key)
@@ -354,21 +395,32 @@ class StorageNode:
         number = 1
         for _attempt in range(max_attempts):
             ballot = Ballot(number, self.address)
-            attempts = [
-                self.env.process(self._phase1_call(replica, key, ballot))
-                for replica in replicas
-            ]
-            replies = yield AllOf(self.env, attempts)
-            promised = 0
-            highest_seen = ballot
-            for reply in replies.values():
-                if reply is None:
-                    continue  # unreachable replica
-                ok, previous = reply
-                if ok:
-                    promised += 1
-                elif previous is not None and previous > highest_seen:
-                    highest_seen = previous
+            if quorum_fast:
+                tally = {"promised": 0, "done": 0, "highest": ballot}
+                settled = self.env.event()
+                for replica in replicas:
+                    self.env.process(self._phase1_tally(
+                        replica, key, ballot, tally, settled, quorum,
+                        len(replicas)))
+                yield settled
+                promised = tally["promised"]
+                highest_seen = tally["highest"]
+            else:
+                attempts = [
+                    self.env.process(self._phase1_call(replica, key, ballot))
+                    for replica in replicas
+                ]
+                replies = yield AllOf(self.env, attempts)
+                promised = 0
+                highest_seen = ballot
+                for reply in replies.values():
+                    if reply is None:
+                        continue  # unreachable replica
+                    ok, previous = reply
+                    if ok:
+                        promised += 1
+                    elif previous is not None and previous > highest_seen:
+                        highest_seen = previous
             if promised >= quorum:
                 self._ballots[key] = ballot
                 if self.env.tracer is not None:
@@ -381,6 +433,21 @@ class StorageNode:
             number = highest_seen.number + 1
         if not result.triggered:
             result.succeed(False)
+
+    def _phase1_tally(self, replica: str, key: str, ballot: Ballot,
+                      tally, settled, quorum: int, total: int):
+        """One phase-1 exchange feeding a shared quorum tally."""
+        reply = yield from self._phase1_call(replica, key, ballot)
+        tally["done"] += 1
+        if reply is not None:
+            ok, previous = reply
+            if ok:
+                tally["promised"] += 1
+            elif previous is not None and previous > tally["highest"]:
+                tally["highest"] = previous
+        if not settled.triggered and (tally["promised"] >= quorum
+                                      or tally["done"] == total):
+            settled.succeed(None)
 
     def _phase1_call(self, replica: str, key: str, ballot: Ballot):
         """One replica's phase1a exchange; None if unreachable."""

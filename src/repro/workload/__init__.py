@@ -15,14 +15,26 @@ from repro.workload.access import (
 from repro.workload.buying import BuyTransactionFactory
 from repro.workload.load import OpenSystemLoad, PoissonArrivals, UniformArrivals
 from repro.workload.aggregate import AggregateLoad
+from repro.workload.modulation import (
+    ComposedModulation,
+    DiurnalModulation,
+    FlashCrowdModulation,
+    ModulatedArrivals,
+    RateModulation,
+)
 
 __all__ = [
     "AccessPattern",
     "AggregateLoad",
     "BuyTransactionFactory",
+    "ComposedModulation",
+    "DiurnalModulation",
+    "FlashCrowdModulation",
     "HotspotAccess",
+    "ModulatedArrivals",
     "OpenSystemLoad",
     "PoissonArrivals",
+    "RateModulation",
     "UniformAccess",
     "UniformArrivals",
     "ZipfianAccess",

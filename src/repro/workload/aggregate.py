@@ -164,11 +164,16 @@ class AggregateLoad:
         writes: List[list] = []
         hot: List[bool] = []
         reads: List[bool] = [] if read_fraction else None  # type: ignore
+        # Modulated arrivals rescale each gap by the factor at the
+        # previous arrival time — the same time base OpenSystemLoad
+        # sees (env.now at draw time), so exact mode stays replayable.
+        timed = getattr(arrivals, "next_interarrival_ms_at", None)
         for _ in range(self.batch_size):
             # Identical draw order to OpenSystemLoad._run: gap, build,
             # then the read coin — and the gap that crosses the
             # deadline stops the load *without* building.
-            gap = arrivals.next_interarrival_ms(rng)
+            gap = (timed(rng, t) if timed is not None
+                   else arrivals.next_interarrival_ms(rng))
             if deadline is not None and t + gap >= deadline:
                 self._finished = True
                 break
@@ -188,7 +193,11 @@ class AggregateLoad:
 
     def _draw_vectorized(self) -> int:
         np_rng = self._np_rng
-        gaps = self.arrivals.batch_interarrivals(np_rng, self.batch_size)
+        timed = getattr(self.arrivals, "batch_interarrivals_at", None)
+        if timed is not None:
+            gaps = timed(np_rng, self.batch_size, self._next_time)
+        else:
+            gaps = self.arrivals.batch_interarrivals(np_rng, self.batch_size)
         times = np.cumsum(gaps)
         times += self._next_time
         if self._deadline is not None:

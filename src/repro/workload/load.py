@@ -101,8 +101,15 @@ class OpenSystemLoad:
     def _run(self, duration_ms: Optional[float]):
         deadline = (self.env.now + duration_ms
                     if duration_ms is not None else None)
+        # Time-varying rates (repro.workload.modulation) expose the
+        # time-aware draw; plain arrival processes keep the old path
+        # bit-for-bit.
+        timed = getattr(self.arrivals, "next_interarrival_ms_at", None)
         while self._running:
-            gap = self.arrivals.next_interarrival_ms(self._rng)
+            if timed is not None:
+                gap = timed(self._rng, self.env.now)
+            else:
+                gap = self.arrivals.next_interarrival_ms(self._rng)
             if deadline is not None and self.env.now + gap >= deadline:
                 self._running = False
                 return

@@ -1,0 +1,150 @@
+"""Time-varying workload rates: the scenario catalogue's load shapes.
+
+The paper's evaluation drives every experiment at one constant
+aggregate rate; real front-end traffic is anything but constant —
+diurnal cycles, flash crowds, marketing spikes.  A
+:class:`RateModulation` maps virtual time to a dimensionless rate
+factor, and :class:`ModulatedArrivals` wraps any arrival process
+(:class:`~repro.workload.load.PoissonArrivals`,
+:class:`~repro.workload.load.UniformArrivals`) so its instantaneous
+rate becomes ``base_rate * factor(t)``.
+
+The implementation is time-rescaling: each base interarrival gap is
+divided by the factor at the gap's start.  For factors that change
+slowly relative to the gap length (every shape here) this is the
+standard inhomogeneous-process approximation, and it is *exactly* as
+deterministic as the base process — the same named stream produces the
+same gap sequence, merely rescaled by a pure function of virtual time.
+Loads detect the wrapper by its time-aware draw methods
+(``next_interarrival_ms_at`` / ``batch_interarrivals_at``); unwrapped
+arrival processes keep their old draw path bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+class RateModulation:
+    """Maps virtual time (ms) to a non-negative rate factor."""
+
+    def factor(self, t_ms: float) -> float:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DiurnalModulation(RateModulation):
+    """Sinusoidal day/night cycle around the base rate.
+
+    ``factor(t) = 1 + amplitude * sin(2π (t - phase) / period)`` —
+    peaks at ``1 + amplitude``, troughs at ``1 - amplitude``.
+    """
+
+    period_ms: float
+    amplitude: float = 0.5
+    phase_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_ms <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError(f"amplitude {self.amplitude} outside [0, 1)")
+
+    def factor(self, t_ms: float) -> float:
+        return 1.0 + self.amplitude * math.sin(
+            2.0 * math.pi * (t_ms - self.phase_ms) / self.period_ms)
+
+    def describe(self) -> str:
+        return (f"diurnal(period={self.period_ms:.0f}ms, "
+                f"amplitude={self.amplitude:.2f})")
+
+
+@dataclass(frozen=True)
+class FlashCrowdModulation(RateModulation):
+    """A step surge: ``magnitude``× the base rate inside the window."""
+
+    start_ms: float
+    end_ms: float
+    magnitude: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.end_ms <= self.start_ms:
+            raise ValueError("empty flash-crowd window")
+        if self.magnitude <= 0:
+            raise ValueError("magnitude must be positive")
+
+    def factor(self, t_ms: float) -> float:
+        if self.start_ms <= t_ms < self.end_ms:
+            return self.magnitude
+        return 1.0
+
+    def describe(self) -> str:
+        return (f"flash(x{self.magnitude:.1f} @ "
+                f"[{self.start_ms:.0f}, {self.end_ms:.0f})ms)")
+
+
+@dataclass(frozen=True)
+class ComposedModulation(RateModulation):
+    """Product of several modulations (diurnal cycle × flash crowd)."""
+
+    parts: Tuple[RateModulation, ...]
+
+    def factor(self, t_ms: float) -> float:
+        value = 1.0
+        for part in self.parts:
+            value *= part.factor(t_ms)
+        return value
+
+    def describe(self) -> str:
+        return " * ".join(part.describe() for part in self.parts)
+
+
+#: Floor on the effective factor: a modulation dipping to zero would
+#: produce an infinite gap and wedge the load generator forever.
+MIN_FACTOR = 1e-3
+
+
+class ModulatedArrivals:
+    """An arrival process whose rate is scaled by a modulation.
+
+    Wraps a base process and exposes the *time-aware* draw API the
+    load engines probe for.  The base process still owns all the
+    randomness; this wrapper only rescales gaps by ``factor(t)``.
+    """
+
+    def __init__(self, base: object, modulation: RateModulation):
+        self.base = base
+        self.modulation = modulation
+
+    def next_interarrival_ms_at(self, rng, now_ms: float) -> float:
+        gap = self.base.next_interarrival_ms(rng)
+        return gap / max(self.modulation.factor(now_ms), MIN_FACTOR)
+
+    def batch_interarrivals_at(self, np_rng, size: int, now_ms: float):
+        """A batch of scaled gaps starting at ``now_ms``.
+
+        The base gaps come from one vectorized draw; the rescaling
+        walk is sequential because each gap's factor depends on the
+        (scaled) arrival time before it.
+        """
+        import numpy as np
+
+        gaps = self.base.batch_interarrivals(np_rng, size)
+        factor = self.modulation.factor
+        scaled: List[float] = []
+        append = scaled.append
+        t = now_ms
+        for gap in gaps:
+            gap = float(gap) / max(factor(t), MIN_FACTOR)
+            append(gap)
+            t += gap
+        return np.asarray(scaled)
+
+    def describe(self) -> str:
+        return self.modulation.describe()

@@ -1,0 +1,133 @@
+"""Rate modulation: factor math and determinism guarantees.
+
+The wrapper contract is strict: unwrapped arrival processes keep
+their historical draw path bit-for-bit (golden digests), and a
+modulated process is exactly as deterministic as its base — the same
+named stream yields the same gap sequence, rescaled by a pure
+function of virtual time.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.workload.load import PoissonArrivals
+from repro.workload.modulation import (
+    MIN_FACTOR,
+    ComposedModulation,
+    DiurnalModulation,
+    FlashCrowdModulation,
+    ModulatedArrivals,
+)
+
+
+# ---------------------------------------------------------------- factors
+
+
+def test_diurnal_factor_peaks_and_troughs():
+    mod = DiurnalModulation(period_ms=1_000.0, amplitude=0.4)
+    assert mod.factor(0.0) == pytest.approx(1.0)
+    assert mod.factor(250.0) == pytest.approx(1.4)
+    assert mod.factor(750.0) == pytest.approx(0.6)
+    assert mod.factor(1_000.0) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_diurnal_phase_shifts_the_cycle():
+    base = DiurnalModulation(period_ms=1_000.0, amplitude=0.4)
+    shifted = DiurnalModulation(period_ms=1_000.0, amplitude=0.4,
+                                phase_ms=250.0)
+    assert shifted.factor(500.0) == pytest.approx(base.factor(250.0))
+
+
+def test_diurnal_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        DiurnalModulation(period_ms=0.0, amplitude=0.2)
+    with pytest.raises(ValueError):
+        DiurnalModulation(period_ms=100.0, amplitude=1.0)
+
+
+def test_flash_crowd_is_a_step():
+    mod = FlashCrowdModulation(start_ms=100.0, end_ms=200.0, magnitude=3.0)
+    assert mod.factor(99.9) == 1.0
+    assert mod.factor(100.0) == 3.0
+    assert mod.factor(199.9) == 3.0
+    assert mod.factor(200.0) == 1.0
+
+
+def test_composed_multiplies():
+    mod = ComposedModulation((
+        DiurnalModulation(period_ms=1_000.0, amplitude=0.5),
+        FlashCrowdModulation(start_ms=0.0, end_ms=10_000.0, magnitude=2.0),
+    ))
+    assert mod.factor(250.0) == pytest.approx(1.5 * 2.0)
+    assert "diurnal" in mod.describe() and "flash" in mod.describe()
+
+
+# ---------------------------------------------------------------- wrapper
+
+
+def test_modulated_gap_is_base_gap_rescaled():
+    base = PoissonArrivals(rate_tps=50.0)
+    mod = ModulatedArrivals(
+        base, FlashCrowdModulation(start_ms=0.0, end_ms=1e9, magnitude=4.0))
+    raw = base.next_interarrival_ms(random.Random(3))
+    scaled = mod.next_interarrival_ms_at(random.Random(3), now_ms=0.0)
+    assert scaled == pytest.approx(raw / 4.0)
+
+
+def test_modulated_factor_floor_prevents_infinite_gaps():
+    class Zero(DiurnalModulation):
+        def factor(self, t_ms):
+            return 0.0
+
+    mod = ModulatedArrivals(PoissonArrivals(rate_tps=50.0),
+                            Zero(period_ms=1.0, amplitude=0.0))
+    gap = mod.next_interarrival_ms_at(random.Random(3), now_ms=0.0)
+    assert math.isfinite(gap)
+    raw = PoissonArrivals(rate_tps=50.0).next_interarrival_ms(
+        random.Random(3))
+    assert gap == pytest.approx(raw / MIN_FACTOR)
+
+
+def test_modulated_draws_are_deterministic():
+    def draw():
+        mod = ModulatedArrivals(
+            PoissonArrivals(rate_tps=50.0),
+            DiurnalModulation(period_ms=4_000.0, amplitude=0.3))
+        rng = random.Random(17)
+        gaps, t = [], 0.0
+        for _ in range(200):
+            gap = mod.next_interarrival_ms_at(rng, now_ms=t)
+            gaps.append(gap)
+            t += gap
+        return gaps
+
+    assert draw() == draw()
+
+
+def test_batch_rescaling_matches_sequential_walk():
+    numpy = pytest.importorskip("numpy")
+    mod = ModulatedArrivals(
+        PoissonArrivals(rate_tps=50.0),
+        DiurnalModulation(period_ms=4_000.0, amplitude=0.3))
+    batch = mod.batch_interarrivals_at(
+        numpy.random.default_rng(9), size=100, now_ms=500.0)
+    base_gaps = PoissonArrivals(rate_tps=50.0).batch_interarrivals(
+        numpy.random.default_rng(9), 100)
+    t = 500.0
+    expected = []
+    for gap in base_gaps:
+        gap = float(gap) / max(mod.modulation.factor(t), MIN_FACTOR)
+        expected.append(gap)
+        t += gap
+    assert list(batch) == pytest.approx(expected)
+
+
+def test_unwrapped_arrivals_expose_no_timed_api():
+    # Load engines probe for the time-aware methods; a plain process
+    # must not grow them, or the historical draw path (and with it the
+    # golden digests) would change.
+    base = PoissonArrivals(rate_tps=50.0)
+    assert not hasattr(base, "next_interarrival_ms_at")
+    assert not hasattr(base, "batch_interarrivals_at")

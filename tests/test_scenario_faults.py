@@ -1,0 +1,250 @@
+"""The scenario fault kinds: outage, brownout, flappy link.
+
+Hand-built schedules against a tiny cluster prove each windowed fault
+actually opens and closes: outage takes the whole DC down and brings
+it back staggered (with mastership failover and state transfer),
+brownout inflates every listed link pairwise and heals, flappy_link
+cuts and restores periodically.  Plus the anchor-perturbing sampler's
+determinism, which the nightly scenario fuzz legs rely on.
+"""
+
+from random import Random
+
+from repro.check.faults import (
+    ALL_KINDS,
+    KINDS,
+    SCENARIO_KINDS,
+    FaultAction,
+    FaultSchedule,
+)
+from repro.mdcc import Cluster
+from repro.net import uniform_topology
+from repro.sim import Environment, RandomStreams
+
+
+def make_cluster(seed=7, partitions=2):
+    env = Environment()
+    topo = uniform_topology(3, one_way_ms=20.0, sigma=0.02)
+    cluster = Cluster(env, topo, RandomStreams(seed=seed),
+                      partitions_per_dc=partitions)
+    cluster.load({f"item:{i}": 100 for i in range(8)})
+    return env, cluster
+
+
+def probe(env, cluster, at_ms, fn):
+    """Record ``fn()`` at virtual time ``at_ms``."""
+    out = {}
+
+    def proc():
+        yield env.timeout(at_ms)
+        out["value"] = fn()
+
+    env.process(proc())
+    return out
+
+
+# ---------------------------------------------------------------- outage
+
+
+def test_outage_window_opens_and_closes():
+    env, cluster = make_cluster()
+    addresses = [Cluster.node_address(1, p) for p in range(2)]
+    schedule = FaultSchedule([FaultAction(1_000.0, "outage", 3_000.0,
+                                          {"dc": 1})])
+    schedule.apply(cluster)
+    before = probe(env, cluster, 500.0,
+                   lambda: [cluster.transport.is_down(a) for a in addresses])
+    during = probe(env, cluster, 2_000.0,
+                   lambda: [cluster.transport.is_down(a) for a in addresses])
+    after = probe(env, cluster, 4_000.0,
+                  lambda: [cluster.transport.is_down(a) for a in addresses])
+    env.run(until=5_000)
+    assert before["value"] == [False, False]
+    assert during["value"] == [True, True]   # the whole DC, not one node
+    assert after["value"] == [False, False]
+
+
+def test_outage_staggers_recovery():
+    env, cluster = make_cluster()
+    addresses = [Cluster.node_address(1, p) for p in range(2)]
+    schedule = FaultSchedule([FaultAction(1_000.0, "outage", 3_000.0,
+                                          {"dc": 1, "stagger_ms": 200.0})])
+    schedule.apply(cluster)
+    # At until_ms only partition 0 is back; partition 1 follows one
+    # stagger later.
+    mid = probe(env, cluster, 3_100.0,
+                lambda: [cluster.transport.is_down(a) for a in addresses])
+    done = probe(env, cluster, 3_300.0,
+                 lambda: [cluster.transport.is_down(a) for a in addresses])
+    env.run(until=5_000)
+    assert mid["value"] == [False, True]
+    assert done["value"] == [False, False]
+
+
+def test_outage_fails_over_only_keys_the_dark_dc_leads():
+    env, cluster = make_cluster()
+    keys = [f"item:{i}" for i in range(8)]
+    led_by_1 = [k for k in keys if cluster.mastership.leader_dc(k) == 1]
+    others = {k: cluster.mastership.leader_dc(k)
+              for k in keys if cluster.mastership.leader_dc(k) != 1}
+    assert led_by_1, "fixture must include DC1-led keys"
+    schedule = FaultSchedule([FaultAction(1_000.0, "outage", 3_000.0, {
+        "dc": 1, "failover_keys": tuple(keys), "failover_dc": 2,
+        "failover_after_ms": 100.0})])
+    schedule.apply(cluster)
+    env.run(until=6_000)
+    for key in led_by_1:
+        assert cluster.mastership.leader_dc(key) == 2, key
+    for key, dc in others.items():
+        assert cluster.mastership.leader_dc(key) == dc, key
+
+
+def test_outage_failover_is_prompt_despite_dark_replica():
+    # The takeover's phase 1 cannot hear from the dead DC; quorum-fast
+    # completion must settle on the two live promises instead of
+    # sitting on the RPC timeout with the key fenced but still routed
+    # to the dead leader.
+    env, cluster = make_cluster()
+    keys = [f"item:{i}" for i in range(8)]
+    led_by_1 = [k for k in keys if cluster.mastership.leader_dc(k) == 1]
+    schedule = FaultSchedule([FaultAction(1_000.0, "outage", 9_000.0, {
+        "dc": 1, "failover_keys": tuple(keys), "failover_dc": 2,
+        "failover_after_ms": 0.0})])
+    schedule.apply(cluster)
+    moved = probe(env, cluster, 2_000.0,
+                  lambda: [cluster.mastership.leader_dc(k)
+                           for k in led_by_1])
+    env.run(until=2_500)
+    # Well before any 5s RPC timeout, every DC1-led key routes to DC2.
+    assert moved["value"] == [2] * len(led_by_1)
+
+
+def test_catch_up_from_repairs_stale_replicas():
+    env, cluster = make_cluster()
+    stale = cluster.nodes[1][0]
+    fresh = cluster.nodes[2][0]
+    shared = [key for key in fresh.records if key in stale.records]
+    assert shared
+    key = shared[0]
+    fresh.records[key].apply_value(55, env.now)
+    fresh.records[key].apply_value(44, env.now)
+    repaired = stale.catch_up_from(fresh)
+    assert repaired == 1
+    assert stale.records[key].value == 44
+    assert stale.records[key].version == fresh.records[key].version
+    # Idempotent: nothing newer, nothing to copy.
+    assert stale.catch_up_from(fresh) == 0
+
+
+# ---------------------------------------------------------------- brownout
+
+
+def _extra_delay(cluster, src, dst):
+    return cluster.transport._extra_delay.get((src, dst), 0.0)
+
+
+def test_brownout_inflates_every_listed_pair_then_heals():
+    env, cluster = make_cluster()
+    pairs = [(a, b) for a in (0, 1, 2) for b in (0, 1, 2) if a != b]
+    schedule = FaultSchedule([FaultAction(1_000.0, "brownout", 3_000.0, {
+        "dcs": (0, 1, 2), "extra_ms": 150.0})])
+    schedule.apply(cluster)
+    during = probe(env, cluster, 2_000.0,
+                   lambda: {p: _extra_delay(cluster, *p) for p in pairs})
+    after = probe(env, cluster, 4_000.0,
+                  lambda: {p: _extra_delay(cluster, *p) for p in pairs})
+    env.run(until=5_000)
+    assert all(v == 150.0 for v in during["value"].values())
+    assert all(v == 0.0 for v in after["value"].values())
+
+
+def test_brownout_leaves_unlisted_links_alone():
+    env, cluster = make_cluster()
+    schedule = FaultSchedule([FaultAction(1_000.0, "brownout", 3_000.0, {
+        "dcs": (0, 1), "extra_ms": 150.0})])
+    schedule.apply(cluster)
+    during = probe(env, cluster, 2_000.0,
+                   lambda: (_extra_delay(cluster, 0, 1),
+                            _extra_delay(cluster, 0, 2),
+                            _extra_delay(cluster, 1, 2)))
+    env.run(until=5_000)
+    assert during["value"] == (150.0, 0.0, 0.0)
+
+
+# ---------------------------------------------------------------- flappy
+
+
+def test_flappy_link_cuts_and_restores_periodically():
+    env, cluster = make_cluster()
+    schedule = FaultSchedule([FaultAction(1_000.0, "flappy_link", 2_000.0, {
+        "src_dc": 0, "dst_dc": 1, "period_ms": 400.0, "duty": 0.5})])
+    schedule.apply(cluster)
+    # duty 0.5 over a 400ms period: down [1000,1200), up [1200,1400) …
+    cut = lambda: (0, 1) in cluster.transport._partitioned  # noqa: E731
+    samples = {t: probe(env, cluster, t, cut)
+               for t in (900.0, 1_100.0, 1_300.0, 1_500.0, 2_500.0)}
+    env.run(until=5_000)
+    assert samples[900.0]["value"] is False
+    assert samples[1_100.0]["value"] is True
+    assert samples[1_300.0]["value"] is False
+    assert samples[1_500.0]["value"] is True
+    assert samples[2_500.0]["value"] is False  # healed after the window
+
+
+# ---------------------------------------------------------------- sampler
+
+
+def test_palettes_nest():
+    assert set(KINDS) < set(SCENARIO_KINDS) <= set(ALL_KINDS)
+    assert "outage" in SCENARIO_KINDS and "outage" not in KINDS
+    assert "collide" not in SCENARIO_KINDS
+
+
+def test_sample_without_anchor_matches_random():
+    keys = [f"item:{i}" for i in range(6)]
+    addresses = [Cluster.node_address(dc, 0) for dc in range(3)]
+    sampled = FaultSchedule.sample(
+        Random(11), 4_000.0, anchor=None, n_datacenters=3,
+        addresses=addresses, keys=keys, kinds=KINDS, n_faults=4)
+    direct = FaultSchedule.random(
+        Random(11), 4, 4_000.0, 3, addresses, keys, kinds=KINDS)
+    assert [a.describe() for a in sampled.actions] \
+        == [a.describe() for a in direct.actions]
+
+
+def test_sample_is_deterministic_and_jitters_around_anchor():
+    anchor = FaultSchedule([
+        FaultAction(1_000.0, "outage", 2_000.0,
+                    {"dc": 1, "failover_keys": ("item:0",),
+                     "failover_dc": 2, "failover_after_ms": 100.0,
+                     "stagger_ms": 20.0}),
+        FaultAction(1_500.0, "brownout", 2_500.0,
+                    {"dcs": (0, 1), "extra_ms": 200.0}),
+    ])
+    keys = [f"item:{i}" for i in range(6)]
+    addresses = [Cluster.node_address(dc, 0) for dc in range(3)]
+
+    def draw(seed):
+        return FaultSchedule.sample(
+            Random(seed), 4_000.0, anchor=anchor, n_datacenters=3,
+            addresses=addresses, keys=keys, kinds=SCENARIO_KINDS,
+            n_faults=1)
+
+    one, two = draw(5), draw(5)
+    assert [a.describe() for a in one.actions] \
+        == [a.describe() for a in two.actions]
+    # The anchor's structure survives: same kinds, same structural args.
+    kinds = [a.kind for a in one.actions]
+    assert kinds.count("outage") >= 1 and kinds.count("brownout") >= 1
+    outage = next(a for a in one.actions if a.kind == "outage")
+    assert outage.args["dc"] == 1
+    assert outage.args["failover_keys"] == ("item:0",)
+    # …but the timings moved (jitter is relative, seed 5 is not 1.0).
+    assert outage.at_ms != 1_000.0
+    # Windows stay inside the horizon's safe band.
+    for action in one.actions:
+        if action.until_ms is not None:
+            assert action.until_ms <= 0.90 * 4_000.0
+    # A different seed perturbs differently.
+    assert [a.describe() for a in draw(6).actions] \
+        != [a.describe() for a in one.actions]

@@ -1,0 +1,150 @@
+"""Windowed rate series and recovery extraction (repro.obs.timeseries).
+
+Pure math — every case is a hand-built series where the right answer
+is computable by eye, including the edge the scenario gates tripped
+on during bring-up: a disturbance ending exactly on a bin edge must
+start the recovery search *at* that bin, not one later.
+"""
+
+import pytest
+
+from repro.obs import (
+    BinnedSeries,
+    binned_rate,
+    extract_recovery,
+    quantile,
+)
+
+
+# ---------------------------------------------------------------- series
+
+
+def test_binned_rate_counts_per_second():
+    series = binned_rate([0.0, 10.0, 990.0, 1_500.0], 0.0, 2_000.0, 1_000.0)
+    assert series.values == (3.0, 1.0)
+    assert series.end_ms == 2_000.0
+
+
+def test_binned_rate_ignores_out_of_range_events():
+    series = binned_rate([-5.0, 0.0, 2_000.0], 0.0, 2_000.0, 1_000.0)
+    assert series.values == (1.0, 0.0)
+
+
+def test_binned_rate_scales_by_bin_width():
+    series = binned_rate([0.0, 100.0], 0.0, 500.0, 500.0)
+    assert series.values == (4.0,)  # 2 events / 0.5 s
+
+
+def test_binned_rate_rejects_bad_windows():
+    with pytest.raises(ValueError):
+        binned_rate([], 0.0, 1_000.0, 0.0)
+    with pytest.raises(ValueError):
+        binned_rate([], 1_000.0, 1_000.0, 100.0)
+
+
+def test_series_accessors():
+    series = BinnedSeries(start_ms=1_000.0, bin_ms=250.0,
+                          values=(1.0, 2.0, 3.0, 4.0))
+    assert len(series) == 4
+    assert series.bin_start_ms(2) == 1_500.0
+    assert series.index_of(1_499.9) == 1
+    assert series.index_of(99_999.0) == 3  # clamped
+    assert series.mean_over(1_000.0, 1_500.0) == pytest.approx(1.5)
+    assert series.mean_over(5_000.0, 6_000.0) == 0.0
+
+
+def test_quantile_nearest_rank():
+    values = [5.0, 1.0, 3.0, 2.0, 4.0]
+    assert quantile(values, 0.0) == 1.0
+    assert quantile(values, 0.5) == 3.0
+    assert quantile(values, 1.0) == 5.0
+    assert quantile([], 0.99) == 0.0
+    with pytest.raises(ValueError):
+        quantile(values, 1.5)
+
+
+# ---------------------------------------------------------------- recovery
+
+
+def _series(values, bin_ms=100.0):
+    return BinnedSeries(start_ms=0.0, bin_ms=bin_ms, values=tuple(values))
+
+
+def test_no_dip_means_zero_recovery_time():
+    series = _series([10.0] * 10)
+    metrics = extract_recovery(series, 400.0, 600.0)
+    assert metrics.recovered and metrics.recovery_ms == 0.0
+    assert metrics.dip_depth == 0.0
+    assert metrics.baseline_rate == pytest.approx(10.0)
+
+
+def test_fault_end_on_bin_edge_counts_that_bin():
+    # Disturbance ends exactly at 600.0: the bin starting at 600.0 is
+    # post-fault, so an immediately-healthy series recovers at 0 ms.
+    series = _series([10.0, 10.0, 10.0, 10.0, 2.0, 2.0, 10.0, 10.0, 10.0,
+                      10.0])
+    metrics = extract_recovery(series, 400.0, 600.0, sustain_bins=2)
+    assert metrics.recovery_ms == 0.0
+    assert metrics.dip_rate == pytest.approx(2.0)
+    assert metrics.dip_depth == pytest.approx(0.8)
+
+
+def test_delayed_recovery_is_measured_from_fault_end():
+    series = _series([10.0, 10.0, 10.0, 10.0, 2.0, 2.0, 4.0, 6.0, 10.0,
+                      10.0, 10.0])
+    metrics = extract_recovery(series, 400.0, 600.0, sustain_bins=2)
+    assert metrics.recovered
+    assert metrics.recovery_ms == pytest.approx(200.0)  # first ok bin: 800
+    assert metrics.dip_rate == pytest.approx(2.0)
+
+
+def test_sustain_bins_use_rolling_mean():
+    # 9.0 then 10.2: each individually straddles the 9.5 bar but the
+    # two-bin mean is 9.6 >= 9.5, so the window counts as recovered.
+    series = _series([10.0, 10.0, 10.0, 10.0, 2.0, 2.0, 9.0, 10.2, 9.0,
+                      10.2])
+    metrics = extract_recovery(series, 400.0, 600.0, sustain_bins=2)
+    assert metrics.recovered and metrics.recovery_ms == pytest.approx(0.0)
+
+
+def test_never_recovering_series():
+    series = _series([10.0, 10.0, 10.0, 10.0, 2.0, 2.0, 3.0, 3.0, 3.0])
+    metrics = extract_recovery(series, 400.0, 600.0)
+    assert not metrics.recovered and metrics.recovery_ms is None
+    assert "never" in metrics.row()[3]
+
+
+def test_baseline_cap_clamps_lucky_prefault_stretch():
+    # Pre-fault rate 12/s but the offered rate caps the bar at 10/s:
+    # the post-fault 9.8/s plateau clears 0.95 * 10, not 0.95 * 12.
+    series = _series([12.0, 12.0, 12.0, 12.0, 2.0, 2.0, 9.8, 9.8, 9.8])
+    uncapped = extract_recovery(series, 400.0, 600.0)
+    capped = extract_recovery(series, 400.0, 600.0, baseline_cap=10.0)
+    assert not uncapped.recovered
+    assert capped.recovered and capped.baseline_rate == pytest.approx(10.0)
+
+
+def test_empty_baseline_is_an_honest_failure():
+    series = _series([0.0, 0.0, 5.0, 5.0])
+    metrics = extract_recovery(series, 200.0, 300.0)
+    assert not metrics.recovered
+    assert metrics.dip_depth == 1.0 and metrics.baseline_rate == 0.0
+
+
+def test_baseline_window_override():
+    series = _series([100.0, 10.0, 10.0, 10.0, 2.0, 10.0, 10.0])
+    # Skip the warmup spike at bin 0.
+    metrics = extract_recovery(series, 400.0, 500.0,
+                               baseline_start_ms=100.0)
+    assert metrics.baseline_rate == pytest.approx(10.0)
+    assert metrics.recovered
+
+
+def test_parameter_validation():
+    series = _series([1.0, 1.0])
+    with pytest.raises(ValueError):
+        extract_recovery(series, 200.0, 100.0)
+    with pytest.raises(ValueError):
+        extract_recovery(series, 0.0, 100.0, threshold=1.5)
+    with pytest.raises(ValueError):
+        extract_recovery(series, 0.0, 100.0, sustain_bins=0)
